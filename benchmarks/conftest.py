@@ -1,0 +1,37 @@
+"""Benchmark harness support.
+
+Every bench regenerates one paper artefact (see DESIGN.md §4), times the
+underlying workload with pytest-benchmark, prints the experiment's
+tables (visible with ``-s``) and writes them to ``results/`` so the
+paper-facing numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def persist(results_dir) -> Callable:
+    """Writer for ExperimentResult reports (and artefacts)."""
+
+    def _persist(result) -> None:
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        for stem, text in result.artifacts.items():
+            (results_dir / f"{result.experiment_id}_{stem}.txt").write_text(
+                text + "\n"
+            )
+
+    return _persist

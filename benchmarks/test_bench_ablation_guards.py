@@ -1,0 +1,24 @@
+"""EXP-A1 bench: ablation of the two turning-point guards."""
+
+from repro.experiments import run_experiment
+
+
+def test_guard_ablation(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-A1", dhmax=50.0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    paper = result.data["both guards (paper)"]["audit"]
+    unguarded = result.data["no guards"]["audit"]
+    assert paper.acceptable()
+    assert not unguarded.acceptable()
+    # The non-physical retrace of the raw model is two orders of
+    # magnitude above the guarded wiggle.
+    assert (
+        unguarded.monotonicity_depth > 50.0 * paper.monotonicity_depth
+    )

@@ -1,0 +1,20 @@
+"""EXP-T5 bench: convergence of the timeless scheme vs exact reference."""
+
+from repro.experiments import run_experiment
+
+
+def test_convergence_order(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-T5"),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    # Forward Euler in H: observed order ~1, and the error at the
+    # paper's dhmax = 50 A/m is below 1% of the B swing.
+    assert 0.8 < result.data["order"] < 1.2
+    errors = dict(zip(result.data["dhmax_values"], result.data["errors"]))
+    assert errors[50.0] / result.data["b_swing"] < 0.01

@@ -1,0 +1,23 @@
+"""EXP-X1 bench: mixed-domain RL circuit with hysteretic inductor."""
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_rl_inrush(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-X1"),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    # Hysteretic-core signatures: strong inrush, distorted magnetising
+    # current, positive core loss, clean co-simulation.
+    assert result.data["first_peak"] / result.data["settled_peak"] > 2.0
+    assert result.data["crest_factor"] > math.sqrt(2.0) * 1.1
+    assert result.data["loss_power"] > 0.0
+    assert result.data["run"].newton_failures == 0

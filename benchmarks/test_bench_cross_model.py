@@ -1,0 +1,29 @@
+"""EXP-X4 bench: Everett-identified Preisach vs JA."""
+
+from repro.experiments import run_experiment
+
+
+def test_cross_model(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-X4"),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    scenarios = result.data["scenarios"]
+    forc = scenarios["FORC descent (fitted family)"]
+    major = scenarios["major loop (return branches)"]
+    minor = scenarios["biased minor loop (prediction)"]
+
+    # Fitted family reproduces within a few percent...
+    assert forc["distance"].max_abs / forc["swing"] < 0.04
+    assert major["distance"].max_abs / major["swing"] < 0.05
+    # ... while minor-loop prediction carries the congruency gap —
+    # clearly larger, but bounded.
+    minor_rel = minor["distance"].max_abs / minor["swing"]
+    assert 0.05 < minor_rel < 0.40
+    # Identification-time departure from Preisach behaviour is small.
+    assert result.data["clipped"] < 0.05

@@ -1,0 +1,22 @@
+"""EXP-T1 bench: SystemC vs VHDL-AMS vs functional core at paper
+resolution (dhmax = 50 A/m) — 'virtually identical results'."""
+
+from repro.experiments import run_experiment
+
+
+def test_equivalence(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-T1", dhmax=50.0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    b_swing = result.data["b_swing"]
+    for name, distance in result.data["distances"].items():
+        # "virtually identical": within 1.5% of the loop's B swing at
+        # the paper's dhmax.
+        assert distance.max_abs / b_swing < 0.015, name
+    assert result.data["ams_report"].newton_failures == 0

@@ -1,0 +1,32 @@
+"""EXP-F1 bench: regenerate Figure 1 at paper resolution.
+
+Times the full SystemC-kernel sweep (decaying triangle, dhmax = 50 A/m)
+and checks the figure's characteristics stay inside the plot-read
+ranges recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_regeneration(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-F1", dhmax=50.0, minor_loop_count=4),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+    print(result.artifacts["fig1_ascii"])
+
+    metrics = result.data["metrics"]
+    audit = result.data["audit"]
+    # Paper Figure 1: H to +/-10 kA/m, B within the +/-2 T axis, several
+    # nested minor loops, no numerical failures.
+    assert result.data["h"].max() == pytest.approx(10e3)
+    assert abs(result.data["b"]).max() < 2.0
+    assert 2500.0 < metrics.coercivity < 4500.0
+    assert 1.0 < metrics.remanence < 1.5
+    assert audit.finite and audit.acceptable()

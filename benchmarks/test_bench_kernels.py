@@ -1,0 +1,79 @@
+"""Microbenchmarks of the computational kernels.
+
+Not paper artefacts — these give pytest-benchmark statistically
+meaningful hot-loop numbers for the pieces everything else is built
+from, so performance regressions in the substrates are visible.
+"""
+
+import numpy as np
+
+from repro.core.integrator import TimelessIntegrator
+from repro.core.slope import guarded_slope
+from repro.hdl.kernel import Scheduler, SimTime
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.ja.equations import magnetisation_slope
+from repro.ja.parameters import PAPER_PARAMETERS
+
+_FIELD_CYCLE = np.concatenate(
+    [
+        np.linspace(0.0, 10e3, 200),
+        np.linspace(10e3, -10e3, 400),
+        np.linspace(-10e3, 10e3, 400),
+    ]
+)
+
+
+def test_timeless_step_throughput(benchmark):
+    """Cost of one full field cycle through the timeless integrator."""
+    integrator = TimelessIntegrator(PAPER_PARAMETERS, dhmax=50.0)
+
+    def run_cycle():
+        integrator.reset()
+        for h in _FIELD_CYCLE:
+            integrator.step(float(h))
+        return integrator.counters.euler_steps
+
+    steps = benchmark(run_cycle)
+    assert steps > 100
+
+
+def test_guarded_slope_evaluation(benchmark):
+    """Cost of the guarded Integral-process algebra (one evaluation)."""
+    result = benchmark(
+        lambda: guarded_slope(PAPER_PARAMETERS, 0.8, 0.5, 50.0)
+    )
+    assert result.dm > 0.0
+
+
+def test_full_slope_evaluation(benchmark):
+    """Cost of the self-consistent Eq. 1 slope (reference RHS)."""
+    anhysteretic = make_anhysteretic(PAPER_PARAMETERS)
+    value = benchmark(
+        lambda: magnetisation_slope(
+            PAPER_PARAMETERS, anhysteretic, 3000.0, 0.4, 1.0
+        )
+    )
+    assert value > 0.0
+
+
+def test_event_kernel_delta_throughput(benchmark):
+    """Cost of 1000 timed events through the SystemC-like kernel."""
+
+    def run_kernel():
+        scheduler = Scheduler()
+        sig = scheduler.signal("s", 0)
+        tick = scheduler.event("tick")
+        count = [0]
+
+        def ticker():
+            count[0] += 1
+            sig.write(count[0])
+            if count[0] < 1000:
+                tick.notify_after(SimTime.ns(1))
+
+        scheduler.process("ticker", ticker, sensitive_to=[tick], initialise=True)
+        scheduler.run()
+        return scheduler.delta_count
+
+    deltas = benchmark(run_kernel)
+    assert deltas >= 1000

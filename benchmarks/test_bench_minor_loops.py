@@ -1,0 +1,19 @@
+"""EXP-T4 bench: minor-loop robustness grid at paper resolution."""
+
+from repro.experiments import run_experiment
+
+
+def test_minor_loop_grid(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-T4", dhmax=50.0, cycles=10),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    # Paper: "no numerical difficulties for various minor loops sizes
+    # and in different positions".
+    assert result.data["all_acceptable"]
+    assert result.data["all_decayed"]

@@ -1,0 +1,19 @@
+"""EXP-X3 bench: JA parameter extraction."""
+
+from repro.experiments import run_experiment
+
+
+def test_parameter_recovery(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-X3"),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    fit = result.data["fit"]
+    assert fit.relative_rms < 0.01
+    for name, error_pct in result.data["recovery_errors"].items():
+        assert error_pct < 10.0, f"{name} recovered {error_pct:.1f}% off"

@@ -1,0 +1,32 @@
+"""EXP-T2 bench: stability at turning points across formulations.
+
+The paper's central claim: the timeless model survives the slope
+discontinuities that break the solver-coupled formulations.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_stability_contrast(benchmark, results_dir, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-T2", dhmax=50.0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+
+    timeless = result.data["timeless"]
+    assert timeless["audit"].acceptable()
+    assert timeless["sweep"].finite
+
+    integ = result.data["integ_ams"]
+    # The 'INTEG formulation shows solver distress the timeless one
+    # never does: Newton failures, floor hits, negative slopes inside
+    # the residual.
+    assert integ["report"].newton_failures > 0
+    assert integ["negative_slope_evaluations"] > 0
+
+    euler = result.data["time_domain_forward-euler"]
+    assert euler["result"].negative_slope_evaluations > 0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Flux-driven operation: the magnetising current of a voltage-fed core.
+
+A winding across a stiff sinusoidal voltage has its flux *imposed*
+(Faraday: B = integral(v)/N/A); the core then draws whatever field —
+i.e. magnetising current — the hysteresis demands.  This script imposes
+a sinusoidal B and plots the sharply peaked, distorted H waveform the
+inverse timeless model recovers, plus the B-H trajectory it traces.
+
+Usage::
+
+    python examples/flux_driven_magnetising_current.py
+"""
+
+import numpy as np
+
+from repro import PAPER_PARAMETERS
+from repro.core import FluxDrivenJAModel
+from repro.io import AsciiPlot, TextTable
+
+
+def main() -> None:
+    inverse = FluxDrivenJAModel(PAPER_PARAMETERS, dbmax=0.005, dhmax=25.0)
+
+    cycles = 2
+    samples = 250 * cycles
+    phase = np.linspace(0.0, 2.0 * np.pi * cycles, samples)
+    b_imposed = 1.2 * np.sin(phase)
+    h_recovered = inverse.apply_flux_series(b_imposed)
+
+    # Settled cycle statistics.
+    tail = slice(-250, None)
+    h_cycle = h_recovered[tail]
+    crest = np.max(np.abs(h_cycle)) / np.sqrt(np.mean(h_cycle**2))
+
+    table = TextTable(["quantity", "value"], title="Flux-driven summary")
+    table.add_row("imposed B peak [T]", 1.2)
+    table.add_row("recovered H peak [A/m]", float(np.max(np.abs(h_cycle))))
+    table.add_row("H crest factor (sine = 1.414)", float(crest))
+    table.add_row("march solves", inverse.solves)
+    print(table.render())
+    print()
+
+    print("Imposed flux (s) and recovered field (h), settled cycle:")
+    plot = AsciiPlot(width=79, height=23)
+    t = np.arange(250) / 250.0
+    plot.add_series(t, b_imposed[tail] / 1.2, marker="s")
+    plot.add_series(t, h_cycle / np.max(np.abs(h_cycle)), marker="h")
+    print(plot.render(x_label="t / T", y_label="normalised"))
+    print()
+
+    print("Traced B-H loop (flux-driven):")
+    loop = AsciiPlot(width=79, height=23)
+    loop.add_series(h_recovered / 1000.0, b_imposed)
+    print(loop.render(x_label="H [kA/m]", y_label="B [T]"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Why "timeless"? A stability study of four JA formulations.
+
+Drives the same major hysteresis loop through:
+
+1. the paper's timeless model (Forward Euler in H, event-driven);
+2. the VHDL-AMS 'INTEG formulation on the analogue solver (the
+   approach of the paper's references [4, 5]);
+3. naive explicit time stepping of dM/dt (forward Euler and RK4).
+
+and prints a side-by-side of completion, solver distress and
+non-physical behaviour.  This is the paper's core argument as a
+runnable script.
+
+Usage::
+
+    python examples/solver_stability_study.py
+"""
+
+import time
+
+from repro import PAPER_PARAMETERS, TimelessJAModel, run_sweep
+from repro.analysis import audit_trajectory
+from repro.baselines import TimeDomainJAModel
+from repro.core.slope import SlopeGuards
+from repro.hdl.vhdlams import (
+    IntegJAArchitecture,
+    SolverOptions,
+    TransientSolver,
+)
+from repro.io import TextTable
+from repro.waveforms import TriangularWave, major_loop_waypoints
+
+H_MAX = 10e3
+PERIOD = 10e-3
+
+
+def run_timeless() -> tuple[str, dict]:
+    start = time.perf_counter()
+    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+    sweep = run_sweep(model, major_loop_waypoints(H_MAX, cycles=1))
+    elapsed = time.perf_counter() - start
+    audit = audit_trajectory(sweep.h, sweep.b)
+    return "timeless (paper)", {
+        "completed": True,
+        "retrace_mT": audit.monotonicity_depth * 1e3,
+        "solver distress": "none",
+        "wall_s": elapsed,
+    }
+
+
+def run_integ_ams() -> tuple[str, dict]:
+    wave = TriangularWave(H_MAX, PERIOD)
+    arch = IntegJAArchitecture(PAPER_PARAMETERS, wave)
+    solver = TransientSolver(
+        arch.system, SolverOptions(dt_initial=1e-6, dt_max=5e-5)
+    )
+    start = time.perf_counter()
+    result = solver.run(t_stop=1.25 * PERIOD)
+    elapsed = time.perf_counter() - start
+    report = result.report
+    audit = audit_trajectory(result.of(arch.q_h), result.of(arch.q_b))
+    distress = (
+        f"{report.newton_failures} NR failures, "
+        f"{report.floor_hits} floor hits"
+    )
+    return "'INTEG on analogue solver", {
+        "completed": not report.gave_up,
+        "retrace_mT": audit.monotonicity_depth * 1e3,
+        "solver distress": distress,
+        "wall_s": elapsed,
+    }
+
+
+def run_explicit(method: str) -> tuple[str, dict]:
+    wave = TriangularWave(H_MAX, PERIOD)
+    model = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.none())
+    start = time.perf_counter()
+    result = model.run(wave, t_stop=1.25 * PERIOD, dt=PERIOD / 400, method=method)
+    elapsed = time.perf_counter() - start
+    audit = audit_trajectory(result.h, result.b)
+    return f"dM/dt explicit {method}", {
+        "completed": result.completed,
+        "retrace_mT": audit.monotonicity_depth * 1e3,
+        "solver distress": (
+            f"{result.negative_slope_evaluations} negative-slope evals"
+        ),
+        "wall_s": elapsed,
+    }
+
+
+def main() -> None:
+    table = TextTable(
+        ["formulation", "completed", "B retrace [mT]", "solver distress", "wall [s]"],
+        title=f"One major loop to +/-{H_MAX:.0f} A/m",
+    )
+    for name, row in (
+        run_timeless(),
+        run_integ_ams(),
+        run_explicit("forward-euler"),
+        run_explicit("rk4"),
+    ):
+        table.add_row(
+            name,
+            row["completed"],
+            row["retrace_mT"],
+            row["solver distress"],
+            row["wall_s"],
+        )
+    print(table.render())
+    print()
+    print("The timeless row completes with sub-millitesla retrace and no")
+    print("solver involvement; the solver-coupled rows show the Newton")
+    print("failures, step-floor grinding and negative slopes the paper")
+    print("set out to eliminate.")
+
+
+if __name__ == "__main__":
+    main()

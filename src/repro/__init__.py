@@ -1,0 +1,45 @@
+"""repro: timeless discretisation of the Jiles-Atherton magnetisation slope.
+
+A full reproduction of *"HDL Models of Ferromagnetic Core Hysteresis
+Using Timeless Discretisation of the Magnetic Slope"* (Al-Junaid &
+Kazmierski, DATE 2006): the timeless integration technique, SystemC and
+VHDL-AMS style implementations on faithful simulation substrates, the
+time-domain baselines the paper argues against, magnetic components, and
+the experiment suite regenerating the paper's figure and claims.
+
+Quick start::
+
+    from repro import TimelessJAModel, PAPER_PARAMETERS, run_sweep
+    from repro.waveforms import major_loop_waypoints
+
+    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+    sweep = run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+    # sweep.h, sweep.b now hold the B-H loop
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.constants import DEFAULT_DHMAX, MU0
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
+from repro.errors import ReproError
+from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_DHMAX",
+    "JAParameters",
+    "MU0",
+    "PAPER_PARAMETERS",
+    "PRESETS",
+    "ReproError",
+    "SlopeGuards",
+    "SweepResult",
+    "TimelessJAModel",
+    "__version__",
+    "run_sweep",
+    "run_sweep_dense",
+]

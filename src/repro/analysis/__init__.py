@@ -1,0 +1,36 @@
+"""Measurement and verification tools for B-H trajectories.
+
+Everything experiments need to turn raw sweep trajectories into the
+numbers the paper reports or claims: turning points, loop segmentation
+and closure, hysteresis metrics (coercivity, remanence, loop area),
+stability audits (negative slopes, divergence) and curve-to-curve
+comparison with proper resampling over the field axis.
+"""
+
+from repro.analysis.comparison import CurveDistance, compare_bh_curves
+from repro.analysis.loops import Loop, extract_loops, loop_closure_error
+from repro.analysis.metrics import (
+    LoopMetrics,
+    coercivity,
+    loop_area,
+    loop_metrics,
+    remanence,
+)
+from repro.analysis.stability import StabilityAudit, audit_trajectory
+from repro.analysis.turning_points import turning_point_indices
+
+__all__ = [
+    "CurveDistance",
+    "Loop",
+    "LoopMetrics",
+    "StabilityAudit",
+    "audit_trajectory",
+    "coercivity",
+    "compare_bh_curves",
+    "extract_loops",
+    "loop_area",
+    "loop_closure_error",
+    "loop_metrics",
+    "remanence",
+    "turning_point_indices",
+]

@@ -1,0 +1,108 @@
+"""Curve-to-curve comparison of B-H trajectories.
+
+Two implementations never place samples at identical H values, so naive
+pointwise differencing is wrong.  The comparison here segments both
+trajectories at their turning points, pairs up corresponding monotone
+branches, resamples each pair onto a common H grid, and reports the
+error over all branches.  This is how EXP-T1 ("virtually identical
+results") and EXP-T5 (convergence vs the reference) are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.turning_points import monotone_segments
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class CurveDistance:
+    """Branch-resampled distance between two B(H) trajectories."""
+
+    max_abs: float
+    rms: float
+    branches_compared: int
+    grid_points: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "max_abs": self.max_abs,
+            "rms": self.rms,
+            "branches_compared": self.branches_compared,
+            "grid_points": self.grid_points,
+        }
+
+
+def _branch_list(h: np.ndarray, y: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    branches = []
+    for start, stop in monotone_segments(h):
+        seg_h = h[start : stop + 1]
+        seg_y = y[start : stop + 1]
+        if seg_h[0] > seg_h[-1]:
+            seg_h = seg_h[::-1]
+            seg_y = seg_y[::-1]
+        branches.append((seg_h, seg_y))
+    return branches
+
+
+def compare_bh_curves(
+    h_a: np.ndarray,
+    b_a: np.ndarray,
+    h_b: np.ndarray,
+    b_b: np.ndarray,
+    grid_points_per_branch: int = 200,
+) -> CurveDistance:
+    """Compare two trajectories branch by branch.
+
+    Both runs must follow the same sweep schedule (same number of
+    monotone branches in the same order); the H grids within branches
+    may differ freely.  Branches are compared on the overlap of their
+    field spans.
+    """
+    h_a = np.asarray(h_a, dtype=float)
+    b_a = np.asarray(b_a, dtype=float)
+    h_b = np.asarray(h_b, dtype=float)
+    b_b = np.asarray(b_b, dtype=float)
+
+    branches_a = _branch_list(h_a, b_a)
+    branches_b = _branch_list(h_b, b_b)
+    if len(branches_a) != len(branches_b):
+        raise AnalysisError(
+            f"trajectories have different branch counts "
+            f"({len(branches_a)} vs {len(branches_b)}); "
+            f"were they driven by the same schedule?"
+        )
+    if grid_points_per_branch < 2:
+        raise AnalysisError(
+            f"grid_points_per_branch must be >= 2, got {grid_points_per_branch}"
+        )
+
+    max_abs = 0.0
+    sum_sq = 0.0
+    total_points = 0
+    compared = 0
+    for (ha, ya), (hb, yb) in zip(branches_a, branches_b):
+        low = max(ha[0], hb[0])
+        high = min(ha[-1], hb[-1])
+        if not high > low:
+            continue
+        grid = np.linspace(low, high, grid_points_per_branch)
+        ya_grid = np.interp(grid, ha, ya)
+        yb_grid = np.interp(grid, hb, yb)
+        diff = ya_grid - yb_grid
+        max_abs = max(max_abs, float(np.max(np.abs(diff))))
+        sum_sq += float(np.sum(diff**2))
+        total_points += len(grid)
+        compared += 1
+
+    if compared == 0:
+        raise AnalysisError("no overlapping branches to compare")
+    return CurveDistance(
+        max_abs=max_abs,
+        rms=float(np.sqrt(sum_sq / total_points)),
+        branches_compared=compared,
+        grid_points=total_points,
+    )

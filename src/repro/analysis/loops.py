@@ -1,0 +1,137 @@
+"""Loop segmentation: slicing a sweep into individual B-H loops.
+
+A *loop* is one full excursion of the field from an upper turning point
+down to a lower one and back (or vice versa).  The minor-loop
+experiment needs per-loop closure errors — how far apart the start and
+end of the loop sit in B — and containment checks against the major
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.turning_points import turning_point_indices
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One closed (or nearly closed) B-H excursion.
+
+    ``h``/``b`` hold the samples from the starting turning point to the
+    sample that returns to (approximately) the starting field.
+    """
+
+    h: np.ndarray
+    b: np.ndarray
+    start_index: int
+    stop_index: int
+
+    def __len__(self) -> int:
+        return len(self.h)
+
+    @property
+    def h_span(self) -> tuple[float, float]:
+        return float(self.h.min()), float(self.h.max())
+
+    @property
+    def amplitude(self) -> float:
+        """Half the peak-to-peak field excursion."""
+        low, high = self.h_span
+        return 0.5 * (high - low)
+
+    @property
+    def bias(self) -> float:
+        """Centre of the field excursion."""
+        low, high = self.h_span
+        return 0.5 * (high + low)
+
+
+def extract_loops(h: np.ndarray, b: np.ndarray) -> list[Loop]:
+    """Slice a trajectory into loops between alternating turning points.
+
+    Each loop runs from one turning point to the second-next boundary (a
+    full down-up or up-down excursion).  The final sample acts as the
+    closing boundary of the last loop — a sweep ending exactly at a
+    vertex (e.g. ``0 -> +H -> -H -> +H``) yields that last full loop.
+    The leading branch (initial magnetisation curve) is open and is
+    never part of a loop.
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if h.shape != b.shape:
+        raise AnalysisError(
+            f"h and b must have the same shape, got {h.shape} vs {b.shape}"
+        )
+    turns = list(turning_point_indices(h))
+    boundaries = turns + (
+        [len(h) - 1] if not turns or turns[-1] != len(h) - 1 else []
+    )
+    loops: list[Loop] = []
+    for first, third in zip(boundaries[:-2:1], boundaries[2::1]):
+        loops.append(
+            Loop(
+                h=h[first : third + 1].copy(),
+                b=b[first : third + 1].copy(),
+                start_index=int(first),
+                stop_index=int(third),
+            )
+        )
+    return loops
+
+
+def loop_closure_error(loop: Loop) -> float:
+    """Distance in B between loop start and the return to the start field.
+
+    The end sample sits at (nearly) the same H as the start; a perfectly
+    closed loop returns to the same B.  The return B is interpolated on
+    the final monotone branch at exactly the starting H, so driver
+    sampling does not pollute the metric.
+    """
+    if len(loop) < 3:
+        raise AnalysisError("loop too short to measure closure")
+    h_start = loop.h[0]
+    b_start = loop.b[0]
+    turns = turning_point_indices(loop.h)
+    branch_start = int(turns[-1]) if len(turns) else 0
+    h_branch = loop.h[branch_start:]
+    b_branch = loop.b[branch_start:]
+    if h_branch[0] > h_branch[-1]:
+        h_branch = h_branch[::-1]
+        b_branch = b_branch[::-1]
+    b_return = float(np.interp(h_start, h_branch, b_branch))
+    return abs(b_return - b_start)
+
+
+def loop_contains(outer: Loop, inner: Loop, tolerance: float = 0.0) -> bool:
+    """True when ``inner`` stays inside ``outer``'s B envelope.
+
+    For every inner sample, B must lie between the outer loop's lower
+    and upper branch values at that H (within ``tolerance``).  Inner
+    samples outside the outer loop's H span fail the check.
+    """
+    h_low, h_high = outer.h_span
+    if inner.h.min() < h_low - tolerance or inner.h.max() > h_high + tolerance:
+        return False
+
+    turns = turning_point_indices(outer.h)
+    if len(turns) == 0:
+        raise AnalysisError("outer loop has no turning point")
+    split = int(turns[0])
+    first_h, first_b = outer.h[: split + 1], outer.b[: split + 1]
+    second_h, second_b = outer.h[split:], outer.b[split:]
+
+    def branch_interp(h_branch, b_branch, x):
+        if h_branch[0] > h_branch[-1]:
+            h_branch = h_branch[::-1]
+            b_branch = b_branch[::-1]
+        return np.interp(x, h_branch, b_branch)
+
+    b_first = branch_interp(first_h, first_b, inner.h)
+    b_second = branch_interp(second_h, second_b, inner.h)
+    upper = np.maximum(b_first, b_second) + tolerance
+    lower = np.minimum(b_first, b_second) - tolerance
+    return bool(np.all((inner.b <= upper) & (inner.b >= lower)))

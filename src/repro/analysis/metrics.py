@@ -1,0 +1,126 @@
+"""Hysteresis figures of merit: coercivity, remanence, loop area.
+
+The paper's Figure 1 is characterised by these numbers; EXPERIMENTS.md
+reports them as paper-vs-measured.  All functions accept a full
+(closed) loop trajectory — typically one cycle of a major loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.turning_points import monotone_segments
+from repro.errors import AnalysisError
+
+
+def _branch_crossing(
+    h: np.ndarray, y: np.ndarray, falling: bool
+) -> float | None:
+    """Linear-interpolated H where ``y`` crosses zero on one branch."""
+    signs = np.sign(y)
+    for i in range(len(y) - 1):
+        if signs[i] == 0.0:
+            return float(h[i])
+        crosses = signs[i] != signs[i + 1] and signs[i + 1] != 0.0
+        if crosses:
+            going_down = y[i] > y[i + 1]
+            if going_down == falling:
+                fraction = y[i] / (y[i] - y[i + 1])
+                return float(h[i] + fraction * (h[i + 1] - h[i]))
+    return None
+
+
+def coercivity(h: np.ndarray, b: np.ndarray) -> float:
+    """Coercive field Hc [A/m]: |H| where B crosses zero.
+
+    Measured on the descending branch (B going from + to -); averaged
+    with the ascending branch when both are present.
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    crossings: list[float] = []
+    for start, stop in monotone_segments(h):
+        seg_h = h[start : stop + 1]
+        seg_b = b[start : stop + 1]
+        crossing = _branch_crossing(seg_h, seg_b, falling=True)
+        if crossing is None:
+            crossing = _branch_crossing(seg_h, seg_b, falling=False)
+        if crossing is not None:
+            crossings.append(abs(crossing))
+    if not crossings:
+        raise AnalysisError("no zero crossing of B found; is the loop closed?")
+    return float(np.mean(crossings))
+
+
+def remanence(h: np.ndarray, b: np.ndarray) -> float:
+    """Remanent flux density Br [T]: |B| where H crosses zero.
+
+    Averaged over all monotone branches that cross H = 0.
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    values: list[float] = []
+    for start, stop in monotone_segments(h):
+        seg_h = h[start : stop + 1]
+        seg_b = b[start : stop + 1]
+        if seg_h[0] > seg_h[-1]:
+            seg_h = seg_h[::-1]
+            seg_b = seg_b[::-1]
+        if seg_h[0] <= 0.0 <= seg_h[-1] and seg_h[0] < seg_h[-1]:
+            values.append(abs(float(np.interp(0.0, seg_h, seg_b))))
+    if not values:
+        raise AnalysisError("no branch crosses H = 0")
+    return float(np.mean(values))
+
+
+def loop_area(h: np.ndarray, b: np.ndarray) -> float:
+    """Enclosed B-H area [J/m^3 per cycle] via the shoelace integral.
+
+    The trajectory should be one closed cycle; the sign is normalised
+    positive (hysteresis dissipates energy regardless of traversal
+    direction).
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if len(h) < 4:
+        raise AnalysisError("need at least 4 samples for a loop area")
+    # Shoelace over the (H, B) polygon, closing the contour explicitly.
+    h_closed = np.concatenate([h, h[:1]])
+    b_closed = np.concatenate([b, b[:1]])
+    cross = h_closed[:-1] * b_closed[1:] - h_closed[1:] * b_closed[:-1]
+    return abs(0.5 * float(np.sum(cross)))
+
+
+@dataclass(frozen=True)
+class LoopMetrics:
+    """Bundle of standard loop figures."""
+
+    coercivity: float
+    remanence: float
+    b_max: float
+    h_max: float
+    area: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "coercivity": self.coercivity,
+            "remanence": self.remanence,
+            "b_max": self.b_max,
+            "h_max": self.h_max,
+            "area": self.area,
+        }
+
+
+def loop_metrics(h: np.ndarray, b: np.ndarray) -> LoopMetrics:
+    """All standard figures for one closed loop trajectory."""
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return LoopMetrics(
+        coercivity=coercivity(h, b),
+        remanence=remanence(h, b),
+        b_max=float(np.max(np.abs(b))),
+        h_max=float(np.max(np.abs(h))),
+        area=loop_area(h, b),
+    )

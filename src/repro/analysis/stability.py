@@ -1,0 +1,158 @@
+"""Stability audit: counting the pathologies the paper claims to fix.
+
+The observable failure modes of JA implementations:
+
+1. **negative slopes** — dB/dH < 0 along a monotone field branch (the
+   non-physical artefact of the raw model);
+2. **divergence** — NaN/Inf or runaway values in the trajectory;
+3. **solver distress** — Newton failures / step-floor hits, which come
+   from the solver report rather than the trajectory.
+
+Two views of (1) are reported:
+
+* ``negative_slope_samples`` — the strict per-sample count.  Note that
+  even the guarded model shows a handful of these: the published
+  ``core`` process computes the effective field from the *previous*
+  ``mtotal`` (one event of algebraic lag), so right after an Euler step
+  the reversible component can retrace by a sub-millitesla amount.
+* ``monotonicity_depth`` — the worst cumulative retrace of B along any
+  monotone field branch, in tesla.  This separates the benign one-event
+  wiggle (< 1 mT on the Figure 1 workload) from the genuine
+  negative-slope excursions of the unguarded model (hundreds of mT).
+
+``DEPTH_TOLERANCE`` is the repo-wide boundary between the two regimes;
+experiments call :meth:`StabilityAudit.acceptable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.turning_points import monotone_segments
+from repro.errors import AnalysisError
+
+#: B-retrace depth [T] regarded as benign event-lag wiggle.  Measured
+#: guarded depth on the Figure 1 workload is ~0.8 mT; the unguarded
+#: model produces ~215 mT.  5 mT (≈0.2% of the loop's B swing) sits two
+#: orders of magnitude below the pathology.
+DEPTH_TOLERANCE: float = 5e-3
+
+
+@dataclass(frozen=True)
+class StabilityAudit:
+    """Counts of pathological samples in one trajectory."""
+
+    samples: int
+    negative_slope_samples: int
+    non_finite_samples: int
+    runaway_samples: int
+    worst_negative_slope: float
+    monotonicity_depth: float
+    #: Largest |dB| between consecutive samples [T] — the trace's own
+    #: per-event output resolution.  A retrace depth within ~1.5x of it
+    #: is indistinguishable from output quantisation/lag.
+    max_step_change: float = 0.0
+
+    @property
+    def finite(self) -> bool:
+        """True when nothing diverged."""
+        return self.non_finite_samples == 0 and self.runaway_samples == 0
+
+    @property
+    def clean(self) -> bool:
+        """Strict view: no pathology of any kind, not even wiggle."""
+        return self.finite and self.negative_slope_samples == 0
+
+    def acceptable(self, depth_tolerance: float | None = None) -> bool:
+        """Physical view: finite and B-retrace within the wiggle floor.
+
+        The default tolerance is the larger of :data:`DEPTH_TOLERANCE`
+        and 1.5x the trace's own per-sample output resolution — an
+        event-driven output (the published ``Bsig`` lags its ``mirr``
+        update by one event) can legitimately retrace by up to one event
+        of flux without any underlying instability.
+        """
+        if depth_tolerance is None:
+            depth_tolerance = max(DEPTH_TOLERANCE, 1.5 * self.max_step_change)
+        return self.finite and self.monotonicity_depth <= depth_tolerance
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        return {
+            "samples": self.samples,
+            "negative_slope_samples": self.negative_slope_samples,
+            "non_finite_samples": self.non_finite_samples,
+            "runaway_samples": self.runaway_samples,
+            "worst_negative_slope": self.worst_negative_slope,
+            "monotonicity_depth": self.monotonicity_depth,
+            "clean": self.clean,
+            "acceptable": self.acceptable(),
+        }
+
+
+def audit_trajectory(
+    h: np.ndarray,
+    b: np.ndarray,
+    slope_tolerance: float = 1e-12,
+    runaway_limit: float = 1e6,
+) -> StabilityAudit:
+    """Audit a B(H) trajectory for non-physical behaviour.
+
+    Parameters
+    ----------
+    slope_tolerance:
+        dB/dH more negative than ``-slope_tolerance`` counts as a
+        negative-slope sample (absorbs floating-point noise on
+        legitimate plateaus).
+    runaway_limit:
+        |B| beyond this [T] counts as runaway (physical cores saturate
+        near 2 T; 1e6 T only triggers on genuine blow-ups).
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if h.shape != b.shape:
+        raise AnalysisError(
+            f"h and b must have the same shape, got {h.shape} vs {b.shape}"
+        )
+    if len(h) < 2:
+        raise AnalysisError("need at least two samples to audit")
+
+    finite_mask = np.isfinite(h) & np.isfinite(b)
+    non_finite = int(np.sum(~finite_mask))
+    runaway = int(np.sum(np.abs(b[finite_mask]) > runaway_limit))
+
+    negative = 0
+    worst = 0.0
+    depth = 0.0
+    max_step = 0.0
+    if non_finite == 0:
+        for start, stop in monotone_segments(h):
+            seg_h = h[start : stop + 1]
+            seg_b = b[start : stop + 1]
+            dh = np.diff(seg_h)
+            db = np.diff(seg_b)
+            if len(db):
+                max_step = max(max_step, float(np.max(np.abs(db))))
+            moving = dh != 0.0
+            slopes = db[moving] / dh[moving]
+            bad = slopes < -abs(slope_tolerance)
+            negative += int(np.sum(bad))
+            if np.any(bad):
+                worst = min(worst, float(np.min(slopes[bad])))
+            # Cumulative retrace: on a rising branch B should rise, on a
+            # falling branch fall; flip the falling case so one formula
+            # covers both.
+            oriented = seg_b if seg_h[-1] >= seg_h[0] else -seg_b
+            running_max = np.maximum.accumulate(oriented)
+            depth = max(depth, float(np.max(running_max - oriented)))
+
+    return StabilityAudit(
+        samples=len(h),
+        negative_slope_samples=negative,
+        non_finite_samples=non_finite,
+        runaway_samples=runaway,
+        worst_negative_slope=worst,
+        monotonicity_depth=depth,
+        max_step_change=max_step,
+    )

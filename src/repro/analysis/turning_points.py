@@ -1,0 +1,65 @@
+"""Detection of field-direction reversals in sampled trajectories.
+
+Turning points are where the magnetisation slope is discontinuous and
+where the numerical trouble the paper addresses lives, so every loop
+analysis starts by finding them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def turning_point_indices(h: np.ndarray, tolerance: float = 0.0) -> np.ndarray:
+    """Indices where the field H changes direction.
+
+    A sample ``i`` (0 < i < n-1) is a turning point when the signs of
+    the increments on either side differ; plateaus (increments with
+    magnitude <= tolerance) are skipped over so a rise-hold-fall pattern
+    yields one turning point, not two.
+
+    Returns the array of indices, never including the endpoints.
+    """
+    h = np.asarray(h, dtype=float)
+    if h.ndim != 1:
+        raise AnalysisError(f"h must be 1-D, got shape {h.shape}")
+    if len(h) < 3:
+        return np.array([], dtype=int)
+    if tolerance < 0.0:
+        raise AnalysisError(f"tolerance must be >= 0, got {tolerance!r}")
+
+    increments = np.diff(h)
+    moving = np.abs(increments) > tolerance
+    directions = np.sign(increments)
+
+    turning: list[int] = []
+    last_direction = 0.0
+    for i, (is_moving, direction) in enumerate(zip(moving, directions)):
+        if not is_moving:
+            continue
+        if last_direction != 0.0 and direction != last_direction:
+            turning.append(i)
+        last_direction = direction
+    return np.array(turning, dtype=int)
+
+
+def monotone_segments(
+    h: np.ndarray, tolerance: float = 0.0
+) -> list[tuple[int, int]]:
+    """Split a trajectory into maximal monotone index ranges.
+
+    Returns ``(start, stop)`` pairs (inclusive indices) covering the
+    whole array, split at turning points.
+    """
+    h = np.asarray(h, dtype=float)
+    if len(h) < 2:
+        raise AnalysisError("need at least two samples to segment")
+    turns = turning_point_indices(h, tolerance=tolerance)
+    boundaries = [0] + list(turns) + [len(h) - 1]
+    segments: list[tuple[int, int]] = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        if stop > start:
+            segments.append((int(start), int(stop)))
+    return segments

@@ -1,0 +1,22 @@
+"""Baseline implementations the paper compares against (implicitly).
+
+* :mod:`repro.baselines.time_domain` — the "awkward conversion to time
+  derivatives": compute dH/dt, multiply by Eq. 1, integrate dM/dt with
+  explicit time-stepping.  This is what most SPICE/HDL JA models do.
+* :mod:`repro.baselines.scipy_reference` — a high-accuracy adaptive
+  reference (LSODA) on the same time-domain formulation, used as ground
+  truth for accuracy studies.
+
+The VHDL-AMS ``'INTEG`` baseline (implicit, solver-coupled) lives in
+:mod:`repro.hdl.vhdlams.ja_integ` because it needs the analogue solver.
+"""
+
+from repro.baselines.scipy_reference import ScipyTimeDomainResult, solve_time_domain
+from repro.baselines.time_domain import TimeDomainResult, TimeDomainJAModel
+
+__all__ = [
+    "ScipyTimeDomainResult",
+    "TimeDomainJAModel",
+    "TimeDomainResult",
+    "solve_time_domain",
+]

@@ -1,0 +1,147 @@
+"""Classic time-domain JA integration (the pre-paper approach).
+
+The chain the paper calls "awkward": differentiate the applied field to
+get dH/dt, evaluate Eq. 1 for dM/dH with ``delta = sign(dH/dt)``, form
+``dM/dt = (dM/dH) * (dH/dt)`` and hand it to a time integrator.  The
+direction factor makes the right-hand side discontinuous exactly at
+every waveform turning point, which is where fixed-step explicit
+integration overshoots — the overshoot can push ``M`` past ``Man`` and,
+without guards, the negative-slope region then amplifies the error.
+
+The class counts every pathology so EXP-T2 can tabulate it against the
+timeless scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MU0
+from repro.core.slope import SlopeGuards
+from repro.errors import SolverError
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.equations import (
+    anhysteretic_slope_term,
+    effective_field,
+    irreversible_slope,
+)
+from repro.ja.parameters import JAParameters
+from repro.solver.integrators import IntegrationMethod, explicit_stepper
+from repro.waveforms.base import Waveform
+
+
+@dataclass(frozen=True)
+class TimeDomainResult:
+    """Trajectory and failure accounting of a time-domain run."""
+
+    t: np.ndarray
+    h: np.ndarray
+    m: np.ndarray  # normalised
+    b: np.ndarray
+    diverged: bool
+    negative_slope_evaluations: int
+    slope_evaluations: int
+    steps: int
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def completed(self) -> bool:
+        return not self.diverged
+
+
+class TimeDomainJAModel:
+    """JA model integrated in time with explicit fixed steps."""
+
+    def __init__(
+        self,
+        params: JAParameters,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards.none(),
+    ) -> None:
+        self.params = params
+        self.anhysteretic = (
+            anhysteretic if anhysteretic is not None else make_anhysteretic(params)
+        )
+        self.guards = guards
+        self.negative_slope_evaluations = 0
+        self.slope_evaluations = 0
+
+    def slope_dmdh(self, h: float, m: float, h_dot: float) -> float:
+        """Eq. 1 with direction from the sign of dH/dt, guard-optional."""
+        params = self.params
+        delta = 1.0 if h_dot >= 0.0 else -1.0
+        h_eff = effective_field(params, h, m)
+        m_an = self.anhysteretic.value(h_eff)
+        slope = irreversible_slope(params, m_an, m, delta)
+        self.slope_evaluations += 1
+        if slope < 0.0:
+            self.negative_slope_evaluations += 1
+            if self.guards.clamp_negative:
+                slope = 0.0
+        return slope + anhysteretic_slope_term(params, self.anhysteretic, h_eff)
+
+    def run(
+        self,
+        waveform: Waveform,
+        t_stop: float,
+        dt: float,
+        t_start: float = 0.0,
+        method: IntegrationMethod | str = IntegrationMethod.FORWARD_EULER,
+        divergence_limit: float = 100.0,
+    ) -> TimeDomainResult:
+        """Fixed-step explicit integration of dM/dt.
+
+        ``divergence_limit`` bounds |m| (normalised — physical values
+        stay within ~1); beyond it the run stops and is flagged.
+        """
+        if dt <= 0.0 or not np.isfinite(dt):
+            raise SolverError(f"dt must be finite and > 0, got {dt!r}")
+        if not t_stop > t_start:
+            raise SolverError(f"t_stop ({t_stop}) must exceed t_start ({t_start})")
+
+        step = explicit_stepper(method)
+        # Guard against float ratios like 12.5e-3/2e-6 = 6250.0000000001
+        # adding a spurious step beyond t_stop.
+        n_steps = max(1, int(np.ceil((t_stop - t_start) / dt - 1e-9)))
+
+        def rhs(t: float, state: np.ndarray) -> np.ndarray:
+            h = waveform.value(t)
+            h_dot = waveform.derivative(t)
+            dmdh = self.slope_dmdh(h, float(state[0]), h_dot)
+            return np.array([dmdh * h_dot])
+
+        t_arr = np.empty(n_steps + 1)
+        m_arr = np.empty(n_steps + 1)
+        t_arr[0] = t_start
+        m_arr[0] = 0.0
+        state = np.array([0.0])
+        diverged = False
+        taken = 0
+        for i in range(1, n_steps + 1):
+            t_prev = t_start + (i - 1) * dt
+            state = step(rhs, t_prev, state, dt)
+            if not np.isfinite(state[0]) or abs(state[0]) > divergence_limit:
+                diverged = True
+                break
+            t_arr[i] = t_prev + dt
+            m_arr[i] = state[0]
+            taken = i
+
+        t_out = t_arr[: taken + 1]
+        m_out = m_arr[: taken + 1]
+        h_out = np.array([waveform.value(t) for t in t_out])
+        b_out = MU0 * (h_out + self.params.m_sat * m_out)
+        return TimeDomainResult(
+            t=t_out,
+            h=h_out,
+            m=m_out,
+            b=b_out,
+            diverged=diverged,
+            negative_slope_evaluations=self.negative_slope_evaluations,
+            slope_evaluations=self.slope_evaluations,
+            steps=taken,
+        )

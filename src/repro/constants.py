@@ -1,0 +1,29 @@
+"""Physical constants and paper-fixed default values.
+
+The reproduction keeps every "magic number" used by the paper in one
+place so that experiments and tests can refer to them symbolically.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Permeability of free space [H/m] (exact in the 2006-era SI convention
+#: used by the paper: 4*pi*1e-7).
+MU0: float = 4.0e-7 * math.pi
+
+#: Default field-increment threshold ``dhmax`` [A/m] used by the paper's
+#: ``monitorH`` process.  The paper does not print the value; 50 A/m gives
+#: 400 updates over the Figure 1 sweep span of 20 kA/m which matches the
+#: smoothness of the published curve.
+DEFAULT_DHMAX: float = 50.0
+
+#: Figure 1 sweep limits [A/m]: H in [-10, 10] kA/m.
+FIG1_H_MAX: float = 10_000.0
+
+#: Figure 1 flux-density extremes [T]: B in [-2, 2] T.
+FIG1_B_MAX: float = 2.0
+
+#: Value of ``2 / pi`` used by the modified Langevin function of the
+#: published SystemC code (written there as ``2/3.14159265``).
+TWO_OVER_PI: float = 2.0 / math.pi

@@ -1,0 +1,48 @@
+"""The paper's contribution: timeless discretisation of the JA slope.
+
+The magnetisation slope ``dM/dH`` is integrated with Forward Euler *in
+the field variable H* — not in time — inside an independent process that
+fires whenever the applied field has moved by more than ``dhmax`` since
+the last accepted update.  The analogue solver (or any time axis at all)
+is never involved, which is what makes the scheme immune to the
+turning-point discontinuities that break time-based integration.
+
+Module map (mirroring the three processes of the published SystemC code):
+
+* :mod:`repro.core.discretiser` — the ``monitorH`` process: decides when
+  the field has moved enough to warrant an irreversible update;
+* :mod:`repro.core.slope` — the guarded slope evaluation inside
+  ``Integral`` (non-negative clamp, opposing-increment drop);
+* :mod:`repro.core.integrator` — the ``Integral`` process: one Forward
+  Euler step in H;
+* :mod:`repro.core.state` — the state shared by the processes (the
+  ``core`` process's members);
+* :mod:`repro.core.model` — a user-facing facade combining them;
+* :mod:`repro.core.sweep` — timeless DC-sweep driver and trajectory
+  recording.
+"""
+
+from repro.core.demagnetise import demagnetisation_schedule, demagnetise
+from repro.core.discretiser import FieldDiscretiser
+from repro.core.integrator import IntegratorCounters, TimelessIntegrator
+from repro.core.inverse import FluxDrivenJAModel
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards, guarded_slope
+from repro.core.state import JAState
+from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
+
+__all__ = [
+    "FieldDiscretiser",
+    "FluxDrivenJAModel",
+    "IntegratorCounters",
+    "JAState",
+    "SlopeGuards",
+    "SweepResult",
+    "TimelessJAModel",
+    "TimelessIntegrator",
+    "demagnetisation_schedule",
+    "demagnetise",
+    "guarded_slope",
+    "run_sweep",
+    "run_sweep_dense",
+]

@@ -1,0 +1,65 @@
+"""Demagnetisation procedure (deperm).
+
+The standard way to return a hysteretic core to (near) zero remanence
+without heating it past the Curie point: cycle the field with a slowly
+decaying amplitude so the state spirals down nested minor loops to the
+origin.  This is the physical procedure behind the Figure 1 sweep shape
+and a natural application of the timeless model — the whole procedure
+is a single waypoint schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import SweepResult, run_sweep
+from repro.errors import ParameterError
+from repro.waveforms.sweeps import decaying_triangle_waypoints
+
+
+def demagnetisation_schedule(
+    start_amplitude: float,
+    steps: int = 40,
+    decay: float = 0.85,
+) -> list[float]:
+    """Waypoints of a geometric-decay deperm cycle.
+
+    Amplitude shrinks by ``decay`` each half-cycle pair until ``steps``
+    amplitudes have been emitted; a final return to zero closes it.
+    """
+    if not math.isfinite(start_amplitude) or start_amplitude <= 0.0:
+        raise ParameterError(
+            f"start_amplitude must be > 0, got {start_amplitude!r}"
+        )
+    if not 0.0 < decay < 1.0:
+        raise ParameterError(f"decay must be in (0, 1), got {decay!r}")
+    if steps < 2:
+        raise ParameterError(f"steps must be >= 2, got {steps}")
+    amplitudes = [start_amplitude * decay**i for i in range(steps)]
+    waypoints = decaying_triangle_waypoints(amplitudes)
+    waypoints.append(0.0)
+    return waypoints
+
+
+def demagnetise(
+    model: TimelessJAModel,
+    start_amplitude: float,
+    steps: int = 40,
+    decay: float = 0.85,
+    driver_step: float | None = None,
+) -> SweepResult:
+    """Run a deperm cycle from the model's current state.
+
+    Returns the recorded sweep; afterwards the model's remanent flux is
+    a small fraction of what it was (how small depends on ``decay`` and
+    ``steps`` — see the tests for measured figures).  The model state is
+    *not* reset first: demagnetising an already-magnetised core is the
+    point.
+    """
+    waypoints = demagnetisation_schedule(
+        start_amplitude, steps=steps, decay=decay
+    )
+    # Start the schedule from wherever the model currently sits.
+    waypoints[0] = model.h
+    return run_sweep(model, waypoints, driver_step=driver_step, reset=False)

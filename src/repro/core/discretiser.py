@@ -1,0 +1,77 @@
+"""Field-increment discretiser — the ``monitorH`` process.
+
+"Timeless" means the independent variable of the integration is the
+applied field H itself.  The discretiser decides when H has moved far
+enough from the last accepted value to justify one Forward Euler step;
+between accepted updates the pending increment simply accumulates, so
+the scheme is insensitive to how finely the driver happens to sample H
+(a property the event-driven SystemC implementation gets for free and
+which this class reproduces exactly)::
+
+    dh = H - lasth;
+    if (fabs(dh) > dhmax) { deltah = dh; lasth = H; trig = 1; }
+
+The comparison is strictly ``>`` in the published code.  For convergence
+studies it is convenient to accept increments exactly equal to
+``dhmax`` (so a driver stepping in ``dhmax`` quanta yields Euler steps of
+exactly ``dhmax``); ``accept_equal=True`` enables that variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DiscretiserDecision:
+    """Outcome of observing one new field value."""
+
+    accepted: bool
+    dh: float
+
+
+class FieldDiscretiser:
+    """Decides when the pending field increment triggers an update.
+
+    Parameters
+    ----------
+    dhmax:
+        Field-increment threshold [A/m] (must be > 0).  Smaller values
+        give finer integration and more events.
+    accept_equal:
+        When True, an increment of exactly ``dhmax`` is accepted
+        (``>=``); the published code uses strict ``>``.
+    """
+
+    def __init__(self, dhmax: float, accept_equal: bool = False) -> None:
+        if not math.isfinite(dhmax) or dhmax <= 0.0:
+            raise ParameterError(f"dhmax must be finite and > 0, got {dhmax!r}")
+        self.dhmax = float(dhmax)
+        self.accept_equal = bool(accept_equal)
+        self.observations = 0
+        self.acceptances = 0
+
+    def observe(self, h_new: float, h_accepted: float) -> DiscretiserDecision:
+        """Observe a new applied field against the last accepted one."""
+        self.observations += 1
+        dh = h_new - h_accepted
+        magnitude = abs(dh)
+        if self.accept_equal:
+            accepted = magnitude >= self.dhmax
+        else:
+            accepted = magnitude > self.dhmax
+        if accepted:
+            self.acceptances += 1
+        return DiscretiserDecision(accepted=accepted, dh=dh)
+
+    def reset_counters(self) -> None:
+        """Zero the observation/acceptance statistics."""
+        self.observations = 0
+        self.acceptances = 0
+
+    def __repr__(self) -> str:
+        op = ">=" if self.accept_equal else ">"
+        return f"FieldDiscretiser(|dh| {op} {self.dhmax})"

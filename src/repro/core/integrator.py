@@ -1,0 +1,159 @@
+"""Timeless Forward Euler integrator — the ``Integral`` process.
+
+One :meth:`TimelessIntegrator.step` call corresponds to one firing of the
+published ``core`` process plus, when the discretiser accepts, one firing
+of ``monitorH`` and ``Integral``:
+
+1. refresh the algebraic (reversible) quantities at the new field:
+   ``He``, ``man``, ``mrev`` — this happens on *every* field change, so
+   the reversible magnetisation responds continuously;
+2. if the pending increment ``|H - lasth|`` exceeds ``dhmax``, advance
+   the irreversible state ``mirr`` by one guarded Forward Euler step in
+   H and move ``lasth``;
+3. recombine ``m_total = m_rev + m_irr``.
+
+The functional core recombines *after* the irreversible update, whereas
+the published event ordering makes the ``B`` output lag the ``mirr``
+update by one event.  The SystemC transliteration
+(:mod:`repro.hdl.systemc.ja_module`) preserves the published ordering;
+experiment EXP-T1 quantifies the (sub-dhmax) difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import DEFAULT_DHMAX
+from repro.core.discretiser import FieldDiscretiser
+from repro.core.slope import SlopeGuards, SlopeResult, guarded_slope
+from repro.core.state import JAState
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.equations import effective_field, reversible_magnetisation
+from repro.ja.parameters import JAParameters
+
+
+@dataclass
+class IntegratorCounters:
+    """Cumulative event statistics for one integrator instance."""
+
+    field_events: int = 0
+    euler_steps: int = 0
+    clamped_slopes: int = 0
+    dropped_increments: int = 0
+
+    def reset(self) -> None:
+        self.field_events = 0
+        self.euler_steps = 0
+        self.clamped_slopes = 0
+        self.dropped_increments = 0
+
+
+class TimelessIntegrator:
+    """Integrates the JA magnetisation slope in H, without a time axis.
+
+    Parameters
+    ----------
+    params:
+        Jiles-Atherton material parameters.
+    dhmax:
+        Field-increment threshold [A/m]; default is the repo-wide
+        Figure 1 value.
+    anhysteretic:
+        Anhysteretic curve; defaults to the paper's modified Langevin
+        using ``a2``.
+    guards:
+        Turning-point guards; default both on (the paper's model).
+    accept_equal:
+        Forwarded to :class:`FieldDiscretiser` (see there).
+    """
+
+    def __init__(
+        self,
+        params: JAParameters,
+        dhmax: float = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+        accept_equal: bool = False,
+    ) -> None:
+        self.params = params
+        self.anhysteretic = (
+            anhysteretic if anhysteretic is not None else make_anhysteretic(params)
+        )
+        self.guards = guards
+        self.discretiser = FieldDiscretiser(dhmax, accept_equal=accept_equal)
+        self.state = JAState()
+        self.counters = IntegratorCounters()
+
+    @property
+    def dhmax(self) -> float:
+        return self.discretiser.dhmax
+
+    def clone(self) -> "TimelessIntegrator":
+        """Independent copy sharing parameters but not state.
+
+        Used for probe evaluations (circuit Newton trials, inverse
+        solves) that must not pollute the committed hysteresis history.
+        """
+        other = TimelessIntegrator(
+            self.params,
+            dhmax=self.discretiser.dhmax,
+            anhysteretic=self.anhysteretic,
+            guards=self.guards,
+            accept_equal=self.discretiser.accept_equal,
+        )
+        other.state = self.state.snapshot()
+        return other
+
+    def reset(self, h_initial: float = 0.0, m_irr_initial: float = 0.0) -> None:
+        """Return to an initial condition and zero all statistics."""
+        self.state.reset(h_initial=h_initial, m_irr_initial=m_irr_initial)
+        self.counters.reset()
+        self.discretiser.reset_counters()
+        # Refresh the algebraic quantities so m_an/m_rev/m_total are
+        # consistent with the initial field before the first step.
+        self._refresh_algebraic(h_initial)
+        self.state.m_total = self.state.m_rev + self.state.m_irr
+
+    def _refresh_algebraic(self, h_new: float) -> None:
+        """The ``core`` process: update He, man, mrev at field ``h_new``."""
+        state = self.state
+        h_eff = effective_field(self.params, h_new, state.m_total)
+        state.m_an = self.anhysteretic.value(h_eff)
+        state.m_rev = reversible_magnetisation(self.params, state.m_an)
+
+    def step(self, h_new: float) -> SlopeResult | None:
+        """Apply a new field value; return the slope result if a Euler
+        step was taken, else None.
+
+        This is the only way the model advances: there is no notion of
+        time anywhere in the call chain.
+        """
+        state = self.state
+        self.counters.field_events += 1
+        state.h_applied = h_new
+
+        self._refresh_algebraic(h_new)
+
+        decision = self.discretiser.observe(h_new, state.h_accepted)
+        result: SlopeResult | None = None
+        if decision.accepted:
+            m_candidate = state.m_rev + state.m_irr
+            result = guarded_slope(
+                self.params,
+                state.m_an,
+                m_candidate,
+                decision.dh,
+                guards=self.guards,
+            )
+            state.m_irr += result.dm
+            state.h_accepted = h_new
+            state.delta = 1.0 if decision.dh > 0.0 else -1.0
+            state.updates += 1
+            self.counters.euler_steps += 1
+            if result.clamped:
+                self.counters.clamped_slopes += 1
+            if result.dropped:
+                self.counters.dropped_increments += 1
+
+        state.m_total = state.m_rev + state.m_irr
+        return result

@@ -1,0 +1,195 @@
+"""Flux-driven (inverse) timeless JA model.
+
+The forward model maps an applied-field trajectory H(t) to flux density
+B.  Many applications are flux-driven instead: a winding excited by a
+voltage source imposes ``B = (1/(N*A)) * integral(v dt)`` and asks for
+the field (i.e. the magnetising current) that sustains it — the inverse
+Jiles-Atherton problem.
+
+The timeless structure carries over directly with the roles swapped:
+events fire when the *flux density* has moved by more than ``dbmax``
+since the last accepted update.  Each event then **marches** the inner
+forward model towards the target in steps of at most ``dhmax`` — never
+more — because a single oversized Euler step can cross the pole of the
+JA slope denominator (``deltam = k/(alpha*Msat)``) and land on a
+non-physical root where a huge magnetisation is balanced by a huge
+opposing field.  Walking at the forward model's own quantum keeps every
+intermediate state physical; only the final, sub-``dhmax`` partial step
+(purely reversible, hence strictly monotone in H) is refined by
+bisection.
+
+Consistency with the forward model is by construction: driving a fresh
+forward model with the field trajectory the inverse model returns
+reproduces the imposed flux within one ``dbmax`` (see the round-trip
+tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import DEFAULT_DHMAX
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.errors import ParameterError, SolverError
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.parameters import JAParameters
+
+
+class FluxDrivenJAModel:
+    """Inverse JA model: imposes B, returns H (timeless in B).
+
+    Parameters
+    ----------
+    params:
+        Jiles-Atherton material parameters.
+    dbmax:
+        Flux-increment threshold [T] between irreversible updates.
+        Defaults to the flux-quantum equivalent of the forward model's
+        default ``dhmax`` in the steep region (~10 mT).
+    dhmax:
+        Field-increment threshold of the *inner* forward model [A/m];
+        the inverse solve is only as fine as the forward quantisation.
+    tolerance:
+        Relative tolerance of the scalar solve on B.
+    """
+
+    def __init__(
+        self,
+        params: JAParameters,
+        dbmax: float = 0.01,
+        dhmax: float = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+        tolerance: float = 1e-9,
+    ) -> None:
+        if not math.isfinite(dbmax) or dbmax <= 0.0:
+            raise ParameterError(f"dbmax must be finite and > 0, got {dbmax!r}")
+        if not 0.0 < tolerance < 1.0:
+            raise ParameterError(
+                f"tolerance must be in (0, 1), got {tolerance!r}"
+            )
+        self.dbmax = float(dbmax)
+        self.tolerance = float(tolerance)
+        # accept_equal so a march step of exactly dhmax fires an event.
+        self.forward = TimelessJAModel(
+            params,
+            dhmax=dhmax,
+            anhysteretic=anhysteretic,
+            guards=guards,
+            accept_equal=True,
+        )
+        self._b_accepted = 0.0
+        #: Scalar-solve statistics.
+        self.solves = 0
+        self.solve_iterations = 0
+        #: Ceiling on march steps per event (a 5 mT event deep in
+        #: saturation needs |dB|/(mu0*dhmax) ~ 160 steps at defaults).
+        self.max_march_steps = 100_000
+
+    @property
+    def params(self) -> JAParameters:
+        return self.forward.params
+
+    @property
+    def h(self) -> float:
+        """Field currently sustaining the imposed flux [A/m]."""
+        return self.forward.h
+
+    @property
+    def b(self) -> float:
+        """Flux density of the committed state [T]."""
+        return self.forward.b
+
+    @property
+    def m(self) -> float:
+        """Magnetisation [A/m]."""
+        return self.forward.m
+
+    def reset(self) -> None:
+        """Demagnetise."""
+        self.forward.reset()
+        self._b_accepted = 0.0
+        self.solves = 0
+        self.solve_iterations = 0
+
+    # -- the inverse event ---------------------------------------------------
+
+    def _probe_b(self, h_trial: float) -> float:
+        """B the forward model would output at ``h_trial`` (no commit)."""
+        probe = self.forward.clone()
+        return probe.apply_field(h_trial)
+
+    def _march_to(self, b_target: float) -> None:
+        """Walk the committed forward model to the flux target.
+
+        Full steps of exactly ``dhmax`` (each firing one forward event)
+        until the next full step would overshoot; then one bisected
+        partial step.  A partial step below ``dhmax`` fires no
+        irreversible event — only the reversible component responds —
+        which is strictly monotone in H, so the bisection is safe.
+        """
+        self.solves += 1
+        tol = self.tolerance * max(abs(b_target), self.dbmax)
+        step = self.forward.dhmax
+
+        for _ in range(self.max_march_steps):
+            self.solve_iterations += 1
+            b_now = self.forward.b
+            error = b_target - b_now
+            if abs(error) <= tol:
+                return
+            direction = 1.0 if error > 0.0 else -1.0
+            h_next = self.forward.h + direction * step
+            b_next = self._probe_b(h_next)
+            overshoot = (b_next - b_target) * direction > 0.0
+            if not overshoot:
+                self.forward.apply_field(h_next)
+                continue
+            # Final partial step: bisect dh in (0, step].
+            low, high = 0.0, step
+            for _ in range(80):
+                self.solve_iterations += 1
+                mid = 0.5 * (low + high)
+                b_mid = self._probe_b(self.forward.h + direction * mid)
+                if abs(b_mid - b_target) <= tol:
+                    break
+                if (b_mid - b_target) * direction > 0.0:
+                    high = mid
+                else:
+                    low = mid
+            self.forward.apply_field(self.forward.h + direction * mid)
+            return
+        raise SolverError(
+            f"flux target {b_target!r} not reached within "
+            f"{self.max_march_steps} march steps"
+        )
+
+    def apply_flux_density(self, b_target: float) -> float:
+        """Impose a flux density [T]; returns the sustaining field H.
+
+        Between ``dbmax`` events the committed state is left untouched
+        (mirror of the forward model's reversible-only regime); once the
+        accumulated flux increment exceeds ``dbmax``, the march brings
+        the forward model to the target and commits.
+        """
+        if not math.isfinite(b_target):
+            raise ParameterError(f"b_target must be finite, got {b_target!r}")
+        if abs(b_target - self._b_accepted) > self.dbmax:
+            self._march_to(b_target)
+            self._b_accepted = b_target
+        return self.forward.h
+
+    def apply_flux_series(self, b_values) -> np.ndarray:
+        """Impose a flux trajectory; returns H after each sample."""
+        return np.array(
+            [self.apply_flux_density(float(b)) for b in b_values]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FluxDrivenJAModel(params={self.params.name!r}, "
+            f"dbmax={self.dbmax}, h={self.h:.6g}, b={self.b:.6g})"
+        )

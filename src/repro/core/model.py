@@ -1,0 +1,156 @@
+"""User-facing facade over the timeless JA integrator.
+
+:class:`TimelessJAModel` is the object downstream code (examples,
+magnetic components, experiments) talks to.  It exposes physical
+quantities — magnetisation in A/m and flux density in Tesla — while the
+internals carry the normalised magnetisation of the published code.
+
+Typical use::
+
+    from repro import TimelessJAModel
+    from repro.ja import PAPER_PARAMETERS
+
+    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+    for h in field_samples:
+        model.apply_field(h)
+        record(h, model.b)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_DHMAX, MU0
+from repro.core.integrator import IntegratorCounters, TimelessIntegrator
+from repro.core.slope import SlopeGuards
+from repro.core.state import JAState
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.equations import flux_density
+from repro.ja.parameters import JAParameters, get_preset
+
+
+class TimelessJAModel:
+    """Ferromagnetic core hysteresis model with timeless slope integration.
+
+    Parameters mirror :class:`repro.core.integrator.TimelessIntegrator`.
+    """
+
+    def __init__(
+        self,
+        params: JAParameters,
+        dhmax: float = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+        accept_equal: bool = False,
+    ) -> None:
+        self._integrator = TimelessIntegrator(
+            params,
+            dhmax=dhmax,
+            anhysteretic=anhysteretic,
+            guards=guards,
+            accept_equal=accept_equal,
+        )
+        self._integrator.reset()
+
+    @classmethod
+    def from_preset(cls, name: str, **kwargs) -> "TimelessJAModel":
+        """Build a model from a named parameter preset (see ``repro.ja``)."""
+        return cls(get_preset(name), **kwargs)
+
+    def clone(self) -> "TimelessJAModel":
+        """Independent copy of the model including its hysteresis state.
+
+        Probe clones let solvers evaluate "what would B be at this H"
+        without committing the excursion to the history.
+        """
+        other = object.__new__(TimelessJAModel)
+        other._integrator = self._integrator.clone()
+        return other
+
+    # -- state access -----------------------------------------------------
+
+    @property
+    def params(self) -> JAParameters:
+        return self._integrator.params
+
+    @property
+    def state(self) -> JAState:
+        """The live internal state (mutable; snapshot before storing)."""
+        return self._integrator.state
+
+    @property
+    def counters(self) -> IntegratorCounters:
+        return self._integrator.counters
+
+    @property
+    def dhmax(self) -> float:
+        return self._integrator.dhmax
+
+    @property
+    def h(self) -> float:
+        """Currently applied field [A/m]."""
+        return self._integrator.state.h_applied
+
+    @property
+    def m_normalised(self) -> float:
+        """Total magnetisation normalised by Msat (the published ``mtotal``)."""
+        return self._integrator.state.m_total
+
+    @property
+    def m(self) -> float:
+        """Total magnetisation M [A/m]."""
+        return self._integrator.state.m_total * self.params.m_sat
+
+    @property
+    def b(self) -> float:
+        """Flux density B = mu0 * (H + M) [T]."""
+        state = self._integrator.state
+        return flux_density(self.params, state.h_applied, state.m_total)
+
+    @property
+    def mu_r(self) -> float:
+        """Relative amplitude permeability B / (mu0 * H); inf at H = 0."""
+        h = self.h
+        if h == 0.0:
+            return float("inf")
+        return self.b / (MU0 * h)
+
+    # -- stepping ---------------------------------------------------------
+
+    def reset(self, h_initial: float = 0.0, m_irr_initial: float = 0.0) -> None:
+        """Return to the demagnetised (or given) initial condition."""
+        self._integrator.reset(h_initial=h_initial, m_irr_initial=m_irr_initial)
+
+    def apply_field(self, h: float) -> float:
+        """Apply a new field value [A/m] and return the updated B [T]."""
+        self._integrator.step(h)
+        return self.b
+
+    def apply_field_series(self, h_values: Iterable[float]) -> np.ndarray:
+        """Apply a sequence of field values; return B [T] after each."""
+        return np.array([self.apply_field(float(h)) for h in h_values])
+
+    def trace(
+        self, h_values: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply a field series and return ``(h, m, b)`` arrays.
+
+        ``m`` is in A/m.  Convenience wrapper used by analysis helpers
+        that need magnetisation as well as flux density.
+        """
+        h_arr = np.asarray(list(h_values), dtype=float)
+        m_out = np.empty_like(h_arr)
+        b_out = np.empty_like(h_arr)
+        for i, h in enumerate(h_arr):
+            self._integrator.step(float(h))
+            m_out[i] = self.m
+            b_out[i] = self.b
+        return h_arr, m_out, b_out
+
+    def __repr__(self) -> str:
+        return (
+            f"TimelessJAModel(params={self.params.name!r}, "
+            f"dhmax={self.dhmax}, h={self.h:.6g}, b={self.b:.6g})"
+        )

@@ -1,0 +1,83 @@
+"""Shared Jiles-Atherton model state.
+
+The published SystemC module keeps its state in member variables that the
+three processes (``core``, ``monitorH``, ``Integral``) read and write.
+:class:`JAState` is the functional-core equivalent: a small mutable record
+with an explicit :meth:`snapshot` for trajectory recording.
+
+All magnetisations are *normalised* (``m = M / Msat``), matching the
+published code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class JAState:
+    """Mutable state of one timeless JA model instance.
+
+    Attributes
+    ----------
+    h_applied:
+        Most recently applied field H [A/m] (the module input).
+    h_accepted:
+        Field value at the last *accepted* irreversible update — the
+        published ``lasth``.  ``h_applied - h_accepted`` is the pending
+        increment the discretiser watches.
+    m_irr:
+        Irreversible magnetisation state variable (normalised), advanced
+        by Forward Euler in H.
+    m_rev:
+        Reversible component ``c * man / (1 + c)`` (normalised), refreshed
+        algebraically on every field change.
+    m_an:
+        Anhysteretic value at the current effective field (normalised).
+    m_total:
+        Total normalised magnetisation ``m_rev + m_irr``.
+    delta:
+        Field direction of the last accepted update: +1 rising, -1
+        falling, 0 before the first update.
+    updates:
+        Number of accepted irreversible updates so far.
+    """
+
+    h_applied: float = 0.0
+    h_accepted: float = 0.0
+    m_irr: float = 0.0
+    m_rev: float = 0.0
+    m_an: float = 0.0
+    m_total: float = 0.0
+    delta: float = 0.0
+    updates: int = 0
+
+    def snapshot(self) -> "JAState":
+        """Return an independent copy (for recording trajectories)."""
+        return replace(self)
+
+    def is_finite(self) -> bool:
+        """True when every float member is finite (divergence check)."""
+        return all(
+            math.isfinite(value)
+            for value in (
+                self.h_applied,
+                self.h_accepted,
+                self.m_irr,
+                self.m_rev,
+                self.m_an,
+                self.m_total,
+            )
+        )
+
+    def reset(self, h_initial: float = 0.0, m_irr_initial: float = 0.0) -> None:
+        """Return to the demagnetised (or a given) initial condition."""
+        self.h_applied = h_initial
+        self.h_accepted = h_initial
+        self.m_irr = m_irr_initial
+        self.m_rev = 0.0
+        self.m_an = 0.0
+        self.m_total = m_irr_initial
+        self.delta = 0.0
+        self.updates = 0

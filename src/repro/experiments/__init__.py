@@ -1,0 +1,37 @@
+"""Experiment registry: one module per paper artefact.
+
+Each experiment regenerates one figure, table or quantified claim from
+the paper (see DESIGN.md section 4 for the index).  Experiments return
+:class:`repro.experiments.registry.ExperimentResult` objects with text
+tables and raw data; the CLI runner writes them to disk.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: F401  (import for side effect)
+    accuracy,
+    ablation_anhysteretic,
+    ablation_guards,
+    circuit_demo,
+    cross_model,
+    equivalence,
+    fig1,
+    flux_driven,
+    minor_loops,
+    parameter_fit,
+    performance,
+    stability,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

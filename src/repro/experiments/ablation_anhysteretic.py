@@ -1,0 +1,76 @@
+"""EXP-A2: ablation of the anhysteretic curve choice.
+
+The paper's listing evaluates ``Lang_mod(He/a)`` — the modified
+(arctangent) Langevin — while the text says the parameters are Jiles &
+Atherton's "except for a2".  This ablation quantifies what each
+plausible reading changes on the Figure 1 workload:
+
+* modified Langevin with shape ``a2`` = 3500 A/m (our default reading);
+* modified Langevin with shape ``a`` = 2000 A/m (the listing verbatim);
+* classic Langevin with ``a`` = 2000 A/m (the 1984 original).
+
+All three produce the same qualitative figure; the table records how
+Hc/Br/Bmax move, bounding the impact of the ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import extract_loops
+from repro.analysis.metrics import loop_metrics
+from repro.constants import DEFAULT_DHMAX, FIG1_H_MAX
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms.sweeps import major_loop_waypoints
+
+
+@register("EXP-A2", "Ablation: anhysteretic curve (modified vs classic Langevin)")
+def run(
+    dhmax: float = DEFAULT_DHMAX, h_max: float = FIG1_H_MAX
+) -> ExperimentResult:
+    waypoints = major_loop_waypoints(h_max, cycles=1)
+    variants = [
+        (
+            "modified Langevin, a2=3500 (default)",
+            make_anhysteretic(PAPER_PARAMETERS, "modified-langevin", use_a2=True),
+        ),
+        (
+            "modified Langevin, a=2000 (listing verbatim)",
+            make_anhysteretic(PAPER_PARAMETERS, "modified-langevin", use_a2=False),
+        ),
+        (
+            "classic Langevin, a=2000 (JA 1984)",
+            make_anhysteretic(PAPER_PARAMETERS, "langevin"),
+        ),
+    ]
+    table = TextTable(
+        ["anhysteretic", "Hc [A/m]", "Br [T]", "Bmax [T]", "area [J/m^3]"],
+        title=f"Major loop +/-{h_max:g} A/m, dhmax={dhmax} A/m",
+    )
+    data: dict[str, object] = {}
+    for name, anhysteretic in variants:
+        model = TimelessJAModel(
+            PAPER_PARAMETERS, dhmax=dhmax, anhysteretic=anhysteretic
+        )
+        sweep = run_sweep(model, waypoints)
+        major = extract_loops(sweep.h, sweep.b)[0]
+        metrics = loop_metrics(major.h, major.b)
+        table.add_row(
+            name, metrics.coercivity, metrics.remanence, metrics.b_max, metrics.area
+        )
+        data[name] = {"sweep": sweep, "metrics": metrics}
+
+    result = ExperimentResult(
+        experiment_id="EXP-A2",
+        title="Ablation: anhysteretic curve (modified vs classic Langevin)",
+    )
+    result.tables = [table]
+    result.notes = [
+        "the paper's text/listing ambiguity on a vs a2 is bounded by "
+        "these rows; the loop stays qualitatively identical",
+    ]
+    result.data = data
+    return result

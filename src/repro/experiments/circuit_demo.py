@@ -1,0 +1,90 @@
+"""EXP-X1: mixed-domain extension — RL circuit with a hysteretic inductor.
+
+The paper motivates AMS HDLs with mixed-physical-domain modelling.  This
+experiment drives a JA-cored inductor through a series resistor from a
+sinusoidal source and measures the classic hysteretic-core signatures:
+
+* inrush asymmetry: the first current peak exceeds the settled peak
+  (remanence + saturation), strongest when energising at voltage zero;
+* core loss: the enclosed B-H area times core volume per cycle;
+* magnetising-current distortion (peak/rms ratio well above sqrt(2)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import loop_area
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.magnetics.circuit import RLDriveCircuit
+from repro.magnetics.geometry import ToroidCore
+from repro.magnetics.inductor import HysteresisInductor
+from repro.magnetics.material import PAPER_STEEL
+from repro.waveforms import SineWave
+
+
+@register("EXP-X1", "Mixed-domain RL circuit with hysteretic inductor")
+def run(
+    v_amplitude: float = 230.0,
+    frequency: float = 50.0,
+    resistance: float = 2.0,
+    turns: int = 1500,
+    cycles: int = 6,
+    steps_per_cycle: int = 400,
+) -> ExperimentResult:
+    # Sized so the rated flux swing (V/(omega*N*A) ~ 1.2 T) sits just
+    # below the knee of the paper's material: the settled current is
+    # magnetising-dominated while energisation at the voltage zero
+    # drives the core well into saturation (inrush).
+    core = ToroidCore(inner_radius=0.04, outer_radius=0.06, height=0.02)
+    inductor = HysteresisInductor(PAPER_STEEL, core, turns=turns, dhmax=25.0)
+    source = SineWave(v_amplitude, frequency)
+    circuit = RLDriveCircuit(inductor, resistance, source)
+
+    period = 1.0 / frequency
+    dt = period / steps_per_cycle
+    result_run = circuit.run(t_stop=cycles * period, dt=dt)
+
+    # First-cycle vs settled-cycle current peaks.
+    per_cycle = steps_per_cycle
+    i = result_run.i
+    first_peak = float(np.max(np.abs(i[: per_cycle + 1])))
+    settled_peak = float(np.max(np.abs(i[-per_cycle:])))
+    rms_settled = float(np.sqrt(np.mean(i[-per_cycle:] ** 2)))
+    crest = settled_peak / rms_settled if rms_settled > 0 else float("nan")
+
+    # Core loss from the last full cycle.
+    h_cycle = result_run.h[-per_cycle:]
+    b_cycle = result_run.b[-per_cycle:]
+    area = loop_area(h_cycle, b_cycle)
+    loss_power = area * core.volume * frequency
+
+    table = TextTable(["quantity", "value"], title="RL drive summary")
+    table.add_row("first-cycle current peak [A]", first_peak)
+    table.add_row("settled current peak [A]", settled_peak)
+    table.add_row("inrush ratio", first_peak / settled_peak)
+    table.add_row("settled crest factor (sine = 1.414)", crest)
+    table.add_row("loop area [J/m^3/cycle]", area)
+    table.add_row("core loss [W]", loss_power)
+    table.add_row("newton failures", result_run.newton_failures)
+
+    result = ExperimentResult(
+        experiment_id="EXP-X1",
+        title="Mixed-domain RL circuit with hysteretic inductor",
+    )
+    result.tables = [table]
+    result.notes = [
+        "expected shape: inrush ratio > 1, crest factor > sqrt(2) "
+        "(magnetising-current distortion), zero Newton failures",
+    ]
+    result.data = {
+        "run": result_run,
+        "first_peak": first_peak,
+        "settled_peak": settled_peak,
+        "crest_factor": crest,
+        "loop_area": area,
+        "loss_power": loss_power,
+        "volume": core.volume,
+    }
+    return result

@@ -1,0 +1,94 @@
+"""EXP-X4: cross-model check — Preisach identified against JA.
+
+A discrete Preisach model is identified from the JA model's first-order
+reversal curves (Everett method) and then asked to predict behaviour it
+was *not* fitted to.  Expected shape:
+
+* FORC-type branches (descents from the outer loop) reproduce well —
+  they are what the identification saw;
+* return (ascending) branches and minor loops deviate by more: the
+  Preisach model has the congruency property, the JA model does not,
+  so no Preisach weight set can match JA's inner loops exactly.  The
+  residual *is* the measurement of JA's non-Preisach character;
+* the clipped negative Everett mass (~2%) quantifies the same thing at
+  identification time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.comparison import compare_bh_curves
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep, waypoint_samples
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.preisach import identify_from_ja
+
+
+@register("EXP-X4", "Cross-model: Everett-identified Preisach vs JA")
+def run(
+    n_cells: int = 160,
+    h_sat: float = 20e3,
+    dhmax: float = 50.0,
+) -> ExperimentResult:
+    preisach, clipped = identify_from_ja(
+        PAPER_PARAMETERS, n_cells=n_cells, h_sat=h_sat, dhmax=dhmax
+    )
+
+    scenarios = [
+        ("FORC descent (fitted family)", [h_sat, -10e3]),
+        ("major loop (return branches)", [h_sat, -10e3, 10e3, -10e3, 10e3]),
+        (
+            "biased minor loop (prediction)",
+            [h_sat, 5000.0, -1000.0, 5000.0, -1000.0, 5000.0],
+        ),
+        ("centred minor loop (prediction)", [h_sat, 0.0, 2000.0, -2000.0, 2000.0]),
+    ]
+
+    table = TextTable(
+        ["scenario", "max |dB| [T]", "rms dB [T]", "max / swing [%]"],
+        title=f"Preisach ({preisach.relay_count} relays, "
+        f"{100 * clipped:.1f}% Everett mass clipped) vs JA",
+    )
+    data: dict[str, object] = {"clipped": clipped, "scenarios": {}}
+    for label, schedule in scenarios:
+        ja = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+        run_sweep(ja, [0.0, h_sat])
+        ja_sweep = run_sweep(ja, schedule, reset=False)
+
+        preisach.saturate(True)
+        preisach.apply_field(h_sat)
+        samples = waypoint_samples(schedule, dhmax)
+        h_p, _, b_p = preisach.trace(samples)
+
+        distance = compare_bh_curves(ja_sweep.h, ja_sweep.b, h_p, b_p)
+        swing = float(ja_sweep.b.max() - ja_sweep.b.min())
+        table.add_row(
+            label,
+            distance.max_abs,
+            distance.rms,
+            100.0 * distance.max_abs / max(swing, 1e-12),
+        )
+        data["scenarios"][label] = {
+            "distance": distance,
+            "swing": swing,
+        }
+
+    result = ExperimentResult(
+        experiment_id="EXP-X4",
+        title="Cross-model: Everett-identified Preisach vs JA",
+    )
+    result.tables = [table]
+    result.notes = [
+        "the Preisach model is congruent by construction; the JA model "
+        "is not — the minor-loop residuals measure that difference, "
+        "not a numerical defect",
+        "grid finding: a uniform threshold grid beats the "
+        "magnetisation-quantile adaptive grid (which concentrates the "
+        "clipped non-Preisach mass); see "
+        "repro.preisach.identification.adaptive_nodes",
+    ]
+    result.data = data
+    return result

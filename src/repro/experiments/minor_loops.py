@@ -1,0 +1,127 @@
+"""EXP-T4: minor loops of various sizes and positions.
+
+The paper: "Our model is capable of producing minor loops with no
+numerical difficulties for various minor loops sizes and in different
+positions."  We sweep a grid of (bias, amplitude) minor loops, cycling
+each several times after approaching from the demagnetised state, and
+check:
+
+* the trajectory stays finite and free of negative-slope excursions;
+* per-cycle closure *shrinks* monotonically — biased minor loops of the
+  JA model drift for a few cycles (accommodation, which is physics, not
+  numerical difficulty) and must settle towards closure;
+* every minor loop's field span stays inside the major loop's span and
+  sufficiently-large loops stay inside its B envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.loops import extract_loops, loop_closure_error, loop_contains
+from repro.analysis.stability import audit_trajectory
+from repro.constants import DEFAULT_DHMAX, FIG1_H_MAX
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms.sweeps import (
+    biased_minor_loop_waypoints,
+    major_loop_waypoints,
+)
+
+
+@register("EXP-T4", "Minor loop robustness over sizes and positions")
+def run(
+    dhmax: float = DEFAULT_DHMAX,
+    h_max: float = FIG1_H_MAX,
+    amplitudes: Sequence[float] = (500.0, 1000.0, 2000.0, 4000.0, 8000.0),
+    biases: Sequence[float] = (0.0, 2000.0, 4000.0, 6000.0),
+    cycles: int = 10,
+) -> ExperimentResult:
+    # Reference major loop for containment checks.
+    major_model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+    major_sweep = run_sweep(major_model, major_loop_waypoints(h_max, cycles=1))
+    major = extract_loops(major_sweep.h, major_sweep.b)[0]
+
+    table = TextTable(
+        [
+            "bias [A/m]",
+            "amplitude [A/m]",
+            "cycle-1 closure [T]",
+            "final closure [T]",
+            "drift decayed",
+            "inside major",
+            "acceptable",
+        ],
+        title=f"Minor-loop grid, {cycles} cycles each, dhmax={dhmax} A/m",
+    )
+
+    all_acceptable = True
+    all_decayed = True
+    grid_data = []
+    for bias in biases:
+        for amplitude in amplitudes:
+            model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+            waypoints = biased_minor_loop_waypoints(
+                bias, amplitude, cycles=cycles
+            )
+            sweep = run_sweep(model, waypoints)
+            audit = audit_trajectory(sweep.h, sweep.b)
+            loops = extract_loops(sweep.h, sweep.b)
+            # Full cycles start after the approach branch; take every
+            # second loop so each entry is one complete excursion that
+            # starts at the loop's upper vertex.
+            cycle_loops = loops[0::2]
+            closures = [loop_closure_error(loop) for loop in cycle_loops]
+            first_closure = closures[0]
+            final_closure = closures[-1]
+            decayed = final_closure <= first_closure * 1.01 + 1e-12
+            inside = loop_contains(major, cycle_loops[-1], tolerance=1e-2)
+            acceptable = audit.acceptable()
+            all_acceptable = all_acceptable and acceptable
+            all_decayed = all_decayed and decayed
+            table.add_row(
+                bias,
+                amplitude,
+                first_closure,
+                final_closure,
+                decayed,
+                inside,
+                acceptable,
+            )
+            grid_data.append(
+                {
+                    "bias": bias,
+                    "amplitude": amplitude,
+                    "closures": closures,
+                    "decayed": decayed,
+                    "inside_major": inside,
+                    "audit": audit,
+                }
+            )
+
+    result = ExperimentResult(
+        experiment_id="EXP-T4",
+        title="Minor loop robustness over sizes and positions",
+    )
+    result.tables = [table]
+    result.notes = [
+        "paper: 'minor loops with no numerical difficulties for various "
+        "minor loops sizes and in different positions'",
+        f"all grid points numerically acceptable: {all_acceptable}; "
+        f"accommodation drift decays everywhere: {all_decayed}",
+        "biased loops drift (accommodate) for a few cycles before "
+        "closing - a known property of the JA model, distinct from "
+        "numerical failure",
+    ]
+    result.data = {
+        "grid": grid_data,
+        "all_acceptable": all_acceptable,
+        "all_decayed": all_decayed,
+        "major_loop": major,
+    }
+    return result

@@ -1,0 +1,82 @@
+"""EXP-X3: parameter extraction — fitting JA parameters to a loop.
+
+The workflow a user of this library actually faces: a measured B-H loop
+and order-of-magnitude starting guesses.  We synthesise the
+"measurement" from the paper's parameters, perturb a subset, and ask
+:func:`repro.analysis.fitting.fit_ja_parameters` to recover them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.fitting import fit_ja_parameters
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms.sweeps import major_loop_waypoints
+
+
+@register("EXP-X3", "Parameter extraction: fit JA parameters to a loop")
+def run(
+    h_peak: float = 10e3,
+    dhmax: float = 200.0,
+    vary: Sequence[str] = ("k", "c", "m_sat"),
+    perturbation: float = 1.5,
+    max_nfev: int = 60,
+) -> ExperimentResult:
+    waypoints = major_loop_waypoints(h_peak, cycles=1)
+    truth_model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+    measured = run_sweep(truth_model, waypoints)
+
+    perturbed = {name: getattr(PAPER_PARAMETERS, name) * perturbation for name in vary}
+    start = PAPER_PARAMETERS.with_updates(name="perturbed", **perturbed)
+
+    fit = fit_ja_parameters(
+        measured.h,
+        measured.b,
+        waypoints,
+        initial=start,
+        vary=vary,
+        dhmax=dhmax,
+        max_nfev=max_nfev,
+    )
+
+    table = TextTable(
+        ["parameter", "truth", "start (perturbed)", "fitted", "error [%]"],
+        title=f"Recovery of {len(vary)} parameters from a synthetic loop",
+    )
+    recovery_errors = {}
+    for name in vary:
+        truth = float(getattr(PAPER_PARAMETERS, name))
+        started = float(getattr(start, name))
+        fitted = float(getattr(fit.params, name))
+        error_pct = 100.0 * abs(fitted - truth) / truth
+        recovery_errors[name] = error_pct
+        table.add_row(name, truth, started, fitted, error_pct)
+
+    quality = TextTable(["metric", "value"], title="Fit quality")
+    quality.add_row("residual rms [T]", fit.residual_rms)
+    quality.add_row("residual rms / B swing [%]", 100.0 * fit.relative_rms)
+    quality.add_row("objective evaluations", fit.iterations)
+    quality.add_row("optimiser converged", fit.converged)
+
+    result = ExperimentResult(
+        experiment_id="EXP-X3",
+        title="Parameter extraction: fit JA parameters to a loop",
+    )
+    result.tables = [table, quality]
+    result.notes = [
+        f"varied parameters started {perturbation:.2f}x off their true "
+        "values; everything else held at truth",
+        "expected shape: all recovery errors in low single-digit "
+        "percent, residual well under 1% of the B swing",
+    ]
+    result.data = {
+        "fit": fit,
+        "recovery_errors": recovery_errors,
+        "vary": list(vary),
+    }
+    return result

@@ -1,0 +1,94 @@
+"""Registry mapping experiment ids to runnable callables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.io.table import TextTable
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md id (e.g. ``"EXP-F1"``).
+    title:
+        Human-readable description.
+    tables:
+        Rendered-on-demand text tables (the paper-facing numbers).
+    notes:
+        Free-form findings (one string per note).
+    data:
+        Raw arrays/values keyed by name, for tests and plotting.
+    artifacts:
+        Extra text artefacts (e.g. the ASCII figure) keyed by filename
+        stem.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[TextTable] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full text report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering an experiment runner under an id."""
+
+    def decorate(fn: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id, title=title, runner=fn
+        )
+        return fn
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+
+
+def list_experiments() -> list[Experiment]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    return get_experiment(experiment_id).runner(**kwargs)

@@ -1,0 +1,86 @@
+"""Command-line runner: regenerate paper artefacts to a results directory.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments EXP-F1 EXP-T2
+    repro-experiments --all --output results/
+
+Each experiment writes ``<id>.txt`` (tables + notes) and any extra
+artefacts (e.g. the ASCII Figure 1, CSV data) under the output
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.io.csvio import write_bh_csv
+
+
+def _write_result(result, output_dir: Path) -> list[Path]:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    report_path = output_dir / f"{result.experiment_id}.txt"
+    report_path.write_text(result.render() + "\n")
+    written.append(report_path)
+
+    for stem, text in result.artifacts.items():
+        artifact_path = output_dir / f"{result.experiment_id}_{stem}.txt"
+        artifact_path.write_text(text + "\n")
+        written.append(artifact_path)
+
+    h = result.data.get("h")
+    b = result.data.get("b")
+    if isinstance(h, np.ndarray) and isinstance(b, np.ndarray):
+        csv_path = output_dir / f"{result.experiment_id}_bh.csv"
+        write_bh_csv(csv_path, h, b, metadata={"experiment": result.experiment_id})
+        written.append(csv_path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures/tables (see DESIGN.md).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (e.g. EXP-F1)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--output",
+        default="results",
+        help="output directory (default: ./results)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment in list_experiments():
+            print(f"{experiment.experiment_id}: {experiment.title}")
+        return 0
+
+    ids = [e.experiment_id for e in list_experiments()] if args.all else args.ids
+    if not ids:
+        parser.print_usage()
+        print("error: give experiment ids, --all or --list", file=sys.stderr)
+        return 2
+
+    output_dir = Path(args.output)
+    for experiment_id in ids:
+        print(f"running {experiment_id} ...", flush=True)
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        for path in _write_result(result, output_dir):
+            print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""HDL substrates: an event-driven kernel (SystemC-like) and an AMS
+solver with quantities (VHDL-AMS-like), plus the paper's two model
+implementations on top of them.
+"""
+
+from repro.hdl.kernel import (
+    Event,
+    Module,
+    Scheduler,
+    Signal,
+    SimTime,
+)
+
+__all__ = ["Event", "Module", "Scheduler", "Signal", "SimTime"]

@@ -1,0 +1,40 @@
+"""Event-driven simulation kernel with SystemC semantics.
+
+The kernel reproduces the discrete-event execution model the paper's
+SystemC implementation relies on:
+
+* **signals** with evaluate/update semantics — a write becomes visible
+  only at the next delta cycle, and only a value *change* fires the
+  signal's event;
+* **processes** (SC_METHOD style) with static sensitivity, run to
+  completion during the evaluate phase;
+* **delta cycles** — zero-time iterations of evaluate/update until the
+  system is quiescent, after which simulated time advances to the next
+  timed notification.
+
+The standard release of SystemC 2.01 "is adequate" for the paper's model
+precisely because only this discrete machinery is needed: the analogue
+solver is never involved.
+"""
+
+from repro.hdl.kernel.events import Event
+from repro.hdl.kernel.module import Module
+from repro.hdl.kernel.process import Process
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+from repro.hdl.kernel.simtime import SimTime
+from repro.hdl.kernel.threads import ClockGenerator, ThreadProcess
+from repro.hdl.kernel.tracing import Trace, Tracer
+
+__all__ = [
+    "ClockGenerator",
+    "Event",
+    "Module",
+    "Process",
+    "Scheduler",
+    "Signal",
+    "SimTime",
+    "ThreadProcess",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,83 @@
+"""Kernel events and notification semantics.
+
+An :class:`Event` is the primitive processes are sensitive to.  Three
+notification flavours follow SystemC:
+
+* ``notify()`` — *immediate*: sensitive processes become runnable in the
+  **current** evaluate phase;
+* ``notify_delta()`` — *delta*: runnable in the next delta cycle;
+* ``notify_after(delay)`` — *timed*: runnable when simulated time
+  reaches ``now + delay``.
+
+Signals own an internal event fired automatically on value changes
+(delta semantics); explicit events are for process-to-process triggering
+such as the ``trig`` hand-off between ``monitorH`` and ``Integral``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulingError
+from repro.hdl.kernel.simtime import SimTime
+
+if TYPE_CHECKING:
+    from repro.hdl.kernel.process import Process
+    from repro.hdl.kernel.scheduler import Scheduler
+
+
+class Event:
+    """A notifiable trigger with a static set of sensitive processes."""
+
+    def __init__(self, scheduler: "Scheduler", name: str) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._sensitive: list["Process"] = []
+        #: Pending timed notification (SystemC keeps at most one; an
+        #: earlier notification cancels a later one).
+        self._pending_time: SimTime | None = None
+
+    def add_sensitive(self, process: "Process") -> None:
+        """Register a process to run whenever this event fires."""
+        if process not in self._sensitive:
+            self._sensitive.append(process)
+
+    def remove_sensitive(self, process: "Process") -> None:
+        """Drop a process from the sensitivity list (dynamic waits)."""
+        if process in self._sensitive:
+            self._sensitive.remove(process)
+
+    @property
+    def sensitive_processes(self) -> tuple["Process", ...]:
+        return tuple(self._sensitive)
+
+    def notify(self) -> None:
+        """Immediate notification (current evaluate phase)."""
+        self.scheduler._notify_immediate(self)
+
+    def notify_delta(self) -> None:
+        """Delta notification (next delta cycle)."""
+        self.scheduler._notify_delta(self)
+
+    def notify_after(self, delay: SimTime) -> None:
+        """Timed notification at ``now + delay``.
+
+        Like SystemC, a pending timed notification is overridden only by
+        an earlier one; a later notify is discarded.
+        """
+        if not isinstance(delay, SimTime):
+            raise SchedulingError(
+                f"notify_after expects a SimTime delay, got {delay!r}"
+            )
+        when = self.scheduler.now + delay
+        if self._pending_time is not None and self._pending_time <= when:
+            return
+        self._pending_time = when
+        self.scheduler._notify_timed(self, when)
+
+    def _consume_timed(self) -> None:
+        """Called by the scheduler when the timed notification fires."""
+        self._pending_time = None
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r})"

@@ -1,0 +1,66 @@
+"""Module base class: named containers of signals and processes."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hdl.kernel.events import Event
+from repro.hdl.kernel.process import Process
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+
+
+class Module:
+    """A named hardware module bound to a scheduler.
+
+    Subclasses create their signals, events and processes in
+    ``__init__`` via the ``make_*`` helpers, which prefix hierarchical
+    names — the Python analogue of ``SC_MODULE`` and ``SC_CTOR``.
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._signals: list[Signal] = []
+        self._processes: list[Process] = []
+        self._events: list[Event] = []
+
+    def make_signal(self, local_name: str, initial) -> Signal:
+        signal = self.scheduler.signal(f"{self.name}.{local_name}", initial)
+        self._signals.append(signal)
+        return signal
+
+    def make_event(self, local_name: str) -> Event:
+        event = self.scheduler.event(f"{self.name}.{local_name}")
+        self._events.append(event)
+        return event
+
+    def make_process(
+        self,
+        local_name: str,
+        body,
+        sensitive_to: Iterable = (),
+        initialise: bool = False,
+    ) -> Process:
+        process = self.scheduler.process(
+            f"{self.name}.{local_name}",
+            body,
+            sensitive_to=sensitive_to,
+            initialise=initialise,
+        )
+        self._processes.append(process)
+        return process
+
+    @property
+    def signals(self) -> tuple[Signal, ...]:
+        return tuple(self._signals)
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        return tuple(self._processes)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{len(self._processes)} processes, {len(self._signals)} signals)"
+        )

@@ -1,0 +1,62 @@
+"""Processes (SC_METHOD style) with static sensitivity."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TYPE_CHECKING, Union
+
+from repro.errors import SchedulingError
+from repro.hdl.kernel.events import Event
+from repro.hdl.kernel.signals import Signal
+
+if TYPE_CHECKING:
+    from repro.hdl.kernel.scheduler import Scheduler
+
+Sensitivity = Union[Event, Signal]
+
+
+class Process:
+    """A run-to-completion callback triggered by events.
+
+    Equivalent to a SystemC ``SC_METHOD``: the body is an ordinary
+    function executed during the evaluate phase whenever any event in its
+    sensitivity list fires.  The body must not block; state lives on the
+    owning module.
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        name: str,
+        body: Callable[[], None],
+        sensitive_to: Iterable[Sensitivity] = (),
+        initialise: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.body = body
+        #: Number of times the body has run (diagnostics).
+        self.run_count = 0
+        self._queued = False
+        for trigger in sensitive_to:
+            self.add_sensitivity(trigger)
+        if initialise:
+            scheduler._queue_initial(self)
+
+    def add_sensitivity(self, trigger: Sensitivity) -> None:
+        """Extend the static sensitivity list."""
+        if isinstance(trigger, Signal):
+            trigger.changed.add_sensitive(self)
+        elif isinstance(trigger, Event):
+            trigger.add_sensitive(self)
+        else:
+            raise SchedulingError(
+                f"process {self.name!r} cannot be sensitive to {trigger!r}"
+            )
+
+    def run(self) -> None:
+        """Execute the body once (called by the scheduler)."""
+        self.run_count += 1
+        self.body()
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, runs={self.run_count})"

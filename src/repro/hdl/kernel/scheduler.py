@@ -1,0 +1,202 @@
+"""The discrete-event scheduler (evaluate / update / delta / advance).
+
+One simulation step at a fixed simulated time is:
+
+1. **evaluate** — run every runnable process to completion; writes to
+   signals are buffered, immediate notifications extend the current
+   runnable set;
+2. **update** — commit buffered signal writes; each actual value change
+   fires the signal's changed event with delta semantics;
+3. if any process became runnable, start the next **delta cycle** at the
+   same simulated time; otherwise **advance** time to the earliest timed
+   notification.
+
+A run ends when the event queue is empty, a time limit is hit, or the
+delta-cycle limit trips (which would indicate a combinational loop —
+surfaced as an error rather than a hang).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.errors import KernelError, SchedulingError
+from repro.hdl.kernel.events import Event
+from repro.hdl.kernel.process import Process
+from repro.hdl.kernel.signals import Signal
+from repro.hdl.kernel.simtime import SimTime
+
+#: Safety valve: more delta cycles than this at one time point means a
+#: zero-delay feedback loop in the model.
+DEFAULT_MAX_DELTAS = 10_000
+
+
+class Scheduler:
+    """Event-driven simulation kernel."""
+
+    def __init__(self, max_deltas: int = DEFAULT_MAX_DELTAS) -> None:
+        self.now = SimTime.ZERO
+        self.max_deltas = max_deltas
+        self.running = False
+        #: Cumulative statistics.
+        self.delta_count = 0
+        self.process_runs = 0
+        self.timepoints = 0
+
+        self._runnable: list[Process] = []
+        self._runnable_next_delta: list[Process] = []
+        self._pending_updates: list[Signal] = []
+        #: Timed queue of (time_fs, sequence, event).
+        self._timed: list[tuple[int, int, Event]] = []
+        self._sequence = 0
+        self._initial: list[Process] = []
+
+    # -- construction helpers ---------------------------------------------
+
+    def signal(self, name: str, initial) -> Signal:
+        """Create a signal owned by this scheduler."""
+        return Signal(self, name, initial)
+
+    def event(self, name: str) -> Event:
+        """Create a free-standing event."""
+        return Event(self, name)
+
+    def process(
+        self,
+        name: str,
+        body,
+        sensitive_to: Iterable = (),
+        initialise: bool = False,
+    ) -> Process:
+        """Create a process; ``initialise=True`` queues it for time zero."""
+        return Process(
+            self, name, body, sensitive_to=sensitive_to, initialise=initialise
+        )
+
+    # -- notification plumbing (called by Event/Signal) ---------------------
+
+    def _queue_initial(self, process: Process) -> None:
+        self._initial.append(process)
+
+    def _queue_process(self, queue: list[Process], process: Process) -> None:
+        if not process._queued:
+            process._queued = True
+            queue.append(process)
+
+    def _notify_immediate(self, event: Event) -> None:
+        if not self.running:
+            raise SchedulingError(
+                f"immediate notify of {event.name!r} outside simulation"
+            )
+        for process in event.sensitive_processes:
+            self._queue_process(self._runnable, process)
+
+    def _notify_delta(self, event: Event) -> None:
+        for process in event.sensitive_processes:
+            self._queue_process(self._runnable_next_delta, process)
+
+    def _notify_timed(self, event: Event, when: SimTime) -> None:
+        self._sequence += 1
+        heapq.heappush(self._timed, (when.femtoseconds, self._sequence, event))
+
+    def _schedule_update(self, signal: Signal) -> None:
+        self._pending_updates.append(signal)
+
+    # -- the core loops -----------------------------------------------------
+
+    def _evaluate_and_update(self) -> None:
+        """Run one delta cycle: evaluate runnable processes, then update."""
+        self.delta_count += 1
+        runnable = self._runnable
+        # Immediate notifications may extend `runnable` while iterating.
+        index = 0
+        while index < len(runnable):
+            process = runnable[index]
+            process._queued = False
+            self.process_runs += 1
+            process.run()
+            index += 1
+        runnable.clear()
+
+        updates = self._pending_updates
+        self._pending_updates = []
+        seen: set[int] = set()
+        for signal in updates:
+            if id(signal) in seen:
+                continue
+            seen.add(id(signal))
+            if signal._apply_update():
+                self._notify_delta(signal.changed)
+
+        self._runnable, self._runnable_next_delta = (
+            self._runnable_next_delta,
+            self._runnable,
+        )
+
+    def _settle(self) -> None:
+        """Exhaust delta cycles at the current time point."""
+        deltas_here = 0
+        while self._runnable:
+            deltas_here += 1
+            if deltas_here > self.max_deltas:
+                raise KernelError(
+                    f"more than {self.max_deltas} delta cycles at "
+                    f"{self.now!r}: zero-delay feedback loop"
+                )
+            self._evaluate_and_update()
+
+    def run(self, until: SimTime | None = None) -> SimTime:
+        """Advance the simulation; return the final simulated time.
+
+        Runs until the timed queue drains or simulated time would exceed
+        ``until``.  Can be called repeatedly to continue.
+        """
+        if self.running:
+            raise KernelError("scheduler re-entered (run() is not reentrant)")
+        self.running = True
+        try:
+            if self._initial:
+                for process in self._initial:
+                    self._queue_process(self._runnable, process)
+                self._initial.clear()
+            self.timepoints += 1
+            self._settle()
+            while self._timed:
+                when_fs, _, event = self._timed[0]
+                when = SimTime(when_fs)
+                if until is not None and until < when:
+                    break
+                heapq.heappop(self._timed)
+                if event._pending_time is None or event._pending_time != when:
+                    # Stale entry: already consumed, or superseded by an
+                    # earlier notify_after.
+                    continue
+                self.now = when
+                event._consume_timed()
+                for process in event.sensitive_processes:
+                    self._queue_process(self._runnable, process)
+                # Collect any other events scheduled for the same instant.
+                while self._timed and self._timed[0][0] == when_fs:
+                    _, _, other = heapq.heappop(self._timed)
+                    if other._pending_time == when:
+                        other._consume_timed()
+                        for process in other.sensitive_processes:
+                            self._queue_process(self._runnable, process)
+                self.timepoints += 1
+                self._settle()
+            if until is not None and (not self._timed):
+                self.now = max(self.now, until)
+        finally:
+            self.running = False
+        return self.now
+
+    def pending_activity(self) -> bool:
+        """True when timed notifications remain in the queue."""
+        return bool(self._timed)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(now={self.now!r}, deltas={self.delta_count}, "
+            f"runs={self.process_runs})"
+        )

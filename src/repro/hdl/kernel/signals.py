@@ -1,0 +1,83 @@
+"""Signals with SystemC evaluate/update semantics.
+
+A ``Signal`` carries a current value and an optional pending next value.
+Writes during the evaluate phase do not take effect until the scheduler's
+update phase; only an actual value change fires the signal's
+value-changed event, which wakes sensitive processes in the *next* delta
+cycle.  This two-phase discipline is what makes the paper's three-process
+hand-off (``core`` → ``hchanged`` → ``monitorH`` → ``trig`` →
+``Integral``) deterministic regardless of process execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar, TYPE_CHECKING
+
+from repro.errors import SignalError
+from repro.hdl.kernel.events import Event
+
+if TYPE_CHECKING:
+    from repro.hdl.kernel.scheduler import Scheduler
+
+T = TypeVar("T")
+
+_NO_PENDING = object()
+
+
+class Signal(Generic[T]):
+    """A single-driver signal with delta-cycle update semantics."""
+
+    def __init__(self, scheduler: "Scheduler", name: str, initial: T) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._current: T = initial
+        self._pending: object = _NO_PENDING
+        self.changed = Event(scheduler, f"{name}.changed")
+        #: Number of committed value changes (diagnostics/tracing).
+        self.change_count = 0
+
+    def read(self) -> T:
+        """Current (committed) value."""
+        return self._current
+
+    @property
+    def value(self) -> T:
+        return self._current
+
+    def write(self, value: T) -> None:
+        """Schedule ``value`` to become current at the next update phase.
+
+        Writing the current value is legal and results in no event
+        (SystemC's "no change, no delta" rule).  The last write in an
+        evaluate phase wins.
+        """
+        self._pending = value
+        self.scheduler._schedule_update(self)
+
+    def _apply_update(self) -> bool:
+        """Commit the pending write; return True when the value changed."""
+        if self._pending is _NO_PENDING:
+            return False
+        pending = self._pending
+        self._pending = _NO_PENDING
+        if pending == self._current:
+            return False
+        self._current = pending  # type: ignore[assignment]
+        self.change_count += 1
+        return True
+
+    def force(self, value: T) -> None:
+        """Set the value outside simulation (initialisation only).
+
+        Raises if called while the scheduler is mid-run, since that would
+        bypass the update phase and break determinism.
+        """
+        if self.scheduler.running:
+            raise SignalError(
+                f"force() on {self.name!r} while the scheduler is running"
+            )
+        self._current = value
+        self._pending = _NO_PENDING
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._current!r})"

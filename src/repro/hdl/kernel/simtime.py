@@ -1,0 +1,113 @@
+"""Integer simulated time.
+
+Simulated time is carried as an integer count of femtoseconds so that
+event ordering is exact — float time would make delta-cycle boundaries
+ambiguous after long runs.  :class:`SimTime` is an immutable value type
+with arithmetic and unit constructors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import SchedulingError
+
+#: Femtoseconds per unit.
+_UNITS = {
+    "fs": 1,
+    "ps": 10**3,
+    "ns": 10**6,
+    "us": 10**9,
+    "ms": 10**12,
+    "s": 10**15,
+}
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SimTime:
+    """Immutable simulated-time value (integer femtoseconds)."""
+
+    femtoseconds: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.femtoseconds, int):
+            raise SchedulingError(
+                f"SimTime requires an integer femtosecond count, "
+                f"got {self.femtoseconds!r}"
+            )
+        if self.femtoseconds < 0:
+            raise SchedulingError(
+                f"SimTime cannot be negative, got {self.femtoseconds}"
+            )
+
+    @classmethod
+    def from_value(cls, value: float, unit: str) -> "SimTime":
+        """Build from a value and unit string (fs/ps/ns/us/ms/s)."""
+        try:
+            scale = _UNITS[unit]
+        except KeyError:
+            known = ", ".join(_UNITS)
+            raise SchedulingError(f"unknown time unit {unit!r}; known: {known}")
+        if not math.isfinite(value) or value < 0:
+            raise SchedulingError(f"time value must be finite and >= 0, got {value!r}")
+        return cls(round(value * scale))
+
+    @classmethod
+    def fs(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "fs")
+
+    @classmethod
+    def ps(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "ps")
+
+    @classmethod
+    def ns(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "ns")
+
+    @classmethod
+    def us(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "us")
+
+    @classmethod
+    def ms(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "ms")
+
+    @classmethod
+    def seconds(cls, value: float) -> "SimTime":
+        return cls.from_value(value, "s")
+
+    def to_seconds(self) -> float:
+        """Convert to float seconds (for analysis/plotting only)."""
+        return self.femtoseconds / _UNITS["s"]
+
+    def __add__(self, other: "SimTime") -> "SimTime":
+        return SimTime(self.femtoseconds + other.femtoseconds)
+
+    def __sub__(self, other: "SimTime") -> "SimTime":
+        return SimTime(self.femtoseconds - other.femtoseconds)
+
+    def __mul__(self, factor: int) -> "SimTime":
+        if not isinstance(factor, int):
+            raise SchedulingError(f"SimTime can only scale by an int, got {factor!r}")
+        return SimTime(self.femtoseconds * factor)
+
+    __rmul__ = __mul__
+
+    def __lt__(self, other: "SimTime") -> bool:
+        return self.femtoseconds < other.femtoseconds
+
+    def __bool__(self) -> bool:
+        return self.femtoseconds != 0
+
+    def __repr__(self) -> str:
+        for unit in ("s", "ms", "us", "ns", "ps"):
+            scale = _UNITS[unit]
+            if self.femtoseconds % scale == 0 and self.femtoseconds >= scale:
+                return f"SimTime({self.femtoseconds // scale} {unit})"
+        return f"SimTime({self.femtoseconds} fs)"
+
+
+SimTime.ZERO = SimTime(0)

@@ -1,0 +1,143 @@
+"""Coroutine processes — the SC_THREAD execution style.
+
+A thread process is written as a Python generator that *yields* what it
+wants to wait for::
+
+    def body():
+        yield SimTime.ns(5)          # wait(5, SC_NS)
+        sig.write(1)
+        yield other_signal           # wait(other_signal.value_changed())
+        yield done_event             # wait(done_event)
+
+Between yields the code runs to completion inside the evaluate phase
+exactly like an SC_METHOD; each yield suspends it and arms a *one-shot*
+dynamic sensitivity on the yielded trigger (a ``SimTime`` delay, a
+``Signal`` change, or an ``Event``).  Returning (or ``StopIteration``)
+terminates the thread.
+
+This is the second of SystemC's two process styles; the paper's model
+only needs SC_METHODs, but testbench drivers read far more naturally as
+threads (see ``ClockGenerator`` and the kernel tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Union
+
+from repro.errors import SchedulingError
+from repro.hdl.kernel.events import Event
+from repro.hdl.kernel.process import Process
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+from repro.hdl.kernel.simtime import SimTime
+
+WaitTarget = Union[SimTime, Signal, Event]
+ThreadBody = Callable[[], Generator[WaitTarget, None, None]]
+
+
+class ThreadProcess:
+    """A generator-based process with dynamic one-shot sensitivity."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        body: ThreadBody,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._generator = body()
+        self.done = False
+        #: Number of resumptions (diagnostics).
+        self.resume_count = 0
+        self._timer = Event(scheduler, f"{name}.timer")
+        self._waiting_on: Event | None = None
+        self._driver = Process(
+            scheduler, f"{name}.driver", self._resume, initialise=True
+        )
+
+    def _arm(self, target: WaitTarget) -> None:
+        if isinstance(target, SimTime):
+            self._waiting_on = self._timer
+            self._timer.add_sensitive(self._driver)
+            self._timer.notify_after(target)
+        elif isinstance(target, Signal):
+            self._waiting_on = target.changed
+            target.changed.add_sensitive(self._driver)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.add_sensitive(self._driver)
+        else:
+            raise SchedulingError(
+                f"thread {self.name!r} yielded {target!r}; expected "
+                f"SimTime, Signal or Event"
+            )
+
+    def _resume(self) -> None:
+        if self.done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_sensitive(self._driver)
+            self._waiting_on = None
+        self.resume_count += 1
+        try:
+            target = next(self._generator)
+        except StopIteration:
+            self.done = True
+            return
+        self._arm(target)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadProcess({self.name!r}, resumes={self.resume_count}, "
+            f"done={self.done})"
+        )
+
+
+class ClockGenerator:
+    """A free-running boolean clock signal (testbench utility).
+
+    Parameters
+    ----------
+    scheduler:
+        The kernel.
+    name:
+        Signal name prefix.
+    period:
+        Full clock period.
+    duty:
+        High fraction of the period (0 < duty < 1).
+    cycles:
+        Stop after this many full cycles; ``None`` would never let the
+        event queue drain, so a bound is required.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        period: SimTime,
+        duty: float = 0.5,
+        cycles: int = 1000,
+    ) -> None:
+        if not period:
+            raise SchedulingError("clock period must be non-zero")
+        if not 0.0 < duty < 1.0:
+            raise SchedulingError(f"duty must be in (0, 1), got {duty!r}")
+        if cycles < 1:
+            raise SchedulingError(f"cycles must be >= 1, got {cycles}")
+        self.signal = scheduler.signal(f"{name}.clk", False)
+        high_fs = max(1, round(period.femtoseconds * duty))
+        low_fs = max(1, period.femtoseconds - high_fs)
+        self.high_time = SimTime(high_fs)
+        self.low_time = SimTime(low_fs)
+        self.cycles = cycles
+
+        def body():
+            for _ in range(self.cycles):
+                self.signal.write(True)
+                yield self.high_time
+                self.signal.write(False)
+                yield self.low_time
+
+        self.thread = ThreadProcess(scheduler, f"{name}.gen", body)

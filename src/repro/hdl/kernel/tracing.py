@@ -1,0 +1,74 @@
+"""Signal tracing: record committed values over simulated time.
+
+A :class:`Tracer` attaches a recording process to each traced signal so
+every committed change lands in a :class:`Trace` (time/value arrays).
+Analysis code consumes traces directly; :mod:`repro.io.vcd` can dump
+them as a VCD file for external waveform viewers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+
+
+@dataclass
+class Trace:
+    """Recorded history of one signal."""
+
+    name: str
+    times_fs: list[int] = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def append(self, time_fs: int, value) -> None:
+        self.times_fs.append(time_fs)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times_fs)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times_seconds, values)`` as float arrays."""
+        times = np.array(self.times_fs, dtype=float) * 1e-15
+        return times, np.array(self.values, dtype=float)
+
+    def final_value(self):
+        if not self.values:
+            return None
+        return self.values[-1]
+
+
+class Tracer:
+    """Records committed value changes of selected signals."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+        self.traces: dict[str, Trace] = {}
+
+    def watch(self, signal: Signal, record_initial: bool = True) -> Trace:
+        """Start tracing a signal; returns its (live) trace."""
+        if signal.name in self.traces:
+            return self.traces[signal.name]
+        trace = Trace(signal.name)
+        self.traces[signal.name] = trace
+        if record_initial:
+            trace.append(self.scheduler.now.femtoseconds, signal.read())
+
+        def record() -> None:
+            trace.append(self.scheduler.now.femtoseconds, signal.read())
+
+        self.scheduler.process(
+            f"tracer[{signal.name}]", record, sensitive_to=[signal]
+        )
+        return trace
+
+    def watch_all(self, signals) -> list[Trace]:
+        """Trace every signal in an iterable."""
+        return [self.watch(signal) for signal in signals]
+
+    def __getitem__(self, name: str) -> Trace:
+        return self.traces[name]

@@ -1,0 +1,21 @@
+"""SystemC implementation of the timeless JA model.
+
+A transliteration of the paper's Section 3 listing onto the event-driven
+kernel of :mod:`repro.hdl.kernel`: the same three processes (``core``,
+``monitorH``, ``Integral``), the same signals (``H``, ``hchanged``,
+``trig``, ``Msig``, ``Bsig``), the same member-variable state, the same
+operation order — including the one-event output lag the published
+ordering implies.
+"""
+
+from repro.hdl.systemc.ja_module import JACoreModule
+from repro.hdl.systemc.stimulus import FieldStimulus
+from repro.hdl.systemc.testbench import SystemCResult, SystemCTestbench, run_systemc_sweep
+
+__all__ = [
+    "FieldStimulus",
+    "JACoreModule",
+    "SystemCResult",
+    "SystemCTestbench",
+    "run_systemc_sweep",
+]

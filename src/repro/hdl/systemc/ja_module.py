@@ -1,0 +1,140 @@
+"""The JA module: the paper's SystemC listing, process for process.
+
+Signal protocol (one field event)::
+
+    stimulus writes H            -> delta 0 commits H
+    core          (delta 1): refresh He/man/mrev/mtotal, write Msig/Bsig;
+                             write hchanged=1 when |H - lasth| > dhmax
+    monitorH      (delta 2): accept the increment: deltah, lasth, clear
+                             hchanged, toggle trig
+    Integral      (delta 3): one guarded Forward Euler step on mirr
+
+Deviation from the verbatim listing: the published excerpt writes
+``trig = 1`` and never clears it — as an ``sc_signal`` that would fire
+``Integral`` only once, so the actual implementation must have used an
+event or a toggle.  We toggle (``trig <= !trig``), which fires exactly
+one ``Integral`` activation per accepted increment and changes nothing
+else.  ``mtotal`` inside ``Integral`` is the value ``core`` computed
+*before* the update — the published one-event output lag is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.constants import MU0
+from repro.core.slope import SlopeGuards, guarded_slope
+from repro.hdl.kernel.module import Module
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.parameters import JAParameters
+
+
+class JACoreModule(Module):
+    """Ferromagnetic core with timeless slope integration (SystemC style).
+
+    Parameters
+    ----------
+    scheduler:
+        The event kernel instance.
+    name:
+        Hierarchical module name.
+    params:
+        Jiles-Atherton parameters.
+    h_signal:
+        Input field signal [A/m], driven by a stimulus module.
+    dhmax:
+        Field-increment threshold [A/m].
+    area:
+        Core cross-section [m^2]; the published ``Bsig`` carries
+        ``MU0 * area * (ms*mtotal + H)`` (flux when area != 1).
+    anhysteretic:
+        Anhysteretic curve (default: the paper's modified Langevin).
+    guards:
+        Turning-point guards (default: both on, as published).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        params: JAParameters,
+        h_signal: Signal,
+        dhmax: float,
+        area: float = 1.0,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+    ) -> None:
+        super().__init__(scheduler, name)
+        self.params = params
+        self.anhysteretic = (
+            anhysteretic if anhysteretic is not None else make_anhysteretic(params)
+        )
+        self.guards = guards
+        self.dhmax = float(dhmax)
+        self.area = float(area)
+
+        # Ports / signals (published names).
+        self.h_signal = h_signal
+        self.hchanged = self.make_signal("hchanged", 0)
+        self.trig = self.make_signal("trig", 0)
+        self.m_sig = self.make_signal("Msig", 0.0)
+        self.b_sig = self.make_signal("Bsig", 0.0)
+
+        # Member-variable state (published names).
+        self.lasth = 0.0
+        self.deltah = 0.0
+        self.mirr = 0.0
+        self.man = 0.0
+        self.mrev = 0.0
+        self.mtotal = 0.0
+
+        # Statistics for the stability experiments.
+        self.euler_steps = 0
+        self.clamped_slopes = 0
+        self.dropped_increments = 0
+
+        self.make_process("core", self._core, sensitive_to=[h_signal])
+        self.make_process("monitorH", self._monitor_h, sensitive_to=[self.hchanged])
+        self.make_process("Integral", self._integral, sensitive_to=[self.trig])
+
+    # -- the three published processes --------------------------------------
+
+    def _core(self) -> None:
+        """Refresh algebraic quantities; flag large field excursions."""
+        params = self.params
+        h = self.h_signal.read()
+        if abs(h - self.lasth) > self.dhmax:
+            self.hchanged.write(1)
+        h_effective = h + params.alpha * params.m_sat * self.mtotal
+        self.man = self.anhysteretic.value(h_effective)
+        self.mrev = params.c * self.man / (1.0 + params.c)
+        self.mtotal = self.mrev + self.mirr
+        b = MU0 * self.area * (params.m_sat * self.mtotal + h)
+        self.m_sig.write(self.mtotal)
+        self.b_sig.write(b)
+
+    def _monitor_h(self) -> None:
+        """Accept the pending increment when it exceeds ``dhmax``."""
+        h = self.h_signal.read()
+        dh = h - self.lasth
+        if abs(dh) > self.dhmax:
+            self.deltah = dh
+            self.lasth = h
+            self.trig.write(1 - self.trig.read())
+            self.hchanged.write(0)
+
+    def _integral(self) -> None:
+        """One guarded Forward Euler step in H on ``mirr``."""
+        result = guarded_slope(
+            self.params,
+            self.man,
+            self.mtotal,
+            self.deltah,
+            guards=self.guards,
+        )
+        self.mirr += result.dm
+        self.euler_steps += 1
+        if result.clamped:
+            self.clamped_slopes += 1
+        if result.dropped:
+            self.dropped_increments += 1

@@ -1,0 +1,63 @@
+"""Field stimulus module: drives H along a precomputed sample list.
+
+The timeless technique needs no particular pacing — time merely
+sequences the samples — so the stimulus emits one sample per fixed tick
+using a self-notifying timed event, the SystemC idiom for a testbench
+driver (``wait(dt); H.write(next)`` in a thread, here an SC_METHOD with
+``notify_after``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import WaveformError
+from repro.hdl.kernel.module import Module
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.signals import Signal
+from repro.hdl.kernel.simtime import SimTime
+
+
+class FieldStimulus(Module):
+    """Emits ``samples`` on ``h_signal``, one per ``tick`` of sim time."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        h_signal: Signal,
+        samples: Sequence[float],
+        tick: SimTime = SimTime.ns(1),
+    ) -> None:
+        super().__init__(scheduler, name)
+        if len(samples) == 0:
+            raise WaveformError("stimulus needs at least one field sample")
+        if not tick:
+            raise WaveformError("stimulus tick must be a non-zero SimTime")
+        self.h_signal = h_signal
+        self.samples = [float(s) for s in samples]
+        self.tick = tick
+        self.index = 0
+        self.done = False
+
+        self._timer = self.make_event("timer")
+        self.make_process(
+            "drive", self._drive, sensitive_to=[self._timer], initialise=True
+        )
+
+    def _drive(self) -> None:
+        if self.index >= len(self.samples):
+            self.done = True
+            return
+        self.h_signal.write(self.samples[self.index])
+        self.index += 1
+        if self.index < len(self.samples):
+            self._timer.notify_after(self.tick)
+        else:
+            self.done = True
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldStimulus({self.name!r}, {len(self.samples)} samples, "
+            f"index={self.index})"
+        )

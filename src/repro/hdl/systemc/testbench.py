@@ -1,0 +1,136 @@
+"""Testbench: stimulus + JA module + tracing, with aligned result arrays.
+
+Within one simulated-time instant all delta cycles share the same
+femtosecond timestamp, so the committed ``H``, ``Msig`` and ``Bsig``
+values of a field event can be aligned by timestamp alone.  The result
+arrays carry, per driver sample, the values the module *outputs* for
+that sample — including the published one-event lag of ``Bsig`` behind
+the ``mirr`` update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.slope import SlopeGuards
+from repro.hdl.kernel.scheduler import Scheduler
+from repro.hdl.kernel.simtime import SimTime
+from repro.hdl.kernel.tracing import Tracer
+from repro.hdl.systemc.ja_module import JACoreModule
+from repro.hdl.systemc.stimulus import FieldStimulus
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.parameters import JAParameters
+
+
+@dataclass(frozen=True)
+class SystemCResult:
+    """Aligned per-sample trajectory from a SystemC-style run.
+
+    ``m`` is the normalised ``Msig``; ``b`` is ``Bsig`` [T for area=1].
+    ``euler_steps``/``clamped_slopes``/``dropped_increments`` mirror the
+    functional core's counters; ``delta_cycles`` and ``process_runs``
+    report kernel effort (the "simulation time" proxy used by EXP-T3).
+    """
+
+    h: np.ndarray
+    m: np.ndarray
+    b: np.ndarray
+    euler_steps: int
+    clamped_slopes: int
+    dropped_increments: int
+    delta_cycles: int
+    process_runs: int
+
+    def __len__(self) -> int:
+        return len(self.h)
+
+
+class SystemCTestbench:
+    """Builds and runs the stimulus → JA-core bench."""
+
+    def __init__(
+        self,
+        params: JAParameters,
+        samples: Sequence[float],
+        dhmax: float,
+        area: float = 1.0,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+        tick: SimTime = SimTime.ns(1),
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.h_signal = self.scheduler.signal("H", float(samples[0]) if len(samples) else 0.0)
+        # The first stimulus sample must produce a change event even when
+        # it equals the initial value; start the signal off-list instead.
+        self.h_signal.force(float("nan"))
+        self.stimulus = FieldStimulus(
+            self.scheduler, "stim", self.h_signal, samples, tick=tick
+        )
+        self.ja = JACoreModule(
+            self.scheduler,
+            "ja",
+            params,
+            self.h_signal,
+            dhmax=dhmax,
+            area=area,
+            anhysteretic=anhysteretic,
+            guards=guards,
+        )
+        self.tracer = Tracer(self.scheduler)
+        self.h_trace = self.tracer.watch(self.h_signal, record_initial=False)
+        self.m_trace = self.tracer.watch(self.ja.m_sig, record_initial=False)
+        self.b_trace = self.tracer.watch(self.ja.b_sig, record_initial=False)
+
+    def run(self) -> SystemCResult:
+        """Run to quiescence and return aligned arrays."""
+        self.scheduler.run()
+        return self._collect()
+
+    def _collect(self) -> SystemCResult:
+        # Build per-timestamp "last committed value" maps; H changes
+        # exactly once per driver sample, so its trace defines the grid.
+        def last_per_time(trace) -> dict[int, float]:
+            committed: dict[int, float] = {}
+            for t, v in zip(trace.times_fs, trace.values):
+                committed[t] = v
+            return committed
+
+        m_at = last_per_time(self.m_trace)
+        b_at = last_per_time(self.b_trace)
+
+        h_list: list[float] = []
+        m_list: list[float] = []
+        b_list: list[float] = []
+        m_last = 0.0
+        b_last = 0.0
+        for t, h in zip(self.h_trace.times_fs, self.h_trace.values):
+            m_last = m_at.get(t, m_last)
+            b_last = b_at.get(t, b_last)
+            h_list.append(h)
+            m_list.append(m_last)
+            b_list.append(b_last)
+
+        return SystemCResult(
+            h=np.array(h_list),
+            m=np.array(m_list),
+            b=np.array(b_list),
+            euler_steps=self.ja.euler_steps,
+            clamped_slopes=self.ja.clamped_slopes,
+            dropped_increments=self.ja.dropped_increments,
+            delta_cycles=self.scheduler.delta_count,
+            process_runs=self.scheduler.process_runs,
+        )
+
+
+def run_systemc_sweep(
+    params: JAParameters,
+    samples: Sequence[float],
+    dhmax: float,
+    **kwargs,
+) -> SystemCResult:
+    """Convenience one-shot: build a testbench, run it, return the result."""
+    bench = SystemCTestbench(params, samples, dhmax, **kwargs)
+    return bench.run()

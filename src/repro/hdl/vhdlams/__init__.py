@@ -1,0 +1,45 @@
+"""VHDL-AMS-like mixed-signal substrate.
+
+Models are *entities* made of:
+
+* **quantities** — continuous unknowns solved by the analogue engine;
+* **simultaneous equations** — residuals over quantity values and their
+  ``'DOT`` (time-derivative) discretisations;
+* **processes** — discrete callbacks that run after each accepted
+  analogue step, may update shared "signal" state the equations read,
+  and may issue a ``break`` (discontinuity notification) that restarts
+  integration with a small backward-Euler step.
+
+Two architectures of the JA core are provided on top:
+:class:`TimelessJAArchitecture` (the paper's technique — the process
+integrates dM/dH itself) and :class:`IntegJAArchitecture` (the
+``'INTEG``/``'DOT`` time-domain formulation of the earlier VHDL-AMS
+models the paper criticises).
+"""
+
+from repro.hdl.vhdlams.above import AboveDetector
+from repro.hdl.vhdlams.quantity import Quantity, QuantityReader
+from repro.hdl.vhdlams.system import AnalogProcess, AnalogSystem, Equation
+from repro.hdl.vhdlams.solver import (
+    SolverOptions,
+    SolverReport,
+    TransientResult,
+    TransientSolver,
+)
+from repro.hdl.vhdlams.ja_entity import TimelessJAArchitecture
+from repro.hdl.vhdlams.ja_integ import IntegJAArchitecture
+
+__all__ = [
+    "AboveDetector",
+    "AnalogProcess",
+    "AnalogSystem",
+    "Equation",
+    "IntegJAArchitecture",
+    "Quantity",
+    "QuantityReader",
+    "SolverOptions",
+    "SolverReport",
+    "TimelessJAArchitecture",
+    "TransientResult",
+    "TransientSolver",
+]

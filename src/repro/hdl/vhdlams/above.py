@@ -1,0 +1,73 @@
+"""Threshold-crossing detection — the VHDL-AMS ``Q'ABOVE`` attribute.
+
+``Q'ABOVE(level)`` is a boolean signal that flips whenever the quantity
+crosses the level, and every flip is a discontinuity announcement to the
+analogue solver.  :class:`AboveDetector` reproduces both halves: it
+watches a quantity after each accepted step, invokes a callback on each
+crossing, and (optionally, the VHDL-AMS default) requests a solver
+break so integration restarts cleanly at the edge.
+
+This is also how a *native* VHDL-AMS timeless JA model would watch the
+field leave the ``lasth +/- dhmax`` window — see the tests for that
+wiring.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import SolverError
+from repro.hdl.vhdlams.quantity import Quantity, QuantityReader
+
+#: Callback signature: (time, rising) -> None.
+CrossingCallback = Callable[[float, bool], None]
+
+
+class AboveDetector:
+    """Watches ``quantity > level`` and fires on crossings.
+
+    Register with ``system.add_process(detector)``.  ``state`` mirrors
+    the boolean ``Q'ABOVE`` value; ``crossings`` counts both directions.
+    """
+
+    def __init__(
+        self,
+        quantity: Quantity,
+        level: float,
+        callback: CrossingCallback | None = None,
+        break_on_cross: bool = True,
+        initial_state: bool | None = None,
+    ) -> None:
+        if not math.isfinite(level):
+            raise SolverError(f"threshold level must be finite, got {level!r}")
+        self.quantity = quantity
+        self.level = float(level)
+        self.callback = callback
+        self.break_on_cross = bool(break_on_cross)
+        if initial_state is None:
+            initial_state = quantity.initial > level
+        self.state = bool(initial_state)
+        self.crossings = 0
+        self.rising_crossings = 0
+        self.falling_crossings = 0
+
+    def on_accept(self, time: float, reader: QuantityReader) -> bool:
+        now_above = reader.value(self.quantity) > self.level
+        if now_above == self.state:
+            return False
+        self.state = now_above
+        self.crossings += 1
+        if now_above:
+            self.rising_crossings += 1
+        else:
+            self.falling_crossings += 1
+        if self.callback is not None:
+            self.callback(time, now_above)
+        return self.break_on_cross
+
+    def __repr__(self) -> str:
+        return (
+            f"AboveDetector({self.quantity.name!r} > {self.level}, "
+            f"state={self.state}, crossings={self.crossings})"
+        )

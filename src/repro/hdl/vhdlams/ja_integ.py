@@ -1,0 +1,96 @@
+"""The baseline VHDL-AMS architecture: time-domain ``'INTEG`` formulation.
+
+This is the "awkward conversion of the magnetisation derivative dM/dH to
+time derivatives" the paper criticises (its refs [4, 5]): the model
+presents the analogue solver with
+
+    M'DOT == dmdh(H, M, sign(H'DOT)) * H'DOT
+    B     == mu0 * (H + Msat * m)
+
+so the discontinuous, direction-dependent Eq. 1 sits *inside* the Newton
+residual.  At every turning point ``sign(H'DOT)`` flips mid-iteration,
+the raw slope can go negative (the non-physical artefact) and the
+denominator can approach zero — producing exactly the non-convergence,
+step-floor grinding and long run times reported in the literature.  The
+stability experiment EXP-T2 counts those events.
+
+``guards`` defaults to *off* because the historical models integrate the
+raw slope; turning the guards on isolates how much of the fragility is
+the slope sign and how much is solver coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.constants import MU0
+from repro.core.slope import SlopeGuards
+from repro.hdl.vhdlams.system import AnalogSystem, EquationContext
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.equations import (
+    anhysteretic_slope_term,
+    effective_field,
+    irreversible_slope,
+)
+from repro.ja.parameters import JAParameters
+
+
+class IntegJAArchitecture:
+    """Elaborates ``entity ja_core architecture integ_op`` into a system."""
+
+    def __init__(
+        self,
+        params: JAParameters,
+        source: Callable[[float], float],
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards.none(),
+        name: str = "ja_integ",
+    ) -> None:
+        self.params = params
+        self.source = source
+        self.anhysteretic = (
+            anhysteretic if anhysteretic is not None else make_anhysteretic(params)
+        )
+        self.guards = guards
+        #: Samples where the slope handed to the solver was negative —
+        #: the non-physical artefact counter.
+        self.negative_slope_evaluations = 0
+        self.slope_evaluations = 0
+
+        h0 = float(source(0.0))
+        self.system = AnalogSystem(name)
+        self.q_h = self.system.add_quantity("H", initial=h0, differential=True)
+        self.q_m = self.system.add_quantity("m", initial=0.0, differential=True)
+        self.q_b = self.system.add_quantity("B", initial=MU0 * h0)
+        self.system.add_equation("H_source", self._source_equation)
+        self.system.add_equation("M_integ", self._m_equation)
+        self.system.add_equation("B_constitutive", self._b_equation)
+
+    def _source_equation(self, ctx: EquationContext) -> float:
+        return ctx.value(self.q_h) - self.source(ctx.time)
+
+    def _slope(self, h: float, m: float, h_dot: float) -> float:
+        """Eq. 1 slope with the direction taken from ``H'DOT``."""
+        params = self.params
+        delta = 1.0 if h_dot >= 0.0 else -1.0
+        h_eff = effective_field(params, h, m)
+        m_an = self.anhysteretic.value(h_eff)
+        slope = irreversible_slope(params, m_an, m, delta)
+        self.slope_evaluations += 1
+        if slope < 0.0:
+            self.negative_slope_evaluations += 1
+            if self.guards.clamp_negative:
+                slope = 0.0
+        slope += anhysteretic_slope_term(params, self.anhysteretic, h_eff)
+        return slope
+
+    def _m_equation(self, ctx: EquationContext) -> float:
+        h = ctx.value(self.q_h)
+        m = ctx.value(self.q_m)
+        h_dot = ctx.dot(self.q_h)
+        return ctx.dot(self.q_m) - self._slope(h, m, h_dot) * h_dot
+
+    def _b_equation(self, ctx: EquationContext) -> float:
+        h = ctx.value(self.q_h)
+        m = ctx.value(self.q_m)
+        return ctx.value(self.q_b) - MU0 * (h + self.params.m_sat * m)

@@ -1,0 +1,56 @@
+"""Quantities: the continuous unknowns of the analogue solver."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+@dataclass(eq=False)
+class Quantity:
+    """One continuous unknown (a VHDL-AMS free quantity).
+
+    ``index`` is assigned by the owning :class:`AnalogSystem`; the value
+    lives in the solver's state vector, not here.  ``differential``
+    marks quantities whose ``'DOT`` appears in some equation: only those
+    carry integration state and participate in local-truncation-error
+    control (algebraic quantities may legitimately jump, e.g. on a
+    zero-order-hold signal update, without that being an LTE failure).
+    """
+
+    name: str
+    initial: float = 0.0
+    index: int = -1
+    differential: bool = False
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.initial):
+            raise SolverError(
+                f"quantity {self.name!r} initial value must be finite, "
+                f"got {self.initial!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Quantity({self.name!r}, index={self.index})"
+
+
+class QuantityReader:
+    """Read-only view of committed quantity values handed to processes."""
+
+    def __init__(self, values: np.ndarray, dots: np.ndarray) -> None:
+        self._values = values
+        self._dots = dots
+
+    def value(self, quantity: Quantity) -> float:
+        return float(self._values[quantity.index])
+
+    def dot(self, quantity: Quantity) -> float:
+        """Discretised time derivative at the accepted point."""
+        return float(self._dots[quantity.index])
+
+    def __getitem__(self, quantity: Quantity) -> float:
+        return self.value(quantity)

@@ -1,0 +1,211 @@
+"""Transient analogue solver (the VHDL-AMS simulation engine).
+
+Discretises every ``'DOT`` with trapezoidal (backward Euler on the first
+step and after every break), solves the resulting algebraic system with
+damped Newton at each candidate time point, and adapts the step from
+Newton behaviour and a trapezoidal LTE estimate.  All pathologies are
+*counted* in :class:`SolverReport` — the stability experiment's raw data:
+
+* Newton non-convergence and step rejections;
+* step-floor hits (the "timestep too small" failure mode);
+* discontinuity breaks requested by processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.hdl.vhdlams.quantity import Quantity, QuantityReader
+from repro.hdl.vhdlams.system import AnalogSystem, EquationContext
+from repro.solver.adaptive import AdaptiveStepController
+from repro.solver.newton import NewtonOptions, newton_solve
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Transient analysis configuration."""
+
+    dt_initial: float = 1e-6
+    dt_min: float = 1e-12
+    dt_max: float = 1e-3
+    newton: NewtonOptions = NewtonOptions()
+    lte_abstol: float = 1e-6
+    lte_reltol: float = 1e-3
+    #: Give up after this many consecutive rejected attempts at one point.
+    max_consecutive_rejections: int = 60
+    #: Use trapezoidal after the start-up backward Euler step.
+    trapezoidal: bool = True
+
+
+@dataclass
+class SolverReport:
+    """Failure/effort accounting for one transient run."""
+
+    accepted_steps: int = 0
+    rejected_steps: int = 0
+    newton_failures: int = 0
+    newton_iterations: int = 0
+    floor_hits: int = 0
+    breaks: int = 0
+    gave_up: bool = False
+    give_up_time: float | None = None
+
+    @property
+    def total_attempts(self) -> int:
+        return self.accepted_steps + self.rejected_steps
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Trajectory of a transient run plus its report."""
+
+    t: np.ndarray
+    values: np.ndarray  # shape (n_points, n_quantities)
+    quantities: tuple[Quantity, ...]
+    report: SolverReport
+
+    def of(self, quantity: Quantity) -> np.ndarray:
+        """Column of one quantity."""
+        return self.values[:, quantity.index]
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+
+class TransientSolver:
+    """Runs a transient analysis of an :class:`AnalogSystem`."""
+
+    def __init__(
+        self, system: AnalogSystem, options: SolverOptions = SolverOptions()
+    ) -> None:
+        system.check_elaboration()
+        self.system = system
+        self.options = options
+
+    def _residual_vector(
+        self, time: float, x: np.ndarray, dots: np.ndarray
+    ) -> np.ndarray:
+        ctx = EquationContext(time, x, dots)
+        out = np.empty(len(self.system.equations))
+        for i, equation in enumerate(self.system.equations):
+            out[i] = equation.residual(ctx)
+        return out
+
+    def run(self, t_stop: float, t_start: float = 0.0) -> TransientResult:
+        """Integrate from ``t_start`` to ``t_stop``.
+
+        Never raises on numerical trouble: a run that cannot proceed sets
+        ``report.gave_up`` and returns the trajectory so far.
+        """
+        if not t_stop > t_start:
+            raise SolverError(f"t_stop ({t_stop}) must exceed t_start ({t_start})")
+        options = self.options
+        system = self.system
+        report = SolverReport()
+        controller = AdaptiveStepController(
+            dt_initial=options.dt_initial,
+            dt_min=options.dt_min,
+            dt_max=options.dt_max,
+        )
+
+        x_old = system.initial_state()
+        xdot_old = np.zeros_like(x_old)
+        use_be = True  # start-up (and post-break) rule
+        lte_indices = np.array(system.differential_indices(), dtype=int)
+
+        times = [t_start]
+        states = [x_old.copy()]
+        t_now = t_start
+        consecutive_rejections = 0
+
+        while t_now < t_stop - 1e-15 * max(1.0, abs(t_stop)):
+            dt = min(controller.dt, t_stop - t_now)
+            t_candidate = t_now + dt
+
+            if use_be:
+                def dots_of(x_new: np.ndarray) -> np.ndarray:
+                    return (x_new - x_old) / dt
+            else:
+                def dots_of(x_new: np.ndarray) -> np.ndarray:
+                    return 2.0 * (x_new - x_old) / dt - xdot_old
+
+            def residual(x_new: np.ndarray) -> np.ndarray:
+                return self._residual_vector(t_candidate, x_new, dots_of(x_new))
+
+            result = newton_solve(residual, x_old, options=options.newton)
+            report.newton_iterations += result.iterations
+
+            if not result.converged:
+                report.newton_failures += 1
+                report.rejected_steps += 1
+                decision = controller.after_newton_failure()
+                if decision.at_floor:
+                    report.floor_hits += 1
+                consecutive_rejections += 1
+                if consecutive_rejections > options.max_consecutive_rejections:
+                    report.gave_up = True
+                    report.give_up_time = t_now
+                    break
+                use_be = True
+                continue
+
+            x_new = result.x
+            xdot_new = dots_of(x_new)
+
+            # Trapezoidal LTE proxy on the differential quantities only:
+            # change of the discrete derivative across the step, scaled
+            # by dt/2 and the tolerances.  Algebraic quantities may jump
+            # (ZOH signal updates) without that being an error.
+            if len(lte_indices):
+                scale = options.lte_abstol + options.lte_reltol * np.abs(
+                    x_new[lte_indices]
+                )
+                lte = 0.5 * dt * np.abs(
+                    xdot_new[lte_indices] - xdot_old[lte_indices]
+                )
+                error_norm = float(np.max(lte / scale))
+            else:
+                error_norm = 0.0
+            decision = controller.after_error_estimate(error_norm)
+            if decision.at_floor:
+                report.floor_hits += 1
+            if not decision.accept:
+                report.rejected_steps += 1
+                consecutive_rejections += 1
+                if consecutive_rejections > options.max_consecutive_rejections:
+                    report.gave_up = True
+                    report.give_up_time = t_now
+                    break
+                continue
+
+            # Accepted.
+            consecutive_rejections = 0
+            report.accepted_steps += 1
+            t_now = t_candidate
+            x_old = x_new
+            xdot_old = xdot_new
+            use_be = not options.trapezoidal
+            times.append(t_now)
+            states.append(x_new.copy())
+
+            reader = QuantityReader(x_new, xdot_new)
+            break_requested = False
+            for process in system.processes:
+                if process.on_accept(t_now, reader):
+                    break_requested = True
+            if break_requested:
+                report.breaks += 1
+                controller.force_break(dt_break=options.dt_min * 100.0)
+                xdot_old = np.zeros_like(x_old)
+                use_be = True
+
+        return TransientResult(
+            t=np.array(times),
+            values=np.vstack(states),
+            quantities=tuple(system.quantities),
+            report=report,
+        )

@@ -1,0 +1,120 @@
+"""Analog systems: quantities + simultaneous equations + processes.
+
+An :class:`AnalogSystem` is the elaborated model the transient solver
+works on.  Equations are residual callables over an
+:class:`EquationContext` that exposes ``value(q)``, ``dot(q)`` and the
+candidate time — the solver supplies the discretisation of ``dot``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.hdl.vhdlams.quantity import Quantity, QuantityReader
+
+
+class EquationContext:
+    """What a residual sees while the Newton solve is in progress."""
+
+    __slots__ = ("time", "_x", "_x_old", "_dot_fn")
+
+    def __init__(
+        self,
+        time: float,
+        x: np.ndarray,
+        dot_values: np.ndarray,
+    ) -> None:
+        self.time = time
+        self._x = x
+        self._dot_fn = dot_values
+
+    def value(self, quantity: Quantity) -> float:
+        return float(self._x[quantity.index])
+
+    def dot(self, quantity: Quantity) -> float:
+        """Discretised ``q'DOT`` at the candidate point."""
+        return float(self._dot_fn[quantity.index])
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A named simultaneous statement: ``residual(ctx) == 0``."""
+
+    name: str
+    residual: Callable[[EquationContext], float]
+
+
+class AnalogProcess(Protocol):
+    """Discrete process hook run after each accepted analogue step.
+
+    Implementations may mutate their own Python state (the VHDL-AMS
+    signal world) that equations read on the next step, and return True
+    to request a ``break`` — the solver then restarts integration with a
+    small backward-Euler step, exactly like the VHDL-AMS ``break``
+    statement announces a discontinuity.
+    """
+
+    def on_accept(self, time: float, reader: QuantityReader) -> bool: ...
+
+
+class AnalogSystem:
+    """Container for the elaborated model."""
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self.quantities: list[Quantity] = []
+        self.equations: list[Equation] = []
+        self.processes: list[AnalogProcess] = []
+
+    def add_quantity(
+        self, name: str, initial: float = 0.0, differential: bool = False
+    ) -> Quantity:
+        """Declare a quantity; set ``differential=True`` when its ``'DOT``
+        is used by any equation (enables LTE control on it)."""
+        quantity = Quantity(
+            name=name,
+            initial=initial,
+            index=len(self.quantities),
+            differential=differential,
+        )
+        self.quantities.append(quantity)
+        return quantity
+
+    def differential_indices(self) -> list[int]:
+        """Indices of quantities under LTE control."""
+        return [q.index for q in self.quantities if q.differential]
+
+    def add_equation(
+        self, name: str, residual: Callable[[EquationContext], float]
+    ) -> Equation:
+        equation = Equation(name=name, residual=residual)
+        self.equations.append(equation)
+        return equation
+
+    def add_process(self, process: AnalogProcess) -> None:
+        self.processes.append(process)
+
+    def check_elaboration(self) -> None:
+        """Validate the square-system requirement before solving."""
+        n_q = len(self.quantities)
+        n_e = len(self.equations)
+        if n_q == 0:
+            raise SolverError(f"system {self.name!r} has no quantities")
+        if n_q != n_e:
+            raise SolverError(
+                f"system {self.name!r} is not square: "
+                f"{n_q} quantities vs {n_e} equations"
+            )
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([q.initial for q in self.quantities], dtype=float)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalogSystem({self.name!r}, {len(self.quantities)} quantities, "
+            f"{len(self.equations)} equations, {len(self.processes)} processes)"
+        )

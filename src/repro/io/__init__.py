@@ -1,0 +1,16 @@
+"""I/O helpers: CSV round-trips, aligned report tables, ASCII B-H plots
+and VCD dumps of kernel traces."""
+
+from repro.io.ascii_plot import AsciiPlot, plot_bh
+from repro.io.csvio import read_bh_csv, write_bh_csv
+from repro.io.table import TextTable
+from repro.io.vcd import write_vcd
+
+__all__ = [
+    "AsciiPlot",
+    "TextTable",
+    "plot_bh",
+    "read_bh_csv",
+    "write_bh_csv",
+    "write_vcd",
+]

@@ -1,0 +1,123 @@
+"""ASCII scatter plots of B-H trajectories.
+
+Matplotlib is not available offline, so the Figure 1 regeneration
+renders the B-H curve as a character raster — enough to eyeball the
+major loop, the nested minor loops and the saturation tails against the
+published figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class AsciiPlot:
+    """A character raster with data-space axes."""
+
+    def __init__(
+        self,
+        width: int = 79,
+        height: int = 31,
+        x_range: tuple[float, float] | None = None,
+        y_range: tuple[float, float] | None = None,
+    ) -> None:
+        if width < 10 or height < 5:
+            raise AnalysisError(
+                f"plot must be at least 10x5 characters, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.x_range = x_range
+        self.y_range = y_range
+        self._series: list[tuple[np.ndarray, np.ndarray, str]] = []
+
+    def add_series(self, x: Sequence[float], y: Sequence[float], marker: str = "*") -> None:
+        x_arr = np.asarray(x, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if x_arr.shape != y_arr.shape:
+            raise AnalysisError(
+                f"x and y must have the same shape, got {x_arr.shape} vs {y_arr.shape}"
+            )
+        if len(marker) != 1:
+            raise AnalysisError(f"marker must be one character, got {marker!r}")
+        finite = np.isfinite(x_arr) & np.isfinite(y_arr)
+        self._series.append((x_arr[finite], y_arr[finite], marker))
+
+    def _resolve_ranges(self) -> tuple[float, float, float, float]:
+        if not self._series:
+            raise AnalysisError("nothing to plot")
+        if self.x_range is not None:
+            x_lo, x_hi = self.x_range
+        else:
+            x_lo = min(float(s[0].min()) for s in self._series if len(s[0]))
+            x_hi = max(float(s[0].max()) for s in self._series if len(s[0]))
+        if self.y_range is not None:
+            y_lo, y_hi = self.y_range
+        else:
+            y_lo = min(float(s[1].min()) for s in self._series if len(s[1]))
+            y_hi = max(float(s[1].max()) for s in self._series if len(s[1]))
+        # Pad degenerate (constant-value) ranges so flat series render.
+        if x_hi == x_lo:
+            pad = max(1.0, abs(x_lo)) * 0.5
+            x_lo, x_hi = x_lo - pad, x_hi + pad
+        if y_hi == y_lo:
+            pad = max(1.0, abs(y_lo)) * 0.5
+            y_lo, y_hi = y_lo - pad, y_hi + pad
+        if not (x_hi > x_lo and y_hi > y_lo):
+            raise AnalysisError("degenerate plot ranges")
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self, x_label: str = "x", y_label: str = "y") -> str:
+        x_lo, x_hi, y_lo, y_hi = self._resolve_ranges()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def col_of(x: float) -> int:
+            frac = (x - x_lo) / (x_hi - x_lo)
+            return min(self.width - 1, max(0, int(round(frac * (self.width - 1)))))
+
+        def row_of(y: float) -> int:
+            frac = (y - y_lo) / (y_hi - y_lo)
+            return min(
+                self.height - 1,
+                max(0, self.height - 1 - int(round(frac * (self.height - 1)))),
+            )
+
+        # Axes through zero when zero is inside the range.
+        if x_lo <= 0.0 <= x_hi:
+            zero_col = col_of(0.0)
+            for row in range(self.height):
+                grid[row][zero_col] = "|"
+        if y_lo <= 0.0 <= y_hi:
+            zero_row = row_of(0.0)
+            for col in range(self.width):
+                grid[zero_row][col] = "-"
+        if x_lo <= 0.0 <= x_hi and y_lo <= 0.0 <= y_hi:
+            grid[row_of(0.0)][col_of(0.0)] = "+"
+
+        for x_arr, y_arr, marker in self._series:
+            for x, y in zip(x_arr, y_arr):
+                if x_lo <= x <= x_hi and y_lo <= y <= y_hi:
+                    grid[row_of(y)][col_of(x)] = marker
+
+        lines = ["".join(row) for row in grid]
+        header = f"{y_label} (vertical {y_lo:.3g}..{y_hi:.3g})"
+        footer = f"{x_label} (horizontal {x_lo:.3g}..{x_hi:.3g})"
+        return "\n".join([header] + lines + [footer])
+
+
+def plot_bh(
+    h: Sequence[float],
+    b: Sequence[float],
+    width: int = 79,
+    height: int = 31,
+    h_unit: str = "A/m",
+) -> str:
+    """Render one B-H trajectory as the paper's Figure 1 style plot."""
+    plot = AsciiPlot(width=width, height=height)
+    plot.add_series(h, b)
+    return plot.render(x_label=f"H [{h_unit}]", y_label="B [T]")

@@ -1,0 +1,92 @@
+"""CSV round-trip of B-H trajectories with a metadata header."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def write_bh_csv(
+    path: str | Path,
+    h: np.ndarray,
+    b: np.ndarray,
+    metadata: Mapping[str, object] | None = None,
+    m: np.ndarray | None = None,
+) -> None:
+    """Write a trajectory as CSV.
+
+    Metadata lines are prefixed with ``#`` (``# key = value``) so the
+    file remains loadable by pandas/numpy with ``comments='#'``.
+    """
+    h = np.asarray(h, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if h.shape != b.shape:
+        raise AnalysisError(
+            f"h and b must have the same shape, got {h.shape} vs {b.shape}"
+        )
+    if m is not None:
+        m = np.asarray(m, dtype=float)
+        if m.shape != h.shape:
+            raise AnalysisError(
+                f"m must match h shape, got {m.shape} vs {h.shape}"
+            )
+
+    path = Path(path)
+    with path.open("w", newline="") as stream:
+        for key, value in (metadata or {}).items():
+            stream.write(f"# {key} = {value}\n")
+        writer = csv.writer(stream)
+        if m is None:
+            writer.writerow(["h_A_per_m", "b_T"])
+            for h_val, b_val in zip(h, b):
+                writer.writerow([repr(float(h_val)), repr(float(b_val))])
+        else:
+            writer.writerow(["h_A_per_m", "b_T", "m_A_per_m"])
+            for h_val, b_val, m_val in zip(h, b, m):
+                writer.writerow(
+                    [repr(float(h_val)), repr(float(b_val)), repr(float(m_val))]
+                )
+
+
+def read_bh_csv(
+    path: str | Path,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, dict[str, str]]:
+    """Read a trajectory written by :func:`write_bh_csv`.
+
+    Returns ``(h, b, m_or_None, metadata)``.
+    """
+    path = Path(path)
+    metadata: dict[str, str] = {}
+    h_vals: list[float] = []
+    b_vals: list[float] = []
+    m_vals: list[float] = []
+    has_m = False
+    with path.open() as stream:
+        reader = csv.reader(stream)
+        header_seen = False
+        for row in reader:
+            if not row:
+                continue
+            if row[0].startswith("#"):
+                text = ",".join(row).lstrip("#").strip()
+                if "=" in text:
+                    key, _, value = text.partition("=")
+                    metadata[key.strip()] = value.strip()
+                continue
+            if not header_seen:
+                header_seen = True
+                has_m = len(row) >= 3
+                continue
+            h_vals.append(float(row[0]))
+            b_vals.append(float(row[1]))
+            if has_m:
+                m_vals.append(float(row[2]))
+    if not header_seen:
+        raise AnalysisError(f"{path} contains no CSV header")
+    m_arr = np.array(m_vals) if has_m else None
+    return np.array(h_vals), np.array(b_vals), m_arr, metadata

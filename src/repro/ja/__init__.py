@@ -1,0 +1,44 @@
+"""Jiles-Atherton substrate: parameters, anhysteretic curves, equations.
+
+This package contains everything about the *physics* of the
+Jiles-Atherton (JA) ferromagnetic hysteresis model that is independent of
+how the magnetisation slope is discretised.  The paper's contribution —
+the timeless discretisation — lives in :mod:`repro.core` and builds on
+the pieces here.
+"""
+
+from repro.ja.anhysteretic import (
+    Anhysteretic,
+    BrillouinAnhysteretic,
+    LangevinAnhysteretic,
+    ModifiedLangevinAnhysteretic,
+    make_anhysteretic,
+)
+from repro.ja.equations import (
+    effective_field,
+    flux_density,
+    irreversible_slope,
+    magnetisation_slope,
+    magnetisation_slope_simplified,
+    reversible_magnetisation,
+)
+from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
+from repro.ja.thermal import ThermalJAParameters
+
+__all__ = [
+    "Anhysteretic",
+    "BrillouinAnhysteretic",
+    "JAParameters",
+    "LangevinAnhysteretic",
+    "ModifiedLangevinAnhysteretic",
+    "PAPER_PARAMETERS",
+    "PRESETS",
+    "ThermalJAParameters",
+    "effective_field",
+    "flux_density",
+    "irreversible_slope",
+    "magnetisation_slope",
+    "magnetisation_slope_simplified",
+    "make_anhysteretic",
+    "reversible_magnetisation",
+]

@@ -1,0 +1,210 @@
+"""Anhysteretic magnetisation curves and their derivatives.
+
+The anhysteretic curve ``Man(He)`` is the hysteresis-free magnetisation a
+material would reach at effective field ``He`` given unlimited thermal
+relaxation.  The Jiles-Atherton model drags the actual magnetisation
+towards it.  Three families are provided:
+
+* :class:`LangevinAnhysteretic` — the classic
+  ``L(x) = coth(x) - 1/x`` of the original 1984 paper, with the
+  series-expanded small-``x`` branch needed for numerical robustness;
+* :class:`ModifiedLangevinAnhysteretic` — the arctangent form
+  ``(2/pi) * atan(x)`` of Wilson et al. used by the paper's SystemC code
+  (``Lang_mod``);
+* :class:`BrillouinAnhysteretic` — the quantum-mechanical Brillouin
+  function, included as an extension point (the paper cites only the two
+  above).
+
+All curves are *normalised*: they return ``m_an = Man / Msat`` in
+``(-1, 1)`` and their derivative with respect to the normalised argument.
+This matches the published SystemC code, which carries magnetisation as
+``mtotal = M / ms`` throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.constants import TWO_OVER_PI
+from repro.errors import ParameterError
+from repro.ja.parameters import JAParameters
+
+#: Below this |x| the Langevin function switches to its Taylor series to
+#: avoid catastrophic cancellation in ``coth(x) - 1/x``.
+_LANGEVIN_SERIES_CUTOFF = 1e-4
+
+#: Above this |x|, ``1/sinh(x)**2`` has underflowed to zero while
+#: ``sinh(x)`` itself would overflow near 710 — switch to asymptotics.
+_SINH_OVERFLOW_CUTOFF = 350.0
+
+
+class Anhysteretic(ABC):
+    """A normalised anhysteretic curve ``m_an(He)``.
+
+    Parameters
+    ----------
+    shape:
+        Shape (scale) parameter in A/m: the effective field is divided by
+        it before evaluating the dimensionless curve.
+    """
+
+    #: Registry key used by :func:`make_anhysteretic`.
+    kind: str = "abstract"
+
+    def __init__(self, shape: float) -> None:
+        if not math.isfinite(shape) or shape <= 0.0:
+            raise ParameterError(
+                f"anhysteretic shape parameter must be finite and > 0, "
+                f"got {shape!r}"
+            )
+        self.shape = float(shape)
+
+    @abstractmethod
+    def curve(self, x: float) -> float:
+        """Dimensionless curve value at dimensionless argument ``x``."""
+
+    @abstractmethod
+    def curve_derivative(self, x: float) -> float:
+        """Derivative of :meth:`curve` with respect to ``x``."""
+
+    def value(self, h_effective: float) -> float:
+        """Normalised anhysteretic magnetisation at effective field [A/m]."""
+        return self.curve(h_effective / self.shape)
+
+    def derivative(self, h_effective: float) -> float:
+        """d(m_an)/d(He) at effective field [A/m] (units 1/(A/m))."""
+        return self.curve_derivative(h_effective / self.shape) / self.shape
+
+    def value_array(self, h_effective: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value` for analysis code."""
+        flat = np.asarray(h_effective, dtype=float)
+        return np.vectorize(self.value, otypes=[float])(flat)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self.shape!r})"
+
+
+class LangevinAnhysteretic(Anhysteretic):
+    """Classic Langevin anhysteretic ``L(x) = coth(x) - 1/x``.
+
+    Near ``x = 0`` the closed form loses all significance, so the Taylor
+    series ``x/3 - x**3/45 + 2*x**5/945`` is used instead; the switchover
+    point keeps both branches agreeing to better than 1e-12.
+    """
+
+    kind = "langevin"
+
+    def curve(self, x: float) -> float:
+        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+            x2 = x * x
+            return x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
+        return 1.0 / math.tanh(x) - 1.0 / x
+
+    def curve_derivative(self, x: float) -> float:
+        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+            x2 = x * x
+            return 1.0 / 3.0 - x2 / 15.0 + 2.0 * x2 * x2 / 189.0
+        if abs(x) > _SINH_OVERFLOW_CUTOFF:
+            # 1/sinh(x)^2 underflows long before sinh overflows.
+            return 1.0 / (x * x)
+        sinh = math.sinh(x)
+        return 1.0 / (x * x) - 1.0 / (sinh * sinh)
+
+
+class ModifiedLangevinAnhysteretic(Anhysteretic):
+    """Arctangent anhysteretic ``(2/pi) * atan(x)`` (Wilson et al. 2004).
+
+    This is the ``Lang_mod`` function of the paper's SystemC listing.  It
+    saturates more slowly than the classic Langevin and is cheap and
+    singularity-free, which is why the behavioural HDL models prefer it.
+    """
+
+    kind = "modified-langevin"
+
+    def curve(self, x: float) -> float:
+        return TWO_OVER_PI * math.atan(x)
+
+    def curve_derivative(self, x: float) -> float:
+        return TWO_OVER_PI / (1.0 + x * x)
+
+
+class BrillouinAnhysteretic(Anhysteretic):
+    """Brillouin-function anhysteretic ``B_J(x)`` for total spin ``J``.
+
+    ``B_J(x) -> L(x)`` as ``J -> inf`` and ``B_1/2(x) = tanh(x)``.
+    Included as an extension beyond the paper's two curves; the series
+    branch mirrors the Langevin treatment.
+    """
+
+    kind = "brillouin"
+
+    def __init__(self, shape: float, j: float = 0.5) -> None:
+        super().__init__(shape)
+        if not math.isfinite(j) or j <= 0.0:
+            raise ParameterError(f"Brillouin spin J must be > 0, got {j!r}")
+        self.j = float(j)
+
+    def curve(self, x: float) -> float:
+        j = self.j
+        c1 = (2.0 * j + 1.0) / (2.0 * j)
+        c2 = 1.0 / (2.0 * j)
+        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+            # B_J(x) ~ (J+1)/(3J) * x for small x.
+            return (j + 1.0) / (3.0 * j) * x
+        return c1 / math.tanh(c1 * x) - c2 / math.tanh(c2 * x)
+
+    def curve_derivative(self, x: float) -> float:
+        j = self.j
+        c1 = (2.0 * j + 1.0) / (2.0 * j)
+        c2 = 1.0 / (2.0 * j)
+        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+            return (j + 1.0) / (3.0 * j)
+
+        def csch_squared(y: float) -> float:
+            if abs(y) > _SINH_OVERFLOW_CUTOFF:
+                return 0.0
+            sinh = math.sinh(y)
+            return 1.0 / (sinh * sinh)
+
+        return (c2 * c2) * csch_squared(c2 * x) - (c1 * c1) * csch_squared(
+            c1 * x
+        )
+
+
+_KINDS: dict[str, type[Anhysteretic]] = {
+    LangevinAnhysteretic.kind: LangevinAnhysteretic,
+    ModifiedLangevinAnhysteretic.kind: ModifiedLangevinAnhysteretic,
+    BrillouinAnhysteretic.kind: BrillouinAnhysteretic,
+}
+
+
+def make_anhysteretic(
+    params: JAParameters,
+    kind: str = "modified-langevin",
+    use_a2: bool = True,
+) -> Anhysteretic:
+    """Build the anhysteretic curve for a parameter set.
+
+    Parameters
+    ----------
+    params:
+        Jiles-Atherton parameters carrying the shape values ``a``/``a2``.
+    kind:
+        One of ``"langevin"``, ``"modified-langevin"``, ``"brillouin"``.
+        The paper's model uses ``"modified-langevin"``.
+    use_a2:
+        For the modified curve only: use ``params.a2`` (the paper's
+        override) when True, else fall back to ``params.a``.  The classic
+        Langevin always uses ``a`` as in Jiles & Atherton (1984).
+    """
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KINDS))
+        raise ParameterError(f"unknown anhysteretic kind {kind!r}; known: {known}")
+    if cls is ModifiedLangevinAnhysteretic and use_a2:
+        return cls(params.modified_shape)
+    return cls(params.a)

@@ -1,0 +1,172 @@
+"""Algebraic forms of the Jiles-Atherton equations (Eq. 1 of the paper).
+
+Everything here works on the *normalised* magnetisation ``m = M / Msat``
+exactly as the published SystemC code does::
+
+    He     = H + alpha * ms * mtotal
+    man    = Lang_mod(He / a)
+    mrev   = c * man / (1 + c)
+    mtotal = mrev + mirr
+    dmirr/dH = (man - mtotal) / ((1 + c) * (delta*k - alpha*ms*(man - mtotal)))
+
+Expanding ``mtotal = c/(1+c)*man + mirr`` shows the total slope is the
+standard Eq. 1 of the paper,
+
+    dm/dH = (1/(1+c)) * (man - m) / (delta*k - alpha*ms*(man - m))
+          + (c/(1+c)) * dman/dH,
+
+so the functions below are shared by every implementation in the repo:
+the timeless core, the SystemC transliteration, the VHDL-AMS
+architectures and the time-domain baselines.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import MU0
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.parameters import JAParameters
+
+
+def effective_field(params: JAParameters, h: float, m: float) -> float:
+    """Weiss effective field ``He = H + alpha * Msat * m`` [A/m].
+
+    ``m`` is normalised; ``alpha * Msat * m`` is the published
+    ``alpha * ms * mtotal`` mean-field term.
+    """
+    return h + params.alpha * params.m_sat * m
+
+
+def reversible_magnetisation(params: JAParameters, m_an: float) -> float:
+    """Reversible component ``mrev = c * man / (1 + c)`` (normalised).
+
+    This is the algebraic split used by the published code: the
+    irreversible state variable then carries the remaining
+    ``mirr = m - mrev``.
+    """
+    return params.c * m_an / (1.0 + params.c)
+
+
+def irreversible_slope(
+    params: JAParameters,
+    m_an: float,
+    m_total: float,
+    delta: float,
+) -> float:
+    """Raw irreversible slope ``dmirr/dH`` before any guard is applied.
+
+    Implements the published expression
+
+        dmdh1 = deltam / ((1+c) * (dk - alpha*ms*deltam))
+
+    with ``deltam = man - mtotal`` and ``dk = delta * k``.  ``delta`` must
+    be +1 (rising field) or -1 (falling field).  The value may be
+    negative or even infinite near ``dk == alpha*ms*deltam``; the guards
+    that make it physical live in :mod:`repro.core.slope` so that the
+    stability experiments can exercise the *unguarded* form too.
+    """
+    delta_m = m_an - m_total
+    denominator = (1.0 + params.c) * (
+        delta * params.k - params.alpha * params.m_sat * delta_m
+    )
+    if denominator == 0.0:
+        return math.inf if delta_m > 0 else (-math.inf if delta_m < 0 else 0.0)
+    return delta_m / denominator
+
+
+def anhysteretic_slope_term(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h_effective: float,
+) -> float:
+    """Reversible slope term ``(c/(1+c)) * dman/dHe`` of Eq. 1.
+
+    Note the derivative is taken with respect to the *effective* field;
+    the published incremental code realises this term implicitly by
+    recomputing ``mrev`` from the updated ``man`` each event.
+    """
+    return params.c / (1.0 + params.c) * anhysteretic.derivative(h_effective)
+
+
+def magnetisation_slope_simplified(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h: float,
+    m: float,
+    delta: float,
+) -> float:
+    """Eq. 1 exactly as printed: irreversible term plus
+    ``(c/(1+c)) * dMan/dHe``, with no mean-field feedback correction.
+
+    This simplified form is what the historical time-domain
+    implementations transliterate, so the baselines integrate it.
+    """
+    h_eff = effective_field(params, h, m)
+    m_an = anhysteretic.value(h_eff)
+    irreversible = irreversible_slope(params, m_an, m, delta)
+    reversible = anhysteretic_slope_term(params, anhysteretic, h_eff)
+    return irreversible + reversible
+
+
+def magnetisation_slope(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h: float,
+    m: float,
+    delta: float,
+    clamp_irreversible: bool = False,
+) -> float:
+    """Self-consistent total slope ``dm/dH`` (normalised).
+
+    With ``clamp_irreversible=True`` the irreversible term is clamped
+    non-negative *before* entering the total — matching the paper's
+    guard, which acts on ``dmirr/dH`` only while the reversible
+    component keeps responding (the anhysteretic can retrace
+    immediately after a reversal).  This guarded form is the continuum
+    limit of the published discrete scheme and what the high-accuracy
+    reference integrates.
+
+    The published incremental scheme re-evaluates
+    ``mrev = c*man(He)/(1+c)`` with ``He = H + alpha*Msat*m`` at every
+    event, so its continuum limit satisfies the *algebraic* relation
+    ``m = c/(1+c)*man(He(m)) + mirr``.  Differentiating yields
+
+        dm/dH = (f_irr + (c/(1+c))*man'(He))
+                / (1 - alpha*Msat*(c/(1+c))*man'(He))
+
+    — the classic full Jiles-Atherton slope with the mean-field feedback
+    denominator that Eq. 1 of the paper drops.  This is the equation the
+    high-accuracy reference integrates; the difference against
+    :func:`magnetisation_slope_simplified` is a few percent at the loop
+    knee for the paper's parameters.
+    """
+    h_eff = effective_field(params, h, m)
+    m_an = anhysteretic.value(h_eff)
+    irreversible = irreversible_slope(params, m_an, m, delta)
+    if clamp_irreversible and irreversible < 0.0:
+        irreversible = 0.0
+    reversible = anhysteretic_slope_term(params, anhysteretic, h_eff)
+    feedback = params.alpha * params.m_sat * reversible
+    denominator = 1.0 - feedback
+    if denominator <= 0.0:
+        # Mean-field runaway (non-physical parameterisation); fall back
+        # to the simplified slope rather than produce a negative pole.
+        return irreversible + reversible
+    return (irreversible + reversible) / denominator
+
+
+def flux_density(params: JAParameters, h: float, m: float) -> float:
+    """Flux density ``B = mu0 * (H + Msat * m)`` [T].
+
+    The published code multiplies by the core area as well (returning
+    flux, with area = 1 in the demonstration); area belongs to the
+    component layer (:mod:`repro.magnetics`), not to the material, so it
+    is kept out of this function.
+    """
+    return MU0 * (h + params.m_sat * m)
+
+
+def magnetisation_from_flux(params: JAParameters, h: float, b: float) -> float:
+    """Invert :func:`flux_density`: recover normalised ``m`` from ``B``."""
+    return (b / MU0 - h) / params.m_sat

@@ -1,0 +1,187 @@
+"""Validated Jiles-Atherton parameter sets.
+
+The paper uses the original Jiles-Atherton (1984) parameters "except for
+a2"::
+
+    k = 4000 A/m, c = 0.1, Msat = 1.6e6 A/m, alpha = 0.003,
+    a = 2000 A/m, a2 = 3500 A/m
+
+``a`` is the classic Langevin shape parameter; ``a2`` is the shape
+parameter of the *modified* (arctangent) Langevin function introduced by
+Wilson et al. (DATE 2004) and used by the paper's SystemC code.  Both are
+kept so either anhysteretic can be selected without re-entering data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping
+
+from repro.errors import ParameterError
+
+_POSITIVE_FIELDS = ("k", "m_sat", "a")
+_NON_NEGATIVE_FIELDS = ("c", "alpha")
+
+
+@dataclass(frozen=True)
+class JAParameters:
+    """Immutable Jiles-Atherton parameter set.
+
+    Attributes
+    ----------
+    m_sat:
+        Saturation magnetisation ``Msat`` [A/m].
+    a:
+        Anhysteretic shape parameter for the classic Langevin curve [A/m].
+    a2:
+        Shape parameter for the modified (arctangent) Langevin curve
+        [A/m].  Defaults to ``a`` when not given, which reduces the
+        modified curve to its single-parameter form.
+    k:
+        Pinning-site loss parameter [A/m]; sets coercivity.
+    c:
+        Reversibility ratio (dimensionless, ``0 <= c < 1``).
+    alpha:
+        Inter-domain coupling (dimensionless mean-field constant).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    m_sat: float
+    a: float
+    k: float
+    c: float
+    alpha: float
+    a2: float | None = None
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        for field_name in _POSITIVE_FIELDS:
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value <= 0.0:
+                raise ParameterError(
+                    f"JA parameter {field_name!r} must be finite and > 0, "
+                    f"got {value!r}"
+                )
+        for field_name in _NON_NEGATIVE_FIELDS:
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value < 0.0:
+                raise ParameterError(
+                    f"JA parameter {field_name!r} must be finite and >= 0, "
+                    f"got {value!r}"
+                )
+        if self.c >= 1.0:
+            raise ParameterError(
+                f"reversibility c must satisfy 0 <= c < 1, got {self.c!r}"
+            )
+        if self.a2 is not None:
+            if not math.isfinite(self.a2) or self.a2 <= 0.0:
+                raise ParameterError(
+                    f"JA parameter 'a2' must be finite and > 0, got {self.a2!r}"
+                )
+
+    @property
+    def modified_shape(self) -> float:
+        """Shape parameter for the modified Langevin curve (``a2`` or ``a``)."""
+        if self.a2 is None:
+            return self.a
+        return self.a2
+
+    def with_updates(self, **changes: float | str | None) -> "JAParameters":
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, float | str | None]:
+        """Serialise to a plain dictionary (useful for CSV/report headers)."""
+        return {
+            "name": self.name,
+            "m_sat": self.m_sat,
+            "a": self.a,
+            "a2": self.a2,
+            "k": self.k,
+            "c": self.c,
+            "alpha": self.alpha,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JAParameters":
+        """Build a parameter set from a mapping produced by :meth:`as_dict`."""
+        try:
+            return cls(
+                m_sat=float(data["m_sat"]),  # type: ignore[arg-type]
+                a=float(data["a"]),  # type: ignore[arg-type]
+                k=float(data["k"]),  # type: ignore[arg-type]
+                c=float(data["c"]),  # type: ignore[arg-type]
+                alpha=float(data["alpha"]),  # type: ignore[arg-type]
+                a2=(
+                    None
+                    if data.get("a2") in (None, "", "None")
+                    else float(data["a2"])  # type: ignore[arg-type]
+                ),
+                name=str(data.get("name", "unnamed")),
+            )
+        except KeyError as exc:
+            raise ParameterError(f"missing JA parameter {exc.args[0]!r}") from exc
+
+    def __iter__(self) -> Iterator[tuple[str, float | str | None]]:
+        return iter(self.as_dict().items())
+
+
+#: The exact parameter set printed in Section 2 of the paper.
+PAPER_PARAMETERS = JAParameters(
+    m_sat=1.6e6,
+    a=2000.0,
+    a2=3500.0,
+    k=4000.0,
+    c=0.1,
+    alpha=0.003,
+    name="date2006-paper",
+)
+
+#: The original Jiles & Atherton (1984) fit the paper says it copies
+#: (all values identical except no a2 override).
+JILES_ATHERTON_1984 = JAParameters(
+    m_sat=1.6e6,
+    a=2000.0,
+    k=4000.0,
+    c=0.1,
+    alpha=0.003,
+    name="jiles-atherton-1984",
+)
+
+#: A soft ferrite-like material: low coercivity, strong coupling of
+#: reversible component.  Used by tests/examples as a contrast case.
+SOFT_FERRITE = JAParameters(
+    m_sat=4.0e5,
+    a=25.0,
+    k=15.0,
+    c=0.55,
+    alpha=6.0e-5,
+    name="soft-ferrite",
+)
+
+#: A hard, square-loop material: wide loop, small reversible component.
+HARD_STEEL = JAParameters(
+    m_sat=1.3e6,
+    a=1200.0,
+    k=9000.0,
+    c=0.05,
+    alpha=2.0e-3,
+    name="hard-steel",
+)
+
+#: Registry of named presets.
+PRESETS: dict[str, JAParameters] = {
+    preset.name: preset
+    for preset in (PAPER_PARAMETERS, JILES_ATHERTON_1984, SOFT_FERRITE, HARD_STEEL)
+}
+
+
+def get_preset(name: str) -> JAParameters:
+    """Look up a preset by name, raising :class:`ParameterError` if unknown."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ParameterError(f"unknown preset {name!r}; known presets: {known}")

@@ -1,0 +1,209 @@
+"""High-accuracy reference solution of the Jiles-Atherton equation.
+
+The accuracy experiments (EXP-T5) need ground truth to compare the
+timeless Forward-Euler-in-H discretisation against.  Within one monotone
+segment of the applied field the direction factor ``delta`` is constant,
+so Eq. 1 is a smooth scalar ODE in ``H`` and can be integrated to
+near-machine precision with ``scipy.integrate.solve_ivp``.  A full sweep
+is just the concatenation of such segments with the state carried across
+the turning points — which is exactly where discontinuities live, and why
+the segment boundaries are placed there.
+
+Physical fidelity note: the raw JA slope can yield negative irreversible
+terms after a field reversal (the well-known artefact the paper's guards
+remove).  The reference applies the same clamp — to the *irreversible
+term only*, exactly as the published ``Integral`` process does, while
+the reversible (anhysteretic) component keeps responding — so both
+schemes solve the same guarded model; the unguarded form is kept for the
+stability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.equations import flux_density, magnetisation_slope
+from repro.ja.parameters import JAParameters
+
+
+@dataclass(frozen=True)
+class ReferenceSolution:
+    """Dense reference trajectory along a waypoint field path.
+
+    Attributes
+    ----------
+    h:
+        Field samples [A/m], concatenated across monotone segments.
+    m:
+        Normalised magnetisation at each sample.
+    b:
+        Flux density [T] at each sample.
+    segment_starts:
+        Index into ``h`` where each monotone segment begins.
+    """
+
+    h: np.ndarray
+    m: np.ndarray
+    b: np.ndarray
+    segment_starts: tuple[int, ...]
+
+    def final_state(self) -> tuple[float, float]:
+        """Return the last ``(h, m)`` pair of the trajectory."""
+        return float(self.h[-1]), float(self.m[-1])
+
+
+def _guarded_slope(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h: float,
+    m: float,
+    delta: float,
+    clamp: bool,
+) -> float:
+    return magnetisation_slope(
+        params, anhysteretic, h, m, delta, clamp_irreversible=clamp
+    )
+
+
+def solve_segment(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h_start: float,
+    h_stop: float,
+    m_start: float,
+    samples: int = 200,
+    rtol: float = 1e-10,
+    atol: float = 1e-12,
+    clamp_negative_slope: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate one monotone field segment to high accuracy.
+
+    Returns ``(h_samples, m_samples)`` including both endpoints.  The
+    integration runs in H directly — the same independent variable the
+    timeless scheme uses — so no time parametrisation error enters.
+    """
+    if samples < 2:
+        raise ParameterError(f"samples must be >= 2, got {samples}")
+    if h_stop == h_start:
+        h_only = np.array([h_start, h_stop])
+        return h_only, np.array([m_start, m_start])
+    delta = 1.0 if h_stop > h_start else -1.0
+
+    def rhs(h: float, m: np.ndarray) -> list[float]:
+        return [
+            _guarded_slope(
+                params, anhysteretic, h, float(m[0]), delta, clamp_negative_slope
+            )
+        ]
+
+    h_eval = np.linspace(h_start, h_stop, samples)
+    result = solve_ivp(
+        rhs,
+        (h_start, h_stop),
+        [m_start],
+        method="LSODA",
+        t_eval=h_eval,
+        rtol=rtol,
+        atol=atol,
+    )
+    if not result.success:
+        raise ParameterError(
+            f"reference integration failed on segment "
+            f"[{h_start}, {h_stop}]: {result.message}"
+        )
+    return result.t, result.y[0]
+
+
+def solve_waypoints(
+    params: JAParameters,
+    waypoints: Sequence[float],
+    m_initial: float = 0.0,
+    samples_per_segment: int = 200,
+    anhysteretic: Anhysteretic | None = None,
+    clamp_negative_slope: bool = True,
+    rtol: float = 1e-10,
+    atol: float = 1e-12,
+) -> ReferenceSolution:
+    """Integrate Eq. 1 along a piecewise-monotone field path.
+
+    Parameters
+    ----------
+    waypoints:
+        Field values [A/m] visited in order; each adjacent pair is one
+        monotone segment (typically the vertices of a triangular sweep).
+    m_initial:
+        Normalised magnetisation at the first waypoint (0 = demagnetised).
+    anhysteretic:
+        Curve to use; defaults to the paper's modified Langevin with a2.
+    """
+    if len(waypoints) < 2:
+        raise ParameterError("need at least two waypoints for a sweep")
+    if anhysteretic is None:
+        anhysteretic = make_anhysteretic(params)
+
+    h_parts: list[np.ndarray] = []
+    m_parts: list[np.ndarray] = []
+    starts: list[int] = []
+    m_current = float(m_initial)
+    offset = 0
+    for h_start, h_stop in zip(waypoints[:-1], waypoints[1:]):
+        h_seg, m_seg = solve_segment(
+            params,
+            anhysteretic,
+            float(h_start),
+            float(h_stop),
+            m_current,
+            samples=samples_per_segment,
+            rtol=rtol,
+            atol=atol,
+            clamp_negative_slope=clamp_negative_slope,
+        )
+        starts.append(offset)
+        if h_parts:
+            # Drop the duplicated junction sample.
+            h_seg = h_seg[1:]
+            m_seg = m_seg[1:]
+        h_parts.append(h_seg)
+        m_parts.append(m_seg)
+        offset += len(h_seg)
+        m_current = float(m_seg[-1])
+
+    h_all = np.concatenate(h_parts)
+    m_all = np.concatenate(m_parts)
+    b_all = np.array([flux_density(params, h, m) for h, m in zip(h_all, m_all)])
+    return ReferenceSolution(
+        h=h_all, m=m_all, b=b_all, segment_starts=tuple(starts)
+    )
+
+
+def interpolate_on_segment(
+    solution: ReferenceSolution,
+    segment_index: int,
+    h_query: np.ndarray,
+) -> np.ndarray:
+    """Interpolate the reference ``m`` on one monotone segment.
+
+    Comparison code needs reference values at the exact H samples a
+    discrete scheme produced; interpolation is only well defined within a
+    monotone segment, hence the explicit segment index.
+    """
+    starts = list(solution.segment_starts) + [len(solution.h)]
+    if not 0 <= segment_index < len(solution.segment_starts):
+        raise ParameterError(
+            f"segment_index {segment_index} out of range "
+            f"(0..{len(solution.segment_starts) - 1})"
+        )
+    lo = starts[segment_index]
+    hi = starts[segment_index + 1]
+    h_seg = solution.h[lo:hi]
+    m_seg = solution.m[lo:hi]
+    if h_seg[0] > h_seg[-1]:
+        h_seg = h_seg[::-1]
+        m_seg = m_seg[::-1]
+    return np.interp(h_query, h_seg, m_seg)

@@ -1,0 +1,34 @@
+"""Magnetic components built on the hysteresis model.
+
+The paper motivates the work with mixed-physical-domain modelling:
+magnetic components inside electrical circuits.  This package provides
+that context — core geometries, material presets, a JA-cored inductor
+and transformer, and a small electrical co-simulation driving them.
+"""
+
+from repro.magnetics.geometry import CoreGeometry, EICore, ToroidCore
+from repro.magnetics.inductor import HysteresisInductor
+from repro.magnetics.material import MagneticMaterial
+from repro.magnetics.circuit import RLDriveCircuit, RLDriveResult
+from repro.magnetics.transformer import HysteresisTransformer
+from repro.magnetics.units import (
+    amps_per_meter_from_oersted,
+    oersted_from_amps_per_meter,
+    tesla_from_gauss,
+    gauss_from_tesla,
+)
+
+__all__ = [
+    "CoreGeometry",
+    "EICore",
+    "HysteresisInductor",
+    "HysteresisTransformer",
+    "MagneticMaterial",
+    "RLDriveCircuit",
+    "RLDriveResult",
+    "ToroidCore",
+    "amps_per_meter_from_oersted",
+    "gauss_from_tesla",
+    "oersted_from_amps_per_meter",
+    "tesla_from_gauss",
+]

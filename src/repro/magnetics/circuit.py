@@ -1,0 +1,213 @@
+"""Electrical co-simulation: voltage source + resistor + JA inductor.
+
+The mixed-domain scenario the paper's introduction motivates: an
+electrical circuit containing a ferromagnetic component.  The loop
+equation
+
+    v(t) = R * i + d(lambda)/dt,    lambda = N * B(H(i)) * A
+
+is discretised with backward Euler and solved per step by damped Newton
+on the current.  The flux linkage is evaluated through *state clones* of
+the inductor, so rejected Newton trials never pollute the hysteresis
+history — the discrete-model analogue of the analogue solver's
+commit-on-accept discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.magnetics.inductor import HysteresisInductor
+from repro.waveforms.base import Waveform
+
+
+@dataclass(frozen=True)
+class RLDriveResult:
+    """Trajectory of one RL transient."""
+
+    t: np.ndarray
+    v: np.ndarray
+    i: np.ndarray
+    h: np.ndarray
+    b: np.ndarray
+    flux_linkage: np.ndarray
+    newton_iterations: int
+    newton_failures: int
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def peak_current(self) -> float:
+        return float(np.max(np.abs(self.i)))
+
+    def resistor_energy(self, resistance: float) -> float:
+        """Energy dissipated in the series resistance [J] (trapezoid)."""
+        power = resistance * self.i**2
+        return float(np.trapezoid(power, self.t))
+
+    def core_loss_energy(self, volume: float) -> float:
+        """Hysteresis energy deposited in the core [J]: volume * closed
+        contour integral H dB."""
+        return float(volume * np.trapezoid(self.h, self.b))
+
+
+class RLDriveCircuit:
+    """Series R + hysteretic L driven by a voltage waveform."""
+
+    def __init__(
+        self,
+        inductor: HysteresisInductor,
+        resistance: float,
+        source: Waveform,
+    ) -> None:
+        if not math.isfinite(resistance) or resistance <= 0.0:
+            raise SolverError(f"resistance must be > 0, got {resistance!r}")
+        self.inductor = inductor
+        self.resistance = float(resistance)
+        self.source = source
+
+    def _residual(
+        self, i_trial: float, lambda_old: float, v_new: float, dt: float
+    ) -> tuple[float, float]:
+        """Loop-equation residual and the probed flux linkage at a trial
+        current (evaluated on a state clone)."""
+        probe = self.inductor._clone()
+        probe.apply_current(i_trial)
+        lambda_trial = probe.flux_linkage
+        residual = (
+            self.resistance * i_trial
+            + (lambda_trial - lambda_old) / dt
+            - v_new
+        )
+        return residual, lambda_trial
+
+    def _solve_step(
+        self,
+        i_guess: float,
+        lambda_old: float,
+        v_new: float,
+        dt: float,
+        max_iterations: int = 20,
+        tolerance: float = 1e-9,
+    ) -> tuple[float, int, bool]:
+        """Solve the BE-discretised loop equation for i_new.
+
+        Newton first (fast on the smooth stretches); if it stalls —
+        the event-quantised lambda(i) is a staircase, so Newton can
+        oscillate between event boundaries — fall back to bisection,
+        which always converges because the residual is monotone
+        increasing in the current (R > 0, dlambda/di >= 0).
+        """
+        r = self.resistance
+        i_trial = i_guess
+        iterations = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            residual, _ = self._residual(i_trial, lambda_old, v_new, dt)
+            scale = max(1.0, abs(v_new), r * abs(i_trial))
+            if abs(residual) <= tolerance * scale:
+                return i_trial, iterations, True
+            probe = self.inductor._clone()
+            probe.apply_current(i_trial)
+            inductance = max(probe.incremental_inductance(), 0.0)
+            slope = r + inductance / dt
+            i_next = i_trial - residual / slope
+            if not math.isfinite(i_next):
+                break
+            i_trial = i_next
+
+        # Bisection fallback: bracket the root by expanding around the
+        # last trial, then bisect.
+        span = max(1.0, abs(i_trial), abs(v_new) / r)
+        low, high = i_trial - span, i_trial + span
+        f_low, _ = self._residual(low, lambda_old, v_new, dt)
+        f_high, _ = self._residual(high, lambda_old, v_new, dt)
+        expansions = 0
+        while f_low > 0.0 or f_high < 0.0:
+            expansions += 1
+            iterations += 1
+            if expansions > 60:
+                return i_trial, iterations, False
+            span *= 2.0
+            low, high = i_trial - span, i_trial + span
+            f_low, _ = self._residual(low, lambda_old, v_new, dt)
+            f_high, _ = self._residual(high, lambda_old, v_new, dt)
+        for _ in range(80):
+            iterations += 1
+            mid = 0.5 * (low + high)
+            f_mid, _ = self._residual(mid, lambda_old, v_new, dt)
+            scale = max(1.0, abs(v_new), r * abs(mid))
+            if abs(f_mid) <= tolerance * scale or (high - low) <= 1e-12 * max(
+                1.0, abs(mid)
+            ):
+                return mid, iterations, True
+            if f_mid > 0.0:
+                high = mid
+            else:
+                low = mid
+        return 0.5 * (low + high), iterations, True
+
+    def run(
+        self, t_stop: float, dt: float, t_start: float = 0.0
+    ) -> RLDriveResult:
+        """Fixed-step backward-Euler transient of the RL loop."""
+        if dt <= 0.0 or not math.isfinite(dt):
+            raise SolverError(f"dt must be finite and > 0, got {dt!r}")
+        if not t_stop > t_start:
+            raise SolverError(f"t_stop ({t_stop}) must exceed t_start ({t_start})")
+
+        # Guard against float ratios adding a spurious step past t_stop.
+        steps = max(1, int(math.ceil((t_stop - t_start) / dt - 1e-9)))
+        t_arr = np.empty(steps + 1)
+        v_arr = np.empty(steps + 1)
+        i_arr = np.empty(steps + 1)
+        h_arr = np.empty(steps + 1)
+        b_arr = np.empty(steps + 1)
+        lam_arr = np.empty(steps + 1)
+
+        t_arr[0] = t_start
+        v_arr[0] = self.source.value(t_start)
+        i_arr[0] = self.inductor.current
+        h_arr[0] = self.inductor.h
+        b_arr[0] = self.inductor.b
+        lam_arr[0] = self.inductor.flux_linkage
+
+        total_iterations = 0
+        failures = 0
+        i_now = self.inductor.current
+        for n in range(1, steps + 1):
+            t_new = t_start + n * dt
+            v_new = self.source.value(t_new)
+            lambda_old = self.inductor.flux_linkage
+            i_new, iterations, converged = self._solve_step(
+                i_now, lambda_old, v_new, dt
+            )
+            total_iterations += iterations
+            if not converged:
+                failures += 1
+            # Commit the accepted current to the real hysteresis state.
+            self.inductor.apply_current(i_new)
+            i_now = i_new
+
+            t_arr[n] = t_new
+            v_arr[n] = v_new
+            i_arr[n] = i_new
+            h_arr[n] = self.inductor.h
+            b_arr[n] = self.inductor.b
+            lam_arr[n] = self.inductor.flux_linkage
+
+        return RLDriveResult(
+            t=t_arr,
+            v=v_arr,
+            i=i_arr,
+            h=h_arr,
+            b=b_arr,
+            flux_linkage=lam_arr,
+            newton_iterations=total_iterations,
+            newton_failures=failures,
+        )

@@ -1,0 +1,118 @@
+"""Core geometries: effective magnetic path length and cross-section.
+
+A winding of ``n`` turns carrying current ``i`` around a closed core
+produces (by Ampere's law, ignoring leakage) a field
+``H = n * i / path_length``; the flux through the winding is
+``n * B * area``.  Those two numbers — effective path length and
+effective area — are all the hysteresis model needs from geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+def _check_positive(name: str, value: float) -> float:
+    if not math.isfinite(value) or value <= 0.0:
+        raise ParameterError(f"{name} must be finite and > 0, got {value!r}")
+    return float(value)
+
+
+class CoreGeometry(ABC):
+    """Effective magnetic dimensions of a closed core."""
+
+    @property
+    @abstractmethod
+    def path_length(self) -> float:
+        """Effective magnetic path length [m]."""
+
+    @property
+    @abstractmethod
+    def area(self) -> float:
+        """Effective cross-section [m^2]."""
+
+    @property
+    def volume(self) -> float:
+        """Effective core volume [m^3] (loss = loop area x volume)."""
+        return self.path_length * self.area
+
+    def field_from_current(self, turns: int, current: float) -> float:
+        """H = N*i / l_e [A/m]."""
+        if turns < 1:
+            raise ParameterError(f"turns must be >= 1, got {turns}")
+        return turns * current / self.path_length
+
+    def current_from_field(self, turns: int, h: float) -> float:
+        """Invert :meth:`field_from_current`."""
+        if turns < 1:
+            raise ParameterError(f"turns must be >= 1, got {turns}")
+        return h * self.path_length / turns
+
+    def flux_linkage(self, turns: int, b: float) -> float:
+        """Total flux linkage N*B*A [Wb-turns]."""
+        if turns < 1:
+            raise ParameterError(f"turns must be >= 1, got {turns}")
+        return turns * b * self.area
+
+
+@dataclass(frozen=True)
+class ToroidCore(CoreGeometry):
+    """Toroid of rectangular cross-section.
+
+    Attributes
+    ----------
+    inner_radius, outer_radius:
+        Radii [m]; the effective path is the mean circumference.
+    height:
+        Axial height [m].
+    """
+
+    inner_radius: float
+    outer_radius: float
+    height: float
+
+    def __post_init__(self) -> None:
+        _check_positive("inner_radius", self.inner_radius)
+        _check_positive("outer_radius", self.outer_radius)
+        _check_positive("height", self.height)
+        if self.outer_radius <= self.inner_radius:
+            raise ParameterError(
+                f"outer_radius ({self.outer_radius}) must exceed "
+                f"inner_radius ({self.inner_radius})"
+            )
+
+    @property
+    def path_length(self) -> float:
+        return math.pi * (self.inner_radius + self.outer_radius)
+
+    @property
+    def area(self) -> float:
+        return (self.outer_radius - self.inner_radius) * self.height
+
+
+@dataclass(frozen=True)
+class EICore(CoreGeometry):
+    """Laminated E-I core described directly by effective dimensions.
+
+    Vendors publish ``l_e`` and ``A_e`` for standard laminations; this
+    class takes them at face value.
+    """
+
+    effective_path_length: float
+    effective_area: float
+
+    def __post_init__(self) -> None:
+        _check_positive("effective_path_length", self.effective_path_length)
+        _check_positive("effective_area", self.effective_area)
+
+    @property
+    def path_length(self) -> float:
+        return self.effective_path_length
+
+    @property
+    def area(self) -> float:
+        return self.effective_area

@@ -1,0 +1,116 @@
+"""Nonlinear inductor with a hysteretic (JA) core.
+
+The inductor maps its terminal current to the core field via geometry
+(``H = N*i/l_e``), runs the timeless hysteresis model, and reports flux
+linkage and incremental inductance.  Because the underlying model is
+history-dependent, so is the inductance — including remanence after the
+current returns to zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import DEFAULT_DHMAX
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import Anhysteretic
+from repro.magnetics.geometry import CoreGeometry
+from repro.magnetics.material import MagneticMaterial
+
+
+class HysteresisInductor:
+    """An ``N``-turn winding on a hysteretic core."""
+
+    def __init__(
+        self,
+        material: MagneticMaterial,
+        geometry: CoreGeometry,
+        turns: int,
+        dhmax: float = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+    ) -> None:
+        if turns < 1:
+            raise ParameterError(f"turns must be >= 1, got {turns}")
+        self.material = material
+        self.geometry = geometry
+        self.turns = int(turns)
+        self.model = TimelessJAModel(
+            material.params,
+            dhmax=dhmax,
+            anhysteretic=anhysteretic,
+            guards=guards,
+        )
+        self._last_current = 0.0
+
+    def reset(self) -> None:
+        """Demagnetise the core and zero the current."""
+        self.model.reset()
+        self._last_current = 0.0
+
+    @property
+    def current(self) -> float:
+        """Winding current [A] at the last update."""
+        return self._last_current
+
+    @property
+    def h(self) -> float:
+        """Core field [A/m]."""
+        return self.model.h
+
+    @property
+    def b(self) -> float:
+        """Core flux density [T]."""
+        return self.model.b
+
+    @property
+    def flux_linkage(self) -> float:
+        """Flux linkage lambda = N*B*A [Wb-turns]."""
+        return self.geometry.flux_linkage(self.turns, self.model.b)
+
+    def apply_current(self, current: float) -> float:
+        """Set the winding current [A]; returns the new flux linkage."""
+        if not math.isfinite(current):
+            raise ParameterError(f"current must be finite, got {current!r}")
+        h = self.geometry.field_from_current(self.turns, current)
+        self.model.apply_field(h)
+        self._last_current = float(current)
+        return self.flux_linkage
+
+    def incremental_inductance(self, delta_current: float | None = None) -> float:
+        """Numerical dlambda/di around the present operating point [H].
+
+        Probes with a small current excursion on a *copy* of the model
+        state — the real state is untouched.  The probe size defaults to
+        the current equivalent of one ``dhmax`` field step.
+        """
+        if delta_current is None:
+            delta_current = self.geometry.current_from_field(
+                self.turns, 2.0 * self.model.dhmax
+            )
+        if delta_current <= 0.0 or not math.isfinite(delta_current):
+            raise ParameterError(
+                f"delta_current must be finite and > 0, got {delta_current!r}"
+            )
+        probe = self._clone()
+        lambda_0 = probe.flux_linkage
+        probe.apply_current(self._last_current + delta_current)
+        lambda_1 = probe.flux_linkage
+        return (lambda_1 - lambda_0) / delta_current
+
+    def _clone(self) -> "HysteresisInductor":
+        clone = object.__new__(HysteresisInductor)
+        clone.material = self.material
+        clone.geometry = self.geometry
+        clone.turns = self.turns
+        clone.model = self.model.clone()
+        clone._last_current = self._last_current
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"HysteresisInductor({self.material.name!r}, turns={self.turns}, "
+            f"i={self._last_current:.6g} A, B={self.b:.6g} T)"
+        )

@@ -1,0 +1,125 @@
+"""Hysteresis-loss characterisation: amplitude sweeps and Steinmetz fit.
+
+The engineering summary of a soft-magnetic material is its loss map:
+energy per cycle versus peak flux density.  For rate-independent
+hysteresis (this model — eddy currents are out of the paper's scope)
+the classical Steinmetz law reduces to
+
+    W(B_peak) = k_h * B_peak ** beta      [J/m^3 per cycle]
+
+and the total power at frequency f is ``W * f * volume``.  This module
+measures W over an amplitude sweep of settled loops and fits (k_h,
+beta) by log-log linear regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.loops import extract_loops
+from repro.analysis.metrics import loop_area
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.errors import AnalysisError
+from repro.ja.parameters import JAParameters
+
+
+@dataclass(frozen=True)
+class LossPoint:
+    """One settled-loop measurement."""
+
+    h_amplitude: float
+    b_peak: float
+    energy_per_cycle: float  # J/m^3
+
+
+@dataclass(frozen=True)
+class SteinmetzFit:
+    """Fitted ``W = k_h * B_peak**beta`` with its data."""
+
+    k_h: float
+    beta: float
+    points: tuple[LossPoint, ...]
+    residual_log_rms: float
+
+    def energy_per_cycle(self, b_peak: float) -> float:
+        """Predicted loss [J/m^3 per cycle] at a peak flux density."""
+        if b_peak <= 0.0:
+            raise AnalysisError(f"b_peak must be > 0, got {b_peak!r}")
+        return self.k_h * b_peak**self.beta
+
+    def power(self, b_peak: float, frequency: float, volume: float) -> float:
+        """Predicted loss power [W] for a core volume at a frequency."""
+        if frequency <= 0.0 or volume <= 0.0:
+            raise AnalysisError("frequency and volume must be > 0")
+        return self.energy_per_cycle(b_peak) * frequency * volume
+
+
+def measure_loss_point(
+    params: JAParameters,
+    h_amplitude: float,
+    dhmax: float = 50.0,
+    settle_cycles: int = 3,
+) -> LossPoint:
+    """Loss of the settled loop at one field amplitude."""
+    if h_amplitude <= 0.0:
+        raise AnalysisError(f"h_amplitude must be > 0, got {h_amplitude!r}")
+    model = TimelessJAModel(params, dhmax=dhmax)
+    waypoints = [0.0, h_amplitude]
+    for _ in range(settle_cycles):
+        waypoints.extend([-h_amplitude, h_amplitude])
+    sweep = run_sweep(model, waypoints)
+    loops = extract_loops(sweep.h, sweep.b)
+    settled = loops[-1]
+    return LossPoint(
+        h_amplitude=float(h_amplitude),
+        b_peak=float(np.max(np.abs(settled.b))),
+        energy_per_cycle=loop_area(settled.h, settled.b),
+    )
+
+
+def loss_sweep(
+    params: JAParameters,
+    h_amplitudes: Sequence[float],
+    dhmax: float = 50.0,
+    settle_cycles: int = 3,
+) -> list[LossPoint]:
+    """Measure settled-loop losses over an amplitude sweep."""
+    if len(h_amplitudes) == 0:
+        raise AnalysisError("need at least one amplitude")
+    return [
+        measure_loss_point(
+            params, float(amp), dhmax=dhmax, settle_cycles=settle_cycles
+        )
+        for amp in h_amplitudes
+    ]
+
+
+def fit_steinmetz(points: Sequence[LossPoint]) -> SteinmetzFit:
+    """Fit ``W = k_h * B_peak**beta`` to measured loss points.
+
+    Log-log linear regression; at least two points with distinct peaks
+    are required.
+    """
+    if len(points) < 2:
+        raise AnalysisError("need at least two loss points for a fit")
+    b_peaks = np.array([p.b_peak for p in points])
+    energies = np.array([p.energy_per_cycle for p in points])
+    if np.any(b_peaks <= 0.0) or np.any(energies <= 0.0):
+        raise AnalysisError("loss points must have positive B_peak and energy")
+    if np.allclose(b_peaks, b_peaks[0]):
+        raise AnalysisError("loss points must span distinct B_peak values")
+    log_b = np.log(b_peaks)
+    log_w = np.log(energies)
+    beta, log_k = np.polyfit(log_b, log_w, 1)
+    predicted = log_k + beta * log_b
+    residual = float(np.sqrt(np.mean((log_w - predicted) ** 2)))
+    return SteinmetzFit(
+        k_h=float(np.exp(log_k)),
+        beta=float(beta),
+        points=tuple(points),
+        residual_log_rms=residual,
+    )

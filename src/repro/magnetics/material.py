@@ -1,0 +1,69 @@
+"""Magnetic material: JA parameters plus engineering metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import MU0
+from repro.errors import ParameterError
+from repro.ja.parameters import (
+    HARD_STEEL,
+    JAParameters,
+    PAPER_PARAMETERS,
+    SOFT_FERRITE,
+)
+
+
+@dataclass(frozen=True)
+class MagneticMaterial:
+    """A named material wrapping a JA parameter set.
+
+    Attributes
+    ----------
+    params:
+        The Jiles-Atherton fit.
+    density:
+        Mass density [kg/m^3] (for specific-loss numbers).
+    resistivity:
+        Electrical resistivity [ohm*m]; informational (eddy-current
+        modelling is out of the paper's scope and not attempted).
+    """
+
+    params: JAParameters
+    density: float = 7650.0
+    resistivity: float = 4.7e-7
+
+    def __post_init__(self) -> None:
+        if self.density <= 0.0:
+            raise ParameterError(f"density must be > 0, got {self.density!r}")
+        if self.resistivity <= 0.0:
+            raise ParameterError(
+                f"resistivity must be > 0, got {self.resistivity!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.params.name
+
+    @property
+    def b_sat(self) -> float:
+        """Saturation flux density ``mu0 * Msat`` [T] (H contribution
+        excluded)."""
+        return MU0 * self.params.m_sat
+
+    def specific_loss(self, loop_area: float, frequency: float) -> float:
+        """Hysteresis loss per unit mass [W/kg] from a B-H loop area.
+
+        ``loop_area`` is the enclosed B-H area [J/m^3 per cycle].
+        """
+        if frequency <= 0.0:
+            raise ParameterError(f"frequency must be > 0, got {frequency!r}")
+        return loop_area * frequency / self.density
+
+
+#: The paper's material with generic electrical-steel bulk properties.
+PAPER_STEEL = MagneticMaterial(params=PAPER_PARAMETERS)
+
+#: Contrast materials for examples and tests.
+FERRITE = MagneticMaterial(params=SOFT_FERRITE, density=4800.0, resistivity=1.0)
+SQUARE_STEEL = MagneticMaterial(params=HARD_STEEL)

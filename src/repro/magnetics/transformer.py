@@ -1,0 +1,116 @@
+"""Two-winding transformer on a hysteretic core.
+
+An ideal-coupling (no leakage) transformer whose magnetising branch is
+the JA model: the primary magnetomotive force net of the reflected
+secondary current magnetises the core,
+
+    H = (N1*i1 - N2*i2) / l_e,
+
+and both windings see the same core flux (``lambda_k = N_k * B * A``).
+Saturation, remanence and inrush asymmetry follow directly from the
+hysteresis model; winding resistance is handled by the drive circuit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import DEFAULT_DHMAX
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import Anhysteretic
+from repro.magnetics.geometry import CoreGeometry
+from repro.magnetics.material import MagneticMaterial
+
+
+class HysteresisTransformer:
+    """Two windings (N1, N2) on a shared hysteretic core."""
+
+    def __init__(
+        self,
+        material: MagneticMaterial,
+        geometry: CoreGeometry,
+        primary_turns: int,
+        secondary_turns: int,
+        dhmax: float = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: SlopeGuards = SlopeGuards(),
+    ) -> None:
+        for name, turns in (
+            ("primary_turns", primary_turns),
+            ("secondary_turns", secondary_turns),
+        ):
+            if turns < 1:
+                raise ParameterError(f"{name} must be >= 1, got {turns}")
+        self.material = material
+        self.geometry = geometry
+        self.primary_turns = int(primary_turns)
+        self.secondary_turns = int(secondary_turns)
+        self.model = TimelessJAModel(
+            material.params,
+            dhmax=dhmax,
+            anhysteretic=anhysteretic,
+            guards=guards,
+        )
+        self._i1 = 0.0
+        self._i2 = 0.0
+
+    @property
+    def turns_ratio(self) -> float:
+        """N1 / N2."""
+        return self.primary_turns / self.secondary_turns
+
+    @property
+    def h(self) -> float:
+        """Core field [A/m]."""
+        return self.model.h
+
+    @property
+    def b(self) -> float:
+        """Core flux density [T]."""
+        return self.model.b
+
+    @property
+    def primary_flux_linkage(self) -> float:
+        return self.geometry.flux_linkage(self.primary_turns, self.model.b)
+
+    @property
+    def secondary_flux_linkage(self) -> float:
+        return self.geometry.flux_linkage(self.secondary_turns, self.model.b)
+
+    def reset(self) -> None:
+        """Demagnetise the core and zero both currents."""
+        self.model.reset()
+        self._i1 = 0.0
+        self._i2 = 0.0
+
+    def apply_currents(self, i_primary: float, i_secondary: float = 0.0) -> float:
+        """Set both winding currents [A]; returns the core B [T].
+
+        The secondary current is taken positive *out* of the dotted
+        terminal, hence it demagnetises (the ``- N2*i2`` term).
+        """
+        for name, current in (("i_primary", i_primary), ("i_secondary", i_secondary)):
+            if not math.isfinite(current):
+                raise ParameterError(f"{name} must be finite, got {current!r}")
+        mmf = (
+            self.primary_turns * i_primary
+            - self.secondary_turns * i_secondary
+        )
+        h = mmf / self.geometry.path_length
+        self.model.apply_field(h)
+        self._i1 = float(i_primary)
+        self._i2 = float(i_secondary)
+        return self.model.b
+
+    def magnetising_current(self) -> float:
+        """Primary current needed to sustain the present core field."""
+        return self.model.h * self.geometry.path_length / self.primary_turns
+
+    def __repr__(self) -> str:
+        return (
+            f"HysteresisTransformer({self.material.name!r}, "
+            f"N1={self.primary_turns}, N2={self.secondary_turns}, "
+            f"B={self.b:.6g} T)"
+        )

@@ -1,0 +1,44 @@
+"""Magnetic unit conversions (SI <-> CGS).
+
+Datasheets for ferromagnetic materials habitually mix unit systems; the
+helpers here keep conversions explicit and tested instead of scattered
+as inline constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+#: One oersted in A/m (1000 / (4*pi)).
+OERSTED_IN_A_PER_M = 1000.0 / (4.0 * math.pi)
+
+#: One gauss in tesla.
+GAUSS_IN_TESLA = 1e-4
+
+
+def _check_finite(name: str, value: float) -> float:
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def amps_per_meter_from_oersted(oersted: float) -> float:
+    """Convert a field strength from Oe to A/m."""
+    return _check_finite("oersted", oersted) * OERSTED_IN_A_PER_M
+
+
+def oersted_from_amps_per_meter(amps_per_meter: float) -> float:
+    """Convert a field strength from A/m to Oe."""
+    return _check_finite("amps_per_meter", amps_per_meter) / OERSTED_IN_A_PER_M
+
+
+def tesla_from_gauss(gauss: float) -> float:
+    """Convert a flux density from G to T."""
+    return _check_finite("gauss", gauss) * GAUSS_IN_TESLA
+
+
+def gauss_from_tesla(tesla: float) -> float:
+    """Convert a flux density from T to G."""
+    return _check_finite("tesla", tesla) / GAUSS_IN_TESLA

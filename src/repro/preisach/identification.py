@@ -1,0 +1,221 @@
+"""Preisach identification from first-order reversal curves (FORCs).
+
+The Everett function ``E(alpha, beta)`` is the half-difference between
+the ascending major branch at ``alpha`` and the first-order reversal
+curve that turns around at ``alpha`` and descends to ``beta``::
+
+    E(alpha, beta) = (m_asc(alpha) - m_forc(alpha -> beta)) / 2
+
+For a true Preisach material ``E`` equals the integral of the weight
+density over the triangle ``{beta <= b <= a <= alpha}``, so cell
+weights follow from the mixed second difference of ``E`` on the grid.
+Generating the FORCs from the timeless JA model and feeding the
+resulting weights to :class:`repro.preisach.model.PreisachModel` yields
+a Preisach model *identified against JA* — the cross-model experiment
+EXP-X4 measures how well it predicts JA behaviour it was not fitted to
+(minor loops).
+
+JA is not exactly a Preisach material, so small negative second
+differences occur; they are clipped to zero and the clipped mass is
+reported (a few percent for the paper's parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.errors import ParameterError
+from repro.ja.parameters import JAParameters
+from repro.preisach.model import PreisachModel
+
+
+@dataclass(frozen=True)
+class EverettMap:
+    """Everett function sampled on the node grid.
+
+    ``values[i, j] = E(nodes[i], nodes[j])`` for ``nodes[j] <= nodes[i]``
+    (0 elsewhere).
+    """
+
+    nodes: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def adaptive_nodes(
+    params: JAParameters,
+    n_cells: int,
+    h_sat: float,
+    dhmax: float = 50.0,
+) -> np.ndarray:
+    """Threshold nodes at equal magnetisation quantiles.
+
+    The intuition: a uniform grid wastes cells on the flat saturation
+    tails while the steep region around +/-Hc stays under-resolved, so
+    place nodes at equal increments of |dm| along the major branch
+    (symmetrised for both polarities).
+
+    Measured outcome (kept as a documented negative result, see
+    EXP-X4): on the paper's JA parameters this *hurts* — the squeezed
+    steep-region cells concentrate the JA model's non-Preisach negative
+    Everett mass (clipped fraction grows from ~2% to ~10%) and the
+    identified model gets worse everywhere.  ``everett_from_ja``
+    therefore defaults to the uniform grid; this function remains for
+    experimentation.
+    """
+    model = TimelessJAModel(params, dhmax=dhmax)
+    run_sweep(model, [0.0, h_sat, -h_sat, h_sat])
+    descent = run_sweep(model, [h_sat, -h_sat], reset=False)
+    h_branch = descent.h[::-1]  # ascending order for interpolation
+    m_branch = (descent.m / params.m_sat)[::-1]
+    slope = np.abs(np.gradient(m_branch, h_branch))
+    if not np.any(slope > 0.0):
+        raise ParameterError("descending branch shows no magnetisation change")
+
+    # Symmetrise: alpha thresholds need resolution where the *ascending*
+    # branch is steep (+Hc side), beta thresholds where the descending
+    # one is (-Hc side); for a symmetric loop the ascending density is
+    # the mirrored descending one.  A small uniform floor keeps the
+    # saturation tails from collapsing to zero-width cells.
+    grid = np.linspace(-h_sat, h_sat, 4001)
+    density = np.interp(grid, h_branch, slope)
+    density = density + density[::-1]
+    density += 0.05 * np.max(density)
+    cumulative = np.concatenate([[0.0], np.cumsum(
+        0.5 * (density[1:] + density[:-1]) * np.diff(grid)
+    )])
+    targets = np.linspace(0.0, cumulative[-1], n_cells + 1)
+    nodes = np.interp(targets, cumulative, grid)
+    nodes[0] = -h_sat
+    nodes[-1] = h_sat
+    # Enforce strict monotonicity (degenerate only if n_cells is huge).
+    min_gap = (2.0 * h_sat) / (100.0 * n_cells)
+    for i in range(1, len(nodes)):
+        if nodes[i] <= nodes[i - 1] + min_gap:
+            nodes[i] = nodes[i - 1] + min_gap
+    nodes[-1] = max(nodes[-1], h_sat)
+    return nodes
+
+
+def everett_from_ja(
+    params: JAParameters,
+    n_cells: int = 40,
+    h_sat: float = 20e3,
+    dhmax: float = 50.0,
+    nodes: np.ndarray | None = None,
+) -> EverettMap:
+    """Measure the Everett map of a JA parameter set via FORCs.
+
+    One JA sweep per alpha node: saturate negative, ascend the major
+    branch to ``alpha``, then descend; the descent *is* the FORC and is
+    sampled at every beta node on the way down.  ``nodes`` defaults to
+    a uniform grid (measured to beat the adaptive alternative — see
+    :func:`adaptive_nodes`).
+    """
+    if n_cells < 4:
+        raise ParameterError(f"n_cells must be >= 4, got {n_cells}")
+    if h_sat <= 0.0:
+        raise ParameterError(f"h_sat must be > 0, got {h_sat!r}")
+    if nodes is None:
+        nodes = np.linspace(-h_sat, h_sat, n_cells + 1)
+    else:
+        nodes = np.asarray(nodes, dtype=float)
+        if len(nodes) != n_cells + 1:
+            raise ParameterError(
+                f"need {n_cells + 1} nodes, got {len(nodes)}"
+            )
+        if np.any(np.diff(nodes) <= 0):
+            raise ParameterError("nodes must strictly increase")
+    n_nodes = len(nodes)
+    values = np.zeros((n_nodes, n_nodes))
+
+    for i in range(n_nodes):
+        alpha = float(nodes[i])
+        model = TimelessJAModel(params, dhmax=dhmax)
+        # Saturate positive, then negative, then ascend to alpha: the
+        # ascent is the settled ascending major branch.
+        run_sweep(model, [0.0, h_sat, -h_sat, alpha])
+        m_alpha = model.m_normalised
+        if i == 0:
+            # alpha at the bottom node: FORC degenerates to a point.
+            values[i, i] = 0.0
+            continue
+        # Descend from alpha through all beta nodes below it.
+        descent = run_sweep(model, [alpha, float(nodes[0])], reset=False)
+        # FORC values at the beta nodes via interpolation on the
+        # (monotone-decreasing) descent.
+        h_desc = descent.h[::-1]
+        m_desc = descent.m[::-1] / params.m_sat
+        for j in range(i + 1):
+            beta = float(nodes[j])
+            m_forc = float(np.interp(beta, h_desc, m_desc))
+            values[i, j] = 0.5 * (m_alpha - m_forc)
+    return EverettMap(nodes=nodes, values=values)
+
+
+def weights_from_everett(
+    everett: EverettMap,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Cell weights as the mixed second difference of the Everett map.
+
+    Returns ``(weights, alpha_thresholds, beta_thresholds, clipped_fraction)``
+    where ``clipped_fraction`` is the negative mass (JA's departure from
+    Preisach behaviour) that was clipped, as a fraction of the total.
+    """
+    nodes = everett.nodes
+    e = everett.values
+    n = len(nodes) - 1
+    weights = np.zeros((n, n))
+    for i in range(1, n + 1):  # alpha cell between nodes[i-1], nodes[i]
+        for j in range(i):  # beta cell between nodes[j], nodes[j+1]
+            w = (
+                e[i, j]
+                - e[i - 1, j]
+                - e[i, j + 1]
+                + e[i - 1, j + 1]
+            )
+            weights[i - 1, j] = w
+    negative_mass = float(-np.sum(weights[weights < 0.0]))
+    total_mass = float(np.sum(np.abs(weights)))
+    weights = np.clip(weights, 0.0, None)
+    clipped = negative_mass / total_mass if total_mass > 0 else 0.0
+    # Relay thresholds at the cell EDGES: up-switch at the cell's upper
+    # alpha node, down-switch at its lower beta node.  A sweep that
+    # stops exactly on a node then switches exactly the cells inside
+    # the Everett triangle — node-field FORCs are reproduced with no
+    # half-cell bias.
+    alpha_thresholds = nodes[1:].copy()
+    beta_thresholds = nodes[:-1].copy()
+    return weights, alpha_thresholds, beta_thresholds, clipped
+
+
+def identify_from_ja(
+    params: JAParameters,
+    n_cells: int = 160,
+    h_sat: float = 20e3,
+    dhmax: float = 50.0,
+) -> tuple[PreisachModel, float]:
+    """Build a Preisach model identified against a JA parameter set.
+
+    Returns ``(model, clipped_fraction)``.
+    """
+    everett = everett_from_ja(
+        params, n_cells=n_cells, h_sat=h_sat, dhmax=dhmax
+    )
+    weights, alpha_thresholds, beta_thresholds, clipped = weights_from_everett(
+        everett
+    )
+    model = PreisachModel(
+        weights=weights,
+        alpha_thresholds=alpha_thresholds,
+        beta_thresholds=beta_thresholds,
+        m_sat=params.m_sat,
+    )
+    return model, clipped

@@ -1,0 +1,37 @@
+"""Analogue-solver numerics: Newton iteration, integration rules, step
+control and a fixed-step explicit ODE driver with failure accounting.
+
+These are the numerical kernels underneath the VHDL-AMS-like substrate
+(:mod:`repro.hdl.vhdlams`) and the time-domain baselines
+(:mod:`repro.baselines`).  They are written so that *failures are data*:
+the stability experiments need to count non-convergence and divergence,
+not crash on them.
+"""
+
+from repro.solver.adaptive import AdaptiveStepController, StepDecision
+from repro.solver.integrators import (
+    IntegrationMethod,
+    backward_euler_residual,
+    forward_euler_step,
+    heun_step,
+    rk4_step,
+    trapezoidal_residual,
+)
+from repro.solver.ivp import ExplicitIVPResult, integrate_fixed_step
+from repro.solver.newton import NewtonOptions, NewtonResult, newton_solve
+
+__all__ = [
+    "AdaptiveStepController",
+    "ExplicitIVPResult",
+    "IntegrationMethod",
+    "NewtonOptions",
+    "NewtonResult",
+    "StepDecision",
+    "backward_euler_residual",
+    "forward_euler_step",
+    "heun_step",
+    "integrate_fixed_step",
+    "newton_solve",
+    "rk4_step",
+    "trapezoidal_residual",
+]

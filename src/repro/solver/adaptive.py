@@ -1,0 +1,93 @@
+"""Adaptive step-size control for the AMS solver.
+
+A deliberately conventional controller: grow the step on easy
+acceptances, shrink on Newton failure or large local error, clamp to
+``[dt_min, dt_max]``, and report when the floor is hit — hitting the
+floor repeatedly is the classic "timestep too small" SPICE failure the
+paper's technique avoids, so it must be *observable*, not fatal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class StepDecision:
+    """Verdict on one attempted step."""
+
+    accept: bool
+    next_dt: float
+    at_floor: bool
+
+
+class AdaptiveStepController:
+    """Grow/shrink step-size policy with floor accounting."""
+
+    def __init__(
+        self,
+        dt_initial: float,
+        dt_min: float,
+        dt_max: float,
+        grow: float = 1.5,
+        shrink: float = 0.25,
+        error_target: float = 1.0,
+    ) -> None:
+        if not (0.0 < dt_min <= dt_initial <= dt_max):
+            raise SolverError(
+                f"need 0 < dt_min <= dt_initial <= dt_max, got "
+                f"{dt_min}, {dt_initial}, {dt_max}"
+            )
+        if not (grow > 1.0 and 0.0 < shrink < 1.0):
+            raise SolverError(f"bad grow/shrink factors {grow}, {shrink}")
+        self.dt = float(dt_initial)
+        self.dt_min = float(dt_min)
+        self.dt_max = float(dt_max)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.error_target = float(error_target)
+        #: Number of times the controller was forced to the floor.
+        self.floor_hits = 0
+        #: Total rejections.
+        self.rejections = 0
+
+    def after_newton_failure(self) -> StepDecision:
+        """Newton did not converge: reject and shrink hard."""
+        self.rejections += 1
+        next_dt = max(self.dt * self.shrink, self.dt_min)
+        at_floor = self.dt <= self.dt_min * (1.0 + 1e-12)
+        if at_floor:
+            self.floor_hits += 1
+        self.dt = next_dt
+        return StepDecision(accept=False, next_dt=next_dt, at_floor=at_floor)
+
+    def after_error_estimate(self, error_norm: float) -> StepDecision:
+        """LTE-based accept/reject with smooth growth.
+
+        ``error_norm`` is the local error divided by tolerance (so 1.0 is
+        exactly on target).  Non-finite errors are treated as rejections.
+        """
+        if not math.isfinite(error_norm):
+            return self.after_newton_failure()
+        if error_norm <= self.error_target:
+            factor = self.grow if error_norm < 0.5 * self.error_target else 1.0
+            self.dt = min(self.dt * factor, self.dt_max)
+            return StepDecision(accept=True, next_dt=self.dt, at_floor=False)
+        self.rejections += 1
+        at_floor = self.dt <= self.dt_min * (1.0 + 1e-12)
+        if at_floor:
+            self.floor_hits += 1
+            # Cannot shrink further: accept under protest (SPICE's
+            # "trtol floor" behaviour) so the run can continue and the
+            # experiment can count the event.
+            return StepDecision(accept=True, next_dt=self.dt, at_floor=True)
+        scale = max(self.shrink, 0.9 / error_norm)
+        self.dt = max(self.dt * scale, self.dt_min)
+        return StepDecision(accept=False, next_dt=self.dt, at_floor=False)
+
+    def force_break(self, dt_break: float | None = None) -> None:
+        """Discontinuity break: restart from a small step."""
+        self.dt = max(self.dt_min, dt_break if dt_break is not None else self.dt_min)

@@ -1,0 +1,85 @@
+"""Time-integration rules.
+
+Two kinds live here:
+
+* **explicit one-step maps** (forward Euler, Heun, classic RK4) used by
+  the time-domain baselines — these are the "awkward conversion to time
+  derivatives" implementations the paper argues against;
+* **implicit residual builders** (backward Euler, trapezoidal) used by
+  the AMS solver to discretise ``'DOT`` operators before the Newton
+  solve.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+State = np.ndarray
+Rhs = Callable[[float, State], State]
+
+
+class IntegrationMethod(str, Enum):
+    """Supported explicit method names (CLI/bench friendly strings)."""
+
+    FORWARD_EULER = "forward-euler"
+    HEUN = "heun"
+    RK4 = "rk4"
+
+
+def forward_euler_step(f: Rhs, t: float, x: State, dt: float) -> State:
+    """One explicit Euler step ``x + dt * f(t, x)``."""
+    return x + dt * f(t, x)
+
+
+def heun_step(f: Rhs, t: float, x: State, dt: float) -> State:
+    """One Heun (explicit trapezoidal) step — 2nd order."""
+    k1 = f(t, x)
+    k2 = f(t + dt, x + dt * k1)
+    return x + 0.5 * dt * (k1 + k2)
+
+
+def rk4_step(f: Rhs, t: float, x: State, dt: float) -> State:
+    """One classic Runge-Kutta 4 step."""
+    k1 = f(t, x)
+    k2 = f(t + 0.5 * dt, x + 0.5 * dt * k1)
+    k3 = f(t + 0.5 * dt, x + 0.5 * dt * k2)
+    k4 = f(t + dt, x + dt * k3)
+    return x + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+_EXPLICIT_STEPPERS = {
+    IntegrationMethod.FORWARD_EULER: forward_euler_step,
+    IntegrationMethod.HEUN: heun_step,
+    IntegrationMethod.RK4: rk4_step,
+}
+
+
+def explicit_stepper(method: IntegrationMethod | str):
+    """Look up an explicit one-step map by enum or name."""
+    return _EXPLICIT_STEPPERS[IntegrationMethod(method)]
+
+
+def backward_euler_residual(
+    x_new: State, x_old: State, dt: float
+) -> State:
+    """Discretised derivative ``dot(x) ~ (x_new - x_old) / dt`` (BDF1).
+
+    The AMS solver substitutes this for every ``'DOT`` occurrence; the
+    returned array is what the equation residuals see as ``dot(q)``.
+    """
+    return (x_new - x_old) / dt
+
+
+def trapezoidal_residual(
+    x_new: State, x_old: State, xdot_old: State, dt: float
+) -> State:
+    """Discretised derivative for the trapezoidal rule.
+
+    From ``(x_new - x_old) / dt = (dot_new + dot_old) / 2`` solve for
+    ``dot_new = 2*(x_new - x_old)/dt - dot_old`` — A-stable and
+    2nd-order, the default rule of most AMS/SPICE engines.
+    """
+    return 2.0 * (x_new - x_old) / dt - xdot_old

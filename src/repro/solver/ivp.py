@@ -1,0 +1,78 @@
+"""Fixed-step explicit ODE driver with failure accounting.
+
+Used by the time-domain baselines: integrate ``dx/dt = f(t, x)`` with a
+chosen explicit rule and *record* every pathology (NaN/Inf state,
+runaway magnitude) instead of raising, because the stability experiment
+tabulates exactly those events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.integrators import IntegrationMethod, explicit_stepper
+
+
+@dataclass(frozen=True)
+class ExplicitIVPResult:
+    """Trajectory plus failure accounting from a fixed-step run."""
+
+    t: np.ndarray
+    x: np.ndarray
+    diverged: bool
+    first_bad_index: int | None
+    steps: int
+
+    @property
+    def completed(self) -> bool:
+        return not self.diverged
+
+
+def integrate_fixed_step(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    t0: float,
+    x0: np.ndarray,
+    dt: float,
+    n_steps: int,
+    method: IntegrationMethod | str = IntegrationMethod.FORWARD_EULER,
+    divergence_limit: float = 1e12,
+) -> ExplicitIVPResult:
+    """Integrate with a fixed step; stop early on divergence.
+
+    On divergence the returned arrays are truncated at the last finite
+    state and ``first_bad_index`` points at the offending step.
+    """
+    if dt <= 0.0 or not np.isfinite(dt):
+        raise SolverError(f"dt must be finite and > 0, got {dt!r}")
+    if n_steps < 1:
+        raise SolverError(f"n_steps must be >= 1, got {n_steps}")
+    step = explicit_stepper(method)
+
+    x = np.asarray(x0, dtype=float).copy()
+    times = np.empty(n_steps + 1)
+    states = np.empty((n_steps + 1, len(x)))
+    times[0] = t0
+    states[0] = x
+
+    for i in range(1, n_steps + 1):
+        t_prev = times[i - 1]
+        x = step(f, t_prev, x, dt)
+        bad = not np.all(np.isfinite(x)) or np.any(np.abs(x) > divergence_limit)
+        if bad:
+            return ExplicitIVPResult(
+                t=times[:i].copy(),
+                x=states[:i].copy(),
+                diverged=True,
+                first_bad_index=i,
+                steps=i,
+            )
+        times[i] = t_prev + dt
+        states[i] = x
+
+    return ExplicitIVPResult(
+        t=times, x=states, diverged=False, first_bad_index=None, steps=n_steps
+    )

@@ -1,0 +1,138 @@
+"""Damped Newton-Raphson for small dense nonlinear systems.
+
+The analogue solver of a VHDL-AMS simulator solves, at every accepted
+time point, a nonlinear algebraic system produced by discretising the
+``'DOT`` operators.  This module provides that inner solve: numerical
+Jacobian (forward differences), optional damping, and a rich result
+object — convergence is *reported*, not assumed, because the stability
+experiments count exactly these failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Tuning knobs for :func:`newton_solve`.
+
+    ``abstol``/``reltol`` follow SPICE convention: the update is accepted
+    when every component moves less than ``abstol + reltol * |x|`` and
+    the residual norm is below ``residual_tol * max(1, |F(x0)|)`` — the
+    residual test is scaled by the starting residual so equations with
+    large coefficients (stiff terms) are not held to an absolute floor
+    below their own rounding noise.
+    """
+
+    abstol: float = 1e-9
+    reltol: float = 1e-6
+    residual_tol: float = 1e-8
+    max_iterations: int = 50
+    damping: float = 1.0
+    jacobian_epsilon: float = 1e-7
+
+
+@dataclass(frozen=True)
+class NewtonResult:
+    """Outcome of one Newton solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    singular: bool = False
+
+    def require_converged(self) -> np.ndarray:
+        """Return the solution or raise :class:`ConvergenceError`."""
+        if not self.converged:
+            raise ConvergenceError(
+                f"Newton failed after {self.iterations} iterations "
+                f"(|F| = {self.residual_norm:.3e}, singular={self.singular})"
+            )
+        return self.x
+
+
+def numerical_jacobian(
+    residual: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    f0: np.ndarray,
+    epsilon: float,
+) -> np.ndarray:
+    """Forward-difference Jacobian of ``residual`` at ``x``."""
+    n = len(x)
+    jac = np.empty((len(f0), n))
+    for j in range(n):
+        step = epsilon * max(1.0, abs(x[j]))
+        x_pert = x.copy()
+        x_pert[j] += step
+        jac[:, j] = (residual(x_pert) - f0) / step
+    return jac
+
+
+def newton_solve(
+    residual: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    options: NewtonOptions = NewtonOptions(),
+    jacobian: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> NewtonResult:
+    """Solve ``residual(x) = 0`` starting from ``x0``.
+
+    Never raises on non-convergence; inspect ``result.converged`` or call
+    ``result.require_converged()``.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    f = residual(x)
+    if not np.all(np.isfinite(f)):
+        return NewtonResult(
+            x=x, converged=False, iterations=0, residual_norm=float("inf")
+        )
+    norm = float(np.linalg.norm(f, ord=np.inf))
+    residual_scale = max(1.0, norm)
+
+    for iteration in range(1, options.max_iterations + 1):
+        if jacobian is not None:
+            jac = jacobian(x)
+        else:
+            jac = numerical_jacobian(residual, x, f, options.jacobian_epsilon)
+        try:
+            delta = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            return NewtonResult(
+                x=x,
+                converged=False,
+                iterations=iteration,
+                residual_norm=norm,
+                singular=True,
+            )
+        x_new = x + options.damping * delta
+        f_new = residual(x_new)
+        if not np.all(np.isfinite(f_new)):
+            return NewtonResult(
+                x=x,
+                converged=False,
+                iterations=iteration,
+                residual_norm=float("inf"),
+            )
+        norm_new = float(np.linalg.norm(f_new, ord=np.inf))
+        step_small = np.all(
+            np.abs(options.damping * delta)
+            <= options.abstol + options.reltol * np.abs(x_new)
+        )
+        x, f, norm = x_new, f_new, norm_new
+        if step_small and norm <= options.residual_tol * residual_scale:
+            return NewtonResult(
+                x=x, converged=True, iterations=iteration, residual_norm=norm
+            )
+
+    return NewtonResult(
+        x=x,
+        converged=False,
+        iterations=options.max_iterations,
+        residual_norm=norm,
+    )

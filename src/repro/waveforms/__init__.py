@@ -1,0 +1,50 @@
+"""Excitation waveforms and timeless sweep schedules.
+
+Two families:
+
+* time-domain waveforms (:class:`Waveform` subclasses) used by the
+  time-based baselines and the mixed-domain circuit examples, and
+* *timeless* waypoint schedules (:mod:`repro.waveforms.sweeps`) — ordered
+  lists of field vertices that drive the paper's DC sweeps, including the
+  decaying triangle that produces Figure 1's nested minor loops.
+"""
+
+from repro.waveforms.base import ConstantWave, Waveform
+from repro.waveforms.composite import (
+    ConcatenatedWave,
+    OffsetWave,
+    PiecewiseLinearWave,
+    ScaledWave,
+    SummedWave,
+)
+from repro.waveforms.sinusoidal import BiasedSineWave, DampedSineWave, SineWave
+from repro.waveforms.sweeps import (
+    biased_minor_loop_waypoints,
+    decaying_triangle_waypoints,
+    fig1_waypoints,
+    initial_magnetisation_waypoints,
+    major_loop_waypoints,
+    minor_loop_grid,
+)
+from repro.waveforms.triangular import SawtoothWave, TriangularWave
+
+__all__ = [
+    "BiasedSineWave",
+    "ConcatenatedWave",
+    "ConstantWave",
+    "DampedSineWave",
+    "OffsetWave",
+    "PiecewiseLinearWave",
+    "SawtoothWave",
+    "ScaledWave",
+    "SineWave",
+    "SummedWave",
+    "TriangularWave",
+    "Waveform",
+    "biased_minor_loop_waypoints",
+    "decaying_triangle_waypoints",
+    "fig1_waypoints",
+    "initial_magnetisation_waypoints",
+    "major_loop_waypoints",
+    "minor_loop_grid",
+]

@@ -1,0 +1,80 @@
+"""Waveform abstraction shared by all time-domain excitation sources."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import WaveformError
+
+
+class Waveform(ABC):
+    """A scalar function of time, ``value(t)`` with ``t`` in seconds."""
+
+    @abstractmethod
+    def value(self, t: float) -> float:
+        """Waveform value at time ``t`` [s]."""
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+    def sample(self, times: Iterable[float]) -> np.ndarray:
+        """Evaluate at many time points; returns a float array."""
+        return np.array([self.value(float(t)) for t in times])
+
+    def sample_uniform(
+        self, t_stop: float, n: int, t_start: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate on ``n`` uniformly spaced samples in [t_start, t_stop]."""
+        if n < 2:
+            raise WaveformError(f"need at least 2 samples, got {n}")
+        if not t_stop > t_start:
+            raise WaveformError(
+                f"t_stop ({t_stop}) must exceed t_start ({t_start})"
+            )
+        times = np.linspace(t_start, t_stop, n)
+        return times, self.sample(times)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        """Central-difference time derivative (sources may override)."""
+        return (self.value(t + dt) - self.value(t - dt)) / (2.0 * dt)
+
+    # -- composition sugar --------------------------------------------------
+
+    def __add__(self, other: "Waveform") -> "Waveform":
+        from repro.waveforms.composite import SummedWave
+
+        return SummedWave([self, other])
+
+    def __mul__(self, gain: float) -> "Waveform":
+        from repro.waveforms.composite import ScaledWave
+
+        return ScaledWave(self, gain)
+
+    __rmul__ = __mul__
+
+    def offset(self, bias: float) -> "Waveform":
+        from repro.waveforms.composite import OffsetWave
+
+        return OffsetWave(self, bias)
+
+
+class ConstantWave(Waveform):
+    """A constant value, useful as a bias term in compositions."""
+
+    def __init__(self, level: float) -> None:
+        if not math.isfinite(level):
+            raise WaveformError(f"constant level must be finite, got {level!r}")
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"ConstantWave({self.level!r})"

@@ -1,0 +1,149 @@
+"""Waveform composition: sums, gains, offsets, PWL and concatenation."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence
+
+from repro.errors import WaveformError
+from repro.waveforms.base import Waveform
+
+
+class SummedWave(Waveform):
+    """Pointwise sum of several waveforms."""
+
+    def __init__(self, parts: Sequence[Waveform]) -> None:
+        if not parts:
+            raise WaveformError("SummedWave needs at least one part")
+        self.parts = list(parts)
+
+    def value(self, t: float) -> float:
+        return sum(part.value(t) for part in self.parts)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        return sum(part.derivative(t, dt) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"SummedWave({self.parts!r})"
+
+
+class ScaledWave(Waveform):
+    """``gain * inner(t)``."""
+
+    def __init__(self, inner: Waveform, gain: float) -> None:
+        if not math.isfinite(gain):
+            raise WaveformError(f"gain must be finite, got {gain!r}")
+        self.inner = inner
+        self.gain = float(gain)
+
+    def value(self, t: float) -> float:
+        return self.gain * self.inner.value(t)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        return self.gain * self.inner.derivative(t, dt)
+
+    def __repr__(self) -> str:
+        return f"ScaledWave({self.inner!r}, gain={self.gain})"
+
+
+class OffsetWave(Waveform):
+    """``bias + inner(t)``."""
+
+    def __init__(self, inner: Waveform, bias: float) -> None:
+        if not math.isfinite(bias):
+            raise WaveformError(f"bias must be finite, got {bias!r}")
+        self.inner = inner
+        self.bias = float(bias)
+
+    def value(self, t: float) -> float:
+        return self.bias + self.inner.value(t)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        return self.inner.derivative(t, dt)
+
+    def __repr__(self) -> str:
+        return f"OffsetWave({self.inner!r}, bias={self.bias})"
+
+
+class PiecewiseLinearWave(Waveform):
+    """SPICE-style PWL source: linear interpolation between (t, v) points.
+
+    Holds the first/last value outside the given span.  Time points must
+    be strictly increasing.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise WaveformError("PWL needs at least two (t, v) points")
+        times = [float(t) for t, _ in points]
+        values = [float(v) for _, v in points]
+        for earlier, later in zip(times[:-1], times[1:]):
+            if not later > earlier:
+                raise WaveformError(
+                    f"PWL time points must strictly increase "
+                    f"({earlier} then {later})"
+                )
+        if not all(math.isfinite(v) for v in values):
+            raise WaveformError("PWL values must all be finite")
+        self.times = times
+        self.values = values
+
+    def value(self, t: float) -> float:
+        if t <= self.times[0]:
+            return self.values[0]
+        if t >= self.times[-1]:
+            return self.values[-1]
+        idx = bisect.bisect_right(self.times, t) - 1
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        v0, v1 = self.values[idx], self.values[idx + 1]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        if t < self.times[0] or t > self.times[-1]:
+            return 0.0
+        idx = min(
+            bisect.bisect_right(self.times, t) - 1, len(self.times) - 2
+        )
+        idx = max(idx, 0)
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        v0, v1 = self.values[idx], self.values[idx + 1]
+        return (v1 - v0) / (t1 - t0)
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinearWave({list(zip(self.times, self.values))!r})"
+
+
+class ConcatenatedWave(Waveform):
+    """Play several waveforms back to back, each for a given duration.
+
+    The local time handed to each part restarts at zero; after the last
+    segment the final part's value at its duration is held.
+    """
+
+    def __init__(self, parts: Sequence[tuple[Waveform, float]]) -> None:
+        if not parts:
+            raise WaveformError("ConcatenatedWave needs at least one part")
+        for _, duration in parts:
+            if not math.isfinite(duration) or duration <= 0.0:
+                raise WaveformError(
+                    f"segment duration must be > 0, got {duration!r}"
+                )
+        self.parts = [(wave, float(duration)) for wave, duration in parts]
+        self._starts = [0.0]
+        for _, duration in self.parts[:-1]:
+            self._starts.append(self._starts[-1] + duration)
+        self.total_duration = self._starts[-1] + self.parts[-1][1]
+
+    def value(self, t: float) -> float:
+        if t <= 0.0:
+            return self.parts[0][0].value(0.0)
+        if t >= self.total_duration:
+            wave, duration = self.parts[-1]
+            return wave.value(duration)
+        idx = bisect.bisect_right(self._starts, t) - 1
+        wave, _ = self.parts[idx]
+        return wave.value(t - self._starts[idx])
+
+    def __repr__(self) -> str:
+        return f"ConcatenatedWave({self.parts!r})"

@@ -1,0 +1,140 @@
+"""Timeless DC-sweep schedules (waypoint lists for the field H).
+
+A timeless simulation has no clock: the stimulus is simply the ordered
+list of field vertices the sweep visits, and the model integrates along
+the straight segments between them.  These helpers build the schedules
+the experiments use, most importantly the decaying triangle behind the
+paper's Figure 1 (major loop plus nested non-biased minor loops).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+from repro.constants import FIG1_H_MAX
+from repro.errors import WaveformError
+
+
+def _check_amplitude(value: float) -> float:
+    if not math.isfinite(value) or value <= 0.0:
+        raise WaveformError(f"amplitude must be finite and > 0, got {value!r}")
+    return float(value)
+
+
+def initial_magnetisation_waypoints(h_peak: float) -> list[float]:
+    """From the demagnetised origin up the initial magnetisation curve."""
+    return [0.0, _check_amplitude(h_peak)]
+
+
+def major_loop_waypoints(
+    h_peak: float, cycles: int = 1, include_initial_rise: bool = True
+) -> list[float]:
+    """Initial rise (optional) plus ``cycles`` full major loops.
+
+    One cycle is ``+H -> -H -> +H``; the first point is the demagnetised
+    origin when ``include_initial_rise`` is set.
+    """
+    peak = _check_amplitude(h_peak)
+    if cycles < 1:
+        raise WaveformError(f"cycles must be >= 1, got {cycles}")
+    waypoints = [0.0, peak] if include_initial_rise else [peak]
+    for _ in range(cycles):
+        waypoints.extend([-peak, peak])
+    return waypoints
+
+
+def decaying_triangle_waypoints(
+    amplitudes: Sequence[float], start: float = 0.0
+) -> list[float]:
+    """Alternating ±amplitude vertices with a decaying envelope.
+
+    ``amplitudes = [10e3, 8e3, 6e3]`` gives
+    ``start -> +10k -> -10k -> +8k -> -8k -> +6k -> -6k``:
+    each shrink of the envelope closes one nested, non-biased minor loop —
+    the classical demagnetisation schedule and the shape of Figure 1.
+    """
+    if not amplitudes:
+        raise WaveformError("need at least one amplitude")
+    previous = math.inf
+    waypoints = [float(start)]
+    for amplitude in amplitudes:
+        amp = _check_amplitude(amplitude)
+        if amp > previous:
+            raise WaveformError(
+                f"amplitudes must be non-increasing, got {amp} after {previous}"
+            )
+        previous = amp
+        waypoints.extend([amp, -amp])
+    return waypoints
+
+
+def fig1_waypoints(
+    h_max: float = FIG1_H_MAX,
+    minor_loop_count: int = 4,
+    final_fraction: float = 0.2,
+) -> list[float]:
+    """The Figure 1 schedule: one major loop plus nested minor loops.
+
+    The major loop is traced at ``h_max``; the envelope then decays
+    linearly over ``minor_loop_count`` shrinking non-biased loops down to
+    ``final_fraction * h_max``, reproducing the nested loops visible in
+    the published plot.
+    """
+    peak = _check_amplitude(h_max)
+    if minor_loop_count < 0:
+        raise WaveformError(f"minor_loop_count must be >= 0, got {minor_loop_count}")
+    if not 0.0 < final_fraction <= 1.0:
+        raise WaveformError(
+            f"final_fraction must be in (0, 1], got {final_fraction!r}"
+        )
+    amplitudes = [peak, peak]  # initial rise target + one full major loop
+    if minor_loop_count > 0:
+        step = (1.0 - final_fraction) / minor_loop_count
+        for i in range(1, minor_loop_count + 1):
+            amplitudes.append(peak * (1.0 - step * i))
+    return decaying_triangle_waypoints(amplitudes)
+
+
+def biased_minor_loop_waypoints(
+    bias: float,
+    amplitude: float,
+    cycles: int = 2,
+    approach_from: float = 0.0,
+) -> list[float]:
+    """A minor loop of given half-amplitude centred on a DC bias.
+
+    The field first travels from ``approach_from`` to the loop's upper
+    vertex, then cycles ``bias+A -> bias-A -> bias+A`` the requested
+    number of times.  ``bias = 0`` gives a non-biased loop.
+    """
+    amp = _check_amplitude(amplitude)
+    if not math.isfinite(bias):
+        raise WaveformError(f"bias must be finite, got {bias!r}")
+    if cycles < 1:
+        raise WaveformError(f"cycles must be >= 1, got {cycles}")
+    upper = bias + amp
+    lower = bias - amp
+    waypoints = [float(approach_from), upper]
+    for _ in range(cycles):
+        waypoints.extend([lower, upper])
+    return waypoints
+
+
+def minor_loop_grid(
+    amplitudes: Sequence[float],
+    biases: Sequence[float],
+    cycles: int = 2,
+) -> Iterator[tuple[float, float, list[float]]]:
+    """Yield ``(bias, amplitude, waypoints)`` over a grid of minor loops.
+
+    The robustness experiment EXP-T4 sweeps this grid ("various minor
+    loop sizes and in different positions").
+    """
+    for bias in biases:
+        for amplitude in amplitudes:
+            yield (
+                float(bias),
+                float(amplitude),
+                biased_minor_loop_waypoints(bias, amplitude, cycles=cycles),
+            )

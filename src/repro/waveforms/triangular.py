@@ -1,0 +1,84 @@
+"""Triangular and sawtooth waveforms.
+
+The paper's demonstrations drive H with a triangular waveform ("for
+generality, a triangular waveform is used in a DC sweep").  The
+time-domain variants here feed the baselines; the timeless experiments
+use the waypoint schedules in :mod:`repro.waveforms.sweeps` instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WaveformError
+from repro.waveforms.base import Waveform
+
+
+def _check_positive(name: str, value: float) -> float:
+    if not math.isfinite(value) or value <= 0.0:
+        raise WaveformError(f"{name} must be finite and > 0, got {value!r}")
+    return float(value)
+
+
+class TriangularWave(Waveform):
+    """Symmetric triangle: 0 → +A → -A → 0 over one period.
+
+    Parameters
+    ----------
+    amplitude:
+        Peak value A.
+    period:
+        Repetition period [s].
+    phase:
+        Phase offset in fractions of a period (0..1).
+    """
+
+    def __init__(self, amplitude: float, period: float, phase: float = 0.0) -> None:
+        self.amplitude = _check_positive("amplitude", amplitude)
+        self.period = _check_positive("period", period)
+        self.phase = float(phase) % 1.0
+
+    def value(self, t: float) -> float:
+        x = (t / self.period + self.phase) % 1.0
+        if x < 0.25:
+            level = 4.0 * x
+        elif x < 0.75:
+            level = 2.0 - 4.0 * x
+        else:
+            level = 4.0 * x - 4.0
+        return self.amplitude * level
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        x = (t / self.period + self.phase) % 1.0
+        slope = 4.0 * self.amplitude / self.period
+        if 0.25 <= x < 0.75:
+            return -slope
+        return slope
+
+    def __repr__(self) -> str:
+        return (
+            f"TriangularWave(amplitude={self.amplitude}, period={self.period}, "
+            f"phase={self.phase})"
+        )
+
+
+class SawtoothWave(Waveform):
+    """Rising sawtooth from -A to +A with instantaneous reset.
+
+    Deliberately pathological for time-domain solvers (step
+    discontinuity); used by the stability tests as a stress input.
+    """
+
+    def __init__(self, amplitude: float, period: float) -> None:
+        self.amplitude = _check_positive("amplitude", amplitude)
+        self.period = _check_positive("period", period)
+
+    def value(self, t: float) -> float:
+        x = (t / self.period) % 1.0
+        return self.amplitude * (2.0 * x - 1.0)
+
+    def derivative(self, t: float, dt: float = 1e-9) -> float:
+        return 2.0 * self.amplitude / self.period
+
+    def __repr__(self) -> str:
+        return f"SawtoothWave(amplitude={self.amplitude}, period={self.period})"

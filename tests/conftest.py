@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PAPER_PARAMETERS, TimelessJAModel, run_sweep
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.waveforms.sweeps import fig1_waypoints, major_loop_waypoints
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    """The paper's parameter set (shared, immutable)."""
+    return PAPER_PARAMETERS
+
+
+@pytest.fixture(scope="session")
+def paper_anhysteretic():
+    """The paper's modified-Langevin anhysteretic with a2."""
+    return make_anhysteretic(PAPER_PARAMETERS)
+
+
+@pytest.fixture(scope="session")
+def major_loop_sweep():
+    """One coarse major loop, shared by read-only analysis tests."""
+    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=100.0)
+    return run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+
+
+@pytest.fixture(scope="session")
+def fig1_sweep():
+    """The Figure 1 decaying-triangle sweep (coarse, shared)."""
+    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=100.0)
+    return run_sweep(model, fig1_waypoints(minor_loop_count=3))
+
+
+@pytest.fixture()
+def fresh_model():
+    """A fresh default model per test (mutable)."""
+    return TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)

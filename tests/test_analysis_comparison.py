@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_bh_curves
+from repro.errors import AnalysisError
+
+
+def _triangle_trace(n_per_branch, f):
+    """H: 0 -> 10 -> -10, B = f(H) per branch (no hysteresis)."""
+    up = np.linspace(0.0, 10.0, n_per_branch)
+    down = np.linspace(10.0, -10.0, 2 * n_per_branch)[1:]
+    h = np.concatenate([up, down])
+    return h, f(h)
+
+
+class TestIdenticalCurves:
+    def test_zero_distance(self):
+        h, b = _triangle_trace(50, np.sin)
+        distance = compare_bh_curves(h, b, h, b)
+        assert distance.max_abs == 0.0
+        assert distance.rms == 0.0
+
+    def test_different_grids_same_function(self):
+        h1, b1 = _triangle_trace(50, np.sin)
+        h2, b2 = _triangle_trace(173, np.sin)
+        distance = compare_bh_curves(h1, b1, h2, b2)
+        # Linear interpolation error only.
+        assert distance.max_abs < 0.02
+
+
+class TestKnownOffsets:
+    def test_constant_offset_measured_exactly(self):
+        h1, b1 = _triangle_trace(60, np.sin)
+        h2, b2 = _triangle_trace(60, lambda h: np.sin(h) + 0.25)
+        distance = compare_bh_curves(h1, b1, h2, b2)
+        assert distance.max_abs == pytest.approx(0.25, rel=1e-6)
+        assert distance.rms == pytest.approx(0.25, rel=1e-6)
+
+    def test_branch_count_recorded(self):
+        h1, b1 = _triangle_trace(60, np.sin)
+        distance = compare_bh_curves(h1, b1, h1, b1)
+        assert distance.branches_compared == 2
+
+    def test_grid_points_counted(self):
+        h1, b1 = _triangle_trace(60, np.sin)
+        distance = compare_bh_curves(h1, b1, h1, b1, grid_points_per_branch=77)
+        assert distance.grid_points == 2 * 77
+
+
+class TestValidation:
+    def test_branch_count_mismatch_raises(self):
+        h1, b1 = _triangle_trace(60, np.sin)
+        h2 = np.linspace(0.0, 10.0, 50)  # single branch
+        with pytest.raises(AnalysisError, match="branch"):
+            compare_bh_curves(h1, b1, h2, np.sin(h2))
+
+    def test_bad_grid_points(self):
+        h, b = _triangle_trace(60, np.sin)
+        with pytest.raises(AnalysisError):
+            compare_bh_curves(h, b, h, b, grid_points_per_branch=1)
+
+    def test_as_dict(self):
+        h, b = _triangle_trace(60, np.sin)
+        data = compare_bh_curves(h, b, h, b).as_dict()
+        assert set(data) == {"max_abs", "rms", "branches_compared", "grid_points"}

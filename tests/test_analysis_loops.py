@@ -1,0 +1,121 @@
+"""Tests for repro.analysis.loops."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loops import (
+    Loop,
+    extract_loops,
+    loop_closure_error,
+    loop_contains,
+)
+from repro.errors import AnalysisError
+
+
+def _diamond_loop(offset=0.0):
+    """A synthetic closed loop: diamond in the (H, B) plane."""
+    h = np.array([1.0, 0.0, -1.0, 0.0, 1.0])
+    b = np.array([0.0, 1.0, 0.0, -1.0, 0.0]) + offset
+    return h, b
+
+
+class TestExtractLoops:
+    def test_major_loop_from_sweep(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        assert len(loops) >= 1
+        major = loops[0]
+        low, high = major.h_span
+        assert low == pytest.approx(-10e3)
+        assert high == pytest.approx(10e3)
+
+    def test_initial_branch_excluded(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        # The first loop starts at the first turning point (+Hmax), not
+        # at the demagnetised origin.
+        assert loops[0].h[0] == pytest.approx(10e3)
+
+    def test_nested_sweep_yields_multiple_loops(self, fig1_sweep):
+        loops = extract_loops(fig1_sweep.h, fig1_sweep.b)
+        assert len(loops) >= 4
+
+    def test_monotone_trace_has_no_loops(self):
+        h = np.linspace(0.0, 1.0, 20)
+        b = h**2
+        assert extract_loops(h, b) == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            extract_loops(np.zeros(5), np.zeros(6))
+
+    def test_loop_properties(self):
+        # Lead-in from 2.0, then a full -1 -> +1 -> -1 excursion.
+        h = np.array([2.0, 1.0, 0.0, -1.0, 0.0, 1.0, 0.0, -1.0])
+        b = np.array([0.5, 0.0, -0.5, -1.0, 0.0, 1.0, 0.0, -1.0])
+        loops = extract_loops(h, b)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.amplitude == pytest.approx(1.0)
+        assert loop.bias == pytest.approx(0.0)
+
+
+class TestClosure:
+    def test_closed_loop_has_zero_error(self):
+        h, b = _diamond_loop()
+        loop = Loop(h=h, b=b, start_index=0, stop_index=4)
+        assert loop_closure_error(loop) == pytest.approx(0.0, abs=1e-12)
+
+    def test_open_loop_reports_gap(self):
+        h = np.array([1.0, 0.0, -1.0, 0.0, 1.0])
+        b = np.array([0.0, 1.0, 0.0, -1.0, 0.5])
+        loop = Loop(h=h, b=b, start_index=0, stop_index=4)
+        assert loop_closure_error(loop) == pytest.approx(0.5)
+
+    def test_settled_major_loop_closes(self, fresh_model):
+        from repro.core.sweep import run_sweep
+
+        sweep = run_sweep(fresh_model, [0.0, 10e3, -10e3, 10e3, -10e3, 10e3])
+        loops = extract_loops(sweep.h, sweep.b)
+        # The second full cycle retraces the first: closure ~ 0.
+        assert loop_closure_error(loops[-1]) < 5e-3
+
+    def test_too_short_rejected(self):
+        loop = Loop(
+            h=np.array([0.0, 1.0]),
+            b=np.array([0.0, 1.0]),
+            start_index=0,
+            stop_index=1,
+        )
+        with pytest.raises(AnalysisError):
+            loop_closure_error(loop)
+
+
+class TestContainment:
+    def test_scaled_copy_is_inside(self):
+        h, b = _diamond_loop()
+        outer = Loop(h=h, b=b, start_index=0, stop_index=4)
+        inner = Loop(h=0.5 * h, b=0.5 * b, start_index=0, stop_index=4)
+        assert loop_contains(outer, inner)
+
+    def test_shifted_loop_outside(self):
+        h, b = _diamond_loop()
+        outer = Loop(h=h, b=b, start_index=0, stop_index=4)
+        shifted = Loop(h=h, b=b + 5.0, start_index=0, stop_index=4)
+        assert not loop_contains(outer, shifted)
+
+    def test_wider_field_span_outside(self):
+        h, b = _diamond_loop()
+        outer = Loop(h=h, b=b, start_index=0, stop_index=4)
+        wide = Loop(h=2.0 * h, b=0.1 * b, start_index=0, stop_index=4)
+        assert not loop_contains(outer, wide)
+
+    def test_tolerance_allows_touching(self):
+        h, b = _diamond_loop()
+        outer = Loop(h=h, b=b, start_index=0, stop_index=4)
+        touching = Loop(h=h, b=b * 1.001, start_index=0, stop_index=4)
+        assert loop_contains(outer, touching, tolerance=0.01)
+
+    def test_minor_loops_inside_major(self, fig1_sweep):
+        loops = extract_loops(fig1_sweep.h, fig1_sweep.b)
+        major = loops[0]
+        smallest = loops[-1]
+        assert loop_contains(major, smallest, tolerance=1e-2)

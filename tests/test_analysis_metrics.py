@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loops import extract_loops
+from repro.analysis.metrics import (
+    coercivity,
+    loop_area,
+    loop_metrics,
+    remanence,
+)
+from repro.errors import AnalysisError
+
+
+def _rectangle_loop(hc=2.0, br=1.0, n=50):
+    """Synthetic rectangular loop: B = +/-br switching at -/+hc.
+
+    Descending branch: B stays +br until H = -hc then drops to -br;
+    ascending branch mirrors it.  Gives exact Hc, Br and area 4*hc*br.
+    """
+    h_desc = np.linspace(3.0, -3.0, n)
+    b_desc = np.where(h_desc >= -hc, br, -br)
+    h_asc = np.linspace(-3.0, 3.0, n)
+    b_asc = np.where(h_asc <= hc, -br, br)
+    return np.concatenate([h_desc, h_asc]), np.concatenate([b_desc, b_asc])
+
+
+class TestCoercivity:
+    def test_rectangle_loop_exact(self):
+        h, b = _rectangle_loop(hc=2.0)
+        assert coercivity(h, b) == pytest.approx(2.0, abs=0.15)
+
+    def test_real_major_loop_in_plausible_range(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        hc = coercivity(loops[0].h, loops[0].b)
+        # For the paper's parameters Hc sits in the low-kA/m range.
+        assert 2000.0 < hc < 5000.0
+
+    def test_no_crossing_raises(self):
+        h = np.linspace(0.0, 1.0, 10)
+        b = np.ones(10)
+        with pytest.raises(AnalysisError):
+            coercivity(h, b)
+
+
+class TestRemanence:
+    def test_rectangle_loop_exact(self):
+        h, b = _rectangle_loop(br=1.25)
+        assert remanence(h, b) == pytest.approx(1.25)
+
+    def test_real_major_loop_positive(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        br = remanence(loops[0].h, loops[0].b)
+        assert 0.5 < br < 2.0
+
+    def test_branch_never_crossing_zero_raises(self):
+        h = np.linspace(1.0, 2.0, 10)
+        b = np.linspace(0.5, 1.0, 10)
+        with pytest.raises(AnalysisError):
+            remanence(h, b)
+
+
+class TestLoopArea:
+    def test_rectangle_area(self):
+        h, b = _rectangle_loop(hc=2.0, br=1.0, n=500)
+        assert loop_area(h, b) == pytest.approx(8.0, rel=0.02)
+
+    def test_unit_square(self):
+        h = np.array([0.0, 1.0, 1.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        assert loop_area(h, b) == pytest.approx(1.0)
+
+    def test_traversal_direction_irrelevant(self):
+        h = np.array([0.0, 1.0, 1.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        assert loop_area(h[::-1], b[::-1]) == pytest.approx(1.0)
+
+    def test_degenerate_line_zero_area(self):
+        h = np.linspace(0.0, 1.0, 10)
+        assert loop_area(h, 2.0 * h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            loop_area(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 0.0]))
+
+    def test_hysteresis_loss_positive(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        assert loop_area(loops[0].h, loops[0].b) > 1e3
+
+
+class TestLoopMetricsBundle:
+    def test_bundle_consistency(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        metrics = loop_metrics(loops[0].h, loops[0].b)
+        assert metrics.coercivity == pytest.approx(
+            coercivity(loops[0].h, loops[0].b)
+        )
+        assert metrics.remanence == pytest.approx(
+            remanence(loops[0].h, loops[0].b)
+        )
+        assert metrics.h_max == pytest.approx(10e3)
+        assert metrics.b_max > metrics.remanence
+
+    def test_as_dict_keys(self, major_loop_sweep):
+        loops = extract_loops(major_loop_sweep.h, major_loop_sweep.b)
+        data = loop_metrics(loops[0].h, loops[0].b).as_dict()
+        assert set(data) == {"coercivity", "remanence", "b_max", "h_max", "area"}

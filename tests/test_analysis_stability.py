@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.stability."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import DEPTH_TOLERANCE, audit_trajectory
+from repro.errors import AnalysisError
+
+
+class TestCleanTrajectories:
+    def test_monotone_rise_is_clean(self):
+        h = np.linspace(0.0, 10.0, 100)
+        b = np.tanh(h / 3.0)
+        audit = audit_trajectory(h, b)
+        assert audit.clean
+        assert audit.acceptable()
+        assert audit.negative_slope_samples == 0
+        assert audit.monotonicity_depth == 0.0
+
+    def test_plateau_is_clean(self):
+        h = np.linspace(0.0, 10.0, 50)
+        b = np.minimum(h, 5.0)  # slope 0 after saturation
+        audit = audit_trajectory(h, b)
+        assert audit.clean
+
+    def test_triangle_loop_clean(self, major_loop_sweep):
+        audit = audit_trajectory(major_loop_sweep.h, major_loop_sweep.b)
+        assert audit.finite
+        assert audit.acceptable()
+        # Guarded model: depth far below the repo-wide floor.
+        assert audit.monotonicity_depth < DEPTH_TOLERANCE
+
+
+class TestPathologies:
+    def test_negative_slope_counted(self):
+        h = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        b = np.array([0.0, 1.0, 0.5, 1.5, 2.5])  # dip at index 2
+        audit = audit_trajectory(h, b)
+        assert audit.negative_slope_samples == 1
+        assert audit.worst_negative_slope == pytest.approx(-0.5)
+        assert audit.monotonicity_depth == pytest.approx(0.5)
+        assert not audit.clean
+
+    def test_depth_accumulates_along_branch(self):
+        h = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        b = np.array([0.0, 2.0, 1.5, 1.0, 0.5])  # sustained retrace
+        audit = audit_trajectory(h, b)
+        assert audit.monotonicity_depth == pytest.approx(1.5)
+
+    def test_falling_branch_retrace_detected(self):
+        h = np.array([4.0, 3.0, 2.0, 1.0])
+        b = np.array([2.0, 1.0, 1.5, 0.5])  # B rises while H falls
+        audit = audit_trajectory(h, b)
+        assert audit.negative_slope_samples == 1
+        assert audit.monotonicity_depth == pytest.approx(0.5)
+
+    def test_nan_detected(self):
+        h = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, np.nan, 1.0])
+        audit = audit_trajectory(h, b)
+        assert audit.non_finite_samples == 1
+        assert not audit.finite
+        assert not audit.acceptable()
+
+    def test_runaway_detected(self):
+        h = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 1e9, 2e9])
+        audit = audit_trajectory(h, b, runaway_limit=1e6)
+        assert audit.runaway_samples == 2
+        assert not audit.finite
+
+    def test_slope_tolerance_absorbs_noise(self):
+        h = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 1.0, 1.0 - 1e-15])
+        audit = audit_trajectory(h, b, slope_tolerance=1e-12)
+        assert audit.negative_slope_samples == 0
+
+
+class TestAcceptable:
+    def test_explicit_tolerance(self):
+        h = np.array([0.0, 1.0, 2.0, 3.0])
+        b = np.array([0.0, 1.0, 0.9, 1.5])
+        audit = audit_trajectory(h, b)
+        assert audit.acceptable(depth_tolerance=0.2)
+        assert not audit.acceptable(depth_tolerance=0.05)
+
+    def test_default_scales_with_output_resolution(self):
+        # Large per-sample steps: a retrace of comparable size is lag,
+        # not instability.
+        h = np.array([0.0, 1.0, 2.0, 3.0])
+        b = np.array([0.0, 1.0, 0.5, 2.0])  # steps of ~1, retrace 0.5
+        audit = audit_trajectory(h, b)
+        assert audit.max_step_change == pytest.approx(1.5)
+        assert audit.acceptable()
+
+    def test_as_dict_round_trip(self):
+        h = np.linspace(0.0, 1.0, 10)
+        audit = audit_trajectory(h, h)
+        data = audit.as_dict()
+        assert data["clean"] is True
+        assert data["samples"] == 10
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            audit_trajectory(np.zeros(3), np.zeros(4))
+
+    def test_too_short(self):
+        with pytest.raises(AnalysisError):
+            audit_trajectory(np.array([1.0]), np.array([1.0]))

@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.turning_points."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.turning_points import monotone_segments, turning_point_indices
+from repro.errors import AnalysisError
+
+
+class TestTurningPoints:
+    def test_simple_triangle(self):
+        h = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        # The peak sample (index 2) is the turning point.
+        assert list(turning_point_indices(h)) == [2]
+
+    def test_w_shape(self):
+        h = np.array([0.0, 2.0, 1.0, 3.0, 0.0])
+        # Peak, valley, peak.
+        assert list(turning_point_indices(h)) == [1, 2, 3]
+
+    def test_monotone_has_none(self):
+        h = np.linspace(0.0, 10.0, 50)
+        assert len(turning_point_indices(h)) == 0
+
+    def test_plateau_not_double_counted(self):
+        # rise, hold, fall: exactly one turning point.
+        h = np.array([0.0, 1.0, 2.0, 2.0, 2.0, 1.0, 0.0])
+        turns = turning_point_indices(h)
+        assert len(turns) == 1
+
+    def test_plateau_then_continue_same_direction(self):
+        h = np.array([0.0, 1.0, 1.0, 2.0, 3.0])
+        assert len(turning_point_indices(h)) == 0
+
+    def test_tolerance_suppresses_noise(self):
+        h = np.array([0.0, 1.0, 0.9999, 2.0, 3.0])
+        assert len(turning_point_indices(h, tolerance=0.001)) == 0
+        assert len(turning_point_indices(h, tolerance=0.0)) == 2
+
+    def test_short_input(self):
+        assert len(turning_point_indices(np.array([0.0, 1.0]))) == 0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(AnalysisError):
+            turning_point_indices(np.array([0.0, 1.0, 0.0]), tolerance=-1.0)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            turning_point_indices(np.zeros((3, 3)))
+
+    def test_endpoints_never_reported(self):
+        h = np.array([5.0, 0.0, 5.0])
+        turns = turning_point_indices(h)
+        assert 0 not in turns
+        assert len(h) - 1 not in turns
+
+
+class TestMonotoneSegments:
+    def test_covers_whole_array(self):
+        h = np.array([0.0, 2.0, -2.0, 2.0])
+        segments = monotone_segments(h)
+        assert segments[0][0] == 0
+        assert segments[-1][1] == len(h) - 1
+        # Adjacent segments share their boundary sample.
+        for (_, stop), (start, _) in zip(segments[:-1], segments[1:]):
+            assert stop == start
+
+    def test_monotone_single_segment(self):
+        h = np.linspace(0.0, 1.0, 10)
+        assert monotone_segments(h) == [(0, 9)]
+
+    def test_each_segment_is_monotone(self):
+        rng = np.random.default_rng(42)
+        h = np.cumsum(rng.normal(size=200))
+        for start, stop in monotone_segments(h):
+            seg = h[start : stop + 1]
+            diffs = np.diff(seg)
+            assert np.all(diffs >= 0) or np.all(diffs <= 0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            monotone_segments(np.array([1.0]))

@@ -1,0 +1,109 @@
+"""Tests for repro.baselines: time-domain chain and scipy reference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_bh_curves
+from repro.analysis.stability import audit_trajectory
+from repro.baselines import TimeDomainJAModel, solve_time_domain
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.core.sweep import run_sweep
+from repro.errors import SolverError
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms import TriangularWave
+
+
+@pytest.fixture(scope="module")
+def triangle():
+    return TriangularWave(10e3, 10e-3)
+
+
+class TestTimeDomainModel:
+    def test_completes_with_guards(self, triangle):
+        model = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.paper())
+        result = model.run(triangle, t_stop=12.5e-3, dt=1e-5)
+        assert result.completed
+        assert np.all(np.isfinite(result.b))
+
+    def test_unguarded_counts_negative_slopes(self, triangle):
+        model = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.none())
+        model.run(triangle, t_stop=12.5e-3, dt=1e-5)
+        assert model.negative_slope_evaluations > 0
+
+    def test_guarded_output_matches_timeless_shape(self, triangle):
+        """Fine-step guarded time integration approaches the timeless
+        result: the two discretisations solve the same physics."""
+        baseline = TimeDomainJAModel(
+            PAPER_PARAMETERS, guards=SlopeGuards.paper()
+        )
+        result = baseline.run(triangle, t_stop=12.5e-3, dt=2e-6)
+        timeless = TimelessJAModel(PAPER_PARAMETERS, dhmax=20.0)
+        sweep = run_sweep(timeless, [0.0, 10e3, -10e3, 10e3])
+        distance = compare_bh_curves(result.h, result.b, sweep.h, sweep.b)
+        b_swing = float(sweep.b.max() - sweep.b.min())
+        assert distance.max_abs / b_swing < 0.05
+
+    def test_coarse_unguarded_rk4_is_dirty(self, triangle):
+        """The paper's motivation: time-stepping across the reversal
+        discontinuity produces non-physical output."""
+        model = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.none())
+        result = model.run(
+            triangle, t_stop=12.5e-3, dt=10e-3 / 200, method="rk4"
+        )
+        audit = audit_trajectory(result.h, result.b)
+        assert (
+            audit.monotonicity_depth > 0.01
+            or model.negative_slope_evaluations > 0
+        )
+
+    def test_invalid_dt(self, triangle):
+        model = TimeDomainJAModel(PAPER_PARAMETERS)
+        with pytest.raises(SolverError):
+            model.run(triangle, t_stop=1e-3, dt=0.0)
+
+    def test_invalid_span(self, triangle):
+        model = TimeDomainJAModel(PAPER_PARAMETERS)
+        with pytest.raises(SolverError):
+            model.run(triangle, t_stop=0.0, dt=1e-5)
+
+
+class TestScipyReference:
+    def test_succeeds_on_major_loop(self, triangle):
+        result = solve_time_domain(
+            PAPER_PARAMETERS, triangle, t_stop=12.5e-3, samples=500
+        )
+        assert result.success
+        assert result.segments >= 3  # split at the two reversals
+
+    def test_detects_turning_points(self, triangle):
+        result = solve_time_domain(
+            PAPER_PARAMETERS, triangle, t_stop=12.5e-3, samples=200
+        )
+        # H extremes reached at the detected reversals.
+        assert result.h.max() == pytest.approx(10e3, rel=1e-3)
+        assert result.h.min() == pytest.approx(-10e3, rel=1e-3)
+
+    def test_agrees_with_fine_euler(self, triangle):
+        reference = solve_time_domain(
+            PAPER_PARAMETERS, triangle, t_stop=12.5e-3, samples=1000
+        )
+        euler = TimeDomainJAModel(
+            PAPER_PARAMETERS,
+            guards=SlopeGuards(clamp_negative=True, drop_opposing=False),
+        ).run(triangle, t_stop=12.5e-3, dt=1e-6)
+        distance = compare_bh_curves(
+            reference.h, reference.b, euler.h, euler.b
+        )
+        b_swing = float(reference.b.max() - reference.b.min())
+        assert distance.max_abs / b_swing < 0.02
+
+    def test_magnetisation_bounded(self, triangle):
+        result = solve_time_domain(
+            PAPER_PARAMETERS, triangle, t_stop=12.5e-3, samples=300
+        )
+        assert np.all(np.abs(result.m) <= 1.0)
+
+    def test_sample_validation(self, triangle):
+        with pytest.raises(SolverError):
+            solve_time_domain(PAPER_PARAMETERS, triangle, t_stop=1e-3, samples=1)

@@ -1,0 +1,69 @@
+"""Tests for repro.core.demagnetise."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimelessJAModel, demagnetisation_schedule, demagnetise, run_sweep
+from repro.errors import ParameterError
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms.sweeps import major_loop_waypoints
+
+
+class TestSchedule:
+    def test_alternates_and_decays(self):
+        schedule = demagnetisation_schedule(1000.0, steps=5, decay=0.5)
+        # 0, +1000, -1000, +500, -500, ..., final 0.
+        assert schedule[0] == 0.0
+        assert schedule[1] == 1000.0
+        assert schedule[2] == -1000.0
+        assert schedule[3] == 500.0
+        assert schedule[-1] == 0.0
+
+    def test_geometric_envelope(self):
+        schedule = demagnetisation_schedule(1000.0, steps=10, decay=0.8)
+        peaks = schedule[1:-1:2]
+        ratios = [b / a for a, b in zip(peaks[:-1], peaks[1:])]
+        assert np.allclose(ratios, 0.8)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            demagnetisation_schedule(-1.0)
+        with pytest.raises(ParameterError):
+            demagnetisation_schedule(1000.0, decay=1.5)
+        with pytest.raises(ParameterError):
+            demagnetisation_schedule(1000.0, steps=1)
+
+
+class TestDeperm:
+    def test_remanence_removed(self):
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=25.0)
+        run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+        b_remanent = model.b
+        assert b_remanent > 1.0  # magnetised
+        demagnetise(model, 10e3, steps=40, decay=0.85)
+        # Residual flux at least an order of magnitude below remanence.
+        assert abs(model.b) < 0.1 * b_remanent
+
+    def test_slower_decay_demagnetises_better(self):
+        def residual(decay, steps):
+            model = TimelessJAModel(PAPER_PARAMETERS, dhmax=25.0)
+            run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+            demagnetise(model, 10e3, steps=steps, decay=decay)
+            return abs(model.b)
+
+        coarse = residual(0.6, 20)
+        fine = residual(0.9, 60)
+        assert fine < coarse
+
+    def test_state_not_reset_first(self):
+        """Deperm starts from the magnetised state, not a fresh one."""
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=25.0)
+        run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+        result = demagnetise(model, 10e3, steps=10, decay=0.7)
+        assert result.h[0] == pytest.approx(10e3)
+
+    def test_sweep_result_returned(self):
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        result = demagnetise(model, 5e3, steps=10, decay=0.7)
+        assert len(result) > 0
+        assert result.finite

@@ -1,0 +1,99 @@
+"""Tests for repro.core.discretiser (the monitorH logic)."""
+
+import math
+
+import pytest
+
+from repro.core.discretiser import FieldDiscretiser
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_valid(self):
+        disc = FieldDiscretiser(50.0)
+        assert disc.dhmax == 50.0
+        assert not disc.accept_equal
+
+    def test_zero_dhmax_rejected(self):
+        with pytest.raises(ParameterError):
+            FieldDiscretiser(0.0)
+
+    def test_negative_dhmax_rejected(self):
+        with pytest.raises(ParameterError):
+            FieldDiscretiser(-10.0)
+
+    def test_nan_dhmax_rejected(self):
+        with pytest.raises(ParameterError):
+            FieldDiscretiser(math.nan)
+
+    def test_repr_shows_operator(self):
+        assert ">" in repr(FieldDiscretiser(50.0))
+        assert ">=" in repr(FieldDiscretiser(50.0, accept_equal=True))
+
+
+class TestStrictThreshold:
+    """The published comparison is strictly |dh| > dhmax."""
+
+    def setup_method(self):
+        self.disc = FieldDiscretiser(50.0)
+
+    def test_below_threshold_rejected(self):
+        decision = self.disc.observe(30.0, 0.0)
+        assert not decision.accepted
+        assert decision.dh == 30.0
+
+    def test_exactly_at_threshold_rejected(self):
+        assert not self.disc.observe(50.0, 0.0).accepted
+
+    def test_above_threshold_accepted(self):
+        decision = self.disc.observe(50.1, 0.0)
+        assert decision.accepted
+        assert decision.dh == pytest.approx(50.1)
+
+    def test_negative_increment_accepted_by_magnitude(self):
+        decision = self.disc.observe(-75.0, 0.0)
+        assert decision.accepted
+        assert decision.dh == -75.0
+
+    def test_accumulation_semantics(self):
+        """Small driver increments accumulate until the threshold."""
+        accepted = 0
+        h_accepted = 0.0
+        for i in range(1, 11):
+            h = i * 12.5  # four samples per dhmax
+            decision = self.disc.observe(h, h_accepted)
+            if decision.accepted:
+                accepted += 1
+                h_accepted = h
+        # Crossings at 62.5, 125.0 -> rejected at 112.5? No: after
+        # accepting at 62.5, next crossing needs h > 112.5 -> 125.0, then
+        # h > 175 -> 187.5... in 10 samples (to 125.0): accepts at 62.5
+        # and 125.0.
+        assert accepted == 2
+
+
+class TestAcceptEqual:
+    def test_exact_threshold_accepted(self):
+        disc = FieldDiscretiser(50.0, accept_equal=True)
+        assert disc.observe(50.0, 0.0).accepted
+
+    def test_below_still_rejected(self):
+        disc = FieldDiscretiser(50.0, accept_equal=True)
+        assert not disc.observe(49.999, 0.0).accepted
+
+
+class TestCounters:
+    def test_counts_observations_and_acceptances(self):
+        disc = FieldDiscretiser(50.0)
+        disc.observe(10.0, 0.0)
+        disc.observe(60.0, 0.0)
+        disc.observe(70.0, 60.0)
+        assert disc.observations == 3
+        assert disc.acceptances == 1
+
+    def test_reset_counters(self):
+        disc = FieldDiscretiser(50.0)
+        disc.observe(60.0, 0.0)
+        disc.reset_counters()
+        assert disc.observations == 0
+        assert disc.acceptances == 0

@@ -1,0 +1,153 @@
+"""Tests for repro.core.integrator (the timeless Euler process)."""
+
+import pytest
+
+from repro.core.integrator import TimelessIntegrator
+from repro.core.slope import SlopeGuards
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+@pytest.fixture()
+def integrator():
+    integ = TimelessIntegrator(PAPER_PARAMETERS, dhmax=50.0)
+    integ.reset()
+    return integ
+
+
+class TestReset:
+    def test_reset_clears_state_and_counters(self, integrator):
+        integrator.step(100.0)
+        integrator.step(200.0)
+        integrator.reset()
+        assert integrator.state.m_irr == 0.0
+        assert integrator.state.updates == 0
+        assert integrator.counters.euler_steps == 0
+        assert integrator.counters.field_events == 0
+
+    def test_reset_refreshes_algebraic_state(self):
+        integ = TimelessIntegrator(PAPER_PARAMETERS, dhmax=50.0)
+        integ.reset(h_initial=5000.0)
+        # m_an must reflect the initial field, not stay zero.
+        assert integ.state.m_an > 0.0
+        assert integ.state.m_rev > 0.0
+
+    def test_reset_with_initial_mirr(self):
+        integ = TimelessIntegrator(PAPER_PARAMETERS, dhmax=50.0)
+        integ.reset(m_irr_initial=0.4)
+        assert integ.state.m_irr == 0.4
+        assert integ.state.m_total >= 0.4
+
+
+class TestEventSemantics:
+    def test_small_step_updates_reversible_only(self, integrator):
+        result = integrator.step(25.0)  # below dhmax
+        assert result is None
+        state = integrator.state
+        assert state.m_irr == 0.0
+        assert state.m_rev > 0.0  # responds continuously
+        assert state.h_accepted == 0.0  # lasth unchanged
+
+    def test_large_step_fires_euler(self, integrator):
+        result = integrator.step(75.0)
+        assert result is not None
+        state = integrator.state
+        assert state.m_irr > 0.0
+        assert state.h_accepted == 75.0
+        assert state.updates == 1
+        assert state.delta == 1.0
+
+    def test_accumulation_across_small_steps(self, integrator):
+        assert integrator.step(30.0) is None
+        result = integrator.step(60.0)  # accumulated 60 > 50
+        assert result is not None
+        assert integrator.state.h_accepted == 60.0
+
+    def test_falling_field_sets_negative_delta(self, integrator):
+        integrator.step(200.0)
+        integrator.step(100.0)
+        assert integrator.state.delta == -1.0
+
+    def test_counters_track_events(self, integrator):
+        integrator.step(25.0)
+        integrator.step(75.0)
+        integrator.step(80.0)
+        assert integrator.counters.field_events == 3
+        assert integrator.counters.euler_steps == 1
+
+    def test_total_is_rev_plus_irr(self, integrator):
+        integrator.step(500.0)
+        state = integrator.state
+        assert state.m_total == pytest.approx(state.m_rev + state.m_irr)
+
+
+class TestPhysics:
+    def test_initial_magnetisation_curve_rises(self, integrator):
+        previous = 0.0
+        for h in range(100, 10001, 100):
+            integrator.step(float(h))
+            assert integrator.state.m_total >= previous - 1e-12
+            previous = integrator.state.m_total
+
+    def test_saturation_bounded_by_one(self, integrator):
+        for h in range(500, 100001, 500):
+            integrator.step(float(h))
+        assert integrator.state.m_total <= 1.0
+
+    def test_remanence_after_loop(self, integrator):
+        # Magnetise up, come back to zero: m stays positive (remanence).
+        for h in range(100, 10001, 100):
+            integrator.step(float(h))
+        for h in range(9900, -1, -100):
+            integrator.step(float(h))
+        assert integrator.state.m_total > 0.1
+
+    def test_hysteresis_branches_differ(self, integrator):
+        # m at H=+5 kA/m on the rising branch...
+        for h in range(100, 10001, 100):
+            integrator.step(float(h))
+        # ... and on the falling branch after saturation:
+        m_values = {}
+        for h in range(9900, 4899, -100):
+            integrator.step(float(h))
+        m_falling = integrator.state.m_total
+        integrator.reset()
+        for h in range(100, 5001, 100):
+            integrator.step(float(h))
+        m_rising = integrator.state.m_total
+        assert m_falling > m_rising + 0.05
+
+    def test_clamp_counter_fires_after_reversal(self, integrator):
+        for h in range(100, 10001, 100):
+            integrator.step(float(h))
+        clamped_before = integrator.counters.clamped_slopes
+        for h in range(9900, 7999, -100):
+            integrator.step(float(h))
+        assert integrator.counters.clamped_slopes > clamped_before
+
+    def test_guards_off_allows_negative_dm(self):
+        integ = TimelessIntegrator(
+            PAPER_PARAMETERS, dhmax=50.0, guards=SlopeGuards.none()
+        )
+        integ.reset()
+        for h in range(100, 10001, 100):
+            integ.step(float(h))
+        m_peak = integ.state.m_total
+        # Right after reversal the raw slope is negative: falling field
+        # with negative slope means m INCREASES (non-physical).
+        integ.step(9900.0)
+        integ.step(9800.0)
+        assert integ.state.m_irr > 0.0
+        # The unguarded model moved m the wrong way relative to the
+        # guarded model, which would have kept m_irr frozen.
+        guarded = TimelessIntegrator(PAPER_PARAMETERS, dhmax=50.0)
+        guarded.reset()
+        for h in range(100, 10001, 100):
+            guarded.step(float(h))
+        guarded.step(9900.0)
+        guarded.step(9800.0)
+        assert integ.state.m_total != pytest.approx(guarded.state.m_total)
+
+
+class TestDhmaxAccess:
+    def test_dhmax_property(self, integrator):
+        assert integrator.dhmax == 50.0

@@ -1,0 +1,89 @@
+"""Tests for repro.core.model (the TimelessJAModel facade)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MU0
+from repro.core.model import TimelessJAModel
+from repro.errors import ParameterError
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+class TestConstruction:
+    def test_from_preset(self):
+        model = TimelessJAModel.from_preset("date2006-paper", dhmax=25.0)
+        assert model.params is PAPER_PARAMETERS
+        assert model.dhmax == 25.0
+
+    def test_from_unknown_preset_raises(self):
+        with pytest.raises(ParameterError):
+            TimelessJAModel.from_preset("unobtainium")
+
+    def test_initial_state_demagnetised(self, fresh_model):
+        assert fresh_model.h == 0.0
+        assert fresh_model.m == 0.0
+        assert fresh_model.b == 0.0
+
+    def test_repr_mentions_preset(self, fresh_model):
+        assert "date2006-paper" in repr(fresh_model)
+
+
+class TestPhysicalUnits:
+    def test_m_is_normalised_times_msat(self, fresh_model):
+        fresh_model.apply_field(5000.0)
+        assert fresh_model.m == pytest.approx(
+            fresh_model.m_normalised * PAPER_PARAMETERS.m_sat
+        )
+
+    def test_b_definition(self, fresh_model):
+        b = fresh_model.apply_field(5000.0)
+        expected = MU0 * (fresh_model.h + fresh_model.m)
+        assert b == pytest.approx(expected)
+
+    def test_apply_field_returns_b(self, fresh_model):
+        returned = fresh_model.apply_field(2000.0)
+        assert returned == fresh_model.b
+
+    def test_mu_r_at_zero_field_is_inf(self, fresh_model):
+        assert fresh_model.mu_r == float("inf")
+
+    def test_mu_r_large_in_steep_region(self, fresh_model):
+        for h in np.arange(100.0, 5000.0, 100.0):
+            fresh_model.apply_field(float(h))
+        assert fresh_model.mu_r > 10.0
+
+
+class TestSeriesHelpers:
+    def test_apply_field_series_shape(self, fresh_model):
+        h = np.linspace(0.0, 5000.0, 100)
+        b = fresh_model.apply_field_series(h)
+        assert b.shape == (100,)
+        assert np.all(np.isfinite(b))
+
+    def test_trace_returns_aligned_arrays(self, fresh_model):
+        h_in = np.linspace(0.0, 5000.0, 50)
+        h, m, b = fresh_model.trace(h_in)
+        assert h.shape == m.shape == b.shape == (50,)
+        assert np.allclose(b, MU0 * (h + m))
+
+    def test_series_is_stateful(self, fresh_model):
+        up = fresh_model.apply_field_series(np.linspace(0, 10e3, 200))
+        down = fresh_model.apply_field_series(np.linspace(10e3, 0, 200))
+        # Remanence: B at the end of the descent stays well above zero.
+        assert down[-1] > 0.5 * up[-1] - 1.0
+
+
+class TestReset:
+    def test_reset_restores_origin(self, fresh_model):
+        fresh_model.apply_field_series(np.linspace(0, 10e3, 100))
+        fresh_model.reset()
+        assert fresh_model.h == 0.0
+        assert fresh_model.m == 0.0
+        assert fresh_model.counters.euler_steps == 0
+
+    def test_runs_reproducible_after_reset(self, fresh_model):
+        h = np.linspace(0.0, 8000.0, 150)
+        first = fresh_model.apply_field_series(h)
+        fresh_model.reset()
+        second = fresh_model.apply_field_series(h)
+        assert np.array_equal(first, second)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.slope (the guarded Integral-process algebra)."""
+
+import math
+
+import pytest
+
+from repro.core.slope import SlopeGuards, guarded_slope
+from repro.ja.equations import irreversible_slope
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+class TestSlopeGuardsConfig:
+    def test_default_is_paper(self):
+        guards = SlopeGuards()
+        assert guards.clamp_negative and guards.drop_opposing
+
+    def test_paper_constructor(self):
+        assert SlopeGuards.paper() == SlopeGuards(True, True)
+
+    def test_none_constructor(self):
+        guards = SlopeGuards.none()
+        assert not guards.clamp_negative and not guards.drop_opposing
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SlopeGuards().clamp_negative = False  # type: ignore[misc]
+
+
+class TestGuardedSlope:
+    def test_zero_step_is_noop(self):
+        result = guarded_slope(PAPER_PARAMETERS, 0.8, 0.5, 0.0)
+        assert result.dm == 0.0
+        assert result.dmdh == 0.0
+        assert not result.clamped and not result.dropped
+
+    def test_positive_step_toward_anhysteretic(self):
+        result = guarded_slope(PAPER_PARAMETERS, 0.8, 0.5, 50.0)
+        assert result.dm > 0.0
+        assert result.dmdh > 0.0
+        assert not result.clamped
+
+    def test_negative_step_from_above(self):
+        # Falling field, m above anhysteretic: slope positive, dm < 0.
+        result = guarded_slope(PAPER_PARAMETERS, 0.3, 0.6, -50.0)
+        assert result.dmdh > 0.0
+        assert result.dm < 0.0
+
+    def test_raw_slope_recorded(self):
+        result = guarded_slope(PAPER_PARAMETERS, 0.8, 0.5, 50.0)
+        expected_raw = irreversible_slope(PAPER_PARAMETERS, 0.8, 0.5, 1.0)
+        assert result.raw_dmdh == pytest.approx(expected_raw)
+
+    def test_clamp_fires_on_negative_slope(self):
+        # Rising field with m above anhysteretic: raw slope < 0.
+        result = guarded_slope(PAPER_PARAMETERS, 0.3, 0.6, 50.0)
+        assert result.raw_dmdh < 0.0
+        assert result.clamped
+        assert result.dmdh == 0.0
+        assert result.dm == 0.0
+        assert not result.dropped  # guard 2 sees dm == 0 already
+
+    def test_published_clamp_semantics_zero_not_flagged(self):
+        # dmdh1 == 0 goes down the clamp branch but changes nothing.
+        result = guarded_slope(PAPER_PARAMETERS, 0.5, 0.5, 50.0)
+        assert result.dmdh == 0.0
+        assert not result.clamped
+
+    def test_drop_only_equivalent_to_clamp_only(self):
+        """Either guard alone suppresses the same increments (EXP-A1)."""
+        cases = [
+            (0.3, 0.6, 50.0),
+            (0.8, 0.2, 50.0),
+            (0.1, 0.7, -50.0),
+            (0.9, 0.2, -50.0),
+        ]
+        for m_an, m_total, dh in cases:
+            clamp_only = guarded_slope(
+                PAPER_PARAMETERS, m_an, m_total, dh, SlopeGuards(True, False)
+            )
+            drop_only = guarded_slope(
+                PAPER_PARAMETERS, m_an, m_total, dh, SlopeGuards(False, True)
+            )
+            assert clamp_only.dm == pytest.approx(drop_only.dm)
+
+    def test_no_guards_lets_negative_through(self):
+        result = guarded_slope(
+            PAPER_PARAMETERS, 0.3, 0.6, 50.0, SlopeGuards.none()
+        )
+        assert result.dm < 0.0
+        assert not result.clamped and not result.dropped
+
+    def test_drop_fires_without_clamp(self):
+        result = guarded_slope(
+            PAPER_PARAMETERS, 0.3, 0.6, 50.0, SlopeGuards(False, True)
+        )
+        assert result.dropped
+        assert result.dm == 0.0
+
+    def test_dm_is_dh_times_dmdh(self):
+        result = guarded_slope(PAPER_PARAMETERS, 0.9, 0.1, 25.0)
+        assert result.dm == pytest.approx(25.0 * result.dmdh)
+
+    def test_dm_never_opposes_dh_with_paper_guards(self):
+        for m_an, m_total in [(0.1, 0.9), (0.9, 0.1), (0.5, 0.5), (-0.4, 0.4)]:
+            for dh in (75.0, -75.0):
+                result = guarded_slope(PAPER_PARAMETERS, m_an, m_total, dh)
+                assert result.dm * dh >= 0.0
+
+    def test_singular_denominator_handled(self):
+        # deltam chosen so the published denominator crosses zero: the
+        # raw slope is +/-inf; the guards must keep dm finite or zero.
+        delta_m = PAPER_PARAMETERS.k / (
+            PAPER_PARAMETERS.alpha * PAPER_PARAMETERS.m_sat
+        )
+        result = guarded_slope(PAPER_PARAMETERS, delta_m, 0.0, 50.0)
+        assert math.isinf(result.raw_dmdh)
+        assert math.isinf(result.dm) or result.dm == 0.0 or math.isfinite(result.dm)

@@ -1,0 +1,60 @@
+"""Tests for repro.core.state."""
+
+import math
+
+from repro.core.state import JAState
+
+
+class TestSnapshot:
+    def test_snapshot_is_independent(self):
+        state = JAState(h_applied=5.0, m_irr=0.3)
+        snap = state.snapshot()
+        state.m_irr = 0.9
+        assert snap.m_irr == 0.3
+
+    def test_snapshot_copies_all_fields(self):
+        state = JAState(
+            h_applied=1.0,
+            h_accepted=2.0,
+            m_irr=0.1,
+            m_rev=0.2,
+            m_an=0.3,
+            m_total=0.4,
+            delta=-1.0,
+            updates=7,
+        )
+        snap = state.snapshot()
+        assert snap == state
+        assert snap is not state
+
+
+class TestFiniteness:
+    def test_default_state_is_finite(self):
+        assert JAState().is_finite()
+
+    def test_nan_member_detected(self):
+        state = JAState(m_irr=math.nan)
+        assert not state.is_finite()
+
+    def test_inf_member_detected(self):
+        state = JAState(m_total=math.inf)
+        assert not state.is_finite()
+
+
+class TestReset:
+    def test_reset_restores_demagnetised(self):
+        state = JAState(h_applied=9.0, m_irr=0.8, m_total=0.9, updates=4)
+        state.reset()
+        assert state.h_applied == 0.0
+        assert state.m_irr == 0.0
+        assert state.m_total == 0.0
+        assert state.updates == 0
+        assert state.delta == 0.0
+
+    def test_reset_to_custom_initial(self):
+        state = JAState()
+        state.reset(h_initial=500.0, m_irr_initial=0.25)
+        assert state.h_applied == 500.0
+        assert state.h_accepted == 500.0
+        assert state.m_irr == 0.25
+        assert state.m_total == 0.25

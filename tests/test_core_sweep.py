@@ -1,0 +1,114 @@
+"""Tests for repro.core.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import (
+    SweepResult,
+    concatenate_sweeps,
+    run_sweep,
+    run_sweep_dense,
+    waypoint_samples,
+)
+from repro.errors import ParameterError
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+class TestWaypointSamples:
+    def test_endpoints_hit_exactly(self):
+        samples = waypoint_samples([0.0, 1000.0, -500.0], 37.0)
+        assert samples[0] == 0.0
+        assert 1000.0 in samples
+        assert samples[-1] == -500.0
+
+    def test_spacing_bounded_by_driver_step(self):
+        samples = waypoint_samples([0.0, 1000.0], 30.0)
+        assert np.max(np.abs(np.diff(samples))) <= 30.0 + 1e-9
+
+    def test_zero_span_segment_skipped(self):
+        samples = waypoint_samples([0.0, 100.0, 100.0, 200.0], 50.0)
+        assert np.all(np.diff(samples) != 0.0)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ParameterError):
+            waypoint_samples([0.0], 10.0)
+
+    def test_bad_driver_step(self):
+        with pytest.raises(ParameterError):
+            waypoint_samples([0.0, 100.0], 0.0)
+
+
+class TestRunSweep:
+    def test_result_arrays_aligned(self, fresh_model):
+        result = run_sweep(fresh_model, [0.0, 5000.0, -5000.0])
+        n = len(result)
+        assert result.h.shape == (n,)
+        assert result.m.shape == (n,)
+        assert result.b.shape == (n,)
+        assert result.m_an.shape == (n,)
+        assert result.updated.shape == (n,)
+
+    def test_euler_steps_match_updated_mask(self, fresh_model):
+        result = run_sweep(fresh_model, [0.0, 5000.0])
+        assert result.euler_steps == int(np.sum(result.updated))
+
+    def test_default_driver_step_is_quarter_dhmax(self, fresh_model):
+        result = run_sweep(fresh_model, [0.0, 1000.0])
+        spacing = np.max(np.abs(np.diff(result.h)))
+        assert spacing == pytest.approx(fresh_model.dhmax / 4.0)
+
+    def test_reset_true_starts_fresh(self, fresh_model):
+        run_sweep(fresh_model, [0.0, 10e3])
+        result = run_sweep(fresh_model, [0.0, 10e3])
+        # Identical because the second run reset the state.
+        assert result.b[-1] == pytest.approx(
+            run_sweep(fresh_model, [0.0, 10e3]).b[-1]
+        )
+
+    def test_reset_false_continues_state(self, fresh_model):
+        run_sweep(fresh_model, [0.0, 10e3])
+        m_before = fresh_model.m
+        result = run_sweep(
+            fresh_model, [10e3, 8000.0], reset=False
+        )
+        assert result.h[0] == 10e3
+        # State carried over: magnetisation started from the peak value.
+        assert result.m[0] == pytest.approx(m_before, rel=0.05)
+
+    def test_finite_flag(self, fresh_model):
+        result = run_sweep(fresh_model, [0.0, 10e3, -10e3, 10e3])
+        assert result.finite
+
+
+class TestRunSweepDense:
+    def test_requires_accept_equal(self, fresh_model):
+        with pytest.raises(ParameterError):
+            run_sweep_dense(fresh_model, [0.0, 1000.0])
+
+    def test_every_sample_is_an_event(self):
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0, accept_equal=True)
+        result = run_sweep_dense(model, [0.0, 1000.0])
+        # All samples after the first must fire an Euler step.
+        assert np.all(result.updated[1:])
+
+    def test_step_size_is_exactly_dhmax(self):
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0, accept_equal=True)
+        result = run_sweep_dense(model, [0.0, 1000.0])
+        assert np.allclose(np.abs(np.diff(result.h)), 50.0)
+
+
+class TestConcatenate:
+    def test_concatenation_preserves_totals(self, fresh_model):
+        part1 = run_sweep(fresh_model, [0.0, 5000.0])
+        part2 = run_sweep(fresh_model, [5000.0, -5000.0], reset=False)
+        combined = concatenate_sweeps([part1, part2])
+        assert len(combined) == len(part1) + len(part2)
+        assert combined.euler_steps == part1.euler_steps + part2.euler_steps
+        assert combined.clamped_slopes == (
+            part1.clamped_slopes + part2.clamped_slopes
+        )
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ParameterError):
+            concatenate_sweeps([])

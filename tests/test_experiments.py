@@ -1,0 +1,171 @@
+"""Tests for the experiment registry and cheap experiment runs.
+
+Experiments are run with reduced workloads (coarse dhmax, few grid
+points) so the suite stays fast; the full-resolution runs live in
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.registry import register
+
+
+class TestRegistry:
+    def test_all_design_md_ids_registered(self):
+        ids = {e.experiment_id for e in list_experiments()}
+        expected = {
+            "EXP-F1",
+            "EXP-T1",
+            "EXP-T2",
+            "EXP-T3",
+            "EXP-T4",
+            "EXP-T5",
+            "EXP-A1",
+            "EXP-A2",
+            "EXP-X1",
+        }
+        assert expected <= ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("EXP-NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        @register("EXP-TEST-DUP", "dup test")
+        def _runner():
+            return ExperimentResult("EXP-TEST-DUP", "dup test")
+
+        with pytest.raises(ExperimentError):
+            register("EXP-TEST-DUP", "again")(lambda: None)
+
+    def test_result_render_contains_notes_and_tables(self):
+        result = ExperimentResult("X", "title")
+        result.notes = ["a note"]
+        from repro.io.table import TextTable
+
+        table = TextTable(["c"])
+        table.add_row(1)
+        result.tables = [table]
+        text = result.render()
+        assert "a note" in text
+        assert "X" in text and "title" in text
+
+
+class TestFig1Cheap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("EXP-F1", dhmax=200.0, minor_loop_count=2)
+
+    def test_trajectory_spans_paper_axes(self, result):
+        assert result.data["h"].max() == pytest.approx(10e3)
+        assert result.data["h"].min() == pytest.approx(-10e3)
+        assert np.abs(result.data["b"]).max() < 2.0
+
+    def test_reliability(self, result):
+        audit = result.data["audit"]
+        assert audit.finite
+        assert audit.acceptable()
+
+    def test_metrics_in_plot_ranges(self, result):
+        metrics = result.data["metrics"]
+        assert 2000.0 < metrics.coercivity < 5000.0
+        assert 0.8 < metrics.remanence < 1.6
+
+    def test_ascii_art_present(self, result):
+        assert "B [T]" in result.artifacts["fig1_ascii"]
+
+
+class TestEquivalenceCheap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # The one-event output lag scales with dhmax; at 200 A/m it
+        # exceeds the 2% "virtually identical" bound, so the cheap run
+        # uses 100 A/m (the full-resolution bench uses the paper's 50).
+        return run_experiment("EXP-T1", dhmax=100.0)
+
+    def test_all_pairs_within_two_percent(self, result):
+        b_swing = result.data["b_swing"]
+        for name, distance in result.data["distances"].items():
+            assert distance.max_abs / b_swing < 0.02, name
+
+    def test_ams_run_had_no_failures(self, result):
+        assert result.data["ams_report"].newton_failures == 0
+
+
+class TestMinorLoopsCheap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "EXP-T4",
+            dhmax=100.0,
+            amplitudes=(1000.0, 4000.0),
+            biases=(0.0, 4000.0),
+            cycles=5,
+        )
+
+    def test_all_acceptable(self, result):
+        assert result.data["all_acceptable"]
+
+    def test_drift_decays(self, result):
+        assert result.data["all_decayed"]
+
+
+class TestAblationGuardsCheap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # dhmax=100: coarse enough to be fast, fine enough that the
+        # unguarded retrace (~0.2 T, resolution-independent) stands
+        # clear of the per-event output quantum.
+        return run_experiment("EXP-A1", dhmax=100.0)
+
+    def test_paper_guards_acceptable(self, result):
+        audit = result.data["both guards (paper)"]["audit"]
+        assert audit.acceptable()
+
+    def test_unguarded_fails(self, result):
+        audit = result.data["no guards"]["audit"]
+        assert not audit.acceptable()
+
+    def test_single_guards_equivalent(self, result):
+        clamp = result.data["clamp only"]["sweep"]
+        drop = result.data["drop only"]["sweep"]
+        assert np.array_equal(clamp.b, drop.b)
+
+
+class TestAblationAnhystereticCheap:
+    def test_all_variants_qualitatively_alike(self):
+        result = run_experiment("EXP-A2", dhmax=200.0)
+        metrics = [entry["metrics"] for entry in result.data.values()]
+        coercivities = [m.coercivity for m in metrics]
+        assert max(coercivities) / min(coercivities) < 1.3
+
+
+class TestFluxDrivenCheap:
+    def test_round_trip_and_distortion(self):
+        result = run_experiment(
+            "EXP-X2", cycles=1, samples_per_cycle=120, dbmax=0.02, dhmax=50.0
+        )
+        assert result.data["round_trip_error"] < 6.0 * 0.02
+        assert result.data["crest_factor"] > 1.45
+
+
+class TestCrossModelCheap:
+    def test_fitted_family_beats_predictions(self):
+        result = run_experiment("EXP-X4", n_cells=40, dhmax=200.0)
+        scenarios = result.data["scenarios"]
+        forc = scenarios["FORC descent (fitted family)"]
+        minor = scenarios["biased minor loop (prediction)"]
+        forc_rel = forc["distance"].max_abs / forc["swing"]
+        minor_rel = minor["distance"].max_abs / minor["swing"]
+        # The congruency gap dominates the discretisation error even on
+        # the cheap grid.
+        assert minor_rel > forc_rel
+        assert result.data["clipped"] < 0.08

@@ -1,0 +1,76 @@
+"""Tests for the repro-experiments CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.runner import main
+from repro.io.table import TextTable
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_experiment():
+    """Register a fast synthetic experiment for CLI tests."""
+
+    @register("EXP-CLI-TEST", "tiny experiment for CLI tests")
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="EXP-CLI-TEST",
+            title="tiny experiment for CLI tests",
+        )
+        table = TextTable(["k", "v"], title="tiny table")
+        table.add_row("answer", 42)
+        result.tables = [table]
+        result.notes = ["cli-note"]
+        result.data = {
+            "h": np.array([0.0, 1.0, 2.0]),
+            "b": np.array([0.0, 0.5, 0.8]),
+        }
+        result.artifacts = {"extra": "artifact-body"}
+        return result
+
+    yield
+
+
+class TestCli:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "EXP-F1" in output
+        assert "EXP-CLI-TEST" in output
+
+    def test_no_arguments_errors(self, capsys):
+        assert main([]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_writes_report_and_artifacts(self, tmp_path, capsys):
+        code = main(["EXP-CLI-TEST", "--output", str(tmp_path)])
+        assert code == 0
+        report = tmp_path / "EXP-CLI-TEST.txt"
+        assert report.exists()
+        text = report.read_text()
+        assert "cli-note" in text
+        assert "tiny table" in text
+        assert (tmp_path / "EXP-CLI-TEST_extra.txt").read_text().startswith(
+            "artifact-body"
+        )
+        # B-H data present in result.data -> CSV written too.
+        csv_path = tmp_path / "EXP-CLI-TEST_bh.csv"
+        assert csv_path.exists()
+        from repro.io.csvio import read_bh_csv
+
+        h, b, _, meta = read_bh_csv(csv_path)
+        assert list(h) == [0.0, 1.0, 2.0]
+        assert meta["experiment"] == "EXP-CLI-TEST"
+
+    def test_stdout_shows_rendered_report(self, tmp_path, capsys):
+        main(["EXP-CLI-TEST", "--output", str(tmp_path)])
+        output = capsys.readouterr().out
+        assert "EXP-CLI-TEST" in output
+        assert "answer" in output
+
+    def test_unknown_id_raises(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["EXP-DOES-NOT-EXIST", "--output", str(tmp_path)])

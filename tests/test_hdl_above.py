@@ -1,0 +1,117 @@
+"""Tests for repro.hdl.vhdlams.above (the Q'ABOVE attribute)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.hdl.vhdlams import (
+    AboveDetector,
+    AnalogSystem,
+    SolverOptions,
+    TransientSolver,
+)
+from repro.waveforms import SineWave
+
+
+def _sine_system(amplitude=2.0, frequency=1000.0):
+    system = AnalogSystem("sine")
+    wave = SineWave(amplitude, frequency)
+    q = system.add_quantity("v", initial=0.0)
+    system.add_equation("src", lambda ctx: ctx.value(q) - wave.value(ctx.time))
+    return system, q
+
+
+class TestAboveDetector:
+    def test_counts_crossings_of_sine(self):
+        system, q = _sine_system()
+        detector = AboveDetector(q, 1.0, break_on_cross=False)
+        system.add_process(detector)
+        solver = TransientSolver(
+            system, SolverOptions(dt_initial=1e-6, dt_max=2e-5)
+        )
+        solver.run(t_stop=3e-3)  # three periods
+        assert detector.rising_crossings == 3
+        assert detector.falling_crossings == 3
+
+    def test_callback_receives_direction(self):
+        system, q = _sine_system()
+        log = []
+        detector = AboveDetector(
+            q,
+            0.0,
+            callback=lambda t, rising: log.append((t, rising)),
+            break_on_cross=False,
+            initial_state=True,
+        )
+        system.add_process(detector)
+        TransientSolver(
+            system, SolverOptions(dt_initial=1e-6, dt_max=2e-5)
+        ).run(t_stop=1.2e-3)  # past the rising zero at exactly 1 ms
+        directions = [rising for _, rising in log]
+        # Starting (forced) above 0: first crossing is falling at the
+        # half period, then rising at the full period.
+        assert directions == [False, True]
+
+    def test_break_on_cross_reports_breaks(self):
+        system, q = _sine_system()
+        detector = AboveDetector(q, 1.5, break_on_cross=True)
+        system.add_process(detector)
+        result = TransientSolver(
+            system, SolverOptions(dt_initial=1e-6, dt_max=2e-5)
+        ).run(t_stop=1e-3)
+        assert result.report.breaks == detector.crossings
+        assert detector.crossings >= 2
+
+    def test_level_never_reached(self):
+        system, q = _sine_system(amplitude=1.0)
+        detector = AboveDetector(q, 5.0, break_on_cross=False)
+        system.add_process(detector)
+        TransientSolver(
+            system, SolverOptions(dt_initial=1e-6, dt_max=2e-5)
+        ).run(t_stop=1e-3)
+        assert detector.crossings == 0
+        assert detector.state is False
+
+    def test_initial_state_from_quantity(self):
+        system = AnalogSystem()
+        q = system.add_quantity("x", initial=3.0)
+        detector = AboveDetector(q, 1.0)
+        assert detector.state is True
+
+    def test_invalid_level(self):
+        system = AnalogSystem()
+        q = system.add_quantity("x")
+        with pytest.raises(SolverError):
+            AboveDetector(q, float("nan"))
+
+    def test_dhmax_window_watching(self):
+        """The native-VHDL-AMS wiring of the timeless model: watch H
+        leaving the lasth +/- dhmax window via two 'ABOVE detectors."""
+        from repro.waveforms import TriangularWave
+
+        system = AnalogSystem("window")
+        wave = TriangularWave(1000.0, 1e-3)
+        q = system.add_quantity("H", initial=0.0)
+        system.add_equation(
+            "src", lambda ctx: ctx.value(q) - wave.value(ctx.time)
+        )
+        events = []
+
+        class Window:
+            def __init__(self, dhmax):
+                self.dhmax = dhmax
+                self.lasth = 0.0
+
+            def on_accept(self, time, reader):
+                h = reader.value(q)
+                if abs(h - self.lasth) > self.dhmax:
+                    events.append((time, h - self.lasth))
+                    self.lasth = h
+                return False
+
+        system.add_process(Window(dhmax=100.0))
+        TransientSolver(
+            system, SolverOptions(dt_initial=1e-7, dt_max=5e-6)
+        ).run(t_stop=1e-3)
+        # The triangle spans 4000 A/m of travel per period: ~40 window
+        # exits at dhmax = 100.
+        assert 30 <= len(events) <= 50

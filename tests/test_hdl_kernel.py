@@ -1,0 +1,274 @@
+"""Tests for the event kernel: signals, events, processes, scheduler."""
+
+import pytest
+
+from repro.errors import KernelError, SignalError
+from repro.hdl.kernel import Module, Scheduler, Signal, SimTime
+from repro.hdl.kernel.tracing import Tracer
+
+
+@pytest.fixture()
+def scheduler():
+    return Scheduler()
+
+
+class TestSignalSemantics:
+    def test_write_not_visible_until_update(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        observed = []
+
+        def writer():
+            sig.write(42)
+            observed.append(sig.read())  # still old value mid-evaluate
+
+        scheduler.process("writer", writer, initialise=True)
+        scheduler.run()
+        assert observed == [0]
+        assert sig.read() == 42
+
+    def test_same_value_write_fires_no_event(self, scheduler):
+        sig = scheduler.signal("s", 7)
+        wakeups = []
+
+        def writer():
+            sig.write(7)
+
+        def watcher():
+            wakeups.append(sig.read())
+
+        scheduler.process("writer", writer, initialise=True)
+        scheduler.process("watcher", watcher, sensitive_to=[sig])
+        scheduler.run()
+        assert wakeups == []
+        assert sig.change_count == 0
+
+    def test_last_write_wins(self, scheduler):
+        sig = scheduler.signal("s", 0)
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+
+        scheduler.process("writer", writer, initialise=True)
+        scheduler.run()
+        assert sig.read() == 2
+        assert sig.change_count == 1
+
+    def test_change_propagates_next_delta(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        seen = []
+
+        def writer():
+            sig.write(5)
+
+        def watcher():
+            seen.append(sig.read())
+
+        scheduler.process("writer", writer, initialise=True)
+        scheduler.process("watcher", watcher, sensitive_to=[sig])
+        scheduler.run()
+        assert seen == [5]
+
+    def test_force_outside_run(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        sig.force(9)
+        assert sig.read() == 9
+
+    def test_force_during_run_rejected(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        errors = []
+
+        def body():
+            try:
+                sig.force(1)
+            except SignalError as exc:
+                errors.append(exc)
+
+        scheduler.process("p", body, initialise=True)
+        scheduler.run()
+        assert len(errors) == 1
+
+
+class TestEventNotification:
+    def test_delta_notification_wakes_process(self, scheduler):
+        event = scheduler.event("e")
+        runs = []
+
+        def trigger():
+            event.notify_delta()
+
+        scheduler.process("trigger", trigger, initialise=True)
+        scheduler.process("target", lambda: runs.append(1), sensitive_to=[event])
+        scheduler.run()
+        assert runs == [1]
+
+    def test_timed_notification_advances_time(self, scheduler):
+        event = scheduler.event("e")
+        times = []
+
+        def trigger():
+            event.notify_after(SimTime.ns(5))
+
+        def target():
+            times.append(scheduler.now)
+
+        scheduler.process("trigger", trigger, initialise=True)
+        scheduler.process("target", target, sensitive_to=[event])
+        scheduler.run()
+        assert times == [SimTime.ns(5)]
+
+    def test_earlier_notification_overrides_later(self, scheduler):
+        event = scheduler.event("e")
+        times = []
+
+        def trigger():
+            event.notify_after(SimTime.ns(10))
+            event.notify_after(SimTime.ns(3))
+
+        scheduler.process("trigger", trigger, initialise=True)
+        scheduler.process(
+            "target", lambda: times.append(scheduler.now), sensitive_to=[event]
+        )
+        scheduler.run()
+        assert times == [SimTime.ns(3)]
+
+    def test_later_notification_discarded(self, scheduler):
+        event = scheduler.event("e")
+        times = []
+
+        def trigger():
+            event.notify_after(SimTime.ns(3))
+            event.notify_after(SimTime.ns(10))
+
+        scheduler.process("trigger", trigger, initialise=True)
+        scheduler.process(
+            "target", lambda: times.append(scheduler.now), sensitive_to=[event]
+        )
+        scheduler.run()
+        assert times == [SimTime.ns(3)]
+
+    def test_self_renotifying_process_ticks(self, scheduler):
+        event = scheduler.event("tick")
+        count = [0]
+
+        def ticker():
+            count[0] += 1
+            if count[0] < 5:
+                event.notify_after(SimTime.ns(1))
+
+        scheduler.process("ticker", ticker, sensitive_to=[event], initialise=True)
+        scheduler.run()
+        assert count[0] == 5
+        assert scheduler.now == SimTime.ns(4)
+
+
+class TestSchedulerControl:
+    def test_run_until_limit(self, scheduler):
+        event = scheduler.event("tick")
+        count = [0]
+
+        def ticker():
+            count[0] += 1
+            event.notify_after(SimTime.ns(1))
+
+        scheduler.process("ticker", ticker, sensitive_to=[event], initialise=True)
+        scheduler.run(until=SimTime.ns(3))
+        # Fires at 0, 1, 2, 3 ns.
+        assert count[0] == 4
+        assert scheduler.pending_activity()
+
+    def test_run_can_continue(self, scheduler):
+        event = scheduler.event("tick")
+        count = [0]
+
+        def ticker():
+            count[0] += 1
+            if count[0] < 10:
+                event.notify_after(SimTime.ns(1))
+
+        scheduler.process("ticker", ticker, sensitive_to=[event], initialise=True)
+        scheduler.run(until=SimTime.ns(2))
+        first = count[0]
+        scheduler.run()
+        assert count[0] == 10
+        assert first < 10
+
+    def test_zero_delay_loop_detected(self, scheduler):
+        small = Scheduler(max_deltas=50)
+        sig_a = small.signal("a", 0)
+        sig_b = small.signal("b", 0)
+
+        def ping():
+            sig_b.write(sig_a.read() + 1)
+
+        def pong():
+            sig_a.write(sig_b.read() + 1)
+
+        small.process("ping", ping, sensitive_to=[sig_a], initialise=True)
+        small.process("pong", pong, sensitive_to=[sig_b])
+        with pytest.raises(KernelError, match="delta"):
+            small.run()
+
+    def test_statistics_accumulate(self, scheduler):
+        sig = scheduler.signal("s", 0)
+
+        def writer():
+            sig.write(1)
+
+        scheduler.process("w", writer, initialise=True)
+        scheduler.run()
+        assert scheduler.process_runs >= 1
+        assert scheduler.delta_count >= 1
+
+
+class TestModule:
+    def test_module_names_are_hierarchical(self, scheduler):
+        module = Module(scheduler, "top")
+        sig = module.make_signal("x", 0)
+        proc = module.make_process("p", lambda: None)
+        event = module.make_event("e")
+        assert sig.name == "top.x"
+        assert proc.name == "top.p"
+        assert event.name == "top.e"
+
+    def test_module_tracks_children(self, scheduler):
+        module = Module(scheduler, "top")
+        module.make_signal("x", 0)
+        module.make_signal("y", 0)
+        module.make_process("p", lambda: None)
+        assert len(module.signals) == 2
+        assert len(module.processes) == 1
+
+
+class TestTracer:
+    def test_trace_records_changes(self, scheduler):
+        sig = scheduler.signal("s", 0.0)
+        tracer = Tracer(scheduler)
+        trace = tracer.watch(sig)
+        event = scheduler.event("tick")
+        count = [0]
+
+        def ticker():
+            count[0] += 1
+            sig.write(float(count[0]))
+            if count[0] < 3:
+                event.notify_after(SimTime.ns(1))
+
+        scheduler.process("ticker", ticker, sensitive_to=[event], initialise=True)
+        scheduler.run()
+        times, values = trace.as_arrays()
+        # Initial value + 3 changes.
+        assert list(values) == [0.0, 1.0, 2.0, 3.0]
+        assert times[1] == pytest.approx(0.0)
+        assert times[-1] == pytest.approx(2e-9)
+
+    def test_watch_twice_returns_same_trace(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        tracer = Tracer(scheduler)
+        assert tracer.watch(sig) is tracer.watch(sig)
+
+    def test_final_value(self, scheduler):
+        sig = scheduler.signal("s", 1.5)
+        tracer = Tracer(scheduler)
+        trace = tracer.watch(sig)
+        assert trace.final_value() == 1.5

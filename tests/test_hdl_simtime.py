@@ -1,0 +1,82 @@
+"""Tests for repro.hdl.kernel.simtime."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hdl.kernel.simtime import SimTime
+
+
+class TestConstruction:
+    def test_zero_constant(self):
+        assert SimTime.ZERO.femtoseconds == 0
+
+    def test_unit_constructors(self):
+        assert SimTime.fs(1).femtoseconds == 1
+        assert SimTime.ps(1).femtoseconds == 10**3
+        assert SimTime.ns(1).femtoseconds == 10**6
+        assert SimTime.us(1).femtoseconds == 10**9
+        assert SimTime.ms(1).femtoseconds == 10**12
+        assert SimTime.seconds(1).femtoseconds == 10**15
+
+    def test_fractional_values_round(self):
+        assert SimTime.ns(1.5).femtoseconds == 1_500_000
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime(-1)
+
+    def test_float_count_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime(1.5)  # type: ignore[arg-type]
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime.from_value(1.0, "fortnights")
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime.ns(-2.0)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert SimTime.ns(1) + SimTime.ns(2) == SimTime.ns(3)
+
+    def test_subtraction(self):
+        assert SimTime.ns(3) - SimTime.ns(1) == SimTime.ns(2)
+
+    def test_subtraction_below_zero_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime.ns(1) - SimTime.ns(2)
+
+    def test_int_scaling(self):
+        assert 3 * SimTime.ns(2) == SimTime.ns(6)
+        assert SimTime.ns(2) * 3 == SimTime.ns(6)
+
+    def test_float_scaling_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimTime.ns(2) * 1.5  # type: ignore[operator]
+
+    def test_ordering(self):
+        assert SimTime.ps(999) < SimTime.ns(1)
+        assert SimTime.ns(1) <= SimTime.ns(1)
+        assert SimTime.us(1) > SimTime.ns(999)
+
+    def test_bool(self):
+        assert not SimTime.ZERO
+        assert SimTime.fs(1)
+
+    def test_to_seconds(self):
+        assert SimTime.ms(2).to_seconds() == pytest.approx(2e-3)
+
+
+class TestRepr:
+    def test_picks_largest_exact_unit(self):
+        assert "1 ns" in repr(SimTime.ns(1))
+        assert "2 us" in repr(SimTime.us(2))
+
+    def test_sub_picosecond_shows_fs(self):
+        assert "fs" in repr(SimTime.fs(123))
+
+    def test_hashable(self):
+        assert len({SimTime.ns(1), SimTime.ns(1), SimTime.ns(2)}) == 2

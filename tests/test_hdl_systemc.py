@@ -1,0 +1,141 @@
+"""Tests for the SystemC-style JA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_bh_curves
+from repro.analysis.stability import audit_trajectory
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep, waypoint_samples
+from repro.hdl.kernel import Scheduler, SimTime
+from repro.hdl.systemc import (
+    FieldStimulus,
+    JACoreModule,
+    SystemCTestbench,
+    run_systemc_sweep,
+)
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.waveforms.sweeps import major_loop_waypoints
+
+
+class TestFieldStimulus:
+    def test_emits_all_samples(self):
+        scheduler = Scheduler()
+        sig = scheduler.signal("H", 0.0)
+        samples = [1.0, 2.0, 3.0, 4.0]
+        stim = FieldStimulus(scheduler, "stim", sig, samples, tick=SimTime.ns(1))
+        scheduler.run()
+        assert stim.done
+        assert stim.index == 4
+        assert sig.read() == 4.0
+
+    def test_one_sample_per_tick(self):
+        scheduler = Scheduler()
+        sig = scheduler.signal("H", 0.0)
+        FieldStimulus(scheduler, "stim", sig, [1.0, 2.0, 3.0], tick=SimTime.ns(2))
+        scheduler.run()
+        # Samples at 0, 2, 4 ns.
+        assert scheduler.now == SimTime.ns(4)
+
+    def test_empty_sample_list_rejected(self):
+        scheduler = Scheduler()
+        sig = scheduler.signal("H", 0.0)
+        from repro.errors import WaveformError
+
+        with pytest.raises(WaveformError):
+            FieldStimulus(scheduler, "stim", sig, [])
+
+
+class TestJACoreModule:
+    def _build(self, samples, dhmax=50.0):
+        scheduler = Scheduler()
+        sig = scheduler.signal("H", float("nan"))
+        module = JACoreModule(
+            scheduler, "ja", PAPER_PARAMETERS, sig, dhmax=dhmax
+        )
+        FieldStimulus(scheduler, "stim", sig, samples)
+        return scheduler, module
+
+    def test_small_excursions_never_trigger_integral(self):
+        scheduler, module = self._build([0.0, 10.0, 20.0, 30.0])
+        scheduler.run()
+        assert module.euler_steps == 0
+        assert module.mirr == 0.0
+
+    def test_large_excursion_triggers_integral_once(self):
+        scheduler, module = self._build([0.0, 75.0])
+        scheduler.run()
+        assert module.euler_steps == 1
+        assert module.lasth == 75.0
+
+    def test_reversible_part_responds_without_events(self):
+        scheduler, module = self._build([0.0, 30.0])
+        scheduler.run()
+        assert module.mrev > 0.0
+        assert module.mtotal == pytest.approx(module.mrev)
+
+    def test_b_signal_written(self):
+        scheduler, module = self._build([0.0, 2000.0])
+        scheduler.run()
+        assert module.b_sig.read() != 0.0
+
+    def test_area_scales_flux_output(self):
+        samples = waypoint_samples([0.0, 5000.0], 25.0)
+        unit = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=50.0)
+        doubled = run_systemc_sweep(
+            PAPER_PARAMETERS, samples, dhmax=50.0, area=2.0
+        )
+        assert np.allclose(doubled.b, 2.0 * unit.b)
+
+    def test_counters_mirror_functional_core(self):
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        samples = waypoint_samples(waypoints, 12.5)
+        systemc = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=50.0)
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        functional = run_sweep(model, waypoints, driver_step=12.5)
+        assert systemc.euler_steps == functional.euler_steps
+        assert systemc.clamped_slopes == functional.clamped_slopes
+
+
+class TestEquivalenceWithFunctionalCore:
+    """EXP-T1's inner assertion, kept as a fast regression test."""
+
+    def test_b_curves_virtually_identical(self):
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        samples = waypoint_samples(waypoints, 25.0)
+        systemc = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=100.0)
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=100.0)
+        functional = run_sweep(model, waypoints, driver_step=25.0)
+        distance = compare_bh_curves(
+            systemc.h, systemc.b, functional.h, functional.b
+        )
+        b_swing = float(systemc.b.max() - systemc.b.min())
+        assert distance.max_abs / b_swing < 0.05
+
+    def test_same_h_grid(self):
+        waypoints = major_loop_waypoints(5e3, cycles=1)
+        samples = waypoint_samples(waypoints, 25.0)
+        systemc = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=100.0)
+        assert np.array_equal(systemc.h, samples)
+
+
+class TestTestbench:
+    def test_result_lengths_match_driver(self):
+        samples = waypoint_samples([0.0, 2000.0], 20.0)
+        bench = SystemCTestbench(PAPER_PARAMETERS, samples, dhmax=50.0)
+        result = bench.run()
+        assert len(result) == len(samples)
+
+    def test_stability_audit_acceptable(self):
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        samples = waypoint_samples(waypoints, 25.0)
+        result = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=100.0)
+        audit = audit_trajectory(result.h, result.b)
+        assert audit.finite
+        assert audit.acceptable()
+
+    def test_delta_cycles_counted(self):
+        samples = waypoint_samples([0.0, 1000.0], 20.0)
+        result = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=50.0)
+        # At least one delta per driver sample.
+        assert result.delta_cycles >= len(samples)

@@ -1,0 +1,173 @@
+"""Tests for repro.hdl.kernel.threads (SC_THREAD style processes)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hdl.kernel import ClockGenerator, Scheduler, SimTime, ThreadProcess
+
+
+@pytest.fixture()
+def scheduler():
+    return Scheduler()
+
+
+class TestThreadProcess:
+    def test_runs_to_first_yield_at_time_zero(self, scheduler):
+        log = []
+
+        def body():
+            log.append("start")
+            yield SimTime.ns(1)
+            log.append("after-wait")
+
+        ThreadProcess(scheduler, "t", body)
+        scheduler.run()
+        assert log == ["start", "after-wait"]
+
+    def test_timed_waits_advance_time(self, scheduler):
+        stamps = []
+
+        def body():
+            yield SimTime.ns(3)
+            stamps.append(scheduler.now)
+            yield SimTime.ns(4)
+            stamps.append(scheduler.now)
+
+        ThreadProcess(scheduler, "t", body)
+        scheduler.run()
+        assert stamps == [SimTime.ns(3), SimTime.ns(7)]
+
+    def test_wait_on_signal_change(self, scheduler):
+        sig = scheduler.signal("s", 0)
+        observed = []
+
+        def waiter():
+            yield sig
+            observed.append(sig.read())
+
+        def driver():
+            yield SimTime.ns(5)
+            sig.write(42)
+
+        ThreadProcess(scheduler, "waiter", waiter)
+        ThreadProcess(scheduler, "driver", driver)
+        scheduler.run()
+        assert observed == [42]
+
+    def test_wait_on_event(self, scheduler):
+        event = scheduler.event("go")
+        hits = []
+
+        def waiter():
+            yield event
+            hits.append(scheduler.now)
+
+        def notifier():
+            yield SimTime.ns(2)
+            event.notify_delta()
+
+        ThreadProcess(scheduler, "waiter", waiter)
+        ThreadProcess(scheduler, "notifier", notifier)
+        scheduler.run()
+        assert hits == [SimTime.ns(2)]
+
+    def test_one_shot_sensitivity(self, scheduler):
+        """A thread waiting once on a signal is not re-woken by later
+        changes."""
+        sig = scheduler.signal("s", 0)
+        wakes = [0]
+
+        def waiter():
+            yield sig
+            wakes[0] += 1
+
+        def driver():
+            for value in (1, 2, 3):
+                sig.write(value)
+                yield SimTime.ns(1)
+
+        ThreadProcess(scheduler, "waiter", waiter)
+        ThreadProcess(scheduler, "driver", driver)
+        scheduler.run()
+        assert wakes[0] == 1
+
+    def test_done_flag(self, scheduler):
+        def body():
+            yield SimTime.ns(1)
+
+        thread = ThreadProcess(scheduler, "t", body)
+        scheduler.run()
+        assert thread.done
+        assert thread.resume_count == 2  # initial + after wait
+
+    def test_bad_yield_type_raises(self, scheduler):
+        def body():
+            yield 42  # not a valid wait target
+
+        ThreadProcess(scheduler, "t", body)
+        with pytest.raises(SchedulingError):
+            scheduler.run()
+
+    def test_sequencing_two_threads(self, scheduler):
+        """Producer/consumer hand-off through a signal."""
+        data = scheduler.signal("data", 0)
+        ack = scheduler.signal("ack", 0)
+        received = []
+
+        def producer():
+            for value in (10, 20, 30):
+                data.write(value)
+                yield ack
+
+        def consumer():
+            for _ in range(3):
+                yield data
+                received.append(data.read())
+                ack.write(ack.read() + 1)
+
+        ThreadProcess(scheduler, "producer", producer)
+        ThreadProcess(scheduler, "consumer", consumer)
+        scheduler.run()
+        assert received == [10, 20, 30]
+
+
+class TestClockGenerator:
+    def test_edge_count(self, scheduler):
+        clock = ClockGenerator(scheduler, "clk", SimTime.ns(10), cycles=5)
+        scheduler.run()
+        # Two edges per cycle.
+        assert clock.signal.change_count == 10
+
+    def test_period_timing(self, scheduler):
+        ClockGenerator(scheduler, "clk", SimTime.ns(10), cycles=3)
+        scheduler.run()
+        # Last edge at 3 * 10ns - low_time... total span = cycles*period.
+        assert scheduler.now == SimTime.ns(30)
+
+    def test_duty_cycle(self, scheduler):
+        clock = ClockGenerator(
+            scheduler, "clk", SimTime.ns(10), duty=0.3, cycles=2
+        )
+        assert clock.high_time == SimTime.ns(3)
+        assert clock.low_time == SimTime.ns(7)
+
+    def test_validation(self, scheduler):
+        with pytest.raises(SchedulingError):
+            ClockGenerator(scheduler, "c", SimTime.ZERO)
+        with pytest.raises(SchedulingError):
+            ClockGenerator(scheduler, "c", SimTime.ns(10), duty=1.5)
+        with pytest.raises(SchedulingError):
+            ClockGenerator(scheduler, "c", SimTime.ns(10), cycles=0)
+
+    def test_drives_method_process(self, scheduler):
+        """A method process clocked by the generator counts edges."""
+        clock = ClockGenerator(scheduler, "clk", SimTime.ns(10), cycles=4)
+        rising = [0]
+
+        def on_edge():
+            if clock.signal.read():
+                rising[0] += 1
+
+        scheduler.process("counter", on_edge, sensitive_to=[clock.signal])
+        scheduler.run()
+        assert rising[0] == 4

@@ -1,0 +1,207 @@
+"""Tests for repro.io: tables, CSV, ASCII plots, VCD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.hdl.kernel.tracing import Trace
+from repro.io import (
+    AsciiPlot,
+    TextTable,
+    plot_bh,
+    read_bh_csv,
+    write_bh_csv,
+    write_vcd,
+)
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("longer-name", 2.5)
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines if line}) <= 2
+
+    def test_title_rendered_first(self):
+        table = TextTable(["a"], title="My Title")
+        table.add_row(1)
+        assert table.render().splitlines()[0] == "My Title"
+
+    def test_bool_formatting(self):
+        table = TextTable(["flag"])
+        table.add_row(True)
+        table.add_row(False)
+        text = table.render()
+        assert "yes" in text and "no" in text
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add_row(0.0)
+        table.add_row(1234.5678)
+        table.add_row(1.23e-9)
+        text = table.render()
+        assert "0" in text
+        assert "1235" in text or "1234" in text
+        assert "e-09" in text
+
+    def test_row_width_mismatch_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(AnalysisError):
+            table.add_row(1)
+
+    def test_add_rows_bulk(self):
+        table = TextTable(["a", "b"])
+        table.add_rows([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            TextTable([])
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_without_m(self, tmp_path):
+        h = np.linspace(-1.0, 1.0, 17)
+        b = np.tanh(h)
+        path = tmp_path / "loop.csv"
+        write_bh_csv(path, h, b, metadata={"dhmax": 50.0})
+        h2, b2, m2, meta = read_bh_csv(path)
+        assert np.array_equal(h, h2)
+        assert np.array_equal(b, b2)
+        assert m2 is None
+        assert meta["dhmax"] == "50.0"
+
+    def test_round_trip_with_m(self, tmp_path):
+        h = np.linspace(0.0, 1.0, 5)
+        b = 2.0 * h
+        m = 3.0 * h
+        path = tmp_path / "loop.csv"
+        write_bh_csv(path, h, b, m=m)
+        h2, b2, m2, _ = read_bh_csv(path)
+        assert m2 is not None
+        assert np.array_equal(m, m2)
+
+    def test_exact_float_preservation(self, tmp_path):
+        h = np.array([0.1 + 0.2])  # classic non-representable sum
+        b = np.array([1.0 / 3.0])
+        path = tmp_path / "exact.csv"
+        write_bh_csv(path, h, b)
+        h2, b2, _, _ = read_bh_csv(path)
+        assert h2[0] == h[0]
+        assert b2[0] == b[0]
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_bh_csv(tmp_path / "x.csv", np.zeros(3), np.zeros(4))
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(AnalysisError):
+            read_bh_csv(path)
+
+
+class TestAsciiPlot:
+    def test_marker_lands_in_output(self):
+        plot = AsciiPlot(width=20, height=10)
+        plot.add_series([0.0, 1.0], [0.0, 1.0], marker="#")
+        assert "#" in plot.render()
+
+    def test_axes_drawn_through_zero(self):
+        plot = AsciiPlot(width=21, height=11)
+        plot.add_series([-1.0, 1.0], [-1.0, 1.0])
+        text = plot.render()
+        assert "|" in text
+        assert "-" in text
+        assert "+" in text  # origin
+
+    def test_labels_in_output(self):
+        text = plot_bh([0.0, 1.0, 2.0], [0.0, 0.5, 0.8], h_unit="kA/m")
+        assert "B [T]" in text
+        assert "H [kA/m]" in text
+
+    def test_explicit_ranges_clip(self):
+        plot = AsciiPlot(width=20, height=10, x_range=(0.0, 1.0))
+        plot.add_series([0.5, 100.0], [0.5, 0.5], marker="@")
+        # Only the in-range point is drawn.
+        assert plot.render().count("@") == 1
+
+    def test_nan_points_skipped(self):
+        plot = AsciiPlot(width=20, height=10)
+        plot.add_series([0.0, np.nan, 1.0], [0.0, 1.0, 1.0], marker="x")
+        assert plot.render().count("x") >= 1
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(AnalysisError):
+            AsciiPlot().render()
+
+    def test_bad_marker_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(AnalysisError):
+            plot.add_series([0.0], [0.0], marker="ab")
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(AnalysisError):
+            AsciiPlot(width=2, height=2)
+
+
+class TestVcd:
+    def _trace(self, name, pairs):
+        trace = Trace(name)
+        for t, v in pairs:
+            trace.append(t, v)
+        return trace
+
+    def test_structure(self, tmp_path):
+        path = tmp_path / "out.vcd"
+        write_vcd(
+            path,
+            [self._trace("sig_a", [(0, 1.0), (1000, 2.0)])],
+            module_name="top",
+        )
+        text = path.read_text()
+        assert "$timescale 1 fs $end" in text
+        assert "$scope module top $end" in text
+        assert "$var real 64" in text
+        assert "#0" in text and "#1000" in text
+        assert "r1.0" in text and "r2.0" in text
+
+    def test_multiple_traces_merged_in_time_order(self, tmp_path):
+        path = tmp_path / "multi.vcd"
+        write_vcd(
+            path,
+            [
+                self._trace("a", [(0, 1.0), (2000, 3.0)]),
+                self._trace("b", [(1000, 2.0)]),
+            ],
+        )
+        text = path.read_text()
+        assert text.index("#0") < text.index("#1000") < text.index("#2000")
+
+    def test_timestamp_not_repeated(self, tmp_path):
+        path = tmp_path / "same.vcd"
+        write_vcd(
+            path,
+            [
+                self._trace("a", [(500, 1.0)]),
+                self._trace("b", [(500, 2.0)]),
+            ],
+        )
+        assert path.read_text().count("#500") == 1
+
+    def test_empty_traces_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_vcd(tmp_path / "x.vcd", [])
+
+    def test_identifiers_unique_for_many_traces(self, tmp_path):
+        traces = [self._trace(f"s{i}", [(0, float(i))]) for i in range(200)]
+        path = tmp_path / "many.vcd"
+        write_vcd(path, traces)
+        text = path.read_text()
+        ids = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(set(ids)) == 200

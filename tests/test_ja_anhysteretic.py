@@ -1,0 +1,160 @@
+"""Tests for repro.ja.anhysteretic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_OVER_PI
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import (
+    BrillouinAnhysteretic,
+    LangevinAnhysteretic,
+    ModifiedLangevinAnhysteretic,
+    make_anhysteretic,
+)
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+class TestLangevin:
+    def setup_method(self):
+        self.curve = LangevinAnhysteretic(shape=2000.0)
+
+    def test_zero_at_origin(self):
+        assert self.curve.curve(0.0) == 0.0
+
+    def test_odd_symmetry(self):
+        for x in (0.3, 1.7, 5.0, 40.0):
+            assert self.curve.curve(-x) == pytest.approx(-self.curve.curve(x))
+
+    def test_saturates_to_one(self):
+        assert self.curve.curve(1e4) == pytest.approx(1.0, abs=1e-3)
+
+    def test_small_x_series_matches_closed_form(self):
+        # Just above the series cutoff, both branches must agree.
+        x = 1.01e-4
+        closed = 1.0 / math.tanh(x) - 1.0 / x
+        assert self.curve.curve(x) == pytest.approx(closed, rel=1e-10)
+
+    def test_series_region_linear_slope(self):
+        # L(x) ~ x/3 for small x.
+        x = 1e-6
+        assert self.curve.curve(x) == pytest.approx(x / 3.0, rel=1e-6)
+
+    def test_derivative_at_origin_is_one_third(self):
+        assert self.curve.curve_derivative(0.0) == pytest.approx(1.0 / 3.0)
+
+    def test_derivative_matches_finite_difference(self):
+        for x in (0.5, 2.0, 8.0):
+            eps = 1e-6
+            numeric = (self.curve.curve(x + eps) - self.curve.curve(x - eps)) / (
+                2 * eps
+            )
+            assert self.curve.curve_derivative(x) == pytest.approx(
+                numeric, rel=1e-6
+            )
+
+    def test_value_uses_shape_scaling(self):
+        assert self.curve.value(2000.0) == pytest.approx(self.curve.curve(1.0))
+
+    def test_derivative_uses_chain_rule(self):
+        assert self.curve.derivative(2000.0) == pytest.approx(
+            self.curve.curve_derivative(1.0) / 2000.0
+        )
+
+
+class TestModifiedLangevin:
+    def setup_method(self):
+        self.curve = ModifiedLangevinAnhysteretic(shape=3500.0)
+
+    def test_matches_published_formula(self):
+        # Lang_mod(x) = (2/3.14159265) * atan(x) in the listing.
+        for x in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert self.curve.curve(x) == pytest.approx(
+                TWO_OVER_PI * math.atan(x)
+            )
+
+    def test_odd_symmetry(self):
+        assert self.curve.curve(-2.0) == -self.curve.curve(2.0)
+
+    def test_bounded_by_one(self):
+        assert abs(self.curve.curve(1e9)) < 1.0
+
+    def test_rises_faster_than_langevin(self):
+        # Initial slope 2/pi vs the Langevin's 1/3; the atan form stays
+        # above the classic curve at equal shape parameter.
+        classic = LangevinAnhysteretic(shape=3500.0)
+        for x in (0.2, 1.0, 5.0):
+            assert self.curve.curve(x) > classic.curve(x)
+
+    def test_derivative_at_origin(self):
+        assert self.curve.curve_derivative(0.0) == pytest.approx(TWO_OVER_PI)
+
+    def test_derivative_matches_finite_difference(self):
+        for x in (0.2, 1.0, 4.0):
+            eps = 1e-6
+            numeric = (self.curve.curve(x + eps) - self.curve.curve(x - eps)) / (
+                2 * eps
+            )
+            assert self.curve.curve_derivative(x) == pytest.approx(
+                numeric, rel=1e-6
+            )
+
+
+class TestBrillouin:
+    def test_half_spin_is_tanh(self):
+        curve = BrillouinAnhysteretic(shape=1.0, j=0.5)
+        for x in (0.3, 1.0, 2.5):
+            assert curve.curve(x) == pytest.approx(math.tanh(x), rel=1e-9)
+
+    def test_large_j_approaches_langevin(self):
+        brillouin = BrillouinAnhysteretic(shape=1.0, j=500.0)
+        langevin = LangevinAnhysteretic(shape=1.0)
+        for x in (0.5, 1.5, 3.0):
+            assert brillouin.curve(x) == pytest.approx(
+                langevin.curve(x), abs=2e-3
+            )
+
+    def test_small_x_slope(self):
+        j = 2.0
+        curve = BrillouinAnhysteretic(shape=1.0, j=j)
+        expected = (j + 1.0) / (3.0 * j)
+        assert curve.curve_derivative(0.0) == pytest.approx(expected)
+
+    def test_invalid_j_rejected(self):
+        with pytest.raises(ParameterError):
+            BrillouinAnhysteretic(shape=1.0, j=0.0)
+
+
+class TestFactory:
+    def test_default_is_modified_with_a2(self):
+        curve = make_anhysteretic(PAPER_PARAMETERS)
+        assert isinstance(curve, ModifiedLangevinAnhysteretic)
+        assert curve.shape == 3500.0
+
+    def test_modified_without_a2_uses_a(self):
+        curve = make_anhysteretic(
+            PAPER_PARAMETERS, "modified-langevin", use_a2=False
+        )
+        assert curve.shape == 2000.0
+
+    def test_classic_always_uses_a(self):
+        curve = make_anhysteretic(PAPER_PARAMETERS, "langevin")
+        assert isinstance(curve, LangevinAnhysteretic)
+        assert curve.shape == 2000.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError, match="modified-langevin"):
+            make_anhysteretic(PAPER_PARAMETERS, "sigmoid")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ParameterError):
+            LangevinAnhysteretic(shape=-1.0)
+
+    def test_value_array_vectorises(self):
+        curve = make_anhysteretic(PAPER_PARAMETERS)
+        h = np.array([-1000.0, 0.0, 1000.0])
+        values = curve.value_array(h)
+        assert values.shape == (3,)
+        assert values[1] == 0.0
+        assert values[2] == -values[0]

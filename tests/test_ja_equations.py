@@ -1,0 +1,155 @@
+"""Tests for repro.ja.equations (Eq. 1 algebra)."""
+
+import math
+
+import pytest
+
+from repro.constants import MU0
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.ja.equations import (
+    anhysteretic_slope_term,
+    effective_field,
+    flux_density,
+    irreversible_slope,
+    magnetisation_from_flux,
+    magnetisation_slope,
+    magnetisation_slope_simplified,
+    reversible_magnetisation,
+)
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+class TestEffectiveField:
+    def test_matches_published_expression(self):
+        # He = H + alpha * ms * mtotal
+        h, m = 5000.0, 0.5
+        expected = h + 0.003 * 1.6e6 * m
+        assert effective_field(PAPER_PARAMETERS, h, m) == expected
+
+    def test_zero_magnetisation_passthrough(self):
+        assert effective_field(PAPER_PARAMETERS, 1234.0, 0.0) == 1234.0
+
+    def test_negative_magnetisation_reduces_field(self):
+        assert effective_field(PAPER_PARAMETERS, 0.0, -0.5) < 0.0
+
+
+class TestReversible:
+    def test_matches_published_expression(self):
+        # mrev = c * man / (1 + c)
+        m_an = 0.8
+        expected = 0.1 * m_an / 1.1
+        assert reversible_magnetisation(PAPER_PARAMETERS, m_an) == pytest.approx(
+            expected
+        )
+
+    def test_zero_c_kills_reversible(self):
+        params = PAPER_PARAMETERS.with_updates(c=0.0)
+        assert reversible_magnetisation(params, 0.9) == 0.0
+
+
+class TestIrreversibleSlope:
+    def test_matches_published_expression(self):
+        # dmdh1 = deltam / ((1+c) * (dk - alpha*ms*deltam))
+        m_an, m = 0.7, 0.5
+        delta_m = m_an - m
+        expected = delta_m / (
+            1.1 * (4000.0 - 0.003 * 1.6e6 * delta_m)
+        )
+        assert irreversible_slope(
+            PAPER_PARAMETERS, m_an, m, delta=1.0
+        ) == pytest.approx(expected)
+
+    def test_rising_towards_anhysteretic_is_positive(self):
+        assert irreversible_slope(PAPER_PARAMETERS, 0.8, 0.5, delta=1.0) > 0.0
+
+    def test_falling_with_m_above_anhysteretic_is_positive(self):
+        # deltam < 0 and dk < 0 -> positive slope (B falls as H falls).
+        assert irreversible_slope(PAPER_PARAMETERS, 0.3, 0.6, delta=-1.0) > 0.0
+
+    def test_rising_with_m_above_anhysteretic_is_negative(self):
+        # The non-physical branch the guards clamp.
+        assert irreversible_slope(PAPER_PARAMETERS, 0.3, 0.6, delta=1.0) < 0.0
+
+    def test_equilibrium_gives_zero(self):
+        assert irreversible_slope(PAPER_PARAMETERS, 0.5, 0.5, delta=1.0) == 0.0
+
+    def test_singular_denominator_returns_inf(self):
+        # Choose deltam so dk == alpha*ms*deltam exactly.
+        delta_m = 4000.0 / (0.003 * 1.6e6)
+        result = irreversible_slope(
+            PAPER_PARAMETERS, delta_m, 0.0, delta=1.0
+        )
+        assert math.isinf(result)
+
+
+class TestTotalSlope:
+    def setup_method(self):
+        self.anhysteretic = make_anhysteretic(PAPER_PARAMETERS)
+
+    def test_simplified_is_sum_of_terms(self):
+        h, m = 3000.0, 0.4
+        h_eff = effective_field(PAPER_PARAMETERS, h, m)
+        m_an = self.anhysteretic.value(h_eff)
+        expected = irreversible_slope(
+            PAPER_PARAMETERS, m_an, m, 1.0
+        ) + anhysteretic_slope_term(PAPER_PARAMETERS, self.anhysteretic, h_eff)
+        assert magnetisation_slope_simplified(
+            PAPER_PARAMETERS, self.anhysteretic, h, m, 1.0
+        ) == pytest.approx(expected)
+
+    def test_self_consistent_exceeds_simplified(self):
+        # The mean-field denominator (< 1) amplifies the slope.
+        h, m = 3000.0, 0.4
+        full = magnetisation_slope(
+            PAPER_PARAMETERS, self.anhysteretic, h, m, 1.0
+        )
+        simplified = magnetisation_slope_simplified(
+            PAPER_PARAMETERS, self.anhysteretic, h, m, 1.0
+        )
+        assert full > simplified > 0.0
+
+    def test_forms_agree_when_alpha_zero(self):
+        params = PAPER_PARAMETERS.with_updates(alpha=0.0)
+        anhysteretic = make_anhysteretic(params)
+        h, m = 3000.0, 0.4
+        assert magnetisation_slope(
+            params, anhysteretic, h, m, 1.0
+        ) == pytest.approx(
+            magnetisation_slope_simplified(params, anhysteretic, h, m, 1.0)
+        )
+
+    def test_clamp_irreversible_floors_negative_term(self):
+        # m above anhysteretic while rising: raw irr < 0.
+        h, m = 100.0, 0.6
+        clamped = magnetisation_slope(
+            PAPER_PARAMETERS, self.anhysteretic, h, m, 1.0, clamp_irreversible=True
+        )
+        raw = magnetisation_slope(
+            PAPER_PARAMETERS, self.anhysteretic, h, m, 1.0
+        )
+        assert clamped > raw
+        # With the irr term clamped away only the reversible part remains.
+        h_eff = effective_field(PAPER_PARAMETERS, h, m)
+        reversible = anhysteretic_slope_term(
+            PAPER_PARAMETERS, self.anhysteretic, h_eff
+        )
+        feedback = PAPER_PARAMETERS.alpha * PAPER_PARAMETERS.m_sat * reversible
+        assert clamped == pytest.approx(reversible / (1.0 - feedback))
+
+
+class TestFluxDensity:
+    def test_definition(self):
+        h, m = 2000.0, 0.25
+        expected = MU0 * (h + 1.6e6 * m)
+        assert flux_density(PAPER_PARAMETERS, h, m) == pytest.approx(expected)
+
+    def test_round_trip_with_inverse(self):
+        h, m = -4000.0, -0.8
+        b = flux_density(PAPER_PARAMETERS, h, m)
+        assert magnetisation_from_flux(PAPER_PARAMETERS, h, b) == pytest.approx(m)
+
+    def test_saturation_magnitude(self):
+        # Full saturation: B ~ mu0 * Msat ~ 2.01 T plus the H term.
+        b = flux_density(PAPER_PARAMETERS, 0.0, 1.0)
+        assert b == pytest.approx(MU0 * 1.6e6)
+        assert 1.9 < b < 2.1

@@ -1,0 +1,149 @@
+"""Tests for repro.ja.parameters."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ja.parameters import (
+    HARD_STEEL,
+    JAParameters,
+    JILES_ATHERTON_1984,
+    PAPER_PARAMETERS,
+    PRESETS,
+    SOFT_FERRITE,
+    get_preset,
+)
+
+
+class TestPaperValues:
+    """The preset must carry the exact numbers printed in the paper."""
+
+    def test_k(self):
+        assert PAPER_PARAMETERS.k == 4000.0
+
+    def test_c(self):
+        assert PAPER_PARAMETERS.c == 0.1
+
+    def test_m_sat(self):
+        assert PAPER_PARAMETERS.m_sat == 1.6e6
+
+    def test_alpha(self):
+        assert PAPER_PARAMETERS.alpha == 0.003
+
+    def test_a(self):
+        assert PAPER_PARAMETERS.a == 2000.0
+
+    def test_a2(self):
+        assert PAPER_PARAMETERS.a2 == 3500.0
+
+    def test_modified_shape_prefers_a2(self):
+        assert PAPER_PARAMETERS.modified_shape == 3500.0
+
+    def test_1984_preset_has_no_a2(self):
+        assert JILES_ATHERTON_1984.a2 is None
+        assert JILES_ATHERTON_1984.modified_shape == 2000.0
+
+
+class TestValidation:
+    def test_negative_m_sat_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(m_sat=-1.0, a=2000.0, k=4000.0, c=0.1, alpha=0.003)
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(m_sat=1e6, a=2000.0, k=0.0, c=0.1, alpha=0.003)
+
+    def test_zero_a_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(m_sat=1e6, a=0.0, k=4000.0, c=0.1, alpha=0.003)
+
+    def test_nan_alpha_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(
+                m_sat=1e6, a=2000.0, k=4000.0, c=0.1, alpha=math.nan
+            )
+
+    def test_c_of_one_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(m_sat=1e6, a=2000.0, k=4000.0, c=1.0, alpha=0.003)
+
+    def test_c_zero_allowed(self):
+        params = JAParameters(m_sat=1e6, a=2000.0, k=4000.0, c=0.0, alpha=0.003)
+        assert params.c == 0.0
+
+    def test_alpha_zero_allowed(self):
+        params = JAParameters(m_sat=1e6, a=2000.0, k=4000.0, c=0.1, alpha=0.0)
+        assert params.alpha == 0.0
+
+    def test_negative_a2_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(
+                m_sat=1e6, a=2000.0, k=4000.0, c=0.1, alpha=0.003, a2=-5.0
+            )
+
+    def test_infinite_m_sat_rejected(self):
+        with pytest.raises(ParameterError):
+            JAParameters(
+                m_sat=math.inf, a=2000.0, k=4000.0, c=0.1, alpha=0.003
+            )
+
+
+class TestUpdatesAndRoundTrip:
+    def test_with_updates_changes_field(self):
+        updated = PAPER_PARAMETERS.with_updates(k=5000.0)
+        assert updated.k == 5000.0
+        assert updated.m_sat == PAPER_PARAMETERS.m_sat
+
+    def test_with_updates_revalidates(self):
+        with pytest.raises(ParameterError):
+            PAPER_PARAMETERS.with_updates(k=-1.0)
+
+    def test_original_unchanged_by_update(self):
+        PAPER_PARAMETERS.with_updates(c=0.5)
+        assert PAPER_PARAMETERS.c == 0.1
+
+    def test_dict_round_trip(self):
+        rebuilt = JAParameters.from_dict(PAPER_PARAMETERS.as_dict())
+        assert rebuilt == PAPER_PARAMETERS
+
+    def test_dict_round_trip_without_a2(self):
+        rebuilt = JAParameters.from_dict(JILES_ATHERTON_1984.as_dict())
+        assert rebuilt == JILES_ATHERTON_1984
+
+    def test_from_dict_missing_key_raises(self):
+        data = PAPER_PARAMETERS.as_dict()
+        del data["k"]
+        with pytest.raises(ParameterError):
+            JAParameters.from_dict(data)
+
+    def test_iter_yields_all_fields(self):
+        keys = {key for key, _ in PAPER_PARAMETERS}
+        assert keys == {"name", "m_sat", "a", "a2", "k", "c", "alpha"}
+
+
+class TestPresets:
+    def test_registry_contains_all(self):
+        assert set(PRESETS) == {
+            "date2006-paper",
+            "jiles-atherton-1984",
+            "soft-ferrite",
+            "hard-steel",
+        }
+
+    def test_get_preset_by_name(self):
+        assert get_preset("date2006-paper") is PAPER_PARAMETERS
+
+    def test_get_unknown_preset_raises_with_known_list(self):
+        with pytest.raises(ParameterError, match="date2006-paper"):
+            get_preset("nonexistent")
+
+    def test_soft_ferrite_is_softer(self):
+        assert SOFT_FERRITE.k < PAPER_PARAMETERS.k
+
+    def test_hard_steel_is_harder(self):
+        assert HARD_STEEL.k > PAPER_PARAMETERS.k
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMETERS.k = 1.0  # type: ignore[misc]

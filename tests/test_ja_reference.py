@@ -1,0 +1,158 @@
+"""Tests for repro.ja.reference (high-accuracy H-domain solution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.ja.reference import (
+    interpolate_on_segment,
+    solve_segment,
+    solve_waypoints,
+)
+
+
+@pytest.fixture(scope="module")
+def anhysteretic():
+    return make_anhysteretic(PAPER_PARAMETERS)
+
+
+class TestSolveSegment:
+    def test_endpoints_included(self, anhysteretic):
+        h, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 0.0, 5000.0, 0.0, samples=50
+        )
+        assert h[0] == 0.0
+        assert h[-1] == 5000.0
+        assert len(h) == len(m) == 50
+
+    def test_initial_condition_respected(self, anhysteretic):
+        h, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 0.0, 1000.0, 0.25, samples=20
+        )
+        assert m[0] == 0.25
+
+    def test_rising_from_demagnetised_is_monotone(self, anhysteretic):
+        _, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 0.0, 10e3, 0.0, samples=100
+        )
+        assert np.all(np.diff(m) >= -1e-12)
+
+    def test_descending_segment(self, anhysteretic):
+        h, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 10e3, -10e3, 0.8, samples=100
+        )
+        assert h[0] == 10e3 and h[-1] == -10e3
+        assert m[-1] < 0.0  # must reach negative saturation side
+
+    def test_magnetisation_bounded(self, anhysteretic):
+        _, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 0.0, 50e3, 0.0, samples=100
+        )
+        assert np.all(np.abs(m) <= 1.0)
+
+    def test_zero_length_segment(self, anhysteretic):
+        h, m = solve_segment(
+            PAPER_PARAMETERS, anhysteretic, 100.0, 100.0, 0.3
+        )
+        assert list(h) == [100.0, 100.0]
+        assert list(m) == [0.3, 0.3]
+
+    def test_too_few_samples_rejected(self, anhysteretic):
+        with pytest.raises(ParameterError):
+            solve_segment(
+                PAPER_PARAMETERS, anhysteretic, 0.0, 100.0, 0.0, samples=1
+            )
+
+
+class TestSolveWaypoints:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ParameterError):
+            solve_waypoints(PAPER_PARAMETERS, [0.0])
+
+    def test_segment_bookkeeping(self):
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 10e3, -10e3, 10e3], samples_per_segment=50
+        )
+        assert len(solution.segment_starts) == 3
+        assert solution.segment_starts[0] == 0
+
+    def test_state_carries_across_turning_points(self):
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 10e3, -10e3], samples_per_segment=80
+        )
+        # No jump in m at the junction between segments.
+        junction = solution.segment_starts[1]
+        delta = abs(solution.m[junction] - solution.m[junction - 1])
+        assert delta < 5e-3
+
+    def test_hysteresis_present(self):
+        # After a full loop, m at H=0 differs between the descending and
+        # ascending branches (remanence).
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 10e3, -10e3, 10e3], samples_per_segment=200
+        )
+        starts = list(solution.segment_starts) + [len(solution.h)]
+        descending = slice(starts[1], starts[2])
+        ascending = slice(starts[2], starts[3])
+        m_desc = np.interp(
+            0.0, solution.h[descending][::-1], solution.m[descending][::-1]
+        )
+        m_asc = np.interp(0.0, solution.h[ascending], solution.m[ascending])
+        assert m_desc > 0.2
+        assert m_asc < -0.2
+
+    def test_b_is_consistent_with_m(self):
+        from repro.constants import MU0
+
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 5e3], samples_per_segment=30
+        )
+        reconstructed = MU0 * (
+            solution.h + PAPER_PARAMETERS.m_sat * solution.m
+        )
+        assert np.allclose(solution.b, reconstructed)
+
+    def test_final_state_accessor(self):
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 5e3], samples_per_segment=30
+        )
+        h_final, m_final = solution.final_state()
+        assert h_final == 5e3
+        assert m_final == solution.m[-1]
+
+    def test_unclamped_solution_differs_after_reversal(self):
+        clamped = solve_waypoints(
+            PAPER_PARAMETERS,
+            [0.0, 10e3, 5e3],
+            samples_per_segment=100,
+            clamp_negative_slope=True,
+        )
+        raw = solve_waypoints(
+            PAPER_PARAMETERS,
+            [0.0, 10e3, 5e3],
+            samples_per_segment=100,
+            clamp_negative_slope=False,
+        )
+        # The raw model lets m keep *rising* on the falling branch
+        # (negative dm/dH), so the trajectories must separate.
+        assert not np.allclose(clamped.m, raw.m)
+
+
+class TestInterpolation:
+    def test_interpolate_on_segment(self):
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 10e3, -10e3], samples_per_segment=100
+        )
+        h_query = np.array([2500.0, 5000.0])
+        values = interpolate_on_segment(solution, 0, h_query)
+        assert values.shape == (2,)
+        assert 0.0 < values[0] < values[1]
+
+    def test_bad_segment_index_raises(self):
+        solution = solve_waypoints(
+            PAPER_PARAMETERS, [0.0, 1e3], samples_per_segment=20
+        )
+        with pytest.raises(ParameterError):
+            interpolate_on_segment(solution, 5, np.array([0.0]))

@@ -1,0 +1,96 @@
+"""Tests for repro.ja.thermal (temperature-scaled parameters)."""
+
+import pytest
+
+from repro.analysis.loops import extract_loops
+from repro.analysis.metrics import loop_metrics
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep
+from repro.errors import ParameterError
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.ja.thermal import ThermalJAParameters
+from repro.waveforms.sweeps import major_loop_waypoints
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    return ThermalJAParameters(reference=PAPER_PARAMETERS)
+
+
+class TestScaling:
+    def test_reference_temperature_is_identity(self, thermal):
+        params = thermal.at(thermal.t_reference)
+        assert params.m_sat == pytest.approx(PAPER_PARAMETERS.m_sat)
+        assert params.k == pytest.approx(PAPER_PARAMETERS.k)
+        assert params.a == pytest.approx(PAPER_PARAMETERS.a)
+
+    def test_heating_shrinks_everything(self, thermal):
+        hot = thermal.at(800.0)
+        assert hot.m_sat < PAPER_PARAMETERS.m_sat
+        assert hot.k < PAPER_PARAMETERS.k
+        assert hot.a < PAPER_PARAMETERS.a
+        assert hot.a2 < PAPER_PARAMETERS.a2
+
+    def test_cooling_strengthens(self, thermal):
+        cold = thermal.at(100.0)
+        assert cold.m_sat > PAPER_PARAMETERS.m_sat
+
+    def test_k_collapses_faster_than_m_sat(self, thermal):
+        hot = thermal.at(900.0)
+        k_fraction = hot.k / PAPER_PARAMETERS.k
+        ms_fraction = hot.m_sat / PAPER_PARAMETERS.m_sat
+        assert k_fraction < ms_fraction
+
+    def test_saturation_fraction_monotone(self, thermal):
+        fractions = [thermal.saturation_fraction(t) for t in (300, 500, 700, 900)]
+        assert all(a > b for a, b in zip(fractions[:-1], fractions[1:]))
+
+    def test_scaled_set_passes_validation(self, thermal):
+        # with_updates re-validates; a hot set must still be legal.
+        params = thermal.at(1000.0)
+        assert params.m_sat > 0.0
+
+    def test_name_carries_temperature(self, thermal):
+        assert "600" in thermal.at(600.0).name
+
+
+class TestDomainChecks:
+    def test_curie_point_rejected(self, thermal):
+        with pytest.raises(ParameterError, match="Curie"):
+            thermal.at(thermal.t_curie)
+
+    def test_above_curie_rejected(self, thermal):
+        with pytest.raises(ParameterError):
+            thermal.at(2000.0)
+
+    def test_non_positive_temperature_rejected(self, thermal):
+        with pytest.raises(ParameterError):
+            thermal.at(0.0)
+
+    def test_bad_construction(self):
+        with pytest.raises(ParameterError):
+            ThermalJAParameters(
+                reference=PAPER_PARAMETERS, t_reference=1200.0
+            )
+        with pytest.raises(ParameterError):
+            ThermalJAParameters(reference=PAPER_PARAMETERS, beta_k=-1.0)
+
+
+class TestLoopBehaviour:
+    def _metrics_at(self, thermal, temperature):
+        model = TimelessJAModel(thermal.at(temperature), dhmax=100.0)
+        sweep = run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+        major = extract_loops(sweep.h, sweep.b)[0]
+        return loop_metrics(major.h, major.b)
+
+    def test_loop_shrinks_on_heating(self, thermal):
+        cold = self._metrics_at(thermal, 293.15)
+        hot = self._metrics_at(thermal, 800.0)
+        assert hot.b_max < cold.b_max
+        assert hot.coercivity < cold.coercivity
+        assert hot.area < cold.area
+
+    def test_near_curie_loop_nearly_vanishes(self, thermal):
+        hot = self._metrics_at(thermal, 1030.0)
+        cold = self._metrics_at(thermal, 293.15)
+        assert hot.area < 0.05 * cold.area

@@ -1,0 +1,294 @@
+"""Tests for repro.magnetics: units, geometry, materials, components."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU0
+from repro.errors import ParameterError, SolverError
+from repro.magnetics import (
+    EICore,
+    HysteresisInductor,
+    HysteresisTransformer,
+    RLDriveCircuit,
+    ToroidCore,
+    amps_per_meter_from_oersted,
+    gauss_from_tesla,
+    oersted_from_amps_per_meter,
+    tesla_from_gauss,
+)
+from repro.magnetics.material import FERRITE, MagneticMaterial, PAPER_STEEL
+from repro.waveforms import SineWave
+
+
+class TestUnits:
+    def test_oersted_round_trip(self):
+        assert oersted_from_amps_per_meter(
+            amps_per_meter_from_oersted(2.5)
+        ) == pytest.approx(2.5)
+
+    def test_one_oersted(self):
+        assert amps_per_meter_from_oersted(1.0) == pytest.approx(79.577, rel=1e-4)
+
+    def test_gauss_round_trip(self):
+        assert gauss_from_tesla(tesla_from_gauss(123.0)) == pytest.approx(123.0)
+
+    def test_one_tesla_is_ten_kilogauss(self):
+        assert gauss_from_tesla(1.0) == pytest.approx(1e4)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ParameterError):
+            amps_per_meter_from_oersted(math.nan)
+
+
+class TestToroid:
+    def setup_method(self):
+        self.core = ToroidCore(inner_radius=0.04, outer_radius=0.06, height=0.02)
+
+    def test_path_length_is_mean_circumference(self):
+        assert self.core.path_length == pytest.approx(math.pi * 0.1)
+
+    def test_area(self):
+        assert self.core.area == pytest.approx(0.02 * 0.02)
+
+    def test_volume(self):
+        assert self.core.volume == pytest.approx(
+            self.core.path_length * self.core.area
+        )
+
+    def test_field_from_current(self):
+        h = self.core.field_from_current(turns=100, current=2.0)
+        assert h == pytest.approx(200.0 / (math.pi * 0.1))
+
+    def test_current_field_round_trip(self):
+        h = 1234.0
+        i = self.core.current_from_field(100, h)
+        assert self.core.field_from_current(100, i) == pytest.approx(h)
+
+    def test_flux_linkage(self):
+        assert self.core.flux_linkage(50, 1.5) == pytest.approx(
+            50 * 1.5 * self.core.area
+        )
+
+    def test_swapped_radii_rejected(self):
+        with pytest.raises(ParameterError):
+            ToroidCore(inner_radius=0.06, outer_radius=0.04, height=0.02)
+
+    def test_zero_turns_rejected(self):
+        with pytest.raises(ParameterError):
+            self.core.field_from_current(0, 1.0)
+
+
+class TestEICore:
+    def test_effective_values_passthrough(self):
+        core = EICore(effective_path_length=0.2, effective_area=5e-4)
+        assert core.path_length == 0.2
+        assert core.area == 5e-4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ParameterError):
+            EICore(effective_path_length=0.0, effective_area=1e-4)
+
+
+class TestMaterial:
+    def test_b_sat(self):
+        assert PAPER_STEEL.b_sat == pytest.approx(MU0 * 1.6e6)
+
+    def test_specific_loss(self):
+        loss = PAPER_STEEL.specific_loss(loop_area=100.0, frequency=50.0)
+        assert loss == pytest.approx(100.0 * 50.0 / PAPER_STEEL.density)
+
+    def test_specific_loss_invalid_frequency(self):
+        with pytest.raises(ParameterError):
+            PAPER_STEEL.specific_loss(100.0, 0.0)
+
+    def test_invalid_density(self):
+        with pytest.raises(ParameterError):
+            MagneticMaterial(params=PAPER_STEEL.params, density=0.0)
+
+    def test_name_comes_from_params(self):
+        assert PAPER_STEEL.name == "date2006-paper"
+
+
+class TestInductor:
+    def _inductor(self, turns=100):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        return HysteresisInductor(PAPER_STEEL, core, turns=turns, dhmax=50.0)
+
+    def test_apply_current_updates_field(self):
+        inductor = self._inductor()
+        inductor.apply_current(10.0)
+        expected_h = 100 * 10.0 / (math.pi * 0.1)
+        assert inductor.h == pytest.approx(expected_h)
+        assert inductor.current == 10.0
+
+    def test_flux_linkage_positive_with_positive_current(self):
+        inductor = self._inductor()
+        linkage = inductor.apply_current(20.0)
+        assert linkage > 0.0
+
+    def test_remanence_after_current_pulse(self):
+        inductor = self._inductor()
+        for i in np.linspace(0.0, 40.0, 200):
+            inductor.apply_current(float(i))
+        for i in np.linspace(40.0, 0.0, 200):
+            inductor.apply_current(float(i))
+        assert inductor.b > 0.1  # remanent flux
+
+    def test_reset(self):
+        inductor = self._inductor()
+        inductor.apply_current(30.0)
+        inductor.reset()
+        assert inductor.current == 0.0
+        assert inductor.b == 0.0
+
+    def test_incremental_inductance_positive(self):
+        inductor = self._inductor()
+        inductor.apply_current(5.0)
+        assert inductor.incremental_inductance() > 0.0
+
+    def test_incremental_inductance_does_not_disturb_state(self):
+        inductor = self._inductor()
+        inductor.apply_current(5.0)
+        b_before = inductor.b
+        inductor.incremental_inductance()
+        assert inductor.b == b_before
+        assert inductor.current == 5.0
+
+    def test_inductance_drops_in_saturation(self):
+        inductor = self._inductor(turns=500)
+        inductor.apply_current(2.0)
+        l_linear = inductor.incremental_inductance()
+        for i in np.linspace(2.0, 100.0, 300):
+            inductor.apply_current(float(i))
+        l_saturated = inductor.incremental_inductance()
+        assert l_saturated < 0.5 * l_linear
+
+    def test_non_finite_current_rejected(self):
+        inductor = self._inductor()
+        with pytest.raises(ParameterError):
+            inductor.apply_current(math.inf)
+
+    def test_invalid_turns(self):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        with pytest.raises(ParameterError):
+            HysteresisInductor(PAPER_STEEL, core, turns=0)
+
+
+class TestTransformer:
+    def _transformer(self):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        return HysteresisTransformer(
+            PAPER_STEEL, core, primary_turns=200, secondary_turns=100, dhmax=50.0
+        )
+
+    def test_turns_ratio(self):
+        assert self._transformer().turns_ratio == 2.0
+
+    def test_mmf_balance(self):
+        transformer = self._transformer()
+        # A secondary current of N1/N2 * i1 cancels the primary MMF.
+        transformer.apply_currents(10.0, 20.0)
+        assert transformer.h == pytest.approx(0.0)
+
+    def test_flux_linkage_ratio_follows_turns(self):
+        transformer = self._transformer()
+        transformer.apply_currents(10.0, 0.0)
+        ratio = (
+            transformer.primary_flux_linkage
+            / transformer.secondary_flux_linkage
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_magnetising_current_round_trip(self):
+        transformer = self._transformer()
+        transformer.apply_currents(5.0, 0.0)
+        assert transformer.magnetising_current() == pytest.approx(5.0)
+
+    def test_reset(self):
+        transformer = self._transformer()
+        transformer.apply_currents(50.0, 0.0)
+        transformer.reset()
+        assert transformer.b == 0.0
+
+    def test_invalid_turns(self):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        with pytest.raises(ParameterError):
+            HysteresisTransformer(PAPER_STEEL, core, 0, 10)
+
+
+class TestRLDriveCircuit:
+    def _circuit(self, resistance=5.0, turns=800):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        inductor = HysteresisInductor(PAPER_STEEL, core, turns=turns, dhmax=50.0)
+        source = SineWave(50.0, 50.0)
+        return RLDriveCircuit(inductor, resistance, source)
+
+    def test_run_produces_aligned_arrays(self):
+        circuit = self._circuit()
+        result = circuit.run(t_stop=0.02, dt=1e-4)
+        n = len(result)
+        assert result.t.shape == (n,)
+        assert result.i.shape == (n,)
+        assert result.b.shape == (n,)
+        assert np.all(np.isfinite(result.i))
+
+    def test_steady_state_current_bounded_by_resistance(self):
+        circuit = self._circuit(resistance=5.0)
+        result = circuit.run(t_stop=0.06, dt=1e-4)
+        assert result.peak_current <= 50.0 / 5.0 * 1.2
+
+    @staticmethod
+    def _kvl_residuals(dhmax: float) -> np.ndarray:
+        core = ToroidCore(0.04, 0.06, 0.02)
+        inductor = HysteresisInductor(
+            PAPER_STEEL, core, turns=800, dhmax=dhmax
+        )
+        circuit = RLDriveCircuit(inductor, 5.0, SineWave(50.0, 50.0))
+        dt = 1e-4
+        result = circuit.run(t_stop=0.02, dt=dt)
+        dlambda = np.diff(result.flux_linkage) / dt
+        return np.abs(result.v[1:] - 5.0 * result.i[1:] - dlambda)
+
+    def test_kvl_residual_quantisation_limited(self):
+        """v = R*i + dlambda/dt holds to solver tolerance off the event
+        boundaries, and the residual spikes that land ON a boundary are
+        bounded by the event quantum: shrinking dhmax must shrink them
+        proportionally (lambda(i) is a staircase with dhmax-sized
+        treads, so KVL cannot be satisfied better than one tread)."""
+        coarse = self._kvl_residuals(dhmax=50.0)
+        fine = self._kvl_residuals(dhmax=10.0)
+        # Typical samples sit at solver tolerance.
+        assert np.median(coarse) / 50.0 < 1e-6
+        assert np.median(fine) / 50.0 < 1e-6
+        # The spike envelope scales with the quantum (5x smaller here).
+        assert np.percentile(fine, 95) < np.percentile(coarse, 95) / 2.0
+
+    def test_no_newton_failures_on_benign_drive(self):
+        circuit = self._circuit()
+        result = circuit.run(t_stop=0.04, dt=1e-4)
+        assert result.newton_failures == 0
+
+    def test_resistor_energy_positive(self):
+        circuit = self._circuit()
+        result = circuit.run(t_stop=0.02, dt=1e-4)
+        assert result.resistor_energy(5.0) > 0.0
+
+    def test_invalid_resistance(self):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        inductor = HysteresisInductor(PAPER_STEEL, core, turns=10)
+        with pytest.raises(SolverError):
+            RLDriveCircuit(inductor, 0.0, SineWave(1.0, 50.0))
+
+    def test_invalid_time_step(self):
+        circuit = self._circuit()
+        with pytest.raises(SolverError):
+            circuit.run(t_stop=0.01, dt=0.0)
+
+    def test_ferrite_core_runs_too(self):
+        core = ToroidCore(0.04, 0.06, 0.02)
+        inductor = HysteresisInductor(FERRITE, core, turns=50, dhmax=5.0)
+        circuit = RLDriveCircuit(inductor, 10.0, SineWave(5.0, 1000.0))
+        result = circuit.run(t_stop=2e-3, dt=2e-6)
+        assert np.all(np.isfinite(result.b))

@@ -1,0 +1,100 @@
+"""Tests for repro.magnetics.losses (Steinmetz characterisation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.magnetics.losses import (
+    LossPoint,
+    fit_steinmetz,
+    loss_sweep,
+    measure_loss_point,
+)
+
+
+class TestLossPoints:
+    def test_loss_positive(self):
+        point = measure_loss_point(PAPER_PARAMETERS, 8e3, dhmax=100.0)
+        assert point.energy_per_cycle > 0.0
+        assert point.b_peak > 0.0
+
+    def test_loss_grows_with_amplitude(self):
+        small = measure_loss_point(PAPER_PARAMETERS, 4e3, dhmax=100.0)
+        large = measure_loss_point(PAPER_PARAMETERS, 10e3, dhmax=100.0)
+        assert large.energy_per_cycle > small.energy_per_cycle
+        assert large.b_peak > small.b_peak
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(AnalysisError):
+            measure_loss_point(PAPER_PARAMETERS, 0.0)
+
+    def test_sweep_ordering_preserved(self):
+        amplitudes = [2e3, 6e3, 10e3]
+        points = loss_sweep(PAPER_PARAMETERS, amplitudes, dhmax=200.0)
+        assert [p.h_amplitude for p in points] == amplitudes
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(AnalysisError):
+            loss_sweep(PAPER_PARAMETERS, [])
+
+
+class TestSteinmetzFit:
+    def test_exact_power_law_recovered(self):
+        points = [
+            LossPoint(h_amplitude=0.0, b_peak=b, energy_per_cycle=100.0 * b**1.7)
+            for b in (0.2, 0.5, 1.0, 1.5)
+        ]
+        fit = fit_steinmetz(points)
+        assert fit.k_h == pytest.approx(100.0, rel=1e-9)
+        assert fit.beta == pytest.approx(1.7, rel=1e-9)
+        assert fit.residual_log_rms < 1e-12
+
+    def test_real_material_exponent_plausible(self):
+        points = loss_sweep(
+            PAPER_PARAMETERS, [2e3, 4e3, 6e3, 8e3, 10e3], dhmax=100.0
+        )
+        fit = fit_steinmetz(points)
+        # Hysteresis-loss exponents for steels sit around 1.5-2.2.
+        assert 1.2 < fit.beta < 2.5
+        assert fit.k_h > 0.0
+
+    def test_prediction_interpolates(self):
+        points = loss_sweep(
+            PAPER_PARAMETERS, [2e3, 6e3, 10e3], dhmax=100.0
+        )
+        fit = fit_steinmetz(points)
+        measured = measure_loss_point(PAPER_PARAMETERS, 4e3, dhmax=100.0)
+        predicted = fit.energy_per_cycle(measured.b_peak)
+        assert predicted == pytest.approx(
+            measured.energy_per_cycle, rel=0.35
+        )
+
+    def test_power_scales_with_volume_and_frequency(self):
+        points = [
+            LossPoint(0.0, 1.0, 100.0),
+            LossPoint(0.0, 0.5, 30.0),
+        ]
+        fit = fit_steinmetz(points)
+        base = fit.power(1.0, 50.0, 1e-4)
+        assert fit.power(1.0, 100.0, 1e-4) == pytest.approx(2.0 * base)
+        assert fit.power(1.0, 50.0, 2e-4) == pytest.approx(2.0 * base)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            fit_steinmetz([LossPoint(0.0, 1.0, 10.0)])
+        with pytest.raises(AnalysisError):
+            fit_steinmetz(
+                [LossPoint(0.0, 1.0, 10.0), LossPoint(0.0, 1.0, 20.0)]
+            )
+        with pytest.raises(AnalysisError):
+            fit_steinmetz(
+                [LossPoint(0.0, 1.0, -10.0), LossPoint(0.0, 0.5, 5.0)]
+            )
+        fit = fit_steinmetz(
+            [LossPoint(0.0, 1.0, 10.0), LossPoint(0.0, 0.5, 5.0)]
+        )
+        with pytest.raises(AnalysisError):
+            fit.energy_per_cycle(0.0)
+        with pytest.raises(AnalysisError):
+            fit.power(1.0, 0.0, 1.0)

@@ -1,0 +1,174 @@
+"""Integration tests: the paper's claims, end to end.
+
+One test per claim, at moderate resolution so the suite stays fast but
+the shape conclusions (who wins, by what rough factor) are the same as
+the full benchmark runs recorded in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_bh_curves
+from repro.analysis.loops import extract_loops
+from repro.analysis.metrics import loop_metrics
+from repro.analysis.stability import audit_trajectory
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep, run_sweep_dense, waypoint_samples
+from repro.hdl.systemc import run_systemc_sweep
+from repro.hdl.vhdlams import (
+    IntegJAArchitecture,
+    SolverOptions,
+    TimelessJAArchitecture,
+    TransientSolver,
+)
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.ja.reference import solve_waypoints
+from repro.waveforms import TriangularWave
+from repro.waveforms.sweeps import fig1_waypoints, major_loop_waypoints
+
+
+class TestFigureOne:
+    """Figure 1: B-H curve with non-biased minor loops."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        waypoints = fig1_waypoints(minor_loop_count=4)
+        samples = waypoint_samples(waypoints, 25.0)
+        return run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=100.0)
+
+    def test_axes_match_figure(self, trace):
+        assert trace.h.max() == pytest.approx(10e3)
+        assert trace.h.min() == pytest.approx(-10e3)
+        assert np.abs(trace.b).max() < 2.0  # figure's B axis bound
+
+    def test_loop_structure(self, trace):
+        loops = extract_loops(trace.h, trace.b)
+        assert len(loops) >= 5  # one major + four minor
+
+    def test_minor_loops_nest(self, trace):
+        from repro.analysis.loops import loop_contains
+
+        loops = extract_loops(trace.h, trace.b)
+        major = loops[0]
+        assert loop_contains(major, loops[-1], tolerance=2e-2)
+
+    def test_no_numerical_failures(self, trace):
+        audit = audit_trajectory(trace.h, trace.b)
+        assert audit.finite
+        assert audit.acceptable()
+
+
+class TestEquivalenceClaim:
+    """'Both implementations produce virtually identical results.'"""
+
+    def test_three_way_agreement(self):
+        dhmax = 100.0
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        samples = waypoint_samples(waypoints, 25.0)
+        systemc = run_systemc_sweep(PAPER_PARAMETERS, samples, dhmax=dhmax)
+
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+        functional = run_sweep(model, waypoints, driver_step=25.0)
+
+        wave = TriangularWave(10e3, 10e-3)
+        arch = TimelessJAArchitecture(PAPER_PARAMETERS, wave, dhmax=dhmax)
+        transient = TransientSolver(
+            arch.system, SolverOptions(dt_initial=1e-6, dt_max=6.25e-6)
+        ).run(t_stop=12.5e-3)
+        h_ams = transient.of(arch.q_h)
+        b_ams = transient.of(arch.q_b)
+
+        swing = float(systemc.b.max() - systemc.b.min())
+        for h2, b2 in [(functional.h, functional.b), (h_ams, b_ams)]:
+            distance = compare_bh_curves(systemc.h, systemc.b, h2, b2)
+            assert distance.max_abs / swing < 0.02
+
+
+class TestStabilityClaim:
+    """Timeless completes where the 'INTEG formulation breaks down."""
+
+    def test_contrast(self):
+        wave = TriangularWave(10e3, 10e-3)
+
+        timeless = TimelessJAArchitecture(PAPER_PARAMETERS, wave, dhmax=100.0)
+        result_t = TransientSolver(
+            timeless.system, SolverOptions(dt_initial=1e-6, dt_max=5e-5)
+        ).run(t_stop=12.5e-3)
+        assert not result_t.report.gave_up
+        assert result_t.report.newton_failures == 0
+
+        integ = IntegJAArchitecture(PAPER_PARAMETERS, wave)
+        result_i = TransientSolver(
+            integ.system, SolverOptions(dt_initial=1e-6, dt_max=5e-5)
+        ).run(t_stop=12.5e-3)
+        assert result_i.report.newton_failures > 0
+        assert integ.negative_slope_evaluations > 0
+
+
+class TestMinorLoopClaim:
+    """'Minor loops ... various sizes and in different positions.'"""
+
+    @pytest.mark.parametrize(
+        "bias,amplitude",
+        [(0.0, 1000.0), (0.0, 6000.0), (3000.0, 1000.0), (6000.0, 2000.0)],
+    )
+    def test_grid_point_is_stable(self, bias, amplitude):
+        from repro.waveforms.sweeps import biased_minor_loop_waypoints
+
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=100.0)
+        sweep = run_sweep(
+            model, biased_minor_loop_waypoints(bias, amplitude, cycles=5)
+        )
+        audit = audit_trajectory(sweep.h, sweep.b)
+        assert audit.finite
+        assert audit.acceptable()
+
+
+class TestAccuracyClaim:
+    """Forward Euler in H: error shrinks ~linearly with dhmax."""
+
+    def test_first_order_convergence(self):
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        reference = solve_waypoints(
+            PAPER_PARAMETERS, waypoints, samples_per_segment=120
+        )
+        errors = []
+        steps = (400.0, 100.0, 25.0)
+        for dhmax in steps:
+            model = TimelessJAModel(
+                PAPER_PARAMETERS, dhmax=dhmax, accept_equal=True
+            )
+            sweep = run_sweep_dense(model, waypoints)
+            distance = compare_bh_curves(
+                sweep.h, sweep.b, reference.h, reference.b
+            )
+            errors.append(distance.max_abs)
+        order = np.polyfit(np.log(steps), np.log(errors), 1)[0]
+        assert 0.7 < order < 1.4
+
+    def test_moderate_dhmax_within_one_percent(self):
+        waypoints = major_loop_waypoints(10e3, cycles=1)
+        reference = solve_waypoints(
+            PAPER_PARAMETERS, waypoints, samples_per_segment=120
+        )
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=25.0, accept_equal=True)
+        sweep = run_sweep_dense(model, waypoints)
+        distance = compare_bh_curves(
+            sweep.h, sweep.b, reference.h, reference.b
+        )
+        swing = float(reference.b.max() - reference.b.min())
+        assert distance.max_abs / swing < 0.01
+
+
+class TestFigureMetricsStable:
+    """Regression pin: the measured Figure 1 metrics (also recorded in
+    EXPERIMENTS.md) stay where they were measured."""
+
+    def test_metrics_regression(self):
+        model = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        sweep = run_sweep(model, major_loop_waypoints(10e3, cycles=1))
+        major = extract_loops(sweep.h, sweep.b)[0]
+        metrics = loop_metrics(major.h, major.b)
+        assert metrics.coercivity == pytest.approx(3305.0, rel=0.05)
+        assert metrics.remanence == pytest.approx(1.23, rel=0.05)
+        assert metrics.b_max == pytest.approx(1.48, rel=0.05)

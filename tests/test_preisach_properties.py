@@ -1,0 +1,110 @@
+"""Property-based tests of the Preisach model's defining invariants.
+
+The Preisach model has two exact structural properties — return-point
+memory and wiping-out — that must hold for *any* weight set and *any*
+input sequence.  Hypothesis drives random schedules against them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.preisach.model import PreisachModel
+
+H_SAT = 1000.0
+N_CELLS = 12
+
+
+def _uniform_model() -> PreisachModel:
+    nodes = np.linspace(-H_SAT, H_SAT, N_CELLS + 1)
+    weights = np.zeros((N_CELLS, N_CELLS))
+    for i in range(N_CELLS):
+        for j in range(i + 1):
+            weights[i, j] = 1.0 + 0.1 * i + 0.05 * j  # asymmetric on purpose
+    return PreisachModel(weights, nodes[1:], nodes[:-1], m_sat=1e6)
+
+
+fields = st.floats(min_value=-1500.0, max_value=1500.0, allow_nan=False)
+
+
+class TestStructuralProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(history=st.lists(fields, min_size=0, max_size=12), probe=fields)
+    def test_rate_independence(self, history, probe):
+        """Applying a monotone excursion in one jump or many sub-steps
+        gives the identical state (relays are threshold devices)."""
+        model_a = _uniform_model()
+        model_b = _uniform_model()
+        for h in history:
+            model_a.apply_field(h)
+            model_b.apply_field(h)
+        model_a.apply_field(probe)
+        start = model_b.h
+        for frac in (0.25, 0.5, 0.75):
+            model_b.apply_field(start + frac * (probe - start))
+        model_b.apply_field(probe)  # exact endpoint, no float absorption
+        assert model_a.m_normalised == model_b.m_normalised
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        history=st.lists(fields, min_size=0, max_size=10),
+        reversal=fields,
+        excursion=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    )
+    def test_return_point_memory(self, history, reversal, excursion):
+        """Close a sub-loop: the state returns exactly to the branch
+        point.  The branch point must be a genuine downward reversal
+        (approached from above) and the re-ascent must stay at or below
+        the previous maximum — otherwise it wipes the history instead
+        of closing a loop (that case is test_wiping_out)."""
+        model = _uniform_model()
+        for h in history:
+            model.apply_field(h)
+        model.apply_field(reversal + excursion + 1.0)  # upper history
+        model.apply_field(reversal)  # branch point, approached falling
+        m_at_reversal = model.m_normalised
+        model.apply_field(reversal + excursion)  # partial re-ascent
+        model.apply_field(reversal)  # close the minor loop
+        assert model.m_normalised == pytest.approx(m_at_reversal, abs=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(history=st.lists(fields, min_size=1, max_size=15))
+    def test_wiping_out(self, history):
+        """A new global extremum erases all smaller history: the state
+        after [history..., H_big] equals the state after [H_big]."""
+        h_big = 1200.0  # beyond every sampled |field|... except possibly
+        history = [h for h in history if abs(h) < 1100.0]
+        if not history:
+            return
+        model_a = _uniform_model()
+        for h in history:
+            model_a.apply_field(h)
+        model_a.apply_field(h_big)
+        model_b = _uniform_model()
+        model_b.apply_field(h_big)
+        assert model_a.m_normalised == model_b.m_normalised
+
+    @settings(max_examples=60, deadline=None)
+    @given(history=st.lists(fields, min_size=1, max_size=15))
+    def test_magnetisation_bounded(self, history):
+        model = _uniform_model()
+        bound = float(np.sum(model.weights))
+        for h in history:
+            model.apply_field(h)
+            assert abs(model.m_normalised) <= bound + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        history=st.lists(fields, min_size=0, max_size=10),
+        h_up=st.floats(min_value=-900.0, max_value=900.0, allow_nan=False),
+        dh=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    def test_monotone_response(self, history, h_up, dh):
+        """Rising field never decreases the relay sum."""
+        model = _uniform_model()
+        for h in history:
+            model.apply_field(h)
+        model.apply_field(h_up)
+        m_before = model.m_normalised
+        model.apply_field(h_up + dh)
+        assert model.m_normalised >= m_before - 1e-12

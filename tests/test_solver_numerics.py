@@ -1,0 +1,250 @@
+"""Tests for repro.solver: Newton, integrators, step control, IVP driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, SolverError
+from repro.solver.adaptive import AdaptiveStepController
+from repro.solver.integrators import (
+    IntegrationMethod,
+    backward_euler_residual,
+    explicit_stepper,
+    forward_euler_step,
+    heun_step,
+    rk4_step,
+    trapezoidal_residual,
+)
+from repro.solver.ivp import integrate_fixed_step
+from repro.solver.newton import NewtonOptions, newton_solve
+
+
+class TestNewton:
+    def test_scalar_quadratic(self):
+        result = newton_solve(lambda x: np.array([x[0] ** 2 - 4.0]), np.array([3.0]))
+        assert result.converged
+        assert result.x[0] == pytest.approx(2.0)
+
+    def test_two_dimensional_system(self):
+        def residual(x):
+            return np.array([x[0] + x[1] - 3.0, x[0] - x[1] - 1.0])
+
+        result = newton_solve(residual, np.array([0.0, 0.0]))
+        assert result.converged
+        assert result.x == pytest.approx([2.0, 1.0])
+
+    def test_analytic_jacobian_used(self):
+        calls = []
+
+        def jacobian(x):
+            calls.append(1)
+            return np.array([[2.0 * x[0]]])
+
+        result = newton_solve(
+            lambda x: np.array([x[0] ** 2 - 9.0]),
+            np.array([2.0]),
+            jacobian=jacobian,
+        )
+        assert result.converged
+        assert result.x[0] == pytest.approx(3.0)
+        assert calls  # the supplied Jacobian was exercised
+
+    def test_singular_jacobian_reported(self):
+        result = newton_solve(
+            lambda x: np.array([0.0 * x[0] + 1.0]), np.array([1.0])
+        )
+        assert not result.converged
+        assert result.singular
+
+    def test_nan_residual_reported(self):
+        result = newton_solve(
+            lambda x: np.array([math.nan]), np.array([1.0])
+        )
+        assert not result.converged
+        assert result.iterations == 0
+
+    def test_max_iterations_exhausted(self):
+        # Newton on |x|^(1/3)-style root converges slowly / oscillates.
+        options = NewtonOptions(max_iterations=3)
+        result = newton_solve(
+            lambda x: np.array([math.copysign(abs(x[0]) ** (1.0 / 3.0), x[0])]),
+            np.array([1.0]),
+            options=options,
+        )
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_require_converged_raises(self):
+        result = newton_solve(
+            lambda x: np.array([math.nan]), np.array([1.0])
+        )
+        with pytest.raises(ConvergenceError):
+            result.require_converged()
+
+    def test_stiff_linear_equation_converges(self):
+        """Big-coefficient equations must pass the scaled residual test."""
+        big = 1e9
+
+        def residual(x):
+            return np.array([big * (x[0] - 1e-3)])
+
+        result = newton_solve(residual, np.array([1.0]))
+        assert result.converged
+        assert result.x[0] == pytest.approx(1e-3)
+
+    def test_damping_halves_steps(self):
+        options = NewtonOptions(damping=0.5, max_iterations=200)
+        result = newton_solve(
+            lambda x: np.array([x[0] - 10.0]), np.array([0.0]), options=options
+        )
+        assert result.converged
+        assert result.x[0] == pytest.approx(10.0)
+
+
+class TestExplicitSteppers:
+    def test_forward_euler_linear_exact(self):
+        # dx/dt = 2 with dt = 0.5 -> exact for constant rhs.
+        step = forward_euler_step(lambda t, x: np.array([2.0]), 0.0, np.array([1.0]), 0.5)
+        assert step[0] == pytest.approx(2.0)
+
+    def test_heun_second_order_on_linear_time(self):
+        # dx/dt = t: exact integral 0.5*t^2; Heun is exact for linear-in-t.
+        x = np.array([0.0])
+        dt = 0.1
+        for i in range(10):
+            x = heun_step(lambda t, s: np.array([t]), i * dt, x, dt)
+        assert x[0] == pytest.approx(0.5, rel=1e-12)
+
+    def test_rk4_on_exponential(self):
+        x = np.array([1.0])
+        dt = 0.1
+        for i in range(10):
+            x = rk4_step(lambda t, s: -s, i * dt, x, dt)
+        assert x[0] == pytest.approx(math.exp(-1.0), rel=1e-6)
+
+    def test_convergence_order_euler(self):
+        """Halving dt must roughly halve the Euler error."""
+
+        def run(dt):
+            x = np.array([1.0])
+            steps = int(round(1.0 / dt))
+            for i in range(steps):
+                x = forward_euler_step(lambda t, s: -s, i * dt, x, dt)
+            return abs(x[0] - math.exp(-1.0))
+
+        ratio = run(0.01) / run(0.005)
+        assert 1.7 < ratio < 2.3
+
+    def test_stepper_lookup_by_name(self):
+        assert explicit_stepper("rk4") is rk4_step
+        assert explicit_stepper(IntegrationMethod.HEUN) is heun_step
+
+    def test_unknown_stepper_rejected(self):
+        with pytest.raises(ValueError):
+            explicit_stepper("leapfrog")
+
+
+class TestImplicitResiduals:
+    def test_backward_euler_dot(self):
+        dots = backward_euler_residual(np.array([2.0]), np.array([1.0]), 0.5)
+        assert dots[0] == pytest.approx(2.0)
+
+    def test_trapezoidal_dot(self):
+        dots = trapezoidal_residual(
+            np.array([2.0]), np.array([1.0]), np.array([1.0]), 0.5
+        )
+        # 2*(2-1)/0.5 - 1 = 3
+        assert dots[0] == pytest.approx(3.0)
+
+
+class TestAdaptiveController:
+    def test_growth_on_small_error(self):
+        ctrl = AdaptiveStepController(1e-6, 1e-9, 1e-3)
+        decision = ctrl.after_error_estimate(0.1)
+        assert decision.accept
+        assert decision.next_dt == pytest.approx(1.5e-6)
+
+    def test_no_growth_on_marginal_error(self):
+        ctrl = AdaptiveStepController(1e-6, 1e-9, 1e-3)
+        decision = ctrl.after_error_estimate(0.9)
+        assert decision.accept
+        assert decision.next_dt == pytest.approx(1e-6)
+
+    def test_rejection_shrinks(self):
+        ctrl = AdaptiveStepController(1e-6, 1e-9, 1e-3)
+        decision = ctrl.after_error_estimate(10.0)
+        assert not decision.accept
+        assert decision.next_dt < 1e-6
+        assert ctrl.rejections == 1
+
+    def test_floor_accept_under_protest(self):
+        ctrl = AdaptiveStepController(1e-9, 1e-9, 1e-3)
+        decision = ctrl.after_error_estimate(100.0)
+        assert decision.accept
+        assert decision.at_floor
+        assert ctrl.floor_hits == 1
+
+    def test_newton_failure_shrinks_hard(self):
+        ctrl = AdaptiveStepController(1e-6, 1e-12, 1e-3)
+        decision = ctrl.after_newton_failure()
+        assert not decision.accept
+        assert decision.next_dt == pytest.approx(0.25e-6)
+
+    def test_nan_error_treated_as_failure(self):
+        ctrl = AdaptiveStepController(1e-6, 1e-9, 1e-3)
+        decision = ctrl.after_error_estimate(math.nan)
+        assert not decision.accept
+
+    def test_dt_clamped_to_max(self):
+        ctrl = AdaptiveStepController(1e-4, 1e-9, 1.5e-4)
+        ctrl.after_error_estimate(0.0)
+        ctrl.after_error_estimate(0.0)
+        assert ctrl.dt == pytest.approx(1.5e-4)
+
+    def test_force_break_resets_step(self):
+        ctrl = AdaptiveStepController(1e-4, 1e-9, 1e-3)
+        ctrl.force_break()
+        assert ctrl.dt == pytest.approx(1e-9)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SolverError):
+            AdaptiveStepController(1e-6, 1e-3, 1e-9)
+
+
+class TestFixedStepIVP:
+    def test_completes_smooth_problem(self):
+        result = integrate_fixed_step(
+            lambda t, x: -x, 0.0, np.array([1.0]), 0.01, 100
+        )
+        assert result.completed
+        assert result.x[-1, 0] == pytest.approx(math.exp(-1.0), rel=0.01)
+
+    def test_detects_divergence(self):
+        result = integrate_fixed_step(
+            lambda t, x: x**2, 0.0, np.array([10.0]), 1.0, 50,
+            divergence_limit=1e6,
+        )
+        assert result.diverged
+        assert result.first_bad_index is not None
+        assert len(result.t) < 51
+
+    def test_detects_nan(self):
+        def rhs(t, x):
+            return np.array([math.nan])
+
+        result = integrate_fixed_step(rhs, 0.0, np.array([1.0]), 0.1, 10)
+        assert result.diverged
+        assert result.first_bad_index == 1
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(SolverError):
+            integrate_fixed_step(
+                lambda t, x: x, 0.0, np.array([1.0]), 0.0, 10
+            )
+
+    def test_method_selection(self):
+        result = integrate_fixed_step(
+            lambda t, x: -x, 0.0, np.array([1.0]), 0.1, 10, method="rk4"
+        )
+        assert result.x[-1, 0] == pytest.approx(math.exp(-1.0), rel=1e-5)

@@ -1,0 +1,129 @@
+"""Tests for repro.waveforms.sweeps (timeless waypoint schedules)."""
+
+import pytest
+
+from repro.errors import WaveformError
+from repro.waveforms.sweeps import (
+    biased_minor_loop_waypoints,
+    decaying_triangle_waypoints,
+    fig1_waypoints,
+    initial_magnetisation_waypoints,
+    major_loop_waypoints,
+    minor_loop_grid,
+)
+
+
+class TestInitialMagnetisation:
+    def test_two_points(self):
+        assert initial_magnetisation_waypoints(5e3) == [0.0, 5e3]
+
+    def test_invalid_peak(self):
+        with pytest.raises(WaveformError):
+            initial_magnetisation_waypoints(-1.0)
+
+
+class TestMajorLoop:
+    def test_single_cycle(self):
+        assert major_loop_waypoints(10.0, cycles=1) == [0.0, 10.0, -10.0, 10.0]
+
+    def test_multiple_cycles(self):
+        waypoints = major_loop_waypoints(10.0, cycles=3)
+        assert waypoints == [0.0, 10.0, -10.0, 10.0, -10.0, 10.0, -10.0, 10.0]
+
+    def test_without_initial_rise(self):
+        assert major_loop_waypoints(10.0, include_initial_rise=False) == [
+            10.0,
+            -10.0,
+            10.0,
+        ]
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(WaveformError):
+            major_loop_waypoints(10.0, cycles=0)
+
+
+class TestDecayingTriangle:
+    def test_alternating_signs(self):
+        waypoints = decaying_triangle_waypoints([10.0, 8.0, 6.0])
+        assert waypoints == [0.0, 10.0, -10.0, 8.0, -8.0, 6.0, -6.0]
+
+    def test_increasing_amplitudes_rejected(self):
+        with pytest.raises(WaveformError):
+            decaying_triangle_waypoints([5.0, 10.0])
+
+    def test_equal_amplitudes_allowed(self):
+        waypoints = decaying_triangle_waypoints([10.0, 10.0])
+        assert waypoints == [0.0, 10.0, -10.0, 10.0, -10.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WaveformError):
+            decaying_triangle_waypoints([])
+
+
+class TestFig1:
+    def test_starts_demagnetised(self):
+        assert fig1_waypoints()[0] == 0.0
+
+    def test_contains_major_loop(self):
+        waypoints = fig1_waypoints(h_max=10e3)
+        assert 10e3 in waypoints
+        assert -10e3 in waypoints
+
+    def test_minor_loop_count_controls_length(self):
+        base = len(fig1_waypoints(minor_loop_count=0))
+        more = len(fig1_waypoints(minor_loop_count=4))
+        assert more == base + 8  # two vertices per minor loop
+
+    def test_envelope_decays_to_final_fraction(self):
+        waypoints = fig1_waypoints(
+            h_max=10e3, minor_loop_count=4, final_fraction=0.2
+        )
+        assert waypoints[-1] == pytest.approx(-2000.0)
+
+    def test_invalid_final_fraction(self):
+        with pytest.raises(WaveformError):
+            fig1_waypoints(final_fraction=0.0)
+        with pytest.raises(WaveformError):
+            fig1_waypoints(final_fraction=1.5)
+
+    def test_negative_minor_count_rejected(self):
+        with pytest.raises(WaveformError):
+            fig1_waypoints(minor_loop_count=-1)
+
+
+class TestBiasedMinorLoop:
+    def test_vertices(self):
+        waypoints = biased_minor_loop_waypoints(2000.0, 500.0, cycles=2)
+        assert waypoints == [0.0, 2500.0, 1500.0, 2500.0, 1500.0, 2500.0]
+
+    def test_non_biased_case(self):
+        waypoints = biased_minor_loop_waypoints(0.0, 100.0, cycles=1)
+        assert waypoints == [0.0, 100.0, -100.0, 100.0]
+
+    def test_custom_approach(self):
+        waypoints = biased_minor_loop_waypoints(
+            0.0, 100.0, cycles=1, approach_from=1e4
+        )
+        assert waypoints[0] == 1e4
+
+    def test_invalid_cycles(self):
+        with pytest.raises(WaveformError):
+            biased_minor_loop_waypoints(0.0, 100.0, cycles=0)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(WaveformError):
+            biased_minor_loop_waypoints(0.0, 0.0)
+
+
+class TestGrid:
+    def test_grid_size(self):
+        grid = list(minor_loop_grid([100.0, 200.0], [0.0, 1000.0, 2000.0]))
+        assert len(grid) == 6
+
+    def test_grid_entries_carry_parameters(self):
+        grid = list(minor_loop_grid([100.0], [500.0], cycles=4))
+        bias, amplitude, waypoints = grid[0]
+        assert bias == 500.0
+        assert amplitude == 100.0
+        assert waypoints[1] == 600.0
+        assert len(waypoints) == 2 + 2 * 4

@@ -1,0 +1,212 @@
+"""Tests for repro.waveforms: time-domain sources and composition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveformError
+from repro.waveforms import (
+    BiasedSineWave,
+    ConcatenatedWave,
+    ConstantWave,
+    DampedSineWave,
+    PiecewiseLinearWave,
+    SawtoothWave,
+    SineWave,
+    TriangularWave,
+)
+
+
+class TestTriangular:
+    def setup_method(self):
+        self.wave = TriangularWave(amplitude=10.0, period=1.0)
+
+    def test_key_points(self):
+        assert self.wave.value(0.0) == 0.0
+        assert self.wave.value(0.25) == pytest.approx(10.0)
+        assert self.wave.value(0.5) == pytest.approx(0.0)
+        assert self.wave.value(0.75) == pytest.approx(-10.0)
+        assert self.wave.value(1.0) == pytest.approx(0.0)
+
+    def test_periodicity(self):
+        for t in (0.1, 0.37, 0.93):
+            assert self.wave.value(t) == pytest.approx(self.wave.value(t + 3.0))
+
+    def test_analytic_derivative_matches_slope(self):
+        assert self.wave.derivative(0.1) == pytest.approx(40.0)
+        assert self.wave.derivative(0.4) == pytest.approx(-40.0)
+        assert self.wave.derivative(0.9) == pytest.approx(40.0)
+
+    def test_phase_offset(self):
+        shifted = TriangularWave(10.0, 1.0, phase=0.25)
+        assert shifted.value(0.0) == pytest.approx(10.0)
+
+    def test_bounded_by_amplitude(self):
+        times = np.linspace(0.0, 2.0, 1000)
+        values = self.wave.sample(times)
+        assert np.max(np.abs(values)) <= 10.0 + 1e-12
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(WaveformError):
+            TriangularWave(0.0, 1.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(WaveformError):
+            TriangularWave(1.0, -1.0)
+
+
+class TestSawtooth:
+    def test_ramp_shape(self):
+        wave = SawtoothWave(5.0, 2.0)
+        assert wave.value(0.0) == pytest.approx(-5.0)
+        assert wave.value(1.0) == pytest.approx(0.0)
+        assert wave.value(1.999) == pytest.approx(4.995, abs=1e-2)
+
+    def test_reset_discontinuity(self):
+        wave = SawtoothWave(5.0, 2.0)
+        assert wave.value(2.0) == pytest.approx(-5.0)
+
+
+class TestSine:
+    def test_value_and_derivative(self):
+        wave = SineWave(amplitude=2.0, frequency=50.0)
+        t = 1.234e-3
+        omega = 2 * math.pi * 50.0
+        assert wave.value(t) == pytest.approx(2.0 * math.sin(omega * t))
+        assert wave.derivative(t) == pytest.approx(
+            2.0 * omega * math.cos(omega * t)
+        )
+
+    def test_phase(self):
+        wave = SineWave(1.0, 1.0, phase=math.pi / 2)
+        assert wave.value(0.0) == pytest.approx(1.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(WaveformError):
+            SineWave(1.0, 0.0)
+
+
+class TestDampedSine:
+    def test_envelope_decay(self):
+        wave = DampedSineWave(amplitude=1.0, frequency=10.0, tau=0.1)
+        # Peaks near t = 1/40 + k/10 shrink with exp(-t/tau).
+        v1 = abs(wave.value(0.025))
+        v2 = abs(wave.value(0.125))
+        assert v2 < v1
+        assert v2 == pytest.approx(v1 * math.exp(-0.1 / 0.1), rel=0.05)
+
+    def test_derivative_includes_envelope_term(self):
+        wave = DampedSineWave(1.0, 10.0, 0.05)
+        t = 0.01
+        eps = 1e-8
+        numeric = (wave.value(t + eps) - wave.value(t - eps)) / (2 * eps)
+        assert wave.derivative(t) == pytest.approx(numeric, rel=1e-5)
+
+    def test_invalid_tau(self):
+        with pytest.raises(WaveformError):
+            DampedSineWave(1.0, 10.0, 0.0)
+
+
+class TestBiasedSine:
+    def test_offset_applied(self):
+        wave = BiasedSineWave(bias=3.0, amplitude=1.0, frequency=1.0)
+        values = wave.sample(np.linspace(0.0, 1.0, 100))
+        assert np.mean(values) == pytest.approx(3.0, abs=0.05)
+        assert np.max(values) == pytest.approx(4.0, abs=0.01)
+
+
+class TestConstant:
+    def test_value_and_derivative(self):
+        wave = ConstantWave(7.5)
+        assert wave.value(123.0) == 7.5
+        assert wave.derivative(123.0) == 0.0
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(WaveformError):
+            ConstantWave(math.inf)
+
+
+class TestComposition:
+    def test_sum_operator(self):
+        combined = SineWave(1.0, 1.0) + ConstantWave(2.0)
+        assert combined.value(0.0) == pytest.approx(2.0)
+
+    def test_scale_operator(self):
+        scaled = 3.0 * ConstantWave(2.0)
+        assert scaled.value(0.0) == pytest.approx(6.0)
+
+    def test_offset_method(self):
+        wave = ConstantWave(1.0).offset(4.0)
+        assert wave.value(0.0) == pytest.approx(5.0)
+
+    def test_sum_derivative(self):
+        combined = SineWave(1.0, 1.0) + SineWave(2.0, 2.0)
+        t = 0.1
+        eps = 1e-8
+        numeric = (combined.value(t + eps) - combined.value(t - eps)) / (2 * eps)
+        assert combined.derivative(t) == pytest.approx(numeric, rel=1e-5)
+
+
+class TestPiecewiseLinear:
+    def setup_method(self):
+        self.wave = PiecewiseLinearWave([(0.0, 0.0), (1.0, 10.0), (3.0, -10.0)])
+
+    def test_interpolation(self):
+        assert self.wave.value(0.5) == pytest.approx(5.0)
+        assert self.wave.value(2.0) == pytest.approx(0.0)
+
+    def test_hold_outside_span(self):
+        assert self.wave.value(-1.0) == 0.0
+        assert self.wave.value(99.0) == -10.0
+
+    def test_segment_derivative(self):
+        assert self.wave.derivative(0.5) == pytest.approx(10.0)
+        assert self.wave.derivative(2.0) == pytest.approx(-10.0)
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(WaveformError):
+            PiecewiseLinearWave([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(WaveformError):
+            PiecewiseLinearWave([(0.0, 0.0)])
+
+
+class TestConcatenated:
+    def test_sequencing(self):
+        wave = ConcatenatedWave(
+            [(ConstantWave(1.0), 1.0), (ConstantWave(2.0), 1.0)]
+        )
+        assert wave.value(0.5) == 1.0
+        assert wave.value(1.5) == 2.0
+
+    def test_local_time_restarts(self):
+        ramp = PiecewiseLinearWave([(0.0, 0.0), (1.0, 1.0)])
+        wave = ConcatenatedWave([(ramp, 1.0), (ramp, 1.0)])
+        assert wave.value(0.5) == pytest.approx(0.5)
+        assert wave.value(1.5) == pytest.approx(0.5)
+
+    def test_holds_final_value(self):
+        ramp = PiecewiseLinearWave([(0.0, 0.0), (1.0, 1.0)])
+        wave = ConcatenatedWave([(ramp, 1.0)])
+        assert wave.value(5.0) == pytest.approx(1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(WaveformError):
+            ConcatenatedWave([(ConstantWave(1.0), 0.0)])
+
+
+class TestSamplingHelpers:
+    def test_sample_uniform(self):
+        wave = ConstantWave(3.0)
+        times, values = wave.sample_uniform(1.0, 11)
+        assert len(times) == len(values) == 11
+        assert times[0] == 0.0 and times[-1] == 1.0
+        assert np.all(values == 3.0)
+
+    def test_sample_uniform_validation(self):
+        with pytest.raises(WaveformError):
+            ConstantWave(1.0).sample_uniform(1.0, 1)
+        with pytest.raises(WaveformError):
+            ConstantWave(1.0).sample_uniform(0.0, 10, t_start=1.0)
