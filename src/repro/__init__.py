@@ -20,6 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.batch import BatchTimelessModel
 from repro.constants import DEFAULT_DHMAX, MU0
 from repro.core.model import TimelessJAModel
 from repro.core.slope import SlopeGuards
@@ -27,9 +28,10 @@ from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
 from repro.errors import ReproError
 from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchTimelessModel",
     "DEFAULT_DHMAX",
     "JAParameters",
     "MU0",

@@ -16,7 +16,11 @@ from repro.analysis.metrics import (
     loop_metrics,
     remanence,
 )
-from repro.analysis.stability import StabilityAudit, audit_trajectory
+from repro.analysis.stability import (
+    StabilityAudit,
+    audit_trajectory,
+    audit_trajectory_batch,
+)
 from repro.analysis.turning_points import turning_point_indices
 
 __all__ = [
@@ -25,6 +29,7 @@ __all__ = [
     "LoopMetrics",
     "StabilityAudit",
     "audit_trajectory",
+    "audit_trajectory_batch",
     "coercivity",
     "compare_bh_curves",
     "extract_loops",

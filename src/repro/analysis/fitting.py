@@ -7,6 +7,15 @@ onto a common H grid, and minimises the B residual with
 ``scipy.optimize.least_squares`` in log-parameter space (all JA
 parameters are positive scale-like quantities, so log space makes the
 optimiser's steps multiplicative and keeps iterates in-domain).
+
+The inner loop is batched: each finite-difference Jacobian needs one
+model run per varied parameter, and those candidates are independent —
+so they are stacked into one :class:`repro.batch.BatchTimelessModel`
+ensemble and advanced in a single lockstep sweep
+(``jacobian="batched"``, the default) instead of the per-model Python
+loops the optimiser used to trigger.  Each lane is bitwise identical to
+the scalar simulation it replaces.  :func:`fit_ja_parameters_multistart`
+uses the same engine to score many starting guesses in one sweep.
 """
 
 from __future__ import annotations
@@ -18,10 +27,15 @@ import numpy as np
 from scipy.optimize import least_squares
 
 from repro.analysis.comparison import compare_bh_curves
+from repro.batch.sweep import BatchSweepResult, sweep as batch_sweep
 from repro.core.model import TimelessJAModel
 from repro.core.sweep import run_sweep
 from repro.errors import AnalysisError
 from repro.ja.parameters import JAParameters
+
+#: Forward-difference relative step of the batched Jacobian (the same
+#: sqrt(machine-eps) rule scipy's default 2-point scheme uses).
+_FD_REL_STEP = float(np.sqrt(np.finfo(float).eps))
 
 #: Parameters the fitter may vary, with broad physical bounds
 #: (log10 space): Msat 1e4..1e7 A/m, shapes 10..1e5 A/m, k 1..1e5 A/m,
@@ -66,6 +80,22 @@ def _simulate(
     return sweep.h, sweep.b
 
 
+def _simulate_batch(
+    candidates: Sequence[JAParameters],
+    waypoints: Sequence[float],
+    dhmax: float,
+) -> BatchSweepResult:
+    """Simulate independent candidates as one lockstep ensemble.
+
+    ``driver_step = dhmax / 4`` matches the scalar :func:`run_sweep`
+    default, so each lane is bitwise identical to :func:`_simulate` for
+    the same candidate.
+    """
+    return batch_sweep(
+        candidates, waypoints, dhmax=dhmax, driver_step=dhmax / 4.0
+    )
+
+
 def fit_ja_parameters(
     h_measured: np.ndarray,
     b_measured: np.ndarray,
@@ -75,6 +105,7 @@ def fit_ja_parameters(
     dhmax: float = 200.0,
     grid_points_per_branch: int = 60,
     max_nfev: int = 60,
+    jacobian: str = "batched",
 ) -> FitResult:
     """Fit JA parameters to a measured loop.
 
@@ -92,7 +123,16 @@ def fit_ja_parameters(
     dhmax:
         Field quantum used *inside the fit loop* — coarse by default
         for speed; refit with a finer value to polish if needed.
+    jacobian:
+        ``"batched"`` (default) evaluates each finite-difference
+        Jacobian as one batch-ensemble sweep over the len(vary)+1
+        forward-difference candidates; ``"2-point"`` falls back to
+        scipy's serial scheme (one model run per candidate).
     """
+    if jacobian not in ("batched", "2-point"):
+        raise AnalysisError(
+            f"jacobian must be 'batched' or '2-point', got {jacobian!r}"
+        )
     h_measured = np.asarray(h_measured, dtype=float)
     b_measured = np.asarray(b_measured, dtype=float)
     if h_measured.shape != b_measured.shape:
@@ -114,34 +154,99 @@ def fit_ja_parameters(
     b_swing = float(b_measured.max() - b_measured.min())
     nfev = [0]
 
-    def residual(x: np.ndarray) -> np.ndarray:
-        nfev[0] += 1
+    def candidate_of(x: np.ndarray) -> JAParameters | None:
         values = {n: float(10.0**v) for n, v in zip(names, x)}
         try:
-            candidate = initial.with_updates(**values)
+            return initial.with_updates(**values)
+        except Exception:
+            return None
+
+    def residual_of_trajectory(
+        h_sim: np.ndarray, b_sim: np.ndarray
+    ) -> np.ndarray | None:
+        """Branch-wise common-grid residual, None when incomparable.
+
+        least_squares wants a residual vector, so the comparison grid
+        is built directly; _residual_vector raises AnalysisError for
+        the same branch-mismatch/no-overlap cases compare_bh_curves
+        guards against, so no separate validity probe is needed.
+        """
+        try:
+            return _residual_vector(
+                h_sim, b_sim, h_measured, b_measured, grid_points_per_branch
+            )
+        except AnalysisError:
+            return None
+
+    def residual(x: np.ndarray) -> np.ndarray:
+        nfev[0] += 1
+        candidate = candidate_of(x)
+        if candidate is None:
+            return np.full(grid_points_per_branch, 10.0 * b_swing)
+        try:
             h_sim, b_sim = _simulate(candidate, waypoints, dhmax)
         except Exception:
             return np.full(grid_points_per_branch, 10.0 * b_swing)
-        # Branch-wise common-grid residual.
-        try:
-            distance = compare_bh_curves(
-                h_sim,
-                b_sim,
-                h_measured,
-                b_measured,
-                grid_points_per_branch=grid_points_per_branch,
-            )
-        except AnalysisError:
+        vector = residual_of_trajectory(h_sim, b_sim)
+        if vector is None:
             return np.full(grid_points_per_branch, 10.0 * b_swing)
-        # least_squares wants a residual vector; reconstruct it from
-        # the comparison grid for proper weighting.
-        return _residual_vector(
-            h_sim, b_sim, h_measured, b_measured, grid_points_per_branch
+        return vector
+
+    def batched_jacobian(x: np.ndarray) -> np.ndarray:
+        """Forward-difference Jacobian from ONE ensemble sweep.
+
+        The len(vary)+1 candidates (base point plus one forward step
+        per parameter) advance in lockstep through the batch engine;
+        each lane is bitwise what the serial scheme would simulate.
+        The lanes are counted into the evaluation total so
+        ``FitResult.iterations`` stays comparable with the serial
+        ``"2-point"`` path (where FD evaluations go through
+        ``residual`` and scipy's ``max_nfev``; here ``max_nfev`` only
+        bounds the optimiser's own residual calls).
+        """
+        nfev[0] += len(x) + 1
+        x = np.asarray(x, dtype=float)
+        sign = np.where(x >= 0.0, 1.0, -1.0)
+        steps = _FD_REL_STEP * sign * np.maximum(1.0, np.abs(x))
+        # One-sided scheme: flip any step that would leave the bounds.
+        steps = np.where(
+            (x + steps > upper) | (x + steps < lower), -steps, steps
         )
+        points = [x] + [x + steps[i] * np.eye(len(x))[i] for i in range(len(x))]
+        candidates = [candidate_of(p) for p in points]
+        valid = [c for c in candidates if c is not None]
+        trajectories: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if valid:
+            ensemble = _simulate_batch(valid, waypoints, dhmax)
+            lane = 0
+            for i, c in enumerate(candidates):
+                if c is not None:
+                    trajectories[i] = (
+                        ensemble.h_of(lane),
+                        ensemble.b[:, lane],
+                    )
+                    lane += 1
+
+        def vector_of(i: int) -> np.ndarray | None:
+            if i not in trajectories:
+                return None
+            return residual_of_trajectory(*trajectories[i])
+
+        f0 = vector_of(0)
+        if f0 is None:
+            f0 = np.full(grid_points_per_branch, 10.0 * b_swing)
+        jac = np.empty((len(f0), len(x)))
+        for i in range(len(x)):
+            fi = vector_of(i + 1)
+            if fi is None or fi.shape != f0.shape:
+                fi = np.full_like(f0, 10.0 * b_swing)
+            jac[:, i] = (fi - f0) / steps[i]
+        return jac
 
     solution = least_squares(
         residual,
         x0,
+        jac=batched_jacobian if jacobian == "batched" else "2-point",
         bounds=(lower, upper),
         max_nfev=max_nfev,
         xtol=1e-10,
@@ -170,6 +275,59 @@ def fit_ja_parameters(
         b_swing=b_swing,
         iterations=nfev[0],
         converged=bool(solution.success),
+    )
+
+
+def fit_ja_parameters_multistart(
+    h_measured: np.ndarray,
+    b_measured: np.ndarray,
+    waypoints: Sequence[float],
+    initials: Sequence[JAParameters],
+    vary: Sequence[str] = DEFAULT_VARY,
+    dhmax: float = 200.0,
+    grid_points_per_branch: int = 60,
+    max_nfev: int = 60,
+    jacobian: str = "batched",
+) -> FitResult:
+    """Score many starting guesses in one ensemble sweep, polish the best.
+
+    All ``initials`` are simulated together by the batch engine (one
+    lockstep sweep instead of a per-model loop), ranked by RMS distance
+    to the measurement, and the best start is handed to
+    :func:`fit_ja_parameters`.  Use this when only order-of-magnitude
+    guesses exist: scoring a grid of starts costs barely more than one.
+    """
+    if len(initials) == 0:
+        raise AnalysisError("need at least one starting parameter set")
+    h_measured = np.asarray(h_measured, dtype=float)
+    b_measured = np.asarray(b_measured, dtype=float)
+    ensemble = _simulate_batch(list(initials), waypoints, dhmax)
+    scores = []
+    for i, start in enumerate(initials):
+        try:
+            distance = compare_bh_curves(
+                ensemble.h_of(i),
+                ensemble.b[:, i],
+                h_measured,
+                b_measured,
+                grid_points_per_branch=grid_points_per_branch,
+            )
+            scores.append((distance.rms, i))
+        except AnalysisError:
+            continue
+    if not scores:
+        raise AnalysisError("no starting guess produced a comparable loop")
+    _, best = min(scores)
+    return fit_ja_parameters(
+        h_measured,
+        b_measured,
+        waypoints,
+        initial=initials[best],
+        vary=vary,
+        dhmax=dhmax,
+        grid_points_per_branch=grid_points_per_branch,
+        max_nfev=max_nfev,
+        jacobian=jacobian,
     )
 
 

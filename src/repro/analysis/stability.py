@@ -156,3 +156,46 @@ def audit_trajectory(
         monotonicity_depth=depth,
         max_step_change=max_step,
     )
+
+
+def audit_trajectory_batch(
+    h: np.ndarray,
+    b: np.ndarray,
+    slope_tolerance: float = 1e-12,
+    runaway_limit: float = 1e6,
+) -> list[StabilityAudit]:
+    """Audit every lane of a batch-ensemble trajectory.
+
+    ``b`` is ``(samples, cores)`` as produced by
+    :func:`repro.batch.sweep.run_batch_series`; ``h`` is either the
+    shared 1-D driver vector or a matching ``(samples, cores)`` matrix.
+    Returns one :class:`StabilityAudit` per core.  The turning-point
+    segmentation is inherently per-waveform, so lanes are audited
+    individually — the batched part of the workload is producing the
+    trajectories, not judging them.
+    """
+    b = np.asarray(b, dtype=float)
+    h = np.asarray(h, dtype=float)
+    if b.ndim != 2:
+        raise AnalysisError(f"b must be (samples, cores), got shape {b.shape}")
+    if h.ndim == 1:
+        if h.shape[0] != b.shape[0]:
+            raise AnalysisError(
+                f"shared h has {h.shape[0]} samples but b has {b.shape[0]}"
+            )
+        columns = (h for _ in range(b.shape[1]))
+    elif h.shape == b.shape:
+        columns = (h[:, i] for i in range(b.shape[1]))
+    else:
+        raise AnalysisError(
+            f"h shape {h.shape} matches neither (samples,) nor b's {b.shape}"
+        )
+    return [
+        audit_trajectory(
+            h_col,
+            b[:, i],
+            slope_tolerance=slope_tolerance,
+            runaway_limit=runaway_limit,
+        )
+        for i, h_col in enumerate(columns)
+    ]

@@ -1,0 +1,38 @@
+"""Vectorised batch-ensemble layer over the pure timeless step kernel.
+
+The third layer of the architecture (see the repo README):
+
+1. pure kernel — :mod:`repro.core.kernel`;
+2. stateful scalar wrappers — :mod:`repro.core.integrator` /
+   :mod:`repro.core.model`;
+3. **batch ensemble engine** (this package) — N independent cores with
+   heterogeneous parameters, ``dhmax``, guards and waveforms advanced
+   in lockstep per driver sample via masked NumPy updates, each lane
+   bitwise identical to a scalar model run.
+
+Use :class:`BatchTimelessModel` when you control the stepping yourself,
+:func:`sweep` for the one-call "many materials, one schedule" workload
+that used to be a Python loop over models, and
+:func:`run_batch_series` for heterogeneous per-core waveforms.
+"""
+
+from repro.batch.engine import BatchCounters, BatchState, BatchTimelessModel
+from repro.batch.params import BatchJAParameters, stack_parameters
+from repro.batch.sweep import (
+    BatchSweepResult,
+    run_batch_series,
+    run_batch_sweep,
+    sweep,
+)
+
+__all__ = [
+    "BatchCounters",
+    "BatchJAParameters",
+    "BatchState",
+    "BatchSweepResult",
+    "BatchTimelessModel",
+    "run_batch_series",
+    "run_batch_sweep",
+    "stack_parameters",
+    "sweep",
+]

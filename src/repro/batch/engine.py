@@ -1,0 +1,429 @@
+"""Vectorised batch-ensemble engine: N timeless cores in lockstep.
+
+:class:`BatchTimelessModel` advances N independent Jiles-Atherton cores
+— heterogeneous parameters, ``dhmax`` thresholds, guard combinations and
+``accept_equal`` variants — one driver sample at a time, with all N
+lanes updated by a single call into the pure step kernel
+(:func:`repro.core.kernel.step_kernel`) using masked NumPy updates.
+
+Each lane is **bitwise identical** to an independent
+:class:`repro.core.model.TimelessJAModel` run over the same samples:
+the kernel's array path performs exactly the scalar path's IEEE
+operations per lane (asserted by ``tests/test_batch_equivalence.py``).
+The batch engine therefore is not an approximation — it is the scalar
+model, amortised: one Python-level step dispatch per *sample* instead
+of per sample *per core*, which is where the order-of-magnitude
+throughput win over the scalar loop comes from
+(``benchmarks/test_bench_batch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_DHMAX
+from repro.core.kernel import StepInputs, StepOutputs, refresh_algebraic, step_kernel
+from repro.core.slope import SlopeGuards, stack_guards
+from repro.batch.params import BatchJAParameters, stack_parameters
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.equations import flux_density
+from repro.ja.parameters import JAParameters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.model import TimelessJAModel
+
+
+@dataclass(slots=True)
+class BatchState:
+    """Struct-of-arrays mirror of :class:`repro.core.state.JAState`."""
+
+    h_applied: np.ndarray
+    h_accepted: np.ndarray
+    m_irr: np.ndarray
+    m_rev: np.ndarray
+    m_an: np.ndarray
+    m_total: np.ndarray
+    delta: np.ndarray
+    updates: np.ndarray
+
+    @classmethod
+    def zeros(cls, n: int) -> "BatchState":
+        return cls(
+            h_applied=np.zeros(n),
+            h_accepted=np.zeros(n),
+            m_irr=np.zeros(n),
+            m_rev=np.zeros(n),
+            m_an=np.zeros(n),
+            m_total=np.zeros(n),
+            delta=np.zeros(n),
+            updates=np.zeros(n, dtype=np.int64),
+        )
+
+    def is_finite(self) -> np.ndarray:
+        """Per-lane divergence check (all float members finite)."""
+        return (
+            np.isfinite(self.h_applied)
+            & np.isfinite(self.h_accepted)
+            & np.isfinite(self.m_irr)
+            & np.isfinite(self.m_rev)
+            & np.isfinite(self.m_an)
+            & np.isfinite(self.m_total)
+        )
+
+
+@dataclass(slots=True)
+class BatchCounters:
+    """Struct-of-arrays mirror of
+    :class:`repro.core.integrator.IntegratorCounters` plus the
+    discretiser statistics (one lane per core)."""
+
+    field_events: np.ndarray
+    euler_steps: np.ndarray
+    clamped_slopes: np.ndarray
+    dropped_increments: np.ndarray
+    observations: np.ndarray
+    acceptances: np.ndarray
+
+    @classmethod
+    def zeros(cls, n: int) -> "BatchCounters":
+        return cls(*(np.zeros(n, dtype=np.int64) for _ in range(6)))
+
+    def reset(self) -> None:
+        for arr in (
+            self.field_events,
+            self.euler_steps,
+            self.clamped_slopes,
+            self.dropped_increments,
+            self.observations,
+            self.acceptances,
+        ):
+            arr[:] = 0
+
+
+def _broadcast_lane(value, n: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ParameterError(
+            f"{name} must be a scalar or a length-{n} array, got shape {arr.shape}"
+        )
+    return arr.copy()
+
+
+class BatchTimelessModel:
+    """N timeless JA cores advanced in lockstep per driver sample.
+
+    Parameters
+    ----------
+    params:
+        The ensemble's materials: a sequence of
+        :class:`repro.ja.parameters.JAParameters` (heterogeneous is the
+        point) or an already stacked :class:`BatchJAParameters`.
+    dhmax:
+        Field-increment threshold [A/m]; scalar or one per core.
+    anhysteretic:
+        Anhysteretic curve evaluated lane-wise; defaults to the paper's
+        modified Langevin built from the stacked ``a2``/``a`` shapes.
+    guards:
+        One :class:`SlopeGuards` shared by all cores, or a sequence of
+        per-core guard settings (stacked to boolean arrays).
+    accept_equal:
+        Discretiser ``>=`` variant; bool or one per core.
+    """
+
+    def __init__(
+        self,
+        params: "Sequence[JAParameters] | BatchJAParameters",
+        dhmax: "float | np.ndarray" = DEFAULT_DHMAX,
+        anhysteretic: Anhysteretic | None = None,
+        guards: "SlopeGuards | Sequence[SlopeGuards]" = SlopeGuards(),
+        accept_equal: "bool | Sequence[bool] | np.ndarray" = False,
+    ) -> None:
+        self.params = stack_parameters(params)
+        n = len(self.params)
+        self.dhmax = _broadcast_lane(dhmax, n, "dhmax")
+        if not (np.isfinite(self.dhmax).all() and (self.dhmax > 0.0).all()):
+            raise ParameterError(
+                f"dhmax lanes must be finite and > 0, got {self.dhmax!r}"
+            )
+        self.anhysteretic = (
+            anhysteretic
+            if anhysteretic is not None
+            else make_anhysteretic(self.params)
+        )
+        if isinstance(guards, SlopeGuards):
+            self.guards = guards
+        else:
+            guards = list(guards)
+            if len(guards) != n:
+                raise ParameterError(
+                    f"need one SlopeGuards per core ({n}), got {len(guards)}"
+                )
+            self.guards = stack_guards(guards)
+        accept = np.asarray(accept_equal, dtype=bool)
+        if accept.ndim == 0:
+            self.accept_equal: "bool | np.ndarray" = bool(accept)
+        elif accept.shape == (n,):
+            self.accept_equal = accept.copy()
+        else:
+            raise ParameterError(
+                f"accept_equal must be a bool or a length-{n} array, "
+                f"got shape {accept.shape}"
+            )
+        self.state = BatchState.zeros(n)
+        self.counters = BatchCounters.zeros(n)
+        self.reset()
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_scalar_models(
+        cls, models: "Sequence[TimelessJAModel]"
+    ) -> "BatchTimelessModel":
+        """Stack live scalar models into one batch, adopting their state.
+
+        All models must share the anhysteretic *family*; shapes (and the
+        rest of the configuration) may differ per model.  Counters are
+        adopted too, so :meth:`write_back_to_models` can later return
+        cumulative totals to the scalar objects.
+        """
+        if len(models) == 0:
+            raise ParameterError("need at least one model to stack")
+        integrators = [m._integrator for m in models]
+        curves = [i.anhysteretic for i in integrators]
+        if all(curve is curves[0] for curve in curves):
+            # One shared curve object (always the case for the one-core
+            # series routing): reuse it as-is, so custom Anhysteretic
+            # subclasses keep their full configuration.
+            anhysteretic = curves[0]
+        else:
+            curve_types = {type(c) for c in curves}
+            if len(curve_types) != 1:
+                raise ParameterError(
+                    "cannot stack models with different anhysteretic "
+                    f"families: {sorted(t.__name__ for t in curve_types)}"
+                )
+            curve_cls = curve_types.pop()
+            shapes = np.array([c.shape for c in curves], dtype=float)
+            extra: dict[str, float] = {}
+            j_values = {getattr(c, "j", None) for c in curves} - {None}
+            if j_values:
+                if len(j_values) != 1:
+                    raise ParameterError(
+                        "cannot stack Brillouin curves with different J values"
+                    )
+                extra["j"] = j_values.pop()
+            try:
+                anhysteretic = curve_cls(shapes, **extra)
+            except TypeError as exc:
+                raise ParameterError(
+                    f"cannot stack distinct {curve_cls.__name__} instances: "
+                    "its constructor is not (shape)-compatible; share one "
+                    "curve object across the models or pass a batch-aware "
+                    "anhysteretic explicitly"
+                ) from exc
+        batch = cls(
+            [i.params for i in integrators],
+            dhmax=np.array([i.discretiser.dhmax for i in integrators]),
+            anhysteretic=anhysteretic,
+            guards=[i.guards for i in integrators],
+            accept_equal=np.array(
+                [i.discretiser.accept_equal for i in integrators]
+            ),
+        )
+        batch.adopt_states(models)
+        return batch
+
+    def adopt_states(self, models: "Sequence[TimelessJAModel]") -> None:
+        """Copy each scalar model's live state/counters into the lanes."""
+        state, counters = self.state, self.counters
+        for i, model in enumerate(models):
+            s = model._integrator.state
+            state.h_applied[i] = s.h_applied
+            state.h_accepted[i] = s.h_accepted
+            state.m_irr[i] = s.m_irr
+            state.m_rev[i] = s.m_rev
+            state.m_an[i] = s.m_an
+            state.m_total[i] = s.m_total
+            state.delta[i] = s.delta
+            state.updates[i] = s.updates
+            c = model._integrator.counters
+            counters.field_events[i] = c.field_events
+            counters.euler_steps[i] = c.euler_steps
+            counters.clamped_slopes[i] = c.clamped_slopes
+            counters.dropped_increments[i] = c.dropped_increments
+            d = model._integrator.discretiser
+            counters.observations[i] = d.observations
+            counters.acceptances[i] = d.acceptances
+
+    def write_back_to_models(self, models: "Sequence[TimelessJAModel]") -> None:
+        """Copy lane state/counters back onto scalar models (the inverse
+        of :meth:`adopt_states`; lanes map to models by position)."""
+        state, counters = self.state, self.counters
+        for i, model in enumerate(models):
+            s = model._integrator.state
+            s.h_applied = float(state.h_applied[i])
+            s.h_accepted = float(state.h_accepted[i])
+            s.m_irr = float(state.m_irr[i])
+            s.m_rev = float(state.m_rev[i])
+            s.m_an = float(state.m_an[i])
+            s.m_total = float(state.m_total[i])
+            s.delta = float(state.delta[i])
+            s.updates = int(state.updates[i])
+            c = model._integrator.counters
+            c.field_events = int(counters.field_events[i])
+            c.euler_steps = int(counters.euler_steps[i])
+            c.clamped_slopes = int(counters.clamped_slopes[i])
+            c.dropped_increments = int(counters.dropped_increments[i])
+            d = model._integrator.discretiser
+            d.observations = int(counters.observations[i])
+            d.acceptances = int(counters.acceptances[i])
+
+    # -- state access -----------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.params)
+
+    def __len__(self) -> int:
+        return self.n_cores
+
+    @property
+    def h(self) -> np.ndarray:
+        """Currently applied field per core [A/m]."""
+        return self.state.h_applied
+
+    @property
+    def m_normalised(self) -> np.ndarray:
+        return self.state.m_total
+
+    @property
+    def m(self) -> np.ndarray:
+        """Total magnetisation per core [A/m]."""
+        return self.state.m_total * self.params.m_sat
+
+    @property
+    def b(self) -> np.ndarray:
+        """Flux density per core ``B = mu0 * (H + Msat*m)`` [T]."""
+        return flux_density(self.params, self.state.h_applied, self.state.m_total)
+
+    # -- stepping ---------------------------------------------------------
+
+    def reset(
+        self,
+        h_initial: "float | np.ndarray" = 0.0,
+        m_irr_initial: "float | np.ndarray" = 0.0,
+    ) -> None:
+        """Return every lane to its initial condition and zero statistics.
+
+        Mirrors the scalar reset exactly: state cleared, then the
+        algebraic quantities refreshed at the initial field.
+        """
+        n = self.n_cores
+        h0 = _broadcast_lane(h_initial, n, "h_initial")
+        m0 = _broadcast_lane(m_irr_initial, n, "m_irr_initial")
+        state = self.state
+        state.h_applied = h0
+        state.h_accepted = h0.copy()
+        state.m_irr = m0
+        state.delta = np.zeros(n)
+        state.updates = np.zeros(n, dtype=np.int64)
+        state.m_total = m0.copy()
+        self.counters.reset()
+        m_an, m_rev = refresh_algebraic(
+            self.params, self.anhysteretic, h0, state.m_total
+        )
+        state.m_an = np.asarray(m_an, dtype=float)
+        state.m_rev = np.asarray(m_rev, dtype=float)
+        state.m_total = state.m_rev + state.m_irr
+
+    def step(self, h_new: "float | np.ndarray") -> StepOutputs:
+        """Apply one new field sample to every lane (scalar = shared).
+
+        One pure-kernel call; returns the full :class:`StepOutputs`
+        (its ``accepted`` mask tells which lanes fired an Euler step).
+        """
+        n = self.n_cores
+        h = np.asarray(h_new, dtype=float)
+        if h.ndim == 0:
+            h = np.full(n, float(h))
+        elif h.shape != (n,):
+            raise ParameterError(
+                f"h_new must be a scalar or a length-{n} array, got {h.shape}"
+            )
+        state = self.state
+        out = step_kernel(
+            StepInputs(
+                h_new=h,
+                h_accepted=state.h_accepted,
+                m_irr=state.m_irr,
+                m_total=state.m_total,
+                delta=state.delta,
+            ),
+            self.params,
+            self.anhysteretic,
+            self.dhmax,
+            guards=self.guards,
+            accept_equal=self.accept_equal,
+        )
+        state.h_applied = h
+        state.m_an = np.asarray(out.m_an, dtype=float)
+        state.m_rev = np.asarray(out.m_rev, dtype=float)
+        state.m_irr = np.asarray(out.m_irr, dtype=float)
+        state.m_total = np.asarray(out.m_total, dtype=float)
+        state.h_accepted = np.asarray(out.h_accepted, dtype=float)
+        state.delta = np.asarray(out.delta, dtype=float)
+        accepted = out.accepted
+        state.updates += accepted
+        counters = self.counters
+        counters.field_events += 1
+        counters.observations += 1
+        counters.euler_steps += accepted
+        counters.acceptances += accepted
+        counters.clamped_slopes += out.clamped
+        counters.dropped_increments += out.dropped
+        return out
+
+    def apply_field_series(self, h_values: np.ndarray) -> np.ndarray:
+        """Apply a series of samples; return B [T] of shape (samples, cores).
+
+        ``h_values`` may be 1-D (one waveform shared by all cores) or
+        2-D ``(samples, cores)`` (one waveform per core).
+        """
+        _, _, b = self.trace(h_values)
+        return b
+
+    def trace(
+        self, h_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply a series and return ``(h, m, b)``; ``m``/``b`` are
+        ``(samples, cores)`` arrays, ``m`` in A/m."""
+        h_arr = np.asarray(h_values, dtype=float)
+        if h_arr.ndim not in (1, 2):
+            raise ParameterError(
+                f"h_values must be 1-D or (samples, cores), got shape {h_arr.shape}"
+            )
+        if h_arr.ndim == 2 and h_arr.shape[1] != self.n_cores:
+            raise ParameterError(
+                f"per-core waveforms need {self.n_cores} columns, "
+                f"got {h_arr.shape[1]}"
+            )
+        samples = h_arr.shape[0]
+        m_out = np.empty((samples, self.n_cores))
+        b_out = np.empty((samples, self.n_cores))
+        for i in range(samples):
+            self.step(h_arr[i])
+            m_out[i] = self.m
+            b_out[i] = self.b
+        return h_arr, m_out, b_out
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchTimelessModel(n_cores={self.n_cores}, "
+            f"dhmax=[{self.dhmax.min():g}..{self.dhmax.max():g}])"
+        )

@@ -1,0 +1,181 @@
+"""Ensemble DC-sweep driver: one waypoint walk, N cores, full records.
+
+The batch counterpart of :mod:`repro.core.sweep`: drives a
+:class:`repro.batch.engine.BatchTimelessModel` along a piecewise-linear
+waypoint path (or an explicit per-core sample matrix) and records every
+lane's trajectory.  :meth:`BatchSweepResult.core` slices one lane back
+out as an ordinary :class:`repro.core.sweep.SweepResult`, so downstream
+analysis (loop extraction, stability audits, metrics) is reused
+unchanged — the experiments that used to loop ``run_sweep`` over N
+models now make one :func:`sweep` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.engine import BatchTimelessModel
+from repro.constants import DEFAULT_DHMAX
+from repro.core.slope import SlopeGuards
+from repro.core.sweep import SweepResult, waypoint_samples
+from repro.errors import ParameterError
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.parameters import JAParameters
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSweepResult:
+    """Recorded trajectories of one lockstep ensemble sweep.
+
+    ``h`` is the driver sample vector (1-D when shared by all cores,
+    else ``(samples, cores)``); ``m``/``b``/``m_an``/``updated`` are
+    ``(samples, cores)``; the counters are per-core totals.
+    """
+
+    h: np.ndarray
+    m: np.ndarray
+    b: np.ndarray
+    m_an: np.ndarray
+    updated: np.ndarray
+    euler_steps: np.ndarray
+    clamped_slopes: np.ndarray
+    dropped_increments: np.ndarray
+
+    def __len__(self) -> int:
+        return self.m.shape[0]
+
+    @property
+    def n_cores(self) -> int:
+        return self.m.shape[1]
+
+    @property
+    def finite_lanes(self) -> np.ndarray:
+        """Per-core bool: True where the whole lane stayed finite."""
+        return (
+            np.isfinite(self.m).all(axis=0)
+            & np.isfinite(self.b).all(axis=0)
+            & np.isfinite(self.h).all(axis=0 if self.h.ndim == 2 else None)
+        )
+
+    @property
+    def finite(self) -> bool:
+        """True when every lane stayed finite."""
+        return bool(np.all(self.finite_lanes))
+
+    def h_of(self, index: int) -> np.ndarray:
+        """Driver samples seen by one core."""
+        return self.h[:, index] if self.h.ndim == 2 else self.h
+
+    def core(self, index: int) -> SweepResult:
+        """One lane as an ordinary scalar :class:`SweepResult`."""
+        return SweepResult(
+            h=self.h_of(index),
+            m=self.m[:, index],
+            b=self.b[:, index],
+            m_an=self.m_an[:, index],
+            updated=self.updated[:, index],
+            euler_steps=int(self.euler_steps[index]),
+            clamped_slopes=int(self.clamped_slopes[index]),
+            dropped_increments=int(self.dropped_increments[index]),
+        )
+
+    def cores(self) -> "list[SweepResult]":
+        return [self.core(i) for i in range(self.n_cores)]
+
+
+def run_batch_series(
+    batch: BatchTimelessModel,
+    h_samples: np.ndarray,
+    reset: bool = True,
+) -> BatchSweepResult:
+    """Drive the ensemble over explicit driver samples and record all lanes.
+
+    ``h_samples`` is 1-D (shared waveform) or ``(samples, cores)``
+    (heterogeneous waveforms, still advanced in lockstep).
+    """
+    h_arr = np.asarray(h_samples, dtype=float)
+    if h_arr.ndim not in (1, 2):
+        raise ParameterError(
+            f"h_samples must be 1-D or (samples, cores), got shape {h_arr.shape}"
+        )
+    if len(h_arr) == 0:
+        raise ParameterError("need at least one driver sample")
+    if reset:
+        batch.reset(h_initial=h_arr[0])
+
+    counters = batch.counters
+    steps_before = counters.euler_steps.copy()
+    clamped_before = counters.clamped_slopes.copy()
+    dropped_before = counters.dropped_increments.copy()
+
+    samples, n = h_arr.shape[0], batch.n_cores
+    m_out = np.empty((samples, n))
+    b_out = np.empty((samples, n))
+    man_out = np.empty((samples, n))
+    updated = np.zeros((samples, n), dtype=bool)
+    for i in range(samples):
+        out = batch.step(h_arr[i])
+        updated[i] = out.accepted
+        m_out[i] = batch.m
+        b_out[i] = batch.b
+        man_out[i] = batch.state.m_an
+
+    return BatchSweepResult(
+        h=h_arr,
+        m=m_out,
+        b=b_out,
+        m_an=man_out,
+        updated=updated,
+        euler_steps=counters.euler_steps - steps_before,
+        clamped_slopes=counters.clamped_slopes - clamped_before,
+        dropped_increments=counters.dropped_increments - dropped_before,
+    )
+
+
+def run_batch_sweep(
+    batch: BatchTimelessModel,
+    waypoints: Sequence[float],
+    driver_step: float | None = None,
+    reset: bool = True,
+) -> BatchSweepResult:
+    """Drive the ensemble along one shared waypoint path.
+
+    ``driver_step`` defaults to a quarter of the *smallest* lane
+    ``dhmax`` — the batch generalisation of the scalar driver default,
+    so the finest core still sees the accumulate-until-threshold event
+    semantics.  Pass it explicitly to reproduce a scalar run of a
+    specific model bitwise (``driver_step = model.dhmax / 4``).
+    """
+    if driver_step is None:
+        driver_step = float(np.min(batch.dhmax)) / 4.0
+    h_samples = waypoint_samples(waypoints, driver_step)
+    return run_batch_series(batch, h_samples, reset=reset)
+
+
+def sweep(
+    params: "Sequence[JAParameters] | object",
+    waypoints: Sequence[float],
+    dhmax: "float | np.ndarray" = DEFAULT_DHMAX,
+    driver_step: float | None = None,
+    anhysteretic: Anhysteretic | None = None,
+    guards: "SlopeGuards | Sequence[SlopeGuards]" = SlopeGuards(),
+    accept_equal: "bool | Sequence[bool] | np.ndarray" = False,
+) -> BatchSweepResult:
+    """One-call ensemble sweep: build the batch model, walk the waypoints.
+
+    This is the API that replaces per-model ``run_sweep`` loops: give it
+    the stacked parameter sets (plus optional per-core ``dhmax`` /
+    guards / ``accept_equal``) and one waypoint schedule, get every
+    trajectory back in a single lockstep pass.
+    """
+    batch = BatchTimelessModel(
+        params,
+        dhmax=dhmax,
+        anhysteretic=anhysteretic,
+        guards=guards,
+        accept_equal=accept_equal,
+    )
+    return run_batch_sweep(batch, waypoints, driver_step=driver_step)

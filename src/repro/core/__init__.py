@@ -9,6 +9,10 @@ turning-point discontinuities that break time-based integration.
 
 Module map (mirroring the three processes of the published SystemC code):
 
+* :mod:`repro.core.kernel` — the **pure step kernel**: one field event
+  as a side-effect-free ``StepInputs -> StepOutputs`` function over
+  scalar or array operands (all three processes in one call; the layer
+  the stateful wrappers and the batch engine share);
 * :mod:`repro.core.discretiser` — the ``monitorH`` process: decides when
   the field has moved enough to warrant an irreversible update;
 * :mod:`repro.core.slope` — the guarded slope evaluation inside
@@ -26,8 +30,9 @@ from repro.core.demagnetise import demagnetisation_schedule, demagnetise
 from repro.core.discretiser import FieldDiscretiser
 from repro.core.integrator import IntegratorCounters, TimelessIntegrator
 from repro.core.inverse import FluxDrivenJAModel
+from repro.core.kernel import StepInputs, StepOutputs, step_kernel
 from repro.core.model import TimelessJAModel
-from repro.core.slope import SlopeGuards, guarded_slope
+from repro.core.slope import SlopeGuards, guarded_slope, stack_guards
 from repro.core.state import JAState
 from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
 
@@ -37,6 +42,8 @@ __all__ = [
     "IntegratorCounters",
     "JAState",
     "SlopeGuards",
+    "StepInputs",
+    "StepOutputs",
     "SweepResult",
     "TimelessJAModel",
     "TimelessIntegrator",
@@ -45,4 +52,6 @@ __all__ = [
     "guarded_slope",
     "run_sweep",
     "run_sweep_dense",
+    "stack_guards",
+    "step_kernel",
 ]

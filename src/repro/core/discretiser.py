@@ -15,6 +15,11 @@ The comparison is strictly ``>`` in the published code.  For convergence
 studies it is convenient to accept increments exactly equal to
 ``dhmax`` (so a driver stepping in ``dhmax`` quanta yields Euler steps of
 exactly ``dhmax``); ``accept_equal=True`` enables that variant.
+
+The comparison itself is the pure function
+:func:`repro.core.kernel.discretiser_accepts` (shared with the batch
+engine); this class adds the parameter validation and the
+observation/acceptance statistics the stateful model reports.
 """
 
 from __future__ import annotations
@@ -22,10 +27,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.kernel import discretiser_accepts
 from repro.errors import ParameterError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiscretiserDecision:
     """Outcome of observing one new field value."""
 
@@ -56,16 +62,17 @@ class FieldDiscretiser:
 
     def observe(self, h_new: float, h_accepted: float) -> DiscretiserDecision:
         """Observe a new applied field against the last accepted one."""
-        self.observations += 1
         dh = h_new - h_accepted
-        magnitude = abs(dh)
-        if self.accept_equal:
-            accepted = magnitude >= self.dhmax
-        else:
-            accepted = magnitude > self.dhmax
+        accepted = bool(discretiser_accepts(dh, self.dhmax, self.accept_equal))
+        self.record(accepted)
+        return DiscretiserDecision(accepted=accepted, dh=dh)
+
+    def record(self, accepted: bool) -> None:
+        """Account for one observation whose decision was made elsewhere
+        (the integrator delegates the comparison to the step kernel)."""
+        self.observations += 1
         if accepted:
             self.acceptances += 1
-        return DiscretiserDecision(accepted=accepted, dh=dh)
 
     def reset_counters(self) -> None:
         """Zero the observation/acceptance statistics."""

@@ -17,22 +17,30 @@ the published event ordering makes the ``B`` output lag the ``mirr``
 update by one event.  The SystemC transliteration
 (:mod:`repro.hdl.systemc.ja_module`) preserves the published ordering;
 experiment EXP-T1 quantifies the (sub-dhmax) difference.
+
+Since the kernel extraction, this class is a *thin stateful wrapper*:
+all physics lives in the pure :func:`repro.core.kernel.step_kernel`;
+:meth:`TimelessIntegrator.step` only builds the kernel inputs from the
+owned :class:`JAState`, writes the outputs back and keeps the event
+statistics.  The batch engine (:mod:`repro.batch`) wraps the identical
+kernel over arrays, which is what makes scalar and batched trajectories
+bitwise interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constants import DEFAULT_DHMAX
 from repro.core.discretiser import FieldDiscretiser
-from repro.core.slope import SlopeGuards, SlopeResult, guarded_slope
+from repro.core.kernel import StepInputs, refresh_algebraic, step_kernel
+from repro.core.slope import SlopeGuards, SlopeResult
 from repro.core.state import JAState
 from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
-from repro.ja.equations import effective_field, reversible_magnetisation
 from repro.ja.parameters import JAParameters
 
 
-@dataclass
+@dataclass(slots=True)
 class IntegratorCounters:
     """Cumulative event statistics for one integrator instance."""
 
@@ -117,43 +125,57 @@ class TimelessIntegrator:
     def _refresh_algebraic(self, h_new: float) -> None:
         """The ``core`` process: update He, man, mrev at field ``h_new``."""
         state = self.state
-        h_eff = effective_field(self.params, h_new, state.m_total)
-        state.m_an = self.anhysteretic.value(h_eff)
-        state.m_rev = reversible_magnetisation(self.params, state.m_an)
+        state.m_an, state.m_rev = refresh_algebraic(
+            self.params, self.anhysteretic, h_new, state.m_total
+        )
 
     def step(self, h_new: float) -> SlopeResult | None:
         """Apply a new field value; return the slope result if a Euler
         step was taken, else None.
 
         This is the only way the model advances: there is no notion of
-        time anywhere in the call chain.
+        time anywhere in the call chain.  The physics is one call into
+        the pure step kernel; this method just moves state and counters.
         """
         state = self.state
         self.counters.field_events += 1
         state.h_applied = h_new
 
-        self._refresh_algebraic(h_new)
+        out = step_kernel(
+            StepInputs(
+                h_new=h_new,
+                h_accepted=state.h_accepted,
+                m_irr=state.m_irr,
+                m_total=state.m_total,
+                delta=state.delta,
+            ),
+            self.params,
+            self.anhysteretic,
+            self.discretiser.dhmax,
+            guards=self.guards,
+            accept_equal=self.discretiser.accept_equal,
+        )
 
-        decision = self.discretiser.observe(h_new, state.h_accepted)
-        result: SlopeResult | None = None
-        if decision.accepted:
-            m_candidate = state.m_rev + state.m_irr
-            result = guarded_slope(
-                self.params,
-                state.m_an,
-                m_candidate,
-                decision.dh,
-                guards=self.guards,
-            )
-            state.m_irr += result.dm
-            state.h_accepted = h_new
-            state.delta = 1.0 if decision.dh > 0.0 else -1.0
-            state.updates += 1
-            self.counters.euler_steps += 1
-            if result.clamped:
-                self.counters.clamped_slopes += 1
-            if result.dropped:
-                self.counters.dropped_increments += 1
+        state.m_an = out.m_an
+        state.m_rev = out.m_rev
+        state.m_irr = out.m_irr
+        state.m_total = out.m_total
+        state.h_accepted = out.h_accepted
+        state.delta = out.delta
 
-        state.m_total = state.m_rev + state.m_irr
-        return result
+        self.discretiser.record(out.accepted)
+        if not out.accepted:
+            return None
+        state.updates += 1
+        self.counters.euler_steps += 1
+        if out.clamped:
+            self.counters.clamped_slopes += 1
+        if out.dropped:
+            self.counters.dropped_increments += 1
+        return SlopeResult(
+            dmdh=out.dmdh,
+            dm=out.dm,
+            raw_dmdh=out.raw_dmdh,
+            clamped=out.clamped,
+            dropped=out.dropped,
+        )

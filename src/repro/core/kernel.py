@@ -1,0 +1,213 @@
+"""Pure step kernel: one timeless event as a ``StepInputs -> StepOutputs`` map.
+
+This is the bottom layer of the three-layer architecture:
+
+1. **pure kernel** (this module) — the physics of one field event with
+   no state, no classes and no side effects;
+2. **stateful scalar wrappers** (:class:`repro.core.integrator.TimelessIntegrator`,
+   :class:`repro.core.model.TimelessJAModel`) — thin objects that own a
+   :class:`repro.core.state.JAState` and delegate every step here;
+3. **batch ensemble engine** (:mod:`repro.batch`) — advances N
+   independent cores in lockstep by calling the same kernel with
+   struct-of-arrays operands.
+
+One :func:`step_kernel` call covers the three published SystemC
+processes for a single new field value:
+
+* ``core`` — the algebraic refresh of ``He``, ``man`` and ``mrev`` at
+  the new field (happens on *every* call);
+* ``monitorH`` — the discretiser decision: has the pending increment
+  ``H - lasth`` exceeded ``dhmax``?
+* ``Integral`` — when accepted, one guarded Forward Euler step of the
+  irreversible magnetisation, then recombination
+  ``m_total = m_rev + m_irr``.
+
+Every operand may be a scalar **or** a NumPy array: scalars take the
+same branchy fast path the pre-refactor integrator used (bit-for-bit
+identical trajectories), arrays evaluate all lanes with masked
+``np.where`` updates such that each lane is bitwise identical to the
+corresponding scalar call.  ``params`` may be a
+:class:`repro.ja.parameters.JAParameters` or any attribute-compatible
+struct-of-arrays (:class:`repro.batch.params.BatchJAParameters`).
+
+The kernel is deliberately free of ``self``: given the same inputs it
+returns the same outputs, which is what makes trajectories replayable,
+lanes independent, and the whole scheme vectorisable — the same design
+probabilistic ODE solver libraries use for their solver steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.slope import SlopeGuards, guarded_slope
+from repro.ja.anhysteretic import Anhysteretic
+from repro.ja.equations import effective_field, reversible_magnetisation
+from repro.ja.parameters import JAParameters
+
+
+@dataclass(frozen=True, slots=True)
+class StepInputs:
+    """The part of the model state one step reads.
+
+    All fields are scalars (one core) or same-length arrays (one lane
+    per core).  ``delta`` is carried through so unaccepted events leave
+    the last direction untouched, exactly like the stateful model.
+    """
+
+    h_new: float | np.ndarray
+    h_accepted: float | np.ndarray
+    m_irr: float | np.ndarray
+    m_total: float | np.ndarray
+    delta: float | np.ndarray = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class StepOutputs:
+    """Everything one step produces (new state + event bookkeeping).
+
+    Attributes
+    ----------
+    h_accepted, m_irr, m_rev, m_an, m_total, delta:
+        The post-event state fields (``h_applied`` is simply
+        ``h_new``, so it is not repeated here).
+    accepted:
+        Discretiser verdict — True where an Euler step fired.
+    dh:
+        Pending increment ``h_new - h_accepted_before`` (the published
+        ``dh``), regardless of acceptance.
+    dmdh, dm, raw_dmdh, clamped, dropped:
+        The guarded-slope record of the accepted lanes; zeros / False
+        in lanes where no step fired.
+    """
+
+    h_accepted: float | np.ndarray
+    m_irr: float | np.ndarray
+    m_rev: float | np.ndarray
+    m_an: float | np.ndarray
+    m_total: float | np.ndarray
+    delta: float | np.ndarray
+    accepted: bool | np.ndarray
+    dh: float | np.ndarray
+    dmdh: float | np.ndarray
+    dm: float | np.ndarray
+    raw_dmdh: float | np.ndarray
+    clamped: bool | np.ndarray
+    dropped: bool | np.ndarray
+
+
+def discretiser_accepts(
+    dh: "float | np.ndarray",
+    dhmax: "float | np.ndarray",
+    accept_equal: "bool | np.ndarray" = False,
+) -> "bool | np.ndarray":
+    """The ``monitorH`` comparison: does the pending increment trigger?
+
+    Strict ``>`` as published; ``accept_equal`` switches to ``>=`` (per
+    lane, when given as an array).
+    """
+    magnitude = abs(dh)
+    if np.ndim(accept_equal) == 0:
+        if accept_equal:
+            return magnitude >= dhmax
+        return magnitude > dhmax
+    return np.where(accept_equal, magnitude >= dhmax, magnitude > dhmax)
+
+
+def refresh_algebraic(
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    h_new: "float | np.ndarray",
+    m_total: "float | np.ndarray",
+) -> "tuple[float | np.ndarray, float | np.ndarray]":
+    """The ``core`` process: ``(m_an, m_rev)`` at the new field.
+
+    The effective field is computed from the *previous* total
+    magnetisation — the one event of algebraic lag the published code
+    has — so this must be evaluated before the Euler decision.
+    """
+    h_eff = effective_field(params, h_new, m_total)
+    m_an = anhysteretic.value(h_eff)
+    m_rev = reversible_magnetisation(params, m_an)
+    return m_an, m_rev
+
+
+def step_kernel(
+    inputs: StepInputs,
+    params: JAParameters,
+    anhysteretic: Anhysteretic,
+    dhmax: "float | np.ndarray",
+    guards: SlopeGuards = SlopeGuards(),
+    accept_equal: "bool | np.ndarray" = False,
+) -> StepOutputs:
+    """Advance one timeless event: algebraic refresh, discretiser
+    decision, guarded Euler step, recombination.
+
+    Pure function — no argument is mutated.  Scalar inputs return
+    scalar outputs via the original branchy fast path; array inputs
+    return array outputs computed lane-wise with masked updates.
+    """
+    m_an, m_rev = refresh_algebraic(params, anhysteretic, inputs.h_new, inputs.m_total)
+    dh = inputs.h_new - inputs.h_accepted
+    accepted = discretiser_accepts(dh, dhmax, accept_equal)
+
+    if np.ndim(accepted) == 0 and np.ndim(m_rev) == 0:
+        # -- scalar fast path (one core, no array broadcasting cost) ----
+        if accepted:
+            slope = guarded_slope(
+                params, m_an, m_rev + inputs.m_irr, dh, guards=guards
+            )
+            m_irr = inputs.m_irr + slope.dm
+            return StepOutputs(
+                h_accepted=inputs.h_new,
+                m_irr=m_irr,
+                m_rev=m_rev,
+                m_an=m_an,
+                m_total=m_rev + m_irr,
+                delta=1.0 if dh > 0.0 else -1.0,
+                accepted=True,
+                dh=dh,
+                dmdh=slope.dmdh,
+                dm=slope.dm,
+                raw_dmdh=slope.raw_dmdh,
+                clamped=slope.clamped,
+                dropped=slope.dropped,
+            )
+        return StepOutputs(
+            h_accepted=inputs.h_accepted,
+            m_irr=inputs.m_irr,
+            m_rev=m_rev,
+            m_an=m_an,
+            m_total=m_rev + inputs.m_irr,
+            delta=inputs.delta,
+            accepted=False,
+            dh=dh,
+            dmdh=0.0,
+            dm=0.0,
+            raw_dmdh=0.0,
+            clamped=False,
+            dropped=False,
+        )
+
+    # -- vectorised path: evaluate all lanes, mask the state writes ------
+    slope = guarded_slope(params, m_an, m_rev + inputs.m_irr, dh, guards=guards)
+    m_irr = np.where(accepted, inputs.m_irr + slope.dm, inputs.m_irr)
+    return StepOutputs(
+        h_accepted=np.where(accepted, inputs.h_new, inputs.h_accepted),
+        m_irr=m_irr,
+        m_rev=m_rev,
+        m_an=m_an,
+        m_total=m_rev + m_irr,
+        delta=np.where(
+            accepted, np.where(dh > 0.0, 1.0, -1.0), inputs.delta
+        ),
+        accepted=accepted,
+        dh=dh,
+        dmdh=np.where(accepted, slope.dmdh, 0.0),
+        dm=np.where(accepted, slope.dm, 0.0),
+        raw_dmdh=np.where(accepted, slope.raw_dmdh, 0.0),
+        clamped=accepted & slope.clamped,
+        dropped=accepted & slope.dropped,
+    )

@@ -129,8 +129,22 @@ class TimelessJAModel:
         return self.b
 
     def apply_field_series(self, h_values: Iterable[float]) -> np.ndarray:
-        """Apply a sequence of field values; return B [T] after each."""
-        return np.array([self.apply_field(float(h)) for h in h_values])
+        """Apply a sequence of field values; return B [T] after each.
+
+        An ndarray input is routed through the batch engine (a one-core
+        ensemble sharing this model's state — bitwise identical, see
+        :mod:`repro.batch`); other iterables take a preallocated scalar
+        loop.
+        """
+        if isinstance(h_values, np.ndarray) and h_values.ndim == 1:
+            return self._series_via_batch(h_values)[2]
+        h_arr = np.fromiter((float(h) for h in h_values), dtype=float)
+        b_out = np.empty_like(h_arr)
+        step = self._integrator.step
+        for i, h in enumerate(h_arr):
+            step(float(h))
+            b_out[i] = self.b
+        return b_out
 
     def trace(
         self, h_values: Sequence[float]
@@ -138,16 +152,36 @@ class TimelessJAModel:
         """Apply a field series and return ``(h, m, b)`` arrays.
 
         ``m`` is in A/m.  Convenience wrapper used by analysis helpers
-        that need magnetisation as well as flux density.
+        that need magnetisation as well as flux density.  ndarray input
+        goes through the batch engine, like :meth:`apply_field_series`.
         """
-        h_arr = np.asarray(list(h_values), dtype=float)
+        if isinstance(h_values, np.ndarray) and h_values.ndim == 1:
+            return self._series_via_batch(h_values)
+        h_arr = np.fromiter((float(h) for h in h_values), dtype=float)
         m_out = np.empty_like(h_arr)
         b_out = np.empty_like(h_arr)
+        step = self._integrator.step
         for i, h in enumerate(h_arr):
-            self._integrator.step(float(h))
+            step(float(h))
             m_out[i] = self.m
             b_out[i] = self.b
         return h_arr, m_out, b_out
+
+    def _series_via_batch(
+        self, h_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run a field series as a one-core batch ensemble.
+
+        The batch engine adopts this model's live state, advances it
+        through the pure step kernel, and writes the state and counters
+        back — so mixing scalar stepping and series calls stays exact.
+        """
+        from repro.batch.engine import BatchTimelessModel
+
+        batch = BatchTimelessModel.from_scalar_models([self])
+        h_arr, m_out, b_out = batch.trace(np.asarray(h_values, dtype=float))
+        batch.write_back_to_models([self])
+        return h_arr, m_out[:, 0], b_out[:, 0]
 
     def __repr__(self) -> str:
         return (

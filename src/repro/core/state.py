@@ -3,7 +3,10 @@
 The published SystemC module keeps its state in member variables that the
 three processes (``core``, ``monitorH``, ``Integral``) read and write.
 :class:`JAState` is the functional-core equivalent: a small mutable record
-with an explicit :meth:`snapshot` for trajectory recording.
+with an explicit :meth:`snapshot` for trajectory recording.  It is
+slotted — one instance is touched on every step of the hot path, and the
+batch engine keeps the same fields as arrays
+(:class:`repro.batch.engine.BatchState`) instead of N of these.
 
 All magnetisations are *normalised* (``m = M / Msat``), matching the
 published code.
@@ -12,10 +15,10 @@ published code.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
-@dataclass
+@dataclass(slots=True)
 class JAState:
     """Mutable state of one timeless JA model instance.
 

@@ -39,6 +39,32 @@ def timeless_workload(
     return {"euler_steps": sweep.euler_steps, "samples": len(sweep)}
 
 
+def batch_workload(
+    n_cores: int = 256,
+    dhmax: float = DEFAULT_DHMAX,
+    h_max: float = FIG1_H_MAX,
+) -> dict[str, float]:
+    """The same major loop on every lane of a batch ensemble.
+
+    Homogeneous on purpose: it measures the engine's per-sample
+    dispatch amortisation against ``timeless_workload`` run N times
+    (EXP-B1 covers the heterogeneous case).
+    """
+    from repro.batch.sweep import sweep as batch_sweep
+
+    result = batch_sweep(
+        [PAPER_PARAMETERS] * n_cores,
+        major_loop_waypoints(h_max, cycles=1),
+        dhmax=dhmax,
+        driver_step=dhmax / 4.0,
+    )
+    return {
+        "euler_steps": int(result.euler_steps.sum()),
+        "samples": len(result),
+        "cores": n_cores,
+    }
+
+
 def systemc_workload(
     dhmax: float = DEFAULT_DHMAX, h_max: float = FIG1_H_MAX
 ) -> dict[str, float]:
@@ -103,6 +129,7 @@ def ams_integ_workload(
 def run(dhmax: float = DEFAULT_DHMAX, h_max: float = FIG1_H_MAX) -> ExperimentResult:
     workloads = [
         ("timeless functional core", timeless_workload, {"dhmax": dhmax}),
+        ("batch ensemble (256 cores)", batch_workload, {"dhmax": dhmax}),
         ("timeless SystemC kernel", systemc_workload, {"dhmax": dhmax}),
         ("timeless VHDL-AMS", ams_timeless_workload, {"dhmax": dhmax}),
         ("'INTEG VHDL-AMS (loose tol)", ams_integ_workload, {}),

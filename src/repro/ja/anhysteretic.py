@@ -19,6 +19,15 @@ All curves are *normalised*: they return ``m_an = Man / Msat`` in
 ``(-1, 1)`` and their derivative with respect to the normalised argument.
 This matches the published SystemC code, which carries magnetisation as
 ``mtotal = M / ms`` throughout.
+
+**Ufunc safety.**  ``curve``/``curve_derivative``/``value``/``derivative``
+accept scalars or NumPy arrays; the ``shape`` parameter itself may be an
+array (one shape per ensemble member), which is how the batch engine
+(:mod:`repro.batch`) evaluates heterogeneous materials in one call.
+Scalar arguments keep the original ``math``-based fast path; the array
+branches use the NumPy ufuncs backed by the same libm kernels, so the
+two evaluate bitwise identically element-wise (asserted by the
+batch/scalar equivalence tests).
 """
 
 from __future__ import annotations
@@ -48,40 +57,50 @@ class Anhysteretic(ABC):
     ----------
     shape:
         Shape (scale) parameter in A/m: the effective field is divided by
-        it before evaluating the dimensionless curve.
+        it before evaluating the dimensionless curve.  May be an array
+        (one shape per ensemble member) for batch evaluation.
     """
 
     #: Registry key used by :func:`make_anhysteretic`.
     kind: str = "abstract"
 
-    def __init__(self, shape: float) -> None:
-        if not math.isfinite(shape) or shape <= 0.0:
-            raise ParameterError(
-                f"anhysteretic shape parameter must be finite and > 0, "
-                f"got {shape!r}"
-            )
-        self.shape = float(shape)
+    def __init__(self, shape: float | np.ndarray) -> None:
+        if np.ndim(shape) == 0:
+            if not math.isfinite(shape) or shape <= 0.0:
+                raise ParameterError(
+                    f"anhysteretic shape parameter must be finite and > 0, "
+                    f"got {shape!r}"
+                )
+            self.shape = float(shape)
+        else:
+            shape = np.asarray(shape, dtype=float)
+            if not (np.isfinite(shape).all() and (shape > 0.0).all()):
+                raise ParameterError(
+                    "anhysteretic shape parameters must all be finite and "
+                    f"> 0, got {shape!r}"
+                )
+            self.shape = shape
 
     @abstractmethod
-    def curve(self, x: float) -> float:
+    def curve(self, x: float | np.ndarray) -> float | np.ndarray:
         """Dimensionless curve value at dimensionless argument ``x``."""
 
     @abstractmethod
-    def curve_derivative(self, x: float) -> float:
+    def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         """Derivative of :meth:`curve` with respect to ``x``."""
 
-    def value(self, h_effective: float) -> float:
+    def value(self, h_effective: float | np.ndarray) -> float | np.ndarray:
         """Normalised anhysteretic magnetisation at effective field [A/m]."""
         return self.curve(h_effective / self.shape)
 
-    def derivative(self, h_effective: float) -> float:
+    def derivative(self, h_effective: float | np.ndarray) -> float | np.ndarray:
         """d(m_an)/d(He) at effective field [A/m] (units 1/(A/m))."""
         return self.curve_derivative(h_effective / self.shape) / self.shape
 
     def value_array(self, h_effective: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`value` for analysis code."""
         flat = np.asarray(h_effective, dtype=float)
-        return np.vectorize(self.value, otypes=[float])(flat)
+        return np.asarray(self.value(flat), dtype=float)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(shape={self.shape!r})"
@@ -97,21 +116,43 @@ class LangevinAnhysteretic(Anhysteretic):
 
     kind = "langevin"
 
-    def curve(self, x: float) -> float:
-        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
-            x2 = x * x
-            return x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
-        return 1.0 / math.tanh(x) - 1.0 / x
+    def curve(self, x: float | np.ndarray) -> float | np.ndarray:
+        # np.tanh/np.sinh (not math.*) in the scalar branches: NumPy's
+        # SIMD kernels differ from libm by 1 ulp at some inputs, and
+        # batch lanes must match the scalar path bitwise.
+        if np.ndim(x) == 0:
+            if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+                x2 = x * x
+                return x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
+            return 1.0 / float(np.tanh(x)) - 1.0 / x
+        x = np.asarray(x, dtype=float)
+        x2 = x * x
+        series = x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
+        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        safe = np.where(small, 1.0, x)
+        closed = 1.0 / np.tanh(safe) - 1.0 / safe
+        return np.where(small, series, closed)
 
-    def curve_derivative(self, x: float) -> float:
-        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
-            x2 = x * x
-            return 1.0 / 3.0 - x2 / 15.0 + 2.0 * x2 * x2 / 189.0
-        if abs(x) > _SINH_OVERFLOW_CUTOFF:
-            # 1/sinh(x)^2 underflows long before sinh overflows.
-            return 1.0 / (x * x)
-        sinh = math.sinh(x)
-        return 1.0 / (x * x) - 1.0 / (sinh * sinh)
+    def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
+        if np.ndim(x) == 0:
+            if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+                x2 = x * x
+                return 1.0 / 3.0 - x2 / 15.0 + 2.0 * x2 * x2 / 189.0
+            if abs(x) > _SINH_OVERFLOW_CUTOFF:
+                # 1/sinh(x)^2 underflows long before sinh overflows.
+                return 1.0 / (x * x)
+            sinh = float(np.sinh(x))
+            return 1.0 / (x * x) - 1.0 / (sinh * sinh)
+        x = np.asarray(x, dtype=float)
+        x2 = x * x
+        series = 1.0 / 3.0 - x2 / 15.0 + 2.0 * x2 * x2 / 189.0
+        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        overflow = np.abs(x) > _SINH_OVERFLOW_CUTOFF
+        safe = np.where(small, 1.0, x)
+        inv_x2 = 1.0 / (safe * safe)
+        sinh = np.sinh(np.where(small | overflow, 1.0, x))
+        closed = inv_x2 - 1.0 / (sinh * sinh)
+        return np.where(small, series, np.where(overflow, inv_x2, closed))
 
 
 class ModifiedLangevinAnhysteretic(Anhysteretic):
@@ -124,10 +165,15 @@ class ModifiedLangevinAnhysteretic(Anhysteretic):
 
     kind = "modified-langevin"
 
-    def curve(self, x: float) -> float:
-        return TWO_OVER_PI * math.atan(x)
+    def curve(self, x: float | np.ndarray) -> float | np.ndarray:
+        # np.arctan (not math.atan) in BOTH branches: NumPy's SIMD
+        # kernel differs from libm by 1 ulp at some inputs, and the
+        # batch engine's lanes must match the scalar path bitwise.
+        if np.ndim(x) == 0:
+            return TWO_OVER_PI * float(np.arctan(x))
+        return TWO_OVER_PI * np.arctan(x)
 
-    def curve_derivative(self, x: float) -> float:
+    def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         return TWO_OVER_PI / (1.0 + x * x)
 
 
@@ -147,31 +193,52 @@ class BrillouinAnhysteretic(Anhysteretic):
             raise ParameterError(f"Brillouin spin J must be > 0, got {j!r}")
         self.j = float(j)
 
-    def curve(self, x: float) -> float:
+    def curve(self, x: float | np.ndarray) -> float | np.ndarray:
         j = self.j
         c1 = (2.0 * j + 1.0) / (2.0 * j)
         c2 = 1.0 / (2.0 * j)
-        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
-            # B_J(x) ~ (J+1)/(3J) * x for small x.
-            return (j + 1.0) / (3.0 * j) * x
-        return c1 / math.tanh(c1 * x) - c2 / math.tanh(c2 * x)
+        if np.ndim(x) == 0:
+            if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+                # B_J(x) ~ (J+1)/(3J) * x for small x.
+                return (j + 1.0) / (3.0 * j) * x
+            return c1 / float(np.tanh(c1 * x)) - c2 / float(np.tanh(c2 * x))
+        x = np.asarray(x, dtype=float)
+        series = (j + 1.0) / (3.0 * j) * x
+        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        safe = np.where(small, 1.0, x)
+        closed = c1 / np.tanh(c1 * safe) - c2 / np.tanh(c2 * safe)
+        return np.where(small, series, closed)
 
-    def curve_derivative(self, x: float) -> float:
+    def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         j = self.j
         c1 = (2.0 * j + 1.0) / (2.0 * j)
         c2 = 1.0 / (2.0 * j)
-        if abs(x) < _LANGEVIN_SERIES_CUTOFF:
-            return (j + 1.0) / (3.0 * j)
+        if np.ndim(x) == 0:
+            if abs(x) < _LANGEVIN_SERIES_CUTOFF:
+                return (j + 1.0) / (3.0 * j)
 
-        def csch_squared(y: float) -> float:
-            if abs(y) > _SINH_OVERFLOW_CUTOFF:
-                return 0.0
-            sinh = math.sinh(y)
-            return 1.0 / (sinh * sinh)
+            def csch_squared(y: float) -> float:
+                if abs(y) > _SINH_OVERFLOW_CUTOFF:
+                    return 0.0
+                sinh = float(np.sinh(y))
+                return 1.0 / (sinh * sinh)
 
-        return (c2 * c2) * csch_squared(c2 * x) - (c1 * c1) * csch_squared(
-            c1 * x
-        )
+            return (c2 * c2) * csch_squared(c2 * x) - (c1 * c1) * csch_squared(
+                c1 * x
+            )
+        x = np.asarray(x, dtype=float)
+        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
+
+        def csch_squared_array(y: np.ndarray) -> np.ndarray:
+            overflow = np.abs(y) > _SINH_OVERFLOW_CUTOFF
+            sinh = np.sinh(np.where(overflow, 1.0, y))
+            return np.where(overflow, 0.0, 1.0 / (sinh * sinh))
+
+        safe = np.where(small, 1.0, x)
+        closed = (c2 * c2) * csch_squared_array(c2 * safe) - (
+            c1 * c1
+        ) * csch_squared_array(c1 * safe)
+        return np.where(small, (j + 1.0) / (3.0 * j), closed)
 
 
 _KINDS: dict[str, type[Anhysteretic]] = {

@@ -17,12 +17,24 @@ standard Eq. 1 of the paper,
 
 so the functions below are shared by every implementation in the repo:
 the timeless core, the SystemC transliteration, the VHDL-AMS
-architectures and the time-domain baselines.
+architectures, the time-domain baselines and the vectorised batch
+engine.
+
+**Ufunc safety.**  Every function accepts either scalars or NumPy
+arrays for the field/magnetisation operands *and* for the parameter
+attributes (``params`` may be a struct-of-arrays such as
+:class:`repro.batch.params.BatchJAParameters`).  Scalar inputs keep the
+original pure-``float`` fast path — including its exact branch
+structure — so scalar trajectories are bitwise identical to arrays
+element-wise; the pure step kernel (:mod:`repro.core.kernel`) and the
+batch ensemble engine (:mod:`repro.batch`) rely on this.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.constants import MU0
 from repro.ja.anhysteretic import Anhysteretic
@@ -70,9 +82,17 @@ def irreversible_slope(
     denominator = (1.0 + params.c) * (
         delta * params.k - params.alpha * params.m_sat * delta_m
     )
-    if denominator == 0.0:
-        return math.inf if delta_m > 0 else (-math.inf if delta_m < 0 else 0.0)
-    return delta_m / denominator
+    if np.ndim(denominator) == 0 and np.ndim(delta_m) == 0:
+        if denominator == 0.0:
+            return math.inf if delta_m > 0 else (-math.inf if delta_m < 0 else 0.0)
+        return delta_m / denominator
+    delta_m = np.asarray(delta_m, dtype=float)
+    denominator = np.asarray(denominator, dtype=float)
+    singular = denominator == 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        regular = delta_m / np.where(singular, 1.0, denominator)
+    at_pole = np.where(delta_m > 0.0, math.inf, np.where(delta_m < 0.0, -math.inf, 0.0))
+    return np.where(singular, at_pole, regular)
 
 
 def anhysteretic_slope_term(
@@ -144,16 +164,25 @@ def magnetisation_slope(
     h_eff = effective_field(params, h, m)
     m_an = anhysteretic.value(h_eff)
     irreversible = irreversible_slope(params, m_an, m, delta)
-    if clamp_irreversible and irreversible < 0.0:
-        irreversible = 0.0
     reversible = anhysteretic_slope_term(params, anhysteretic, h_eff)
     feedback = params.alpha * params.m_sat * reversible
     denominator = 1.0 - feedback
-    if denominator <= 0.0:
-        # Mean-field runaway (non-physical parameterisation); fall back
-        # to the simplified slope rather than produce a negative pole.
-        return irreversible + reversible
-    return (irreversible + reversible) / denominator
+    if np.ndim(denominator) == 0 and np.ndim(irreversible) == 0:
+        if clamp_irreversible and irreversible < 0.0:
+            irreversible = 0.0
+        if denominator <= 0.0:
+            # Mean-field runaway (non-physical parameterisation); fall back
+            # to the simplified slope rather than produce a negative pole.
+            return irreversible + reversible
+        return (irreversible + reversible) / denominator
+    irreversible = np.asarray(irreversible, dtype=float)
+    if clamp_irreversible:
+        irreversible = np.where(irreversible < 0.0, 0.0, irreversible)
+    total = irreversible + reversible
+    runaway = denominator <= 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        regular = total / np.where(runaway, 1.0, denominator)
+    return np.where(runaway, total, regular)
 
 
 def flux_density(params: JAParameters, h: float, m: float) -> float:

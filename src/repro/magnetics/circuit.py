@@ -24,6 +24,14 @@ from repro.errors import SolverError
 from repro.magnetics.inductor import HysteresisInductor
 from repro.waveforms.base import Waveform
 
+#: Largest trial current [A] the per-step solver will probe.  On the
+#: event-quantised lambda(i) staircase the Newton slope can read the
+#: incremental inductance as zero and overshoot geometrically; trials
+#: beyond this bound carry no information (every physical core is deep
+#: in saturation), so the solver abandons Newton there and bisects from
+#: the last sane trial instead of overflowing.
+_MAX_TRIAL_CURRENT = 1e12
+
 
 @dataclass(frozen=True)
 class RLDriveResult:
@@ -117,7 +125,9 @@ class RLDriveCircuit:
             inductance = max(probe.incremental_inductance(), 0.0)
             slope = r + inductance / dt
             i_next = i_trial - residual / slope
-            if not math.isfinite(i_next):
+            if not math.isfinite(i_next) or abs(i_next) > _MAX_TRIAL_CURRENT:
+                # Leave i_trial at the last sane value for the bisection
+                # bracket below.
                 break
             i_trial = i_next
 
@@ -131,7 +141,7 @@ class RLDriveCircuit:
         while f_low > 0.0 or f_high < 0.0:
             expansions += 1
             iterations += 1
-            if expansions > 60:
+            if expansions > 60 or not math.isfinite(span):
                 return i_trial, iterations, False
             span *= 2.0
             low, high = i_trial - span, i_trial + span

@@ -1,0 +1,319 @@
+"""Batch/scalar bitwise equivalence: the batch engine's defining property.
+
+``BatchTimelessModel`` must reproduce N independent ``TimelessJAModel``
+runs *bitwise* — same IEEE operations per lane — for heterogeneous
+parameters, ``dhmax``, guard combinations, ``accept_equal`` flags and
+per-core waveforms.  These are property-style sweeps over seeded random
+ensembles; any 1-ulp divergence (e.g. a libm-vs-SIMD mismatch creeping
+back into the anhysteretic scalar path) fails them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import audit_trajectory, audit_trajectory_batch
+from repro.batch import (
+    BatchJAParameters,
+    BatchTimelessModel,
+    run_batch_series,
+    run_batch_sweep,
+    sweep,
+)
+from repro.core.model import TimelessJAModel
+from repro.core.slope import SlopeGuards
+from repro.core.sweep import run_sweep
+from repro.errors import ParameterError
+from repro.ja.parameters import (
+    HARD_STEEL,
+    JILES_ATHERTON_1984,
+    PAPER_PARAMETERS,
+    SOFT_FERRITE,
+)
+from repro.waveforms.sweeps import major_loop_waypoints
+
+GUARD_CHOICES = [
+    SlopeGuards(True, True),
+    SlopeGuards(True, False),
+    SlopeGuards(False, True),
+    SlopeGuards(False, False),
+]
+
+
+def random_ensemble(seed: int, n: int):
+    """Heterogeneous params/dhmax/guards/accept_equal, seeded."""
+    rng = np.random.default_rng(seed)
+    base = [PAPER_PARAMETERS, SOFT_FERRITE, HARD_STEEL, JILES_ATHERTON_1984]
+    params = []
+    for i in range(n):
+        p = base[int(rng.integers(len(base)))]
+        params.append(
+            p.with_updates(
+                k=float(p.k * rng.uniform(0.6, 1.6)),
+                c=float(rng.uniform(0.02, 0.6)),
+                m_sat=float(p.m_sat * rng.uniform(0.7, 1.3)),
+                name=f"rand-{seed}-{i}",
+            )
+        )
+    dhmax = rng.uniform(5.0, 150.0, n)
+    guards = [GUARD_CHOICES[int(rng.integers(4))] for _ in range(n)]
+    accept_equal = rng.random(n) < 0.5
+    return params, dhmax, guards, accept_equal
+
+
+def random_waveforms(seed: int, samples: int, n: int) -> np.ndarray:
+    """Random-walk waveforms with occasional large reversals, per core."""
+    rng = np.random.default_rng(seed + 1000)
+    steps = rng.normal(0.0, 600.0, size=(samples, n))
+    reversals = rng.random((samples, n)) < 0.02
+    steps[reversals] *= -8.0
+    return np.cumsum(steps, axis=0)
+
+
+def scalar_reference(params, dhmax, guards, accept_equal, h):
+    """N independent scalar models over the same sample matrix."""
+    samples, n = h.shape
+    b = np.empty((samples, n))
+    m = np.empty((samples, n))
+    models = []
+    for i in range(n):
+        model = TimelessJAModel(
+            params[i],
+            dhmax=float(dhmax[i]),
+            guards=guards[i],
+            accept_equal=bool(accept_equal[i]),
+        )
+        model.reset(h_initial=float(h[0, i]))
+        step = model._integrator.step
+        for s in range(samples):
+            step(float(h[s, i]))
+            m[s, i] = model.m
+            b[s, i] = model.b
+        models.append(model)
+    return models, m, b
+
+
+class TestHeterogeneousBitwiseEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_waveforms_match_bitwise(self, seed):
+        n, samples = 12, 300
+        params, dhmax, guards, accept_equal = random_ensemble(seed, n)
+        h = random_waveforms(seed, samples, n)
+
+        batch = BatchTimelessModel(
+            params, dhmax=dhmax, guards=guards, accept_equal=accept_equal
+        )
+        result = run_batch_series(batch, h)
+        models, m_ref, b_ref = scalar_reference(
+            params, dhmax, guards, accept_equal, h
+        )
+
+        # Bitwise trajectories: array_equal with NaN-aware fallback for
+        # deliberately unguarded (possibly diverging) lanes.
+        assert np.array_equal(result.b, b_ref, equal_nan=True)
+        assert np.array_equal(result.m, m_ref, equal_nan=True)
+
+        # Final states and counters, lane by lane.
+        for i, model in enumerate(models):
+            s = model._integrator.state
+            assert _same_float(batch.state.m_irr[i], s.m_irr)
+            assert _same_float(batch.state.m_total[i], s.m_total)
+            assert _same_float(batch.state.h_accepted[i], s.h_accepted)
+            assert batch.state.delta[i] == s.delta
+            assert batch.state.updates[i] == s.updates
+            c = model._integrator.counters
+            assert result.euler_steps[i] == c.euler_steps
+            assert result.clamped_slopes[i] == c.clamped_slopes
+            assert result.dropped_increments[i] == c.dropped_increments
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_shared_waypoint_sweep_matches_run_sweep(self, seed):
+        n = 6
+        params, dhmax, guards, accept_equal = random_ensemble(seed, n)
+        waypoints = major_loop_waypoints(8e3, cycles=1)
+        driver_step = 20.0
+
+        result = sweep(
+            params,
+            waypoints,
+            dhmax=dhmax,
+            driver_step=driver_step,
+            guards=guards,
+            accept_equal=accept_equal,
+        )
+        for i in range(n):
+            model = TimelessJAModel(
+                params[i],
+                dhmax=float(dhmax[i]),
+                guards=guards[i],
+                accept_equal=bool(accept_equal[i]),
+            )
+            reference = run_sweep(model, waypoints, driver_step=driver_step)
+            lane = result.core(i)
+            assert np.array_equal(lane.h, reference.h)
+            assert np.array_equal(lane.b, reference.b, equal_nan=True)
+            assert np.array_equal(lane.m, reference.m, equal_nan=True)
+            assert np.array_equal(lane.updated, reference.updated)
+            assert lane.euler_steps == reference.euler_steps
+            assert lane.clamped_slopes == reference.clamped_slopes
+            assert lane.dropped_increments == reference.dropped_increments
+
+
+class TestScalarSeriesRouting:
+    """apply_field_series/trace route ndarray input through the batch
+    engine; the result must be bitwise identical to scalar stepping."""
+
+    def test_ndarray_series_matches_list_series(self):
+        h = np.linspace(0.0, 9000.0, 400)
+        via_batch = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        via_list = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        b_batch = via_batch.apply_field_series(h)
+        b_list = via_list.apply_field_series(list(h))
+        assert np.array_equal(b_batch, b_list)
+        assert via_batch.state.snapshot() == via_list.state.snapshot()
+        assert via_batch.counters == via_list.counters
+        disc_a = via_batch._integrator.discretiser
+        disc_b = via_list._integrator.discretiser
+        assert disc_a.observations == disc_b.observations
+        assert disc_a.acceptances == disc_b.acceptances
+
+    def test_trace_ndarray_matches_iterable(self):
+        h = np.linspace(0.0, 6000.0, 250)
+        a = TimelessJAModel(PAPER_PARAMETERS, dhmax=40.0)
+        b = TimelessJAModel(PAPER_PARAMETERS, dhmax=40.0)
+        ha, ma, ba = a.trace(h)
+        hb, mb, bb = b.trace(tuple(float(x) for x in h))
+        assert np.array_equal(ha, hb)
+        assert np.array_equal(ma, mb)
+        assert np.array_equal(ba, bb)
+
+    def test_ndarray_series_works_with_custom_anhysteretic(self):
+        """Regression: the batch routing must reuse a model's own curve
+        object, not rebuild it from (shape,) — a custom subclass with
+        extra constructor arguments used to crash with TypeError."""
+        from repro.ja.anhysteretic import ModifiedLangevinAnhysteretic
+
+        class ScaledCurve(ModifiedLangevinAnhysteretic):
+            def __init__(self, shape, gain):
+                super().__init__(shape)
+                self.gain = gain
+
+            def curve(self, x):
+                return self.gain * super().curve(x)
+
+            def curve_derivative(self, x):
+                return self.gain * super().curve_derivative(x)
+
+        h = np.linspace(0.0, 5000.0, 120)
+        curve = ScaledCurve(3500.0, 0.9)
+        via_batch = TimelessJAModel(
+            PAPER_PARAMETERS, dhmax=50.0, anhysteretic=curve
+        )
+        via_list = TimelessJAModel(
+            PAPER_PARAMETERS, dhmax=50.0, anhysteretic=curve
+        )
+        b_batch = via_batch.apply_field_series(h)
+        b_list = via_list.apply_field_series(list(h))
+        assert np.array_equal(b_batch, b_list)
+
+    def test_series_continues_live_state(self):
+        """Mixing scalar stepping and batched series stays exact."""
+        mixed = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        pure = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        for h in (1000.0, 2500.0, 4000.0):
+            mixed.apply_field(h)
+            pure.apply_field(h)
+        tail = np.linspace(4000.0, -9000.0, 300)
+        b_mixed = mixed.apply_field_series(tail)
+        b_pure = np.array([pure.apply_field(float(h)) for h in tail])
+        assert np.array_equal(b_mixed, b_pure)
+        assert mixed.state.snapshot() == pure.state.snapshot()
+
+
+class TestFromScalarModels:
+    def test_adopts_and_writes_back(self):
+        def build():
+            return [
+                TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0),
+                TimelessJAModel(SOFT_FERRITE, dhmax=10.0),
+            ]
+
+        models = build()
+        reference = build()
+        for model in models + reference:
+            model.apply_field(500.0)
+
+        batch = BatchTimelessModel.from_scalar_models(models)
+        h = np.linspace(500.0, 7000.0, 150)
+        batch.trace(np.column_stack([h, h]))
+        batch.write_back_to_models(models)
+
+        for model, ref in zip(models, reference):
+            for hv in h:
+                ref.apply_field(float(hv))
+            assert model.state.snapshot() == ref.state.snapshot()
+            assert model.counters == ref.counters
+
+    def test_rejects_mixed_anhysteretic_families(self):
+        from repro.ja.anhysteretic import make_anhysteretic
+
+        a = TimelessJAModel(PAPER_PARAMETERS, dhmax=50.0)
+        b = TimelessJAModel(
+            PAPER_PARAMETERS,
+            dhmax=50.0,
+            anhysteretic=make_anhysteretic(PAPER_PARAMETERS, kind="langevin"),
+        )
+        with pytest.raises(ParameterError):
+            BatchTimelessModel.from_scalar_models([a, b])
+
+
+class TestBatchValidation:
+    def test_heterogeneous_dhmax_validated(self):
+        with pytest.raises(ParameterError):
+            BatchTimelessModel([PAPER_PARAMETERS] * 2, dhmax=[50.0, -1.0])
+
+    def test_guard_count_must_match(self):
+        with pytest.raises(ParameterError):
+            BatchTimelessModel(
+                [PAPER_PARAMETERS] * 3, guards=[SlopeGuards()] * 2
+            )
+
+    def test_waveform_shape_checked(self):
+        batch = BatchTimelessModel([PAPER_PARAMETERS] * 3)
+        with pytest.raises(ParameterError):
+            batch.apply_field_series(np.zeros((10, 2)))
+
+    def test_stacked_parameters_roundtrip(self):
+        stacked = BatchJAParameters.from_sequence(
+            [PAPER_PARAMETERS, JILES_ATHERTON_1984]
+        )
+        assert len(stacked) == 2
+        assert stacked.member(0) == PAPER_PARAMETERS
+        assert stacked.member(1) == JILES_ATHERTON_1984
+        # a2=None lanes resolve modified_shape to `a`, like the scalar
+        # property.
+        assert stacked.modified_shape[1] == JILES_ATHERTON_1984.a
+
+
+class TestBatchAudit:
+    def test_audit_batch_matches_per_lane_audit(self):
+        params, dhmax, guards, accept_equal = random_ensemble(42, 4)
+        waypoints = major_loop_waypoints(8e3, cycles=1)
+        result = sweep(
+            params,
+            waypoints,
+            dhmax=dhmax,
+            driver_step=25.0,
+            guards=guards,
+            accept_equal=accept_equal,
+        )
+        audits = audit_trajectory_batch(result.h, result.b)
+        assert len(audits) == 4
+        for i, audit in enumerate(audits):
+            lane = result.core(i)
+            assert audit == audit_trajectory(lane.h, lane.b)
+
+
+def _same_float(a, b) -> bool:
+    """Bitwise float comparison treating NaN == NaN."""
+    a, b = float(a), float(b)
+    return a == b or (np.isnan(a) and np.isnan(b))

@@ -1,0 +1,174 @@
+"""Tests for repro.core.kernel (the pure step-kernel layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import (
+    StepInputs,
+    discretiser_accepts,
+    refresh_algebraic,
+    step_kernel,
+)
+from repro.core.slope import SlopeGuards
+from repro.ja.anhysteretic import make_anhysteretic
+from repro.ja.parameters import PAPER_PARAMETERS
+
+
+@pytest.fixture(scope="module")
+def anhysteretic():
+    return make_anhysteretic(PAPER_PARAMETERS)
+
+
+class TestDiscretiserAccepts:
+    def test_strict_comparison_is_published_default(self):
+        assert not discretiser_accepts(50.0, 50.0)
+        assert discretiser_accepts(50.0 + 1e-9, 50.0)
+        assert discretiser_accepts(-75.0, 50.0)
+
+    def test_accept_equal_variant(self):
+        assert discretiser_accepts(50.0, 50.0, accept_equal=True)
+
+    def test_per_lane_accept_equal(self):
+        dh = np.array([50.0, 50.0])
+        flags = np.array([False, True])
+        accepted = discretiser_accepts(dh, 50.0, accept_equal=flags)
+        assert accepted.tolist() == [False, True]
+
+
+class TestPurity:
+    def test_inputs_never_mutated(self, anhysteretic):
+        arr = np.array([10.0, 20.0])
+        inputs = StepInputs(
+            h_new=np.array([100.0, 200.0]),
+            h_accepted=np.zeros(2),
+            m_irr=arr,
+            m_total=arr.copy(),
+            delta=np.zeros(2),
+        )
+        step_kernel(inputs, PAPER_PARAMETERS, anhysteretic, 50.0)
+        assert inputs.m_irr.tolist() == [10.0, 20.0]
+        assert inputs.h_accepted.tolist() == [0.0, 0.0]
+
+    def test_deterministic(self, anhysteretic):
+        inputs = StepInputs(
+            h_new=75.0, h_accepted=0.0, m_irr=0.0, m_total=0.0, delta=0.0
+        )
+        a = step_kernel(inputs, PAPER_PARAMETERS, anhysteretic, 50.0)
+        b = step_kernel(inputs, PAPER_PARAMETERS, anhysteretic, 50.0)
+        assert a == b
+
+
+class TestScalarSemantics:
+    def test_below_threshold_keeps_irreversible_state(self, anhysteretic):
+        out = step_kernel(
+            StepInputs(h_new=25.0, h_accepted=0.0, m_irr=0.0, m_total=0.0),
+            PAPER_PARAMETERS,
+            anhysteretic,
+            50.0,
+        )
+        assert not out.accepted
+        assert out.m_irr == 0.0
+        assert out.m_rev > 0.0  # algebraic refresh always responds
+        assert out.h_accepted == 0.0
+
+    def test_above_threshold_fires_euler_step(self, anhysteretic):
+        out = step_kernel(
+            StepInputs(h_new=75.0, h_accepted=0.0, m_irr=0.0, m_total=0.0),
+            PAPER_PARAMETERS,
+            anhysteretic,
+            50.0,
+        )
+        assert out.accepted
+        assert out.m_irr > 0.0
+        assert out.h_accepted == 75.0
+        assert out.delta == 1.0
+        assert out.m_total == out.m_rev + out.m_irr
+
+    def test_unaccepted_event_carries_delta_through(self, anhysteretic):
+        out = step_kernel(
+            StepInputs(
+                h_new=10.0, h_accepted=0.0, m_irr=0.1, m_total=0.1, delta=-1.0
+            ),
+            PAPER_PARAMETERS,
+            anhysteretic,
+            50.0,
+        )
+        assert out.delta == -1.0
+
+
+class TestScalarArrayParity:
+    def test_array_lanes_match_scalar_calls_bitwise(self, anhysteretic):
+        rng = np.random.default_rng(11)
+        n = 16
+        h_new = rng.uniform(-9000.0, 9000.0, n)
+        h_accepted = h_new - rng.uniform(-150.0, 150.0, n)
+        m_irr = rng.uniform(-0.5, 0.5, n)
+        m_total = m_irr + rng.uniform(-0.2, 0.2, n)
+        delta = rng.choice([-1.0, 0.0, 1.0], n)
+        batch = step_kernel(
+            StepInputs(
+                h_new=h_new,
+                h_accepted=h_accepted,
+                m_irr=m_irr,
+                m_total=m_total,
+                delta=delta,
+            ),
+            PAPER_PARAMETERS,
+            anhysteretic,
+            50.0,
+        )
+        for i in range(n):
+            scalar = step_kernel(
+                StepInputs(
+                    h_new=float(h_new[i]),
+                    h_accepted=float(h_accepted[i]),
+                    m_irr=float(m_irr[i]),
+                    m_total=float(m_total[i]),
+                    delta=float(delta[i]),
+                ),
+                PAPER_PARAMETERS,
+                anhysteretic,
+                50.0,
+            )
+            assert batch.accepted[i] == scalar.accepted
+            assert batch.m_irr[i] == scalar.m_irr
+            assert batch.m_rev[i] == scalar.m_rev
+            assert batch.m_an[i] == scalar.m_an
+            assert batch.m_total[i] == scalar.m_total
+            assert batch.h_accepted[i] == scalar.h_accepted
+            assert batch.delta[i] == scalar.delta
+
+    def test_refresh_algebraic_parity(self, anhysteretic):
+        h = np.linspace(-8000.0, 8000.0, 33)
+        m = np.linspace(-0.9, 0.9, 33)
+        m_an_arr, m_rev_arr = refresh_algebraic(
+            PAPER_PARAMETERS, anhysteretic, h, m
+        )
+        for i in range(len(h)):
+            m_an, m_rev = refresh_algebraic(
+                PAPER_PARAMETERS, anhysteretic, float(h[i]), float(m[i])
+            )
+            assert m_an_arr[i] == m_an
+            assert m_rev_arr[i] == m_rev
+
+
+class TestGuardBookkeeping:
+    def test_masked_lanes_report_no_guard_activity(self, anhysteretic):
+        # Lane 0 below threshold, lane 1 above: only lane 1 may count.
+        out = step_kernel(
+            StepInputs(
+                h_new=np.array([10.0, 500.0]),
+                h_accepted=np.zeros(2),
+                m_irr=np.zeros(2),
+                m_total=np.zeros(2),
+                delta=np.zeros(2),
+            ),
+            PAPER_PARAMETERS,
+            anhysteretic,
+            50.0,
+            guards=SlopeGuards(),
+        )
+        assert out.accepted.tolist() == [False, True]
+        assert not out.clamped[0]
+        assert not out.dropped[0]
+        assert out.dm[0] == 0.0

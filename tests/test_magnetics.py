@@ -275,6 +275,25 @@ class TestRLDriveCircuit:
         result = circuit.run(t_stop=0.02, dt=1e-4)
         assert result.resistor_energy(5.0) > 0.0
 
+    def test_reenergisation_survives_newton_overshoot(self):
+        """Regression: re-energising a remanent core at a voltage zero
+        drives the per-step Newton into geometric overshoot (on the
+        lambda(i) staircase the probed incremental inductance
+        under-reads the secant), and the trial current used to escalate
+        until the bisection bracket overflowed to inf and crashed the
+        run.  The solver must cap absurd trials and bisect from the
+        last sane one instead.  This exact sequence (3 cycles, then 2
+        from remanence, 230 V / 50 Hz / 2 ohm) crashed the unguarded
+        solver."""
+        core = ToroidCore(0.04, 0.06, 0.02)
+        inductor = HysteresisInductor(PAPER_STEEL, core, turns=1500, dhmax=25.0)
+        period = 1.0 / 50.0
+        for cycles in (3, 2):
+            circuit = RLDriveCircuit(inductor, 2.0, SineWave(230.0, 50.0))
+            result = circuit.run(t_stop=cycles * period, dt=period / 400)
+        assert np.all(np.isfinite(result.i))
+        assert np.all(np.isfinite(result.b))
+
     def test_invalid_resistance(self):
         core = ToroidCore(0.04, 0.06, 0.02)
         inductor = HysteresisInductor(PAPER_STEEL, core, turns=10)
