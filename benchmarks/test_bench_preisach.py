@@ -1,0 +1,91 @@
+"""EXP-B2 bench: Preisach relay-tensor throughput vs the scalar loop.
+
+The non-JA twin of ``test_bench_batch.py``: N = 64 heterogeneous
+Preisach cores driven through the minor-loop-ladder scenario, the
+vectorised ``(cores, n_alpha, n_beta)`` relay tensor against the
+per-model Python loop it replaces — bitwise-identical lanes, asserted
+>= 5x faster.  Also runs the EXP-B2 experiment end-to-end, which
+additionally covers the batched time-domain family.
+"""
+
+import time
+
+import numpy as np
+
+from repro.batch.preisach import BatchPreisachModel
+from repro.batch.sweep import run_batch_series
+from repro.experiments import run_experiment
+from repro.experiments.batch_families import (
+    make_drive,
+    make_preisach_ensemble,
+    run_scalar_ensemble,
+)
+
+N_CORES = 64
+N_CELLS = 24
+H_MAX = 10e3
+DRIVER_STEP = 100.0
+
+
+def _workload():
+    models = make_preisach_ensemble(N_CORES, n_cells=N_CELLS)
+    h = make_drive(H_MAX, DRIVER_STEP)
+    return models, h
+
+
+def test_batch_preisach_throughput(benchmark):
+    models, h = _workload()
+
+    def batch_run():
+        batch = BatchPreisachModel.from_scalar_models(models)
+        return run_batch_series(batch, h)
+
+    result = benchmark.pedantic(batch_run, rounds=3, iterations=1)
+    assert int(result.counters["switch_events"].sum()) > 0
+
+
+def test_batch_preisach_speedup_over_scalar_loop(benchmark, results_dir):
+    """The acceptance headline: >= 5x over the scalar loop at N = 64."""
+    models, h = _workload()
+
+    def batch_run():
+        batch = BatchPreisachModel.from_scalar_models(models)
+        return run_batch_series(batch, h)
+
+    result = benchmark.pedantic(batch_run, rounds=3, iterations=1)
+    batch_seconds = benchmark.stats.stats.min
+
+    start = time.perf_counter()
+    m_scalar, b_scalar = run_scalar_ensemble(models, h)
+    scalar_seconds = time.perf_counter() - start
+
+    speedup = scalar_seconds / batch_seconds
+    throughput = N_CORES * len(h) / batch_seconds
+    report = (
+        f"batch preisach: {batch_seconds:.3f} s, scalar loop: "
+        f"{scalar_seconds:.3f} s -> {speedup:.1f}x speedup, "
+        f"{throughput:.3e} core-steps/s at N = {N_CORES} "
+        f"({models[0].relay_count} relays/core)"
+    )
+    print("\n" + report)
+    (results_dir / "EXP-B2_bench.txt").write_text(report + "\n")
+
+    # Bitwise equivalence of what was just timed (not a tolerance).
+    assert np.array_equal(result.b, b_scalar)
+    assert np.array_equal(result.m, m_scalar)
+    assert speedup >= 5.0, report
+
+
+def test_batch_families_experiment(benchmark, persist):
+    """EXP-B2 end-to-end (covers the time-domain family too)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-B2"),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    print()
+    print(result.render())
+    for family in ("preisach", "time-domain"):
+        row = result.data[family]
+        assert row["equal_lanes"] == row["n_cores"], family

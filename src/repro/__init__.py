@@ -20,17 +20,25 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from repro.batch import BatchTimelessModel
+from repro.batch import (
+    BatchPreisachModel,
+    BatchTimeDomainModel,
+    BatchTimelessModel,
+)
 from repro.constants import DEFAULT_DHMAX, MU0
 from repro.core.model import TimelessJAModel
 from repro.core.slope import SlopeGuards
 from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
 from repro.errors import ReproError
 from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
+from repro.models import get_family, list_families
+from repro.scenarios import get_scenario, list_scenarios, run_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BatchPreisachModel",
+    "BatchTimeDomainModel",
     "BatchTimelessModel",
     "DEFAULT_DHMAX",
     "JAParameters",
@@ -42,6 +50,11 @@ __all__ = [
     "SweepResult",
     "TimelessJAModel",
     "__version__",
+    "get_family",
+    "get_scenario",
+    "list_families",
+    "list_scenarios",
+    "run_scenario",
     "run_sweep",
     "run_sweep_dense",
 ]

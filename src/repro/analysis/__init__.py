@@ -18,6 +18,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.stability import (
     StabilityAudit,
+    audit_batch_result,
     audit_trajectory,
     audit_trajectory_batch,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "Loop",
     "LoopMetrics",
     "StabilityAudit",
+    "audit_batch_result",
     "audit_trajectory",
     "audit_trajectory_batch",
     "coercivity",

@@ -199,3 +199,23 @@ def audit_trajectory_batch(
         )
         for i, h_col in enumerate(columns)
     ]
+
+
+def audit_batch_result(
+    result,
+    slope_tolerance: float = 1e-12,
+    runaway_limit: float = 1e6,
+) -> list[StabilityAudit]:
+    """Audit every lane of a :class:`repro.batch.sweep.BatchSweepResult`.
+
+    Family-agnostic: any ensemble run the model-agnostic executor
+    produced — timeless, Preisach or time-domain — is judged by the
+    same trajectory criteria, which is what makes EXP-X5's cross-family
+    robustness table one loop.
+    """
+    return audit_trajectory_batch(
+        result.h,
+        result.b,
+        slope_tolerance=slope_tolerance,
+        runaway_limit=runaway_limit,
+    )

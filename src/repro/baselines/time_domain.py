@@ -25,6 +25,7 @@ from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
 from repro.ja.equations import (
     anhysteretic_slope_term,
     effective_field,
+    flux_density,
     irreversible_slope,
 )
 from repro.ja.parameters import JAParameters
@@ -53,22 +54,137 @@ class TimeDomainResult:
         return not self.diverged
 
 
+#: |m| (normalised) beyond which a sample-driven run is declared
+#: diverged and the lane frozen; physical values stay within ~1.
+DIVERGENCE_LIMIT: float = 100.0
+
+
 class TimeDomainJAModel:
-    """JA model integrated in time with explicit fixed steps."""
+    """JA model integrated in time with explicit fixed steps.
+
+    Two driving styles share the pathology counters:
+
+    * :meth:`run` — the historical waveform-in-time API: differentiate
+      ``H(t)``, integrate ``dM/dt`` with a fixed-step explicit method;
+    * :meth:`apply_field` — the sample-driven protocol API
+      (:class:`repro.models.protocol.HysteresisModel`): for forward
+      Euler the time step cancels (``dM = (dM/dH) * dH``), so the
+      classic chain can be driven by the same field samples as every
+      other family — which is what lets the batch executor and the
+      scenario layer treat it as a first-class citizen.
+
+    A sample-driven lane that leaves ``|m| <= divergence_limit`` (or
+    turns non-finite) is *frozen*: the field keeps tracking but the
+    magnetisation stops updating, and the ``diverged`` flag records the
+    pathology — the per-lane equivalent of :meth:`run` aborting.
+    """
 
     def __init__(
         self,
         params: JAParameters,
         anhysteretic: Anhysteretic | None = None,
         guards: SlopeGuards = SlopeGuards.none(),
+        divergence_limit: float = DIVERGENCE_LIMIT,
     ) -> None:
         self.params = params
         self.anhysteretic = (
             anhysteretic if anhysteretic is not None else make_anhysteretic(params)
         )
         self.guards = guards
+        self.divergence_limit = float(divergence_limit)
         self.negative_slope_evaluations = 0
         self.slope_evaluations = 0
+        self._h = 0.0
+        self._m = 0.0
+        self.diverged = False
+        self.steps = 0
+
+    # -- sample-driven protocol API ---------------------------------------
+
+    @property
+    def h(self) -> float:
+        """Currently applied field [A/m]."""
+        return self._h
+
+    @property
+    def m_normalised(self) -> float:
+        """Normalised magnetisation ``m = M / Msat``."""
+        return self._m
+
+    @property
+    def m(self) -> float:
+        """Magnetisation [A/m]."""
+        return self._m * self.params.m_sat
+
+    @property
+    def b(self) -> float:
+        """Flux density ``B = mu0 * (H + Msat * m)`` [T]."""
+        return flux_density(self.params, self._h, self._m)
+
+    def reset(self, h_initial: float = 0.0) -> None:
+        """Demagnetised state at ``h_initial``; zero all statistics."""
+        self._h = float(h_initial)
+        self._m = 0.0
+        self.diverged = False
+        self.steps = 0
+        self.negative_slope_evaluations = 0
+        self.slope_evaluations = 0
+
+    def apply_field(self, h: float) -> float:
+        """Apply one field sample: one explicit Euler step in H.
+
+        ``dM = (dM/dH)(H_prev, m) * dH`` with the direction taken from
+        the sign of the increment — the forward-Euler limit of the
+        dH/dt chain, where dt cancels.  Diverged lanes only track H.
+        """
+        h = float(h)
+        dh = h - self._h
+        if dh != 0.0 and not self.diverged:
+            slope = self.slope_dmdh(self._h, self._m, dh)
+            self._m = self._m + slope * dh
+            self.steps += 1
+            if not np.isfinite(self._m) or abs(self._m) > self.divergence_limit:
+                self.diverged = True
+        self._h = h
+        return self.b
+
+    def apply_field_series(self, h_values) -> np.ndarray:
+        """Apply a sample sequence; return B [T] after each sample."""
+        return self.trace(h_values)[2]
+
+    def trace(self, h_values) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply a sample sequence; return ``(h, m, b)`` arrays (m in A/m)."""
+        h_arr = np.fromiter((float(h) for h in h_values), dtype=float)
+        m_out = np.empty_like(h_arr)
+        b_out = np.empty_like(h_arr)
+        for i, h in enumerate(h_arr):
+            b_out[i] = self.apply_field(float(h))
+            m_out[i] = self.m
+        return h_arr, m_out, b_out
+
+    def snapshot(self) -> tuple:
+        """Opaque copy of the sample-driven state and counters."""
+        return (
+            self._h,
+            self._m,
+            self.diverged,
+            self.steps,
+            self.slope_evaluations,
+            self.negative_slope_evaluations,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Return to a previously taken :meth:`snapshot` exactly."""
+        (
+            self._h,
+            self._m,
+            self.diverged,
+            self.steps,
+            self.slope_evaluations,
+            self.negative_slope_evaluations,
+        ) = snap
+
+    # -- shared slope ------------------------------------------------------
 
     def slope_dmdh(self, h: float, m: float, h_dot: float) -> float:
         """Eq. 1 with direction from the sign of dH/dt, guard-optional."""

@@ -1,36 +1,50 @@
-"""Vectorised batch-ensemble layer over the pure timeless step kernel.
+"""Vectorised batch-ensemble layer: every model family in lockstep.
 
 The third layer of the architecture (see the repo README):
 
-1. pure kernel — :mod:`repro.core.kernel`;
-2. stateful scalar wrappers — :mod:`repro.core.integrator` /
-   :mod:`repro.core.model`;
-3. **batch ensemble engine** (this package) — N independent cores with
-   heterogeneous parameters, ``dhmax``, guards and waveforms advanced
-   in lockstep per driver sample via masked NumPy updates, each lane
-   bitwise identical to a scalar model run.
+1. pure kernels / equation layer — :mod:`repro.core.kernel`,
+   :mod:`repro.ja.equations`;
+2. stateful scalar wrappers — :mod:`repro.core.model`,
+   :mod:`repro.preisach.model`, :mod:`repro.baselines.time_domain`;
+3. **batch ensemble engines** (this package) — N independent cores
+   advanced in lockstep per driver sample via masked NumPy updates,
+   each lane bitwise identical to a scalar model run, one engine per
+   model family:
 
-Use :class:`BatchTimelessModel` when you control the stepping yourself,
-:func:`sweep` for the one-call "many materials, one schedule" workload
-that used to be a Python loop over models, and
-:func:`run_batch_series` for heterogeneous per-core waveforms.
+   * :class:`BatchTimelessModel` — timeless JA (heterogeneous params,
+     ``dhmax``, guards, ``accept_equal``);
+   * :class:`BatchPreisachModel` — discrete Preisach relay tensors;
+   * :class:`BatchTimeDomainModel` — the classic forward-Euler dM/dH
+     chain with per-lane pathology counters.
+
+All three conform to
+:class:`repro.models.protocol.BatchHysteresisModel` and are driven by
+the same model-agnostic executor: :func:`sweep` for the one-call "many
+cores, one schedule" workload, :func:`run_batch_series` for
+heterogeneous per-core waveforms.
 """
 
 from repro.batch.engine import BatchCounters, BatchState, BatchTimelessModel
 from repro.batch.params import BatchJAParameters, stack_parameters
+from repro.batch.preisach import BatchPreisachModel
 from repro.batch.sweep import (
     BatchSweepResult,
+    LaneTrace,
     run_batch_series,
     run_batch_sweep,
     sweep,
 )
+from repro.batch.time_domain import BatchTimeDomainModel
 
 __all__ = [
     "BatchCounters",
     "BatchJAParameters",
+    "BatchPreisachModel",
     "BatchState",
     "BatchSweepResult",
+    "BatchTimeDomainModel",
     "BatchTimelessModel",
+    "LaneTrace",
     "run_batch_series",
     "run_batch_sweep",
     "stack_parameters",

@@ -27,6 +27,7 @@ import numpy as np
 from repro.constants import DEFAULT_DHMAX
 from repro.core.kernel import StepInputs, StepOutputs, refresh_algebraic, step_kernel
 from repro.core.slope import SlopeGuards, stack_guards
+from repro.batch.lanes import broadcast_lane, trace_series
 from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.errors import ParameterError
 from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
@@ -74,6 +75,15 @@ class BatchState:
             & np.isfinite(self.m_total)
         )
 
+    def copy(self) -> "BatchState":
+        """Independent deep copy (lane arrays duplicated)."""
+        return BatchState(
+            **{
+                name: getattr(self, name).copy()
+                for name in self.__dataclass_fields__
+            }
+        )
+
 
 @dataclass(slots=True)
 class BatchCounters:
@@ -103,20 +113,23 @@ class BatchCounters:
         ):
             arr[:] = 0
 
-
-def _broadcast_lane(value, n: int, name: str) -> np.ndarray:
-    arr = np.asarray(value, dtype=float)
-    if arr.ndim == 0:
-        arr = np.full(n, float(arr))
-    if arr.shape != (n,):
-        raise ParameterError(
-            f"{name} must be a scalar or a length-{n} array, got shape {arr.shape}"
+    def copy(self) -> "BatchCounters":
+        """Independent deep copy (lane arrays duplicated)."""
+        return BatchCounters(
+            **{
+                name: getattr(self, name).copy()
+                for name in self.__dataclass_fields__
+            }
         )
-    return arr.copy()
 
 
 class BatchTimelessModel:
     """N timeless JA cores advanced in lockstep per driver sample.
+
+    Conforms to :class:`repro.models.protocol.BatchHysteresisModel`, so
+    the model-agnostic executor (:mod:`repro.batch.sweep`) and the
+    scenario layer drive it interchangeably with the Preisach and
+    time-domain batch models.
 
     Parameters
     ----------
@@ -136,6 +149,8 @@ class BatchTimelessModel:
         Discretiser ``>=`` variant; bool or one per core.
     """
 
+    family = "timeless"
+
     def __init__(
         self,
         params: "Sequence[JAParameters] | BatchJAParameters",
@@ -146,7 +161,7 @@ class BatchTimelessModel:
     ) -> None:
         self.params = stack_parameters(params)
         n = len(self.params)
-        self.dhmax = _broadcast_lane(dhmax, n, "dhmax")
+        self.dhmax = broadcast_lane(dhmax, n, "dhmax")
         if not (np.isfinite(self.dhmax).all() and (self.dhmax > 0.0).all()):
             raise ParameterError(
                 f"dhmax lanes must be finite and > 0, got {self.dhmax!r}"
@@ -325,8 +340,8 @@ class BatchTimelessModel:
         algebraic quantities refreshed at the initial field.
         """
         n = self.n_cores
-        h0 = _broadcast_lane(h_initial, n, "h_initial")
-        m0 = _broadcast_lane(m_irr_initial, n, "m_irr_initial")
+        h0 = broadcast_lane(h_initial, n, "h_initial")
+        m0 = broadcast_lane(m_irr_initial, n, "m_irr_initial")
         state = self.state
         state.h_applied = h0
         state.h_accepted = h0.copy()
@@ -403,24 +418,39 @@ class BatchTimelessModel:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Apply a series and return ``(h, m, b)``; ``m``/``b`` are
         ``(samples, cores)`` arrays, ``m`` in A/m."""
-        h_arr = np.asarray(h_values, dtype=float)
-        if h_arr.ndim not in (1, 2):
-            raise ParameterError(
-                f"h_values must be 1-D or (samples, cores), got shape {h_arr.shape}"
-            )
-        if h_arr.ndim == 2 and h_arr.shape[1] != self.n_cores:
-            raise ParameterError(
-                f"per-core waveforms need {self.n_cores} columns, "
-                f"got {h_arr.shape[1]}"
-            )
-        samples = h_arr.shape[0]
-        m_out = np.empty((samples, self.n_cores))
-        b_out = np.empty((samples, self.n_cores))
-        for i in range(samples):
-            self.step(h_arr[i])
-            m_out[i] = self.m
-            b_out[i] = self.b
-        return h_arr, m_out, b_out
+        return trace_series(self, h_values)
+
+    # -- protocol hooks ----------------------------------------------------
+
+    def begin_series(self, h_initial) -> None:
+        """Protocol hook: reset every lane with its series start field."""
+        self.reset(h_initial=h_initial)
+
+    def counter_totals(self) -> dict[str, np.ndarray]:
+        """Per-core cumulative totals of the sweep-facing counters."""
+        counters = self.counters
+        return {
+            "euler_steps": counters.euler_steps.copy(),
+            "clamped_slopes": counters.clamped_slopes.copy(),
+            "dropped_increments": counters.dropped_increments.copy(),
+        }
+
+    def probe_extras(self) -> dict[str, np.ndarray]:
+        """Record the anhysteretic channel alongside the trajectory."""
+        return {"m_an": self.state.m_an.copy()}
+
+    def driver_step_hint(self) -> float:
+        """A quarter of the finest lane ``dhmax`` — the batch
+        generalisation of the scalar driver default."""
+        return float(np.min(self.dhmax)) / 4.0
+
+    def snapshot(self) -> tuple:
+        return (self.state.copy(), self.counters.copy())
+
+    def restore(self, snap: tuple) -> None:
+        state, counters = snap
+        self.state = state.copy()
+        self.counters = counters.copy()
 
     def __repr__(self) -> str:
         return (

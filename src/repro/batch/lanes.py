@@ -1,0 +1,54 @@
+"""Shared lane helpers for the per-family batch engines.
+
+Every batch engine broadcasts per-core settings the same way and
+records series traces with the same step/probe loop; keeping the
+validation and error wording in one place means the families cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def broadcast_lane(value, n: int, name: str) -> np.ndarray:
+    """Coerce a scalar or length-``n`` array to one float lane array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ParameterError(
+            f"{name} must be a scalar or a length-{n} array, got shape {arr.shape}"
+        )
+    return arr.copy()
+
+
+def trace_series(
+    model, h_values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Step any batch model through a series, recording ``(h, m, b)``.
+
+    ``h_values`` is 1-D (one waveform shared by all cores) or
+    ``(samples, cores)`` (one waveform per core); ``m``/``b`` come back
+    as ``(samples, cores)``, ``m`` in A/m.
+    """
+    h_arr = np.asarray(h_values, dtype=float)
+    if h_arr.ndim not in (1, 2):
+        raise ParameterError(
+            f"h_values must be 1-D or (samples, cores), got shape {h_arr.shape}"
+        )
+    if h_arr.ndim == 2 and h_arr.shape[1] != model.n_cores:
+        raise ParameterError(
+            f"per-core waveforms need {model.n_cores} columns, "
+            f"got {h_arr.shape[1]}"
+        )
+    samples = h_arr.shape[0]
+    m_out = np.empty((samples, model.n_cores))
+    b_out = np.empty((samples, model.n_cores))
+    for i in range(samples):
+        model.step(h_arr[i])
+        m_out[i] = model.m
+        b_out[i] = model.b
+    return h_arr, m_out, b_out

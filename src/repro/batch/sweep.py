@@ -1,18 +1,24 @@
-"""Ensemble DC-sweep driver: one waypoint walk, N cores, full records.
+"""Model-agnostic lockstep executor: one waypoint walk, N cores, any family.
 
-The batch counterpart of :mod:`repro.core.sweep`: drives a
-:class:`repro.batch.engine.BatchTimelessModel` along a piecewise-linear
-waypoint path (or an explicit per-core sample matrix) and records every
-lane's trajectory.  :meth:`BatchSweepResult.core` slices one lane back
-out as an ordinary :class:`repro.core.sweep.SweepResult`, so downstream
-analysis (loop extraction, stability audits, metrics) is reused
-unchanged — the experiments that used to loop ``run_sweep`` over N
-models now make one :func:`sweep` call.
+The batch counterpart of :mod:`repro.core.sweep`, generalised from the
+JA-specific engine of PR 1 into an executor for **any** batch model
+conforming to :class:`repro.models.protocol.BatchHysteresisModel` —
+timeless JA, discrete Preisach, classic time-domain — and recording
+whatever the family exposes: the shared ``h``/``m``/``b`` trajectory,
+per-sample ``extras`` channels (e.g. the timeless ``m_an``) and
+per-core ``counters`` totals (Euler steps, relay switch events,
+negative-slope evaluations, ...).
+
+:meth:`BatchSweepResult.core` slices one timeless lane back out as an
+ordinary :class:`repro.core.sweep.SweepResult` — columns, counters and
+dtypes exactly as a scalar run produces — so downstream analysis (loop
+extraction, stability audits, metrics) is reused unchanged;
+:meth:`BatchSweepResult.lane` is the family-agnostic equivalent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -23,26 +29,59 @@ from repro.core.slope import SlopeGuards
 from repro.core.sweep import SweepResult, waypoint_samples
 from repro.errors import ParameterError
 from repro.ja.anhysteretic import Anhysteretic
-from repro.ja.parameters import JAParameters
+from repro.models.protocol import is_batch_model, updated_mask
 
 
 @dataclass(frozen=True, slots=True)
-class BatchSweepResult:
-    """Recorded trajectories of one lockstep ensemble sweep.
+class LaneTrace:
+    """One lane of a batch run, family-agnostic.
 
-    ``h`` is the driver sample vector (1-D when shared by all cores,
-    else ``(samples, cores)``); ``m``/``b``/``m_an``/``updated`` are
-    ``(samples, cores)``; the counters are per-core totals.
+    The generic view :meth:`BatchSweepResult.lane` returns for model
+    families whose counters do not map onto the timeless
+    :class:`~repro.core.sweep.SweepResult` record.
     """
 
     h: np.ndarray
     m: np.ndarray
     b: np.ndarray
-    m_an: np.ndarray
     updated: np.ndarray
-    euler_steps: np.ndarray
-    clamped_slopes: np.ndarray
-    dropped_increments: np.ndarray
+    extras: dict[str, np.ndarray]
+    counters: dict[str, int]
+    family: str
+
+    def __len__(self) -> int:
+        return len(self.h)
+
+    @property
+    def finite(self) -> bool:
+        return bool(
+            np.isfinite(self.h).all()
+            and np.isfinite(self.m).all()
+            and np.isfinite(self.b).all()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSweepResult:
+    """Recorded trajectories of one lockstep ensemble run.
+
+    ``h`` is the driver sample vector (1-D when shared by all cores,
+    else ``(samples, cores)``); ``m``/``b``/``updated`` are
+    ``(samples, cores)``.  ``extras`` holds family-specific per-sample
+    channels (``(samples, cores)`` each); ``counters`` holds the
+    family's per-core totals over this run.  The timeless family's
+    channels stay reachable through the historic attribute names
+    (``m_an``, ``euler_steps``, ``clamped_slopes``,
+    ``dropped_increments``).
+    """
+
+    h: np.ndarray
+    m: np.ndarray
+    b: np.ndarray
+    updated: np.ndarray
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+    counters: dict[str, np.ndarray] = field(default_factory=dict)
+    family: str = "timeless"
 
     def __len__(self) -> int:
         return self.m.shape[0]
@@ -50,6 +89,33 @@ class BatchSweepResult:
     @property
     def n_cores(self) -> int:
         return self.m.shape[1]
+
+    def _channel(self, mapping: dict, key: str) -> np.ndarray:
+        try:
+            return mapping[key]
+        except KeyError:
+            raise ParameterError(
+                f"the {self.family!r} family records no {key!r} channel; "
+                f"available: {sorted(self.extras)} extras, "
+                f"{sorted(self.counters)} counters"
+            )
+
+    @property
+    def m_an(self) -> np.ndarray:
+        """Anhysteretic channel (timeless family)."""
+        return self._channel(self.extras, "m_an")
+
+    @property
+    def euler_steps(self) -> np.ndarray:
+        return self._channel(self.counters, "euler_steps")
+
+    @property
+    def clamped_slopes(self) -> np.ndarray:
+        return self._channel(self.counters, "clamped_slopes")
+
+    @property
+    def dropped_increments(self) -> np.ndarray:
+        return self._channel(self.counters, "dropped_increments")
 
     @property
     def finite_lanes(self) -> np.ndarray:
@@ -69,8 +135,27 @@ class BatchSweepResult:
         """Driver samples seen by one core."""
         return self.h[:, index] if self.h.ndim == 2 else self.h
 
+    def lane(self, index: int) -> LaneTrace:
+        """One lane as a family-agnostic :class:`LaneTrace`."""
+        return LaneTrace(
+            h=self.h_of(index),
+            m=self.m[:, index],
+            b=self.b[:, index],
+            updated=self.updated[:, index],
+            extras={k: v[:, index] for k, v in self.extras.items()},
+            counters={k: int(v[index]) for k, v in self.counters.items()},
+            family=self.family,
+        )
+
     def core(self, index: int) -> SweepResult:
-        """One lane as an ordinary scalar :class:`SweepResult`."""
+        """One timeless lane as an ordinary scalar :class:`SweepResult`
+        (exactly the record a scalar ``run_sweep`` produces).  Other
+        families use :meth:`lane`."""
+        if self.family != "timeless":
+            raise ParameterError(
+                f"core() reconstructs the timeless SweepResult record; "
+                f"this is a {self.family!r} run — use lane({index})"
+            )
         return SweepResult(
             h=self.h_of(index),
             m=self.m[:, index],
@@ -85,78 +170,96 @@ class BatchSweepResult:
     def cores(self) -> "list[SweepResult]":
         return [self.core(i) for i in range(self.n_cores)]
 
+    def lanes(self) -> "list[LaneTrace]":
+        return [self.lane(i) for i in range(self.n_cores)]
+
 
 def run_batch_series(
-    batch: BatchTimelessModel,
+    batch,
     h_samples: np.ndarray,
     reset: bool = True,
 ) -> BatchSweepResult:
-    """Drive the ensemble over explicit driver samples and record all lanes.
+    """Drive any batch model over explicit driver samples, recording all
+    lanes.
 
+    ``batch`` is any :class:`repro.models.protocol.BatchHysteresisModel`;
     ``h_samples`` is 1-D (shared waveform) or ``(samples, cores)``
-    (heterogeneous waveforms, still advanced in lockstep).
+    (heterogeneous waveforms, still advanced in lockstep).  The executor
+    never looks inside the model: it steps, probes ``m``/``b`` and the
+    family's extra channels, and differences the family's counter
+    totals over the run.
     """
     h_arr = np.asarray(h_samples, dtype=float)
     if h_arr.ndim not in (1, 2):
         raise ParameterError(
             f"h_samples must be 1-D or (samples, cores), got shape {h_arr.shape}"
         )
+    if h_arr.ndim == 2 and h_arr.shape[1] != batch.n_cores:
+        raise ParameterError(
+            f"per-core waveforms need {batch.n_cores} columns, "
+            f"got {h_arr.shape[1]}"
+        )
     if len(h_arr) == 0:
         raise ParameterError("need at least one driver sample")
     if reset:
-        batch.reset(h_initial=h_arr[0])
+        batch.begin_series(h_arr[0])
 
-    counters = batch.counters
-    steps_before = counters.euler_steps.copy()
-    clamped_before = counters.clamped_slopes.copy()
-    dropped_before = counters.dropped_increments.copy()
+    totals_before = batch.counter_totals()
 
     samples, n = h_arr.shape[0], batch.n_cores
     m_out = np.empty((samples, n))
     b_out = np.empty((samples, n))
-    man_out = np.empty((samples, n))
     updated = np.zeros((samples, n), dtype=bool)
+    extras_out: dict[str, np.ndarray] = {
+        key: np.empty((samples, n)) for key in batch.probe_extras()
+    }
     for i in range(samples):
         out = batch.step(h_arr[i])
-        updated[i] = out.accepted
+        updated[i] = updated_mask(out, n)
         m_out[i] = batch.m
         b_out[i] = batch.b
-        man_out[i] = batch.state.m_an
+        if extras_out:
+            for key, value in batch.probe_extras().items():
+                extras_out[key][i] = value
+
+    totals_after = batch.counter_totals()
+    counters = {
+        key: totals_after[key] - totals_before[key] for key in totals_after
+    }
 
     return BatchSweepResult(
         h=h_arr,
         m=m_out,
         b=b_out,
-        m_an=man_out,
         updated=updated,
-        euler_steps=counters.euler_steps - steps_before,
-        clamped_slopes=counters.clamped_slopes - clamped_before,
-        dropped_increments=counters.dropped_increments - dropped_before,
+        extras=extras_out,
+        counters=counters,
+        family=batch.family,
     )
 
 
 def run_batch_sweep(
-    batch: BatchTimelessModel,
+    batch,
     waypoints: Sequence[float],
     driver_step: float | None = None,
     reset: bool = True,
 ) -> BatchSweepResult:
-    """Drive the ensemble along one shared waypoint path.
+    """Drive any batch model along one shared waypoint path.
 
-    ``driver_step`` defaults to a quarter of the *smallest* lane
-    ``dhmax`` — the batch generalisation of the scalar driver default,
-    so the finest core still sees the accumulate-until-threshold event
-    semantics.  Pass it explicitly to reproduce a scalar run of a
-    specific model bitwise (``driver_step = model.dhmax / 4``).
+    ``driver_step`` defaults to the model's own
+    :meth:`~repro.models.protocol.BatchHysteresisModel.driver_step_hint`
+    (for the timeless family: a quarter of the smallest lane ``dhmax``,
+    exactly the scalar driver default).  Pass it explicitly to reproduce
+    a scalar run of a specific model bitwise.
     """
     if driver_step is None:
-        driver_step = float(np.min(batch.dhmax)) / 4.0
+        driver_step = batch.driver_step_hint()
     h_samples = waypoint_samples(waypoints, driver_step)
     return run_batch_series(batch, h_samples, reset=reset)
 
 
 def sweep(
-    params: "Sequence[JAParameters] | object",
+    params,
     waypoints: Sequence[float],
     dhmax: "float | np.ndarray" = DEFAULT_DHMAX,
     driver_step: float | None = None,
@@ -164,13 +267,39 @@ def sweep(
     guards: "SlopeGuards | Sequence[SlopeGuards]" = SlopeGuards(),
     accept_equal: "bool | Sequence[bool] | np.ndarray" = False,
 ) -> BatchSweepResult:
-    """One-call ensemble sweep: build the batch model, walk the waypoints.
+    """One-call ensemble sweep: build (or take) the batch model, walk the
+    waypoints.
 
-    This is the API that replaces per-model ``run_sweep`` loops: give it
-    the stacked parameter sets (plus optional per-core ``dhmax`` /
-    guards / ``accept_equal``) and one waypoint schedule, get every
-    trajectory back in a single lockstep pass.
+    ``params`` is either a ready batch model of **any** family (the
+    timeless construction keywords then must stay at their defaults —
+    the model already carries its configuration) or a sequence of
+    :class:`~repro.ja.parameters.JAParameters` /
+    :class:`~repro.batch.params.BatchJAParameters` to stack into a
+    timeless ensemble — the API that replaces per-model ``run_sweep``
+    loops.
     """
+    if is_batch_model(params):
+        overridden = []
+        if not (np.ndim(dhmax) == 0 and dhmax == DEFAULT_DHMAX):
+            overridden.append("dhmax")
+        if anhysteretic is not None:
+            overridden.append("anhysteretic")
+        if not (
+            isinstance(guards, SlopeGuards)
+            and guards.clamp_negative is True
+            and guards.drop_opposing is True
+        ):
+            overridden.append("guards")
+        if not (np.ndim(accept_equal) == 0 and bool(accept_equal) is False):
+            overridden.append("accept_equal")
+        if overridden:
+            raise ParameterError(
+                "sweep() received a ready batch model together with "
+                f"{', '.join(overridden)}; a batch model carries its own "
+                "configuration, so these keywords would be silently "
+                "ignored — construct the model with them instead"
+            )
+        return run_batch_sweep(params, waypoints, driver_step=driver_step)
     batch = BatchTimelessModel(
         params,
         dhmax=dhmax,

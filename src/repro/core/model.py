@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -68,6 +69,31 @@ class TimelessJAModel:
         other = object.__new__(TimelessJAModel)
         other._integrator = self._integrator.clone()
         return other
+
+    def snapshot(self):
+        """Opaque copy of the full mutable state, counters included.
+
+        Together with :meth:`restore` this is the protocol's speculative
+        excursion bracket (:class:`repro.models.protocol.HysteresisModel`):
+        a restored model retraces exactly what it would have produced
+        had the excursion never happened.
+        """
+        integ = self._integrator
+        return (
+            integ.state.snapshot(),
+            replace(integ.counters),
+            integ.discretiser.observations,
+            integ.discretiser.acceptances,
+        )
+
+    def restore(self, snap) -> None:
+        """Return to a previously taken :meth:`snapshot` exactly."""
+        state, counters, observations, acceptances = snap
+        integ = self._integrator
+        integ.state = state.snapshot()
+        integ.counters = replace(counters)
+        integ.discretiser.observations = observations
+        integ.discretiser.acceptances = acceptances
 
     # -- state access -----------------------------------------------------
 

@@ -48,3 +48,7 @@ class AnalysisError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment was mis-configured or produced unusable output."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A drive scenario was requested or parameterised inconsistently."""

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     ablation_anhysteretic,
     ablation_guards,
     batch_ensemble,
+    batch_families,
     circuit_demo,
     cross_model,
     equivalence,
@@ -27,6 +28,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     minor_loops,
     parameter_fit,
     performance,
+    scenario_grid,
     stability,
 )
 

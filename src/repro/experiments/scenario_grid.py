@@ -1,0 +1,139 @@
+"""EXP-X5: the full model-family x scenario grid, one batched run each.
+
+The payoff of the protocol refactor: three model families — timeless JA,
+Everett-identified Preisach, the classic time-domain chain — built over
+the *same* perturbed material ensemble, each driven through the shared
+scenario catalogue as one lockstep batch per (family, scenario) cell.
+No per-model drive code exists anywhere in this experiment; the
+families differ only in which batch model the registry stacks.
+
+The table records, per cell, the lanes that stayed finite and each
+family's own pathology/activity counters — the cross-model robustness
+picture (the unguarded time-domain chain accumulates negative-slope
+evaluations and may freeze lanes; the paper's timeless model and the
+relay model stay clean) over scenario diversity the original paper
+never exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stability import audit_batch_result
+from repro.batch.engine import BatchTimelessModel
+from repro.batch.sweep import run_batch_series
+from repro.batch.time_domain import BatchTimeDomainModel
+from repro.constants import DEFAULT_DHMAX
+from repro.core.slope import SlopeGuards
+from repro.experiments.registry import ExperimentResult, register
+from repro.io.table import TextTable
+from repro.models.registry import perturbed_parameters
+from repro.preisach.identification import identify_ensemble_from_ja
+from repro.scenarios import get_scenario
+
+#: The grid's scenario axis (5+ shared schedules incl. one per-core).
+SCENARIO_NAMES = (
+    "major-loop",
+    "minor-loop-ladder",
+    "demagnetisation",
+    "forc-family",
+    "inrush",
+    "harmonic",
+)
+
+
+def _counter_summary(counters: dict[str, np.ndarray]) -> str:
+    """Compact per-family counter totals for the table."""
+    parts = [f"{key}={int(np.sum(value))}" for key, value in sorted(counters.items())]
+    return ", ".join(parts)
+
+
+@register("EXP-X5", "Scenario grid: three model families, batched ensembles")
+def run(
+    n_cores: int = 4,
+    h_max: float = 10e3,
+    driver_step: float = 100.0,
+    n_cells: int = 16,
+    identification_dhmax: float = 200.0,
+    seed: int = 2006,
+) -> ExperimentResult:
+    params = perturbed_parameters(n_cores, seed)
+
+    preisach_batch, clipped = identify_ensemble_from_ja(
+        params,
+        n_cells=n_cells,
+        h_sat=2.0 * h_max,
+        dhmax=identification_dhmax,
+    )
+    batches = [
+        ("timeless", BatchTimelessModel(params, dhmax=DEFAULT_DHMAX)),
+        ("preisach", preisach_batch),
+        (
+            "time-domain",
+            BatchTimeDomainModel(params, guards=SlopeGuards.none()),
+        ),
+    ]
+
+    table = TextTable(
+        [
+            "family",
+            "scenario",
+            "samples",
+            "finite lanes",
+            "acceptable",
+            "mean |B|peak [T]",
+            "family counters",
+        ],
+        title=(
+            f"{len(batches)} families x {len(SCENARIO_NAMES)} scenarios, "
+            f"{n_cores} cores each (driver step {driver_step:g} A/m, "
+            f"h_max {h_max:g} A/m)"
+        ),
+    )
+    data: dict[str, object] = {
+        "n_cores": n_cores,
+        "scenarios": list(SCENARIO_NAMES),
+        "clipped": clipped,
+        "cells": {},
+    }
+    for family, batch in batches:
+        for name in SCENARIO_NAMES:
+            samples = get_scenario(name).samples(
+                h_max, driver_step, n_cores=n_cores
+            )
+            result = run_batch_series(batch, samples, reset=True)
+            finite = int(result.finite_lanes.sum())
+            audits = audit_batch_result(result)
+            acceptable = sum(audit.acceptable() for audit in audits)
+            with np.errstate(invalid="ignore"):
+                peak = float(np.nanmean(np.nanmax(np.abs(result.b), axis=0)))
+            table.add_row(
+                family,
+                name,
+                len(result),
+                f"{finite}/{n_cores}",
+                f"{acceptable}/{n_cores}",
+                peak,
+                _counter_summary(result.counters),
+            )
+            data["cells"][(family, name)] = result
+            data.setdefault("audits", {})[(family, name)] = audits
+
+    result_obj = ExperimentResult(
+        experiment_id="EXP-X5",
+        title="Scenario grid: three model families, batched ensembles",
+    )
+    result_obj.tables = [table]
+    result_obj.notes = [
+        "all three families share one perturbed material ensemble and "
+        "run every scenario through the same model-agnostic lockstep "
+        "executor — one batched run per grid cell",
+        "the time-domain rows run unguarded (the historical chain): its "
+        "negative-slope evaluations and frozen lanes are the pathology "
+        "the paper's timeless discretisation eliminates",
+        f"Preisach lanes identified at h_sat = {2.0 * h_max:g} A/m with "
+        f"{n_cells}x{n_cells} cells; clipped non-Preisach Everett mass "
+        f"per lane: {np.round(100 * clipped, 2).tolist()} %",
+    ]
+    result_obj.data = data
+    return result_obj

@@ -21,17 +21,17 @@ import numpy as np
 
 from repro.analysis.stability import audit_trajectory
 from repro.baselines.time_domain import TimeDomainJAModel
+from repro.batch.engine import BatchTimelessModel
+from repro.batch.sweep import run_batch_series
 from repro.constants import DEFAULT_DHMAX, FIG1_H_MAX
-from repro.core.model import TimelessJAModel
 from repro.core.slope import SlopeGuards
-from repro.core.sweep import run_sweep
 from repro.experiments.registry import ExperimentResult, register
 from repro.hdl.vhdlams import IntegJAArchitecture, SolverOptions, TransientSolver
 from repro.io.table import TextTable
 from repro.ja.parameters import PAPER_PARAMETERS
+from repro.scenarios import get_scenario
 from repro.solver.integrators import IntegrationMethod
 from repro.waveforms import TriangularWave
-from repro.waveforms.sweeps import major_loop_waypoints
 
 
 @register("EXP-T2", "Numerical stability at turning points across formulations")
@@ -48,8 +48,12 @@ def run(
     data: dict[str, object] = {}
 
     # -- timeless -----------------------------------------------------------
-    model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
-    sweep = run_sweep(model, major_loop_waypoints(h_max, cycles=1))
+    # Routed through the scenario registry and the model-agnostic batch
+    # executor (one-core ensemble): bitwise identical to the scalar
+    # run_sweep this replaces, by the batch engine's defining property.
+    samples = get_scenario("major-loop").samples(h_max, driver_step=dhmax / 4.0)
+    batch = BatchTimelessModel([PAPER_PARAMETERS], dhmax=dhmax)
+    sweep = run_batch_series(batch, samples).core(0)
     audit = audit_trajectory(sweep.h, sweep.b)
     rows.append(
         (

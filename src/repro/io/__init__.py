@@ -4,13 +4,14 @@ and VCD dumps of kernel traces."""
 from repro.io.ascii_plot import AsciiPlot, plot_bh
 from repro.io.csvio import read_bh_csv, write_bh_csv
 from repro.io.table import TextTable
-from repro.io.vcd import write_vcd
+from repro.io.vcd import write_batch_vcd, write_vcd
 
 __all__ = [
     "AsciiPlot",
     "TextTable",
     "plot_bh",
     "read_bh_csv",
+    "write_batch_vcd",
     "write_bh_csv",
     "write_vcd",
 ]

@@ -1,0 +1,37 @@
+"""Model-family protocol layer.
+
+Every hysteresis implementation in the repo — the timeless JA core, the
+discrete Preisach grid, the classic time-domain chain — conforms to one
+scalar protocol (:class:`HysteresisModel`) and one batch protocol
+(:class:`BatchHysteresisModel`), and registers a
+:class:`~repro.models.registry.ModelFamily` record mapping the family
+name to scalar/ensemble/batch factories.  Generic code (the
+model-agnostic batch executor, the scenario-grid experiments, the
+conformance suite) talks to these protocols only.
+"""
+
+from repro.models.protocol import (
+    BatchHysteresisModel,
+    HysteresisModel,
+    is_batch_model,
+    updated_mask,
+)
+from repro.models.registry import (
+    ModelFamily,
+    get_family,
+    list_families,
+    perturbed_parameters,
+    register_family,
+)
+
+__all__ = [
+    "BatchHysteresisModel",
+    "HysteresisModel",
+    "ModelFamily",
+    "get_family",
+    "is_batch_model",
+    "list_families",
+    "perturbed_parameters",
+    "register_family",
+    "updated_mask",
+]

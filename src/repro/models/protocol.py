@@ -1,0 +1,182 @@
+"""The common protocol every hysteresis model family speaks.
+
+The paper's claims are comparative — the timeless slope discretisation
+against classic time-domain Jiles-Atherton integration and against
+Preisach-type congruency — so the repo needs every model family to be
+drivable by the same experiment code.  Two structural protocols capture
+the contract:
+
+:class:`HysteresisModel`
+    One core, driven one field sample at a time.  ``apply_field`` is the
+    only way the history advances (*step*); the ``h``/``m``/``b``
+    properties observe without mutating (*peek*).  ``snapshot`` /
+    ``restore`` bracket speculative excursions — a conforming model
+    restored from a snapshot retraces the exact trajectory it would have
+    produced had the excursion never happened.
+
+:class:`BatchHysteresisModel`
+    N cores of one family advanced in lockstep, one vectorised update
+    per driver sample, each lane **bitwise identical** to the scalar
+    model over the same samples.  The model-agnostic executor
+    (:func:`repro.batch.sweep.run_batch_series`) drives any conforming
+    batch model and records its trajectories, per-sample extras and
+    per-core counter totals without knowing the family.
+
+Both protocols are ``runtime_checkable``: conformance is structural
+(duck-typed), so model classes do not import this module — the registry
+(:mod:`repro.models.registry`) and the generic conformance suite
+(``tests/test_models_protocol.py``) assert it from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class HysteresisModel(Protocol):
+    """One hysteretic core driven by field samples (no time axis)."""
+
+    @property
+    def h(self) -> float:
+        """Currently applied field [A/m]."""
+        ...
+
+    @property
+    def m(self) -> float:
+        """Magnetisation [A/m]."""
+        ...
+
+    @property
+    def m_normalised(self) -> float:
+        """Normalised magnetisation ``m = M / Msat`` (family-defined scale)."""
+        ...
+
+    @property
+    def b(self) -> float:
+        """Flux density [T]."""
+        ...
+
+    def reset(self) -> None:
+        """Return to the family's initial (demagnetised) state."""
+        ...
+
+    def apply_field(self, h: float) -> float:
+        """Apply one field sample [A/m]; return the updated B [T]."""
+        ...
+
+    def apply_field_series(self, h_values) -> np.ndarray:
+        """Apply a sample sequence; return B [T] after each sample."""
+        ...
+
+    def trace(self, h_values) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply a sample sequence; return ``(h, m, b)`` arrays."""
+        ...
+
+    def snapshot(self) -> Any:
+        """Opaque copy of the full mutable state (incl. statistics)."""
+        ...
+
+    def restore(self, snap: Any) -> None:
+        """Return to a previously taken :meth:`snapshot` exactly."""
+        ...
+
+
+@runtime_checkable
+class BatchHysteresisModel(Protocol):
+    """N cores of one family advanced in lockstep per driver sample."""
+
+    #: Family tag (``"timeless"``, ``"preisach"``, ``"time-domain"``);
+    #: stamped onto :class:`repro.batch.sweep.BatchSweepResult`.
+    family: str
+
+    @property
+    def n_cores(self) -> int:
+        ...
+
+    @property
+    def h(self) -> np.ndarray:
+        """Currently applied field per core [A/m]."""
+        ...
+
+    @property
+    def m(self) -> np.ndarray:
+        """Magnetisation per core [A/m]."""
+        ...
+
+    @property
+    def m_normalised(self) -> np.ndarray:
+        ...
+
+    @property
+    def b(self) -> np.ndarray:
+        """Flux density per core [T]."""
+        ...
+
+    def begin_series(self, h_initial) -> None:
+        """Reset every lane for a fresh series starting at ``h_initial``.
+
+        Families with a meaningful initial field adopt it (the timeless
+        and time-domain integrators start their histories there); the
+        Preisach relays ignore it — their demagnetised staircase is
+        field-free and the first driver sample switches from it.
+        """
+        ...
+
+    def step(self, h_new) -> Any:
+        """Advance every lane by one driver sample (scalar = shared).
+
+        The return value exposes the per-lane "state advanced" mask —
+        either directly as a boolean array or as an ``accepted``
+        attribute (the timeless engine returns its full kernel output).
+        """
+        ...
+
+    def counter_totals(self) -> dict[str, np.ndarray]:
+        """Cumulative per-core event counters, keyed by family-specific
+        names (fresh copies; safe to retain)."""
+        ...
+
+    def probe_extras(self) -> dict[str, np.ndarray]:
+        """Extra per-core channels to record each sample (may be empty);
+        e.g. the timeless family exposes ``m_an``."""
+        ...
+
+    def driver_step_hint(self) -> float:
+        """A sensible driver sample spacing [A/m] for waypoint walks."""
+        ...
+
+    def snapshot(self) -> Any:
+        ...
+
+    def restore(self, snap: Any) -> None:
+        ...
+
+
+def is_batch_model(model: Any) -> bool:
+    """One shared batch-vs-scalar dispatch test.
+
+    Structural (the protocols are duck-typed), used by every entry
+    point that accepts either kind of model so the dispatchers cannot
+    drift apart.
+    """
+    return isinstance(model, BatchHysteresisModel)
+
+
+def updated_mask(step_result: Any, n_cores: int) -> np.ndarray:
+    """Normalise a :meth:`BatchHysteresisModel.step` return value to a
+    per-lane boolean "state advanced" mask.
+
+    Accepts a boolean array, anything with an ``accepted`` attribute
+    (the timeless kernel's :class:`~repro.core.kernel.StepOutputs`), or
+    ``None`` (no information: all False).
+    """
+    if step_result is None:
+        return np.zeros(n_cores, dtype=bool)
+    accepted = getattr(step_result, "accepted", step_result)
+    mask = np.asarray(accepted)
+    if mask.shape == ():
+        mask = np.full(n_cores, bool(mask))
+    return mask.astype(bool, copy=False)

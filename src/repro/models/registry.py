@@ -1,0 +1,220 @@
+"""Registry of hysteresis model families.
+
+One :class:`ModelFamily` record per implementation family maps the
+family name to factories for scalar models, heterogeneous scalar
+ensembles and the stacked batch model, so generic code — the protocol
+conformance suite, the scenario-grid experiment EXP-X5, the non-JA
+batch benchmark — can iterate over *all* families without knowing any
+of them:
+
+    for family in list_families():
+        batch = family.make_batch(n_cores=8, seed=0)
+        result = run_batch_series(batch, samples)
+
+Families register themselves here at import; third-party families can
+call :func:`register_family` with their own record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ja.parameters import JAParameters, PAPER_PARAMETERS
+
+
+@dataclass(frozen=True)
+class ModelFamily:
+    """One registered hysteresis model family.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"timeless"``, ``"preisach"``, ``"time-domain"``).
+    description:
+        One-line description for listings and experiment tables.
+    make_models:
+        ``(n, seed) -> list`` of N heterogeneous scalar models
+        conforming to :class:`repro.models.protocol.HysteresisModel`.
+    stack:
+        Stacks a scalar-model list into the family's batch model
+        (each family's ``from_scalar_models``).
+    h_scale:
+        A drive amplitude [A/m] that exercises the family's full loop
+        (used by generic tests and scenario defaults).
+    """
+
+    name: str
+    description: str
+    make_models: Callable[[int, int], list]
+    stack: Callable[[Sequence], object]
+    h_scale: float = 10e3
+
+    def make_scalar(self, seed: int = 0):
+        """One scalar model of this family."""
+        return self.make_models(1, seed)[0]
+
+    def make_batch(self, n_cores: int, seed: int = 0):
+        """A stacked batch model over a heterogeneous ensemble."""
+        return self.stack(self.make_models(n_cores, seed))
+
+    def make_pair(self, n_cores: int, seed: int = 0):
+        """Matched ``(batch, scalars)`` built from the *same* ensemble —
+        the inputs of a lane-by-lane bitwise equivalence check."""
+        scalars = self.make_models(n_cores, seed)
+        reference = self.make_models(n_cores, seed)
+        return self.stack(scalars), reference
+
+
+_FAMILIES: dict[str, ModelFamily] = {}
+
+
+def register_family(family: ModelFamily) -> ModelFamily:
+    if family.name in _FAMILIES:
+        raise ParameterError(f"duplicate model family {family.name!r}")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> ModelFamily:
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ParameterError(f"unknown model family {name!r}; known: {known}")
+
+
+def list_families() -> list[ModelFamily]:
+    return [_FAMILIES[k] for k in sorted(_FAMILIES)]
+
+
+def perturbed_parameters(
+    n: int, seed: int = 0, base: JAParameters = PAPER_PARAMETERS
+) -> list[JAParameters]:
+    """Reproducible heterogeneous JA parameter sets around ``base``.
+
+    The shared ensemble recipe of the family factories: ±30% log-uniform
+    on ``k``/``m_sat``, ``c`` in [0.05, 0.4].
+    """
+    rng = np.random.default_rng(seed)
+
+    def perturb(value: float, spread: float = 0.3) -> float:
+        return float(
+            value * np.exp(rng.uniform(np.log(1 - spread), np.log(1 + spread)))
+        )
+
+    return [
+        base.with_updates(
+            k=perturb(base.k),
+            m_sat=perturb(base.m_sat),
+            c=float(rng.uniform(0.05, 0.4)),
+            name=f"{base.name}-pert-{seed}-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+# -- built-in families -------------------------------------------------------
+
+
+def _make_timeless_models(n: int, seed: int = 0) -> list:
+    from repro.core.model import TimelessJAModel
+
+    rng = np.random.default_rng(seed + 17)
+    params = perturbed_parameters(n, seed)
+    return [
+        TimelessJAModel(
+            params[i],
+            dhmax=float(rng.uniform(25.0, 100.0)),
+            accept_equal=bool(rng.random() < 0.5),
+        )
+        for i in range(n)
+    ]
+
+
+def _stack_timeless(models: Sequence) -> object:
+    from repro.batch.engine import BatchTimelessModel
+
+    return BatchTimelessModel.from_scalar_models(list(models))
+
+
+@lru_cache(maxsize=8)
+def _identified_preisach_ensemble(
+    n: int, seed: int, n_cells: int, h_sat: float, dhmax: float
+) -> tuple:
+    """Identify N Preisach cores from perturbed JA sets (cached: the
+    FORC measurement behind each identification is the expensive part)."""
+    from repro.preisach.identification import identify_from_ja
+
+    params = perturbed_parameters(n, seed)
+    return tuple(
+        identify_from_ja(p, n_cells=n_cells, h_sat=h_sat, dhmax=dhmax)[0]
+        for p in params
+    )
+
+
+def _make_preisach_models(
+    n: int,
+    seed: int = 0,
+    n_cells: int = 12,
+    h_sat: float = 20e3,
+    dhmax: float = 400.0,
+) -> list:
+    """N Preisach cores, each Everett-identified against a perturbed JA
+    set.  Coarse defaults keep the registry factory quick; experiments
+    that need finer grids identify their own ensembles."""
+    models = _identified_preisach_ensemble(n, seed, n_cells, h_sat, dhmax)
+    return [model.clone() for model in models]
+
+
+def _stack_preisach(models: Sequence) -> object:
+    from repro.batch.preisach import BatchPreisachModel
+
+    return BatchPreisachModel.from_scalar_models(list(models))
+
+
+def _make_time_domain_models(n: int, seed: int = 0) -> list:
+    from repro.baselines.time_domain import TimeDomainJAModel
+    from repro.core.slope import SlopeGuards
+
+    params = perturbed_parameters(n, seed)
+    return [TimeDomainJAModel(p, guards=SlopeGuards.paper()) for p in params]
+
+
+def _stack_time_domain(models: Sequence) -> object:
+    from repro.batch.time_domain import BatchTimeDomainModel
+
+    return BatchTimeDomainModel.from_scalar_models(list(models))
+
+
+register_family(
+    ModelFamily(
+        name="timeless",
+        description="timeless slope discretisation (the paper's model)",
+        make_models=_make_timeless_models,
+        stack=_stack_timeless,
+    )
+)
+
+register_family(
+    ModelFamily(
+        name="preisach",
+        description="discrete Preisach relay grid (Everett-identified)",
+        make_models=_make_preisach_models,
+        stack=_stack_preisach,
+        h_scale=20e3,
+    )
+)
+
+register_family(
+    ModelFamily(
+        name="time-domain",
+        description="classic dM/dH forward-Euler chain (pre-paper)",
+        make_models=_make_time_domain_models,
+        stack=_stack_time_domain,
+    )
+)

@@ -18,6 +18,7 @@ from repro.preisach.identification import (
     EverettMap,
     adaptive_nodes,
     everett_from_ja,
+    identify_ensemble_from_ja,
     identify_from_ja,
     weights_from_everett,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "PreisachModel",
     "adaptive_nodes",
     "everett_from_ja",
+    "identify_ensemble_from_ja",
     "identify_from_ja",
     "weights_from_everett",
 ]

@@ -109,6 +109,27 @@ class PreisachModel:
             else float(self.beta_thresholds[0])
         )
 
+    def snapshot(self) -> tuple:
+        """Opaque copy of the relay state and applied field."""
+        return (self._state.copy(), self._h)
+
+    def restore(self, snap: tuple) -> None:
+        """Return to a previously taken :meth:`snapshot` exactly."""
+        state, h = snap
+        self._state = state.copy()
+        self._h = float(h)
+
+    def clone(self) -> "PreisachModel":
+        """Independent copy sharing the (immutable) weights and grids."""
+        other = PreisachModel(
+            self.weights,
+            self.alpha_thresholds,
+            self.beta_thresholds,
+            self.m_sat,
+        )
+        other.restore(self.snapshot())
+        return other
+
     @property
     def h(self) -> float:
         return self._h

@@ -1,0 +1,35 @@
+"""Shared drive-scenario layer.
+
+One registry of named field schedules (major loop, minor-loop ladder,
+FORC family, demagnetisation, inrush/re-energisation, harmonic
+distortion, ...) that every hysteresis model — scalar or batch, any
+family — can execute through one call:
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    batch = get_family("preisach").make_batch(8)
+    result = run_scenario(batch, "minor-loop-ladder", h_max=10e3)
+
+Importing this package registers the built-in catalogue
+(:mod:`repro.scenarios.library`).
+"""
+
+from repro.scenarios.registry import (
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.run import run_scenario, scenario_samples
+
+# Importing the library registers the built-in catalogue.
+from repro.scenarios import library  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_samples",
+]

@@ -1,0 +1,108 @@
+"""Scenario registry: named drive schedules any model family can run.
+
+A :class:`Scenario` turns ``(h_max, driver_step, n_cores)`` into the
+driver sample array the lockstep executor consumes — either a shared
+1-D vector (most scenarios) or a ``(samples, cores)`` matrix (per-core
+families such as the FORC sweep, where every lane reverses at its own
+field).  Scenarios carry **no model knowledge**: the same schedule
+drives a timeless JA ensemble, a Preisach relay tensor or the classic
+time-domain chain, which is what makes cross-model experiments one
+loop over the registry instead of hand-written drive code per model.
+
+Two scenario kinds exist:
+
+* **waypoint scenarios** — a piecewise-linear vertex list (the paper's
+  timeless DC-sweep style), sampled at ``driver_step``;
+* **sampled scenarios** — an explicit sample vector for drives that are
+  not piecewise linear (harmonic distortion, inrush envelopes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.sweep import waypoint_samples
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named drive schedule.
+
+    Exactly one of ``waypoint_builder`` / ``sample_builder`` is set:
+
+    ``waypoint_builder(h_max) -> list[float]``
+        Field vertices of a piecewise-linear walk.
+    ``sample_builder(h_max, driver_step, n_cores) -> np.ndarray``
+        Explicit driver samples, 1-D (shared) or ``(samples, cores)``.
+    """
+
+    name: str
+    description: str
+    waypoint_builder: Callable[[float], Sequence[float]] | None = None
+    sample_builder: Callable[[float, float, int], np.ndarray] | None = None
+    #: True when the scenario builds one waveform per core (its sample
+    #: matrix is ``(samples, n_cores)``).
+    per_core: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.waypoint_builder is None) == (self.sample_builder is None):
+            raise ScenarioError(
+                f"scenario {self.name!r} needs exactly one of "
+                "waypoint_builder / sample_builder"
+            )
+
+    def waypoints(self, h_max: float) -> list[float]:
+        """The vertex list of a waypoint scenario."""
+        if self.waypoint_builder is None:
+            raise ScenarioError(
+                f"scenario {self.name!r} is sampled, not piecewise-linear; "
+                "use samples()"
+            )
+        return list(self.waypoint_builder(float(h_max)))
+
+    def samples(
+        self, h_max: float, driver_step: float, n_cores: int = 1
+    ) -> np.ndarray:
+        """Driver samples for the executor.
+
+        Waypoint scenarios sample their vertex walk at ``driver_step``
+        (shared 1-D vector, whatever ``n_cores``); sampled and per-core
+        scenarios delegate to their builder.
+        """
+        if h_max <= 0.0 or not np.isfinite(h_max):
+            raise ScenarioError(f"h_max must be finite and > 0, got {h_max!r}")
+        if driver_step <= 0.0 or not np.isfinite(driver_step):
+            raise ScenarioError(
+                f"driver_step must be finite and > 0, got {driver_step!r}"
+            )
+        if n_cores < 1:
+            raise ScenarioError(f"n_cores must be >= 1, got {n_cores}")
+        if self.sample_builder is not None:
+            return self.sample_builder(float(h_max), float(driver_step), n_cores)
+        return waypoint_samples(self.waypoints(h_max), driver_step)
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in _SCENARIOS:
+        raise ScenarioError(f"duplicate scenario {scenario.name!r}")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise ScenarioError(f"unknown scenario {name!r}; known: {known}")
+
+
+def list_scenarios() -> list[Scenario]:
+    return [_SCENARIOS[k] for k in sorted(_SCENARIOS)]

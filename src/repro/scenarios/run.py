@@ -1,0 +1,73 @@
+"""Execute a scenario on any model, scalar or batch.
+
+:func:`run_scenario` is the one entry point the experiments use: give
+it a scenario (name or object) and a model conforming to either
+protocol, and it builds the drive samples at the right width and runs
+them through the appropriate executor — the model-agnostic batch
+executor for ensembles, the model's own ``trace`` for scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batch.sweep import BatchSweepResult, run_batch_series
+from repro.errors import ScenarioError
+from repro.models.protocol import is_batch_model
+from repro.scenarios.registry import Scenario, get_scenario
+
+
+def scenario_samples(
+    scenario: "Scenario | str",
+    h_max: float,
+    driver_step: float,
+    n_cores: int = 1,
+) -> np.ndarray:
+    """Driver samples of a scenario (resolving registry names)."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return scenario.samples(h_max, driver_step, n_cores=n_cores)
+
+
+def run_scenario(
+    model,
+    scenario: "Scenario | str",
+    h_max: float,
+    driver_step: float | None = None,
+    reset: bool = True,
+):
+    """Run one scenario on a scalar or batch hysteresis model.
+
+    Batch models (anything with ``n_cores`` and ``counter_totals``) go
+    through :func:`repro.batch.sweep.run_batch_series` and return a
+    :class:`~repro.batch.sweep.BatchSweepResult`; scalar models run
+    their own ``trace`` and return the ``(h, m, b)`` arrays.  For batch
+    models ``driver_step`` defaults to the model's own hint.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if is_batch_model(model):
+        if driver_step is None:
+            driver_step = model.driver_step_hint()
+        samples = scenario.samples(h_max, driver_step, n_cores=model.n_cores)
+        return run_batch_series(model, samples, reset=reset)
+    if driver_step is None:
+        raise ScenarioError(
+            "scalar models need an explicit driver_step (they carry no hint)"
+        )
+    samples = scenario.samples(h_max, driver_step, n_cores=1)
+    if samples.ndim == 2:
+        samples = samples[:, 0]
+    if reset:
+        # Mirror the batch executor's begin_series(h[0]): families with
+        # a meaningful initial field start their history at the first
+        # sample (a scenario opening at +h_sat must not integrate a
+        # spurious 0 -> h_sat jump); the Preisach reset is field-free.
+        try:
+            model.reset(h_initial=float(samples[0]))
+        except TypeError:
+            model.reset()
+    return model.trace(samples)
+
+
+__all__ = ["BatchSweepResult", "run_scenario", "scenario_samples"]

@@ -1,8 +1,21 @@
-"""Sinusoidal excitation waveforms."""
+"""Sinusoidal excitation waveforms.
+
+**Ufunc parity.**  The transcendentals here are NumPy's (``np.sin`` /
+``np.cos`` / ``np.exp``), not ``math.*`` — libm and NumPy's SIMD
+kernels differ by 1 ulp on some arguments (the PR 1 gotcha), and these
+waveforms feed the time-domain baseline, whose batch engine evaluates
+the same drives through array ufuncs.  Keeping both paths on NumPy's
+kernels preserves the repo-wide rule that scalar and batched
+trajectories are bitwise interchangeable.  ``math.isfinite`` /
+``math.pi`` remain: validation and constants carry no kernel
+difference.
+"""
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.errors import WaveformError
 from repro.waveforms.base import Waveform
@@ -25,10 +38,10 @@ class SineWave(Waveform):
         return 2.0 * math.pi * self.frequency
 
     def value(self, t: float) -> float:
-        return self.amplitude * math.sin(self.omega * t + self.phase)
+        return self.amplitude * float(np.sin(self.omega * t + self.phase))
 
     def derivative(self, t: float, dt: float = 1e-9) -> float:
-        return self.amplitude * self.omega * math.cos(self.omega * t + self.phase)
+        return self.amplitude * self.omega * float(np.cos(self.omega * t + self.phase))
 
     def __repr__(self) -> str:
         return (
@@ -58,10 +71,10 @@ class DampedSineWave(SineWave):
         self.tau = float(tau)
 
     def value(self, t: float) -> float:
-        return math.exp(-t / self.tau) * super().value(t)
+        return float(np.exp(-t / self.tau)) * super().value(t)
 
     def derivative(self, t: float, dt: float = 1e-9) -> float:
-        envelope = math.exp(-t / self.tau)
+        envelope = float(np.exp(-t / self.tau))
         return envelope * (
             super().derivative(t) - super().value(t) / self.tau
         )

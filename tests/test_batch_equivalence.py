@@ -282,6 +282,20 @@ class TestBatchValidation:
         with pytest.raises(ParameterError):
             batch.apply_field_series(np.zeros((10, 2)))
 
+    def test_sweep_rejects_overrides_with_ready_batch_model(self):
+        """sweep() must not silently drop timeless construction
+        keywords when handed a ready batch model."""
+        batch = BatchTimelessModel([PAPER_PARAMETERS] * 2)
+        waypoints = [0.0, 5e3, -5e3]
+        result = sweep(batch, waypoints, driver_step=100.0)  # defaults fine
+        assert result.n_cores == 2
+        with pytest.raises(ParameterError, match="dhmax"):
+            sweep(batch, waypoints, dhmax=10.0)
+        with pytest.raises(ParameterError, match="guards"):
+            sweep(batch, waypoints, guards=SlopeGuards.none())
+        with pytest.raises(ParameterError, match="accept_equal"):
+            sweep(batch, waypoints, accept_equal=True)
+
     def test_stacked_parameters_roundtrip(self):
         stacked = BatchJAParameters.from_sequence(
             [PAPER_PARAMETERS, JILES_ATHERTON_1984]
@@ -292,6 +306,82 @@ class TestBatchValidation:
         # a2=None lanes resolve modified_shape to `a`, like the scalar
         # property.
         assert stacked.modified_shape[1] == JILES_ATHERTON_1984.a
+
+
+class TestCoreRoundTrip:
+    """BatchSweepResult.core() must reproduce the exact SweepResult a
+    scalar run produces — columns, counters and dtypes — even when the
+    ensemble runs heterogeneous per-core waveforms."""
+
+    def test_heterogeneous_h_lane_equals_scalar_sweep_result(self):
+        seed, n, samples = 21, 5, 250
+        params, dhmax, guards, accept_equal = random_ensemble(seed, n)
+        h = random_waveforms(seed, samples, n)
+
+        batch = BatchTimelessModel(
+            params, dhmax=dhmax, guards=guards, accept_equal=accept_equal
+        )
+        result = run_batch_series(batch, h)
+
+        for i in range(n):
+            model = TimelessJAModel(
+                params[i],
+                dhmax=float(dhmax[i]),
+                guards=guards[i],
+                accept_equal=bool(accept_equal[i]),
+            )
+            model.reset(h_initial=float(h[0, i]))
+            lane_h = h[:, i]
+            m_ref = np.empty(samples)
+            b_ref = np.empty(samples)
+            man_ref = np.empty(samples)
+            updated_ref = np.zeros(samples, dtype=bool)
+            steps0 = model.counters.euler_steps
+            clamp0 = model.counters.clamped_slopes
+            drop0 = model.counters.dropped_increments
+            for s in range(samples):
+                updated_ref[s] = model._integrator.step(float(lane_h[s])) is not None
+                m_ref[s] = model.m
+                b_ref[s] = model.b
+                man_ref[s] = model.state.m_an
+
+            lane = result.core(i)
+            # columns, bitwise
+            assert np.array_equal(lane.h, lane_h)
+            assert np.array_equal(lane.m, m_ref, equal_nan=True)
+            assert np.array_equal(lane.b, b_ref, equal_nan=True)
+            assert np.array_equal(lane.m_an, man_ref, equal_nan=True)
+            assert np.array_equal(lane.updated, updated_ref)
+            # dtypes of every column and counter
+            assert lane.h.dtype == lane.m.dtype == lane.b.dtype == np.float64
+            assert lane.m_an.dtype == np.float64
+            assert lane.updated.dtype == np.bool_
+            assert type(lane.euler_steps) is int
+            assert type(lane.clamped_slopes) is int
+            assert type(lane.dropped_increments) is int
+            # counters
+            assert lane.euler_steps == model.counters.euler_steps - steps0
+            assert lane.clamped_slopes == model.counters.clamped_slopes - clamp0
+            assert (
+                lane.dropped_increments
+                == model.counters.dropped_increments - drop0
+            )
+
+    def test_core_rejected_for_non_timeless_families(self):
+        from repro.batch.time_domain import BatchTimeDomainModel
+
+        batch = BatchTimeDomainModel([PAPER_PARAMETERS] * 2)
+        result = run_batch_series(batch, np.linspace(0.0, 5e3, 40))
+        with pytest.raises(ParameterError):
+            result.core(0)
+        lane = result.lane(0)
+        assert lane.family == "time-domain"
+        assert set(lane.counters) == {
+            "steps",
+            "slope_evaluations",
+            "negative_slope_evaluations",
+            "diverged",
+        }
 
 
 class TestBatchAudit:

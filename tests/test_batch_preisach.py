@@ -1,0 +1,210 @@
+"""BatchPreisachModel: bitwise lane equivalence and relay-tensor semantics.
+
+Property-style sweeps over seeded random ensembles (heterogeneous
+perturbed weights, m_sat scales and waveforms): every lane must
+reproduce an independent scalar :class:`PreisachModel` run bit for bit,
+including the wiping-out property and the switch-event accounting.
+Also covers the batched Everett identification, which must match the
+scalar FORC loop it replaced exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.preisach import BatchPreisachModel
+from repro.batch.sweep import run_batch_series
+from repro.core.model import TimelessJAModel
+from repro.core.sweep import run_sweep, waypoint_samples
+from repro.errors import ParameterError
+from repro.ja.parameters import PAPER_PARAMETERS
+from repro.preisach import everett_from_ja, identify_ensemble_from_ja, identify_from_ja
+from repro.preisach.model import PreisachModel
+
+
+@pytest.fixture(scope="module")
+def base_model():
+    model, _ = identify_from_ja(
+        PAPER_PARAMETERS, n_cells=12, h_sat=20e3, dhmax=400.0
+    )
+    return model
+
+
+def random_ensemble(base_model, seed: int, n: int) -> list:
+    """Heterogeneous relay ensembles: perturbed weights and m_sat."""
+    rng = np.random.default_rng(seed)
+    models = []
+    for _ in range(n):
+        factors = np.exp(
+            rng.uniform(np.log(0.6), np.log(1.5), base_model.weights.shape)
+        )
+        models.append(
+            PreisachModel(
+                weights=base_model.weights * factors,
+                alpha_thresholds=base_model.alpha_thresholds,
+                beta_thresholds=base_model.beta_thresholds,
+                m_sat=base_model.m_sat * float(rng.uniform(0.7, 1.3)),
+            )
+        )
+    return models
+
+
+def random_waveforms(seed: int, samples: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed + 4000)
+    steps = rng.normal(0.0, 1500.0, size=(samples, n))
+    reversals = rng.random((samples, n)) < 0.05
+    steps[reversals] *= -6.0
+    return np.clip(np.cumsum(steps, axis=0), -25e3, 25e3)
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_waveforms_match_bitwise(self, base_model, seed):
+        n, samples = 6, 400
+        models = random_ensemble(base_model, seed, n)
+        h = random_waveforms(seed, samples, n)
+
+        batch = BatchPreisachModel.from_scalar_models(models)
+        result = run_batch_series(batch, h, reset=True)
+
+        for i in range(n):
+            ref = models[i].clone()
+            ref.reset()
+            h_r, m_r, b_r = ref.trace(h[:, i])
+            assert np.array_equal(result.b[:, i], b_r)
+            assert np.array_equal(result.m[:, i], m_r)
+
+    def test_shared_waveform_and_counters(self, base_model):
+        models = random_ensemble(base_model, 7, 3)
+        samples = waypoint_samples([0.0, 18e3, -9e3, 14e3, -18e3], 500.0)
+        batch = BatchPreisachModel.from_scalar_models(models)
+        result = run_batch_series(batch, samples, reset=True)
+
+        for i in range(3):
+            ref = models[i].clone()
+            ref.reset()
+            _, m_r, b_r = ref.trace(samples)
+            assert np.array_equal(result.b[:, i], b_r)
+            # switch events count exactly the samples where m changed
+            m_prev = np.concatenate([[ref_initial_m(models[i])], m_r[:-1]])
+            changed = (m_r != m_prev).sum()
+            assert result.counters["switch_events"][i] == changed
+
+    def test_monotone_endpoint_equals_subsampled_path(self, base_model):
+        """Wiping-out: one call with the endpoint equals the sampled
+        walk, lane-for-lane (the relay semantics survive batching)."""
+        models = random_ensemble(base_model, 9, 2)
+        batch_direct = BatchPreisachModel.from_scalar_models(
+            [m.clone() for m in models]
+        )
+        batch_sampled = BatchPreisachModel.from_scalar_models(
+            [m.clone() for m in models]
+        )
+        batch_direct.begin_series(0.0)
+        batch_sampled.begin_series(0.0)
+        batch_direct.step(17e3)
+        for h in np.linspace(0.0, 17e3, 60)[1:]:
+            batch_sampled.step(float(h))
+        assert np.array_equal(batch_direct.m, batch_sampled.m)
+
+    def test_saturate_matches_scalar(self, base_model):
+        models = random_ensemble(base_model, 11, 4)
+        batch = BatchPreisachModel.from_scalar_models(models)
+        batch.saturate(np.array([True, False, True, False]))
+        for i, positive in enumerate([True, False, True, False]):
+            ref = models[i].clone()
+            ref.saturate(positive)
+            assert batch.m_normalised[i] == ref.m_normalised
+            assert batch.h[i] == ref.h
+
+    def test_write_back_round_trip(self, base_model):
+        models = random_ensemble(base_model, 13, 2)
+        mirror = [m.clone() for m in models]
+        batch = BatchPreisachModel.from_scalar_models(models)
+        samples = waypoint_samples([0.0, 12e3, -5e3], 700.0)
+        run_batch_series(batch, samples, reset=False)
+        batch.write_back_to_models(models)
+        for scalar, ref in zip(models, mirror):
+            ref.apply_field_series(samples)
+            assert scalar.m_normalised == ref.m_normalised
+            assert scalar.h == ref.h
+
+
+def ref_initial_m(model) -> float:
+    """Initial magnetisation [A/m] of the demagnetised staircase."""
+    fresh = model.clone()
+    fresh.reset()
+    return fresh.m
+
+
+class TestValidation:
+    def test_grid_shapes_must_match(self, base_model):
+        small, _ = identify_from_ja(
+            PAPER_PARAMETERS, n_cells=8, h_sat=20e3, dhmax=800.0
+        )
+        with pytest.raises(ParameterError):
+            BatchPreisachModel.from_scalar_models([base_model, small])
+
+    def test_invalid_half_plane_weight_rejected(self, base_model):
+        weights = np.stack([base_model.weights.copy()])
+        weights[0, 0, -1] = 0.5  # alpha bottom, beta top: invalid cell
+        with pytest.raises(ParameterError):
+            BatchPreisachModel(
+                weights,
+                base_model.alpha_thresholds,
+                base_model.beta_thresholds,
+                base_model.m_sat,
+            )
+
+    def test_waveform_shape_checked(self, base_model):
+        batch = BatchPreisachModel.from_scalar_models([base_model, base_model])
+        with pytest.raises(ParameterError):
+            batch.trace(np.zeros((5, 3)))
+
+    def test_non_finite_field_rejected(self, base_model):
+        batch = BatchPreisachModel.from_scalar_models([base_model])
+        with pytest.raises(ParameterError):
+            batch.step(np.nan)
+
+
+class TestBatchedIdentification:
+    def test_everett_matches_scalar_forc_loop(self):
+        """The batched FORC measurement reproduces the scalar sweep
+        loop it replaced bit for bit."""
+        n_cells, h_sat, dhmax = 8, 20e3, 800.0
+        batched = everett_from_ja(
+            PAPER_PARAMETERS, n_cells=n_cells, h_sat=h_sat, dhmax=dhmax
+        )
+
+        nodes = np.linspace(-h_sat, h_sat, n_cells + 1)
+        values = np.zeros((len(nodes), len(nodes)))
+        for i in range(len(nodes)):
+            alpha = float(nodes[i])
+            model = TimelessJAModel(PAPER_PARAMETERS, dhmax=dhmax)
+            run_sweep(model, [0.0, h_sat, -h_sat, alpha])
+            m_alpha = model.m_normalised
+            if i == 0:
+                continue
+            descent = run_sweep(model, [alpha, float(nodes[0])], reset=False)
+            h_desc = descent.h[::-1]
+            m_desc = descent.m[::-1] / PAPER_PARAMETERS.m_sat
+            for j in range(i + 1):
+                m_forc = float(np.interp(float(nodes[j]), h_desc, m_desc))
+                values[i, j] = 0.5 * (m_alpha - m_forc)
+
+        assert np.array_equal(batched.values, values)
+
+    def test_identify_ensemble_stacks_per_params(self):
+        from repro.models import perturbed_parameters
+
+        params = perturbed_parameters(3, seed=5)
+        batch, clipped = identify_ensemble_from_ja(
+            params, n_cells=8, h_sat=20e3, dhmax=800.0
+        )
+        assert batch.n_cores == 3
+        assert clipped.shape == (3,)
+        assert (clipped >= 0.0).all()
+        # lane 0 equals a direct identification of params[0]
+        direct, _ = identify_from_ja(
+            params[0], n_cells=8, h_sat=20e3, dhmax=800.0
+        )
+        assert np.array_equal(batch.weights[0], direct.weights)

@@ -1,0 +1,142 @@
+"""BatchTimeDomainModel: bitwise lane equivalence incl. divergence freeze.
+
+The vectorised pre-paper chain must reproduce N independent scalar
+sample-driven :class:`TimeDomainJAModel` runs bit for bit — guarded or
+unguarded, including lanes that blow up and freeze — with per-lane
+pathology counters matching the scalar accounting exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.sweep import run_batch_series
+from repro.batch.time_domain import BatchTimeDomainModel
+from repro.baselines.time_domain import TimeDomainJAModel
+from repro.core.slope import SlopeGuards
+from repro.errors import ParameterError
+from repro.ja.parameters import (
+    HARD_STEEL,
+    JILES_ATHERTON_1984,
+    PAPER_PARAMETERS,
+    SOFT_FERRITE,
+)
+
+GUARD_CHOICES = [
+    SlopeGuards(True, True),
+    SlopeGuards(True, False),
+    SlopeGuards(False, True),
+    SlopeGuards(False, False),
+]
+
+
+def random_ensemble(seed: int, n: int) -> list:
+    rng = np.random.default_rng(seed)
+    base = [PAPER_PARAMETERS, SOFT_FERRITE, HARD_STEEL, JILES_ATHERTON_1984]
+    models = []
+    for i in range(n):
+        p = base[int(rng.integers(len(base)))]
+        params = p.with_updates(
+            k=float(p.k * rng.uniform(0.6, 1.6)),
+            c=float(rng.uniform(0.02, 0.6)),
+            m_sat=float(p.m_sat * rng.uniform(0.7, 1.3)),
+            name=f"td-rand-{seed}-{i}",
+        )
+        models.append(
+            TimeDomainJAModel(
+                params, guards=GUARD_CHOICES[int(rng.integers(4))]
+            )
+        )
+    return models
+
+
+def random_waveforms(seed: int, samples: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed + 9000)
+    steps = rng.normal(0.0, 400.0, size=(samples, n))
+    reversals = rng.random((samples, n)) < 0.03
+    steps[reversals] *= -8.0
+    return np.cumsum(steps, axis=0)
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_waveforms_match_bitwise(self, seed):
+        n, samples = 8, 300
+        models = random_ensemble(seed, n)
+        h = random_waveforms(seed, samples, n)
+
+        batch = BatchTimeDomainModel.from_scalar_models(models)
+        result = run_batch_series(batch, h, reset=True)
+
+        for i, model in enumerate(models):
+            model.reset(h_initial=float(h[0, i]))
+            h_r, m_r, b_r = model.trace(h[:, i])
+            assert np.array_equal(result.b[:, i], b_r, equal_nan=True)
+            assert np.array_equal(result.m[:, i], m_r, equal_nan=True)
+            counters = result.counters
+            assert counters["steps"][i] == model.steps
+            assert counters["slope_evaluations"][i] == model.slope_evaluations
+            assert (
+                counters["negative_slope_evaluations"][i]
+                == model.negative_slope_evaluations
+            )
+            assert bool(counters["diverged"][i]) == model.diverged
+
+    def test_divergence_freezes_lane_but_not_others(self):
+        """An unguarded lane that blows up freezes; its neighbours keep
+        integrating exactly as if they ran alone."""
+        fragile = TimeDomainJAModel(
+            PAPER_PARAMETERS.with_updates(k=PAPER_PARAMETERS.k * 0.05),
+            guards=SlopeGuards.none(),
+            divergence_limit=2.0,
+        )
+        robust = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.paper())
+        batch = BatchTimeDomainModel.from_scalar_models([fragile, robust])
+
+        h = np.concatenate(
+            [np.linspace(0.0, 9e3, 150), np.linspace(9e3, -9e3, 300)]
+        )
+        result = run_batch_series(batch, h, reset=True)
+
+        solo = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.paper())
+        solo.reset(h_initial=0.0)
+        _, _, b_solo = solo.trace(h)
+        assert np.array_equal(result.b[:, 1], b_solo)
+        if result.counters["diverged"][0]:
+            # frozen lane: magnetisation constant after the freeze
+            frozen_from = int(result.counters["steps"][0])
+            assert np.all(result.m[frozen_from:, 0] == result.m[-1, 0])
+
+    def test_scalar_run_api_untouched_by_step_state(self):
+        """The waveform-in-time run() still works after sample stepping."""
+        from repro.waveforms import TriangularWave
+
+        model = TimeDomainJAModel(PAPER_PARAMETERS, guards=SlopeGuards.paper())
+        model.apply_field_series(np.linspace(0.0, 5e3, 50))
+        result = model.run(
+            TriangularWave(9e3, 10e-3), t_stop=12.5e-3, dt=25e-6
+        )
+        assert result.completed
+        assert len(result) > 100
+
+
+class TestValidation:
+    def test_guard_count_must_match(self):
+        with pytest.raises(ParameterError):
+            BatchTimeDomainModel(
+                [PAPER_PARAMETERS] * 3, guards=[SlopeGuards()] * 2
+            )
+
+    def test_waveform_shape_checked(self):
+        batch = BatchTimeDomainModel([PAPER_PARAMETERS] * 2)
+        with pytest.raises(ParameterError):
+            batch.trace(np.zeros((4, 3)))
+
+    def test_divergence_limit_broadcast(self):
+        batch = BatchTimeDomainModel(
+            [PAPER_PARAMETERS] * 2, divergence_limit=np.array([5.0, 100.0])
+        )
+        assert np.array_equal(batch.divergence_limit, [5.0, 100.0])
+        with pytest.raises(ParameterError):
+            BatchTimeDomainModel(
+                [PAPER_PARAMETERS] * 2, divergence_limit=np.zeros(3)
+            )

@@ -31,6 +31,8 @@ class TestRegistry:
             "EXP-A1",
             "EXP-A2",
             "EXP-X1",
+            "EXP-X5",
+            "EXP-B2",
         }
         assert expected <= ids
 
@@ -169,3 +171,49 @@ class TestCrossModelCheap:
         # the cheap grid.
         assert minor_rel > forc_rel
         assert result.data["clipped"] < 0.08
+
+
+class TestScenarioGridCheap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "EXP-X5",
+            n_cores=2,
+            driver_step=250.0,
+            n_cells=8,
+            identification_dhmax=800.0,
+        )
+
+    def test_full_grid_ran(self, result):
+        cells = result.data["cells"]
+        families = {family for family, _ in cells}
+        scenarios = {name for _, name in cells}
+        assert families == {"timeless", "preisach", "time-domain"}
+        assert len(scenarios) >= 5
+        assert len(cells) == len(families) * len(scenarios)
+
+    def test_paper_families_stay_finite(self, result):
+        """The timeless and relay models survive every scenario."""
+        for (family, name), run in result.data["cells"].items():
+            if family in ("timeless", "preisach"):
+                assert run.finite, (family, name)
+
+    def test_time_domain_shows_pathologies(self, result):
+        """The unguarded chain accumulates negative-slope evaluations
+        somewhere on the grid — the paper's comparative claim."""
+        total_neg = sum(
+            int(run.counters["negative_slope_evaluations"].sum())
+            for (family, _), run in result.data["cells"].items()
+            if family == "time-domain"
+        )
+        assert total_neg > 0
+
+
+class TestBatchFamiliesCheap:
+    def test_equivalence_both_families(self):
+        result = run_experiment(
+            "EXP-B2", n_cores=6, n_cells=10, driver_step=400.0
+        )
+        for family in ("preisach", "time-domain"):
+            row = result.data[family]
+            assert row["equal_lanes"] == row["n_cores"], family

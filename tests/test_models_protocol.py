@@ -1,0 +1,176 @@
+"""Generic protocol conformance: every registered model family passes.
+
+The suite never names a model class: it pulls families from the
+registry and asserts the protocol contract — step/peek semantics,
+snapshot/restore exactness, saturation symmetry, batch/scalar lane
+equivalence — generically.  A new family that registers itself is
+covered with zero new test code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import waypoint_samples
+from repro.batch.sweep import run_batch_series
+from repro.models import (
+    BatchHysteresisModel,
+    HysteresisModel,
+    get_family,
+    list_families,
+    updated_mask,
+)
+
+FAMILY_NAMES = [family.name for family in list_families()]
+
+
+def drive_samples(family, cycles: int = 1) -> np.ndarray:
+    """A major-loop walk scaled to the family's drive amplitude."""
+    h = family.h_scale
+    waypoints = [0.0, h]
+    for _ in range(cycles):
+        waypoints.extend([-h, h])
+    return waypoint_samples(waypoints, h / 40.0)
+
+
+def test_registry_covers_all_three_families():
+    assert {"timeless", "preisach", "time-domain"} <= set(FAMILY_NAMES)
+
+
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestScalarConformance:
+    def test_structural_protocol(self, name):
+        model = get_family(name).make_scalar()
+        assert isinstance(model, HysteresisModel)
+
+    def test_step_and_peek_semantics(self, name):
+        """apply_field returns B and moves h; reading properties does
+        not perturb the trajectory."""
+        family = get_family(name)
+        stepped = family.make_scalar()
+        untouched = family.make_scalar()
+        samples = drive_samples(family)
+        for h in samples:
+            b = stepped.apply_field(float(h))
+            assert b == stepped.b  # peek is stable
+            assert stepped.h == float(h)
+            # peek repeatedly; must not change anything
+            _ = (stepped.m, stepped.m_normalised, stepped.b, stepped.h)
+        b_untouched = untouched.apply_field_series(list(samples))
+        assert b_untouched[-1] == stepped.b
+
+    def test_series_matches_scalar_stepping(self, name):
+        family = get_family(name)
+        a = family.make_scalar()
+        b = family.make_scalar()
+        samples = drive_samples(family)
+        series = a.apply_field_series(list(samples))
+        looped = np.array([b.apply_field(float(h)) for h in samples])
+        assert np.array_equal(series, looped, equal_nan=True)
+
+    def test_trace_shapes_and_consistency(self, name):
+        family = get_family(name)
+        model = family.make_scalar()
+        samples = drive_samples(family)
+        h, m, b = model.trace(samples)
+        assert h.shape == m.shape == b.shape == samples.shape
+        assert b[-1] == model.b
+        assert m[-1] == model.m
+
+    def test_snapshot_restore_is_exact(self, name):
+        """A restored model retraces the excursion bitwise."""
+        family = get_family(name)
+        model = family.make_scalar()
+        samples = drive_samples(family)
+        split = len(samples) // 2
+        model.apply_field_series(list(samples[:split]))
+        snap = model.snapshot()
+        first = model.apply_field_series(list(samples[split:]))
+        model.restore(snap)
+        second = model.apply_field_series(list(samples[split:]))
+        assert np.array_equal(first, second, equal_nan=True)
+
+    def test_reset_returns_to_initial_state(self, name):
+        family = get_family(name)
+        model = family.make_scalar()
+        fresh = family.make_scalar()
+        model.apply_field_series(list(drive_samples(family)))
+        model.reset()
+        samples = drive_samples(family, cycles=2)
+        assert np.array_equal(
+            model.apply_field_series(list(samples)),
+            fresh.apply_field_series(list(samples)),
+            equal_nan=True,
+        )
+
+    def test_saturation_symmetry(self, name):
+        """Driving to +/-Hsat yields (near-)opposite magnetisations."""
+        family = get_family(name)
+        h = family.h_scale
+        positive = family.make_scalar()
+        negative = family.make_scalar()
+        positive.apply_field_series(list(waypoint_samples([0.0, h], h / 40.0)))
+        negative.apply_field_series(list(waypoint_samples([0.0, -h], h / 40.0)))
+        m_up = positive.m_normalised
+        m_down = negative.m_normalised
+        assert m_up > 0.0 and m_down < 0.0
+        assert m_up + m_down == pytest.approx(0.0, abs=0.05 * abs(m_up))
+
+
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestBatchConformance:
+    def test_structural_protocol(self, name):
+        batch = get_family(name).make_batch(3)
+        assert isinstance(batch, BatchHysteresisModel)
+        assert batch.family == name
+        assert batch.n_cores == 3
+        assert batch.driver_step_hint() > 0.0
+
+    def test_lanes_bitwise_equal_scalar_models(self, name):
+        """The defining batch property, asserted per family."""
+        family = get_family(name)
+        batch, scalars = family.make_pair(4)
+        samples = drive_samples(family)
+        result = run_batch_series(batch, samples, reset=True)
+        for i, scalar in enumerate(scalars):
+            scalar.reset()
+            b_ref = scalar.apply_field_series(list(samples))
+            assert np.array_equal(result.b[:, i], b_ref, equal_nan=True), (
+                f"{name} lane {i} diverged from its scalar model"
+            )
+
+    def test_counters_and_extras_shapes(self, name):
+        family = get_family(name)
+        batch = family.make_batch(3)
+        samples = drive_samples(family)
+        result = run_batch_series(batch, samples, reset=True)
+        assert result.family == name
+        assert result.updated.shape == result.m.shape
+        for key, value in result.counters.items():
+            assert value.shape == (3,), key
+        for key, value in result.extras.items():
+            assert value.shape == result.m.shape, key
+        lane = result.lane(1)
+        assert set(lane.counters) == set(result.counters)
+        assert len(lane) == len(samples)
+
+    def test_batch_snapshot_restore_is_exact(self, name):
+        family = get_family(name)
+        batch = family.make_batch(3)
+        samples = drive_samples(family)
+        split = len(samples) // 2
+        run_batch_series(batch, samples[:split], reset=True)
+        snap = batch.snapshot()
+        first = run_batch_series(batch, samples[split:], reset=False)
+        batch.restore(snap)
+        second = run_batch_series(batch, samples[split:], reset=False)
+        assert np.array_equal(first.b, second.b, equal_nan=True)
+        for key in first.counters:
+            assert np.array_equal(first.counters[key], second.counters[key])
+
+    def test_step_returns_updated_mask(self, name):
+        family = get_family(name)
+        batch = family.make_batch(2)
+        batch.begin_series(0.0)
+        out = batch.step(family.h_scale / 2.0)
+        mask = updated_mask(out, batch.n_cores)
+        assert mask.shape == (2,) and mask.dtype == np.bool_
