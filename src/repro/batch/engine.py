@@ -26,11 +26,15 @@ import numpy as np
 
 from repro.constants import DEFAULT_DHMAX
 from repro.core.kernel import StepInputs, StepOutputs, refresh_algebraic, step_kernel
-from repro.core.slope import SlopeGuards, stack_guards
-from repro.batch.lanes import broadcast_lane, trace_series
+from repro.core.slope import SlopeGuards, slice_guards, stack_guards
+from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
 from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.errors import ParameterError
-from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.anhysteretic import (
+    Anhysteretic,
+    make_anhysteretic,
+    slice_anhysteretic,
+)
 from repro.ja.equations import flux_density
 from repro.ja.parameters import JAParameters
 
@@ -298,6 +302,45 @@ class BatchTimelessModel:
             d = model._integrator.discretiser
             d.observations = int(counters.observations[i])
             d.acceptances = int(counters.acceptances[i])
+
+    # -- shard construction ------------------------------------------------
+
+    def shard_payload(self, start: int, stop: int) -> dict:
+        """Picklable construction payload for lanes ``[start, stop)``.
+
+        Ships configuration only — parameters, thresholds, guard flags,
+        anhysteretic shapes — never live state: a batch rebuilt from the
+        payload starts reset, which is what the sharded executor
+        (:mod:`repro.parallel`) needs, since a fresh series resets every
+        lane anyway.
+        """
+        check_lane_range(start, stop, self.n_cores)
+        accept = self.accept_equal
+        return {
+            "params": self.params.lane_slice(start, stop),
+            "dhmax": self.dhmax[start:stop].copy(),
+            "anhysteretic": slice_anhysteretic(self.anhysteretic, start, stop),
+            "guards": slice_guards(self.guards, start, stop),
+            "accept_equal": (
+                accept if np.ndim(accept) == 0 else accept[start:stop].copy()
+            ),
+        }
+
+    @classmethod
+    def from_shard_payload(cls, payload: dict) -> "BatchTimelessModel":
+        """Rebuild a (sub-)ensemble from a :meth:`shard_payload` dict."""
+        return cls(
+            payload["params"],
+            dhmax=payload["dhmax"],
+            anhysteretic=payload["anhysteretic"],
+            guards=payload["guards"],
+            accept_equal=payload["accept_equal"],
+        )
+
+    def shard(self, start: int, stop: int) -> "BatchTimelessModel":
+        """A freshly reset batch over lanes ``[start, stop)`` — bitwise
+        identical per lane to this ensemble after a reset."""
+        return type(self).from_shard_payload(self.shard_payload(start, stop))
 
     # -- state access -----------------------------------------------------
 

@@ -25,6 +25,15 @@ def broadcast_lane(value, n: int, name: str) -> np.ndarray:
     return arr.copy()
 
 
+def check_lane_range(start: int, stop: int, n_cores: int) -> None:
+    """Validate a contiguous shard range ``[start, stop)``."""
+    if not (0 <= start < stop <= n_cores):
+        raise ParameterError(
+            f"lane range [{start}, {stop}) outside ensemble of "
+            f"{n_cores} cores"
+        )
+
+
 def trace_series(
     model, h_values: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -18,6 +18,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.batch.lanes import check_lane_range
 from repro.errors import ParameterError
 from repro.ja.parameters import JAParameters
 
@@ -77,6 +78,24 @@ class BatchJAParameters:
             alpha=float(self.alpha[index]),
             a2=None if np.isnan(a2) else a2,
             name=self.names[index],
+        )
+
+    def lane_slice(self, start: int, stop: int) -> "BatchJAParameters":
+        """The contiguous lane range ``[start, stop)`` as a new stack.
+
+        The shard planner's construction primitive: each array is
+        copied, so the slice is independent of (and picklable without)
+        the parent ensemble.
+        """
+        check_lane_range(start, stop, len(self))
+        return BatchJAParameters(
+            m_sat=self.m_sat[start:stop].copy(),
+            a=self.a[start:stop].copy(),
+            k=self.k[start:stop].copy(),
+            c=self.c[start:stop].copy(),
+            alpha=self.alpha[start:stop].copy(),
+            a2=self.a2[start:stop].copy(),
+            names=self.names[start:stop],
         )
 
     def __len__(self) -> int:

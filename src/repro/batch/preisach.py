@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.batch.lanes import broadcast_lane, trace_series
+from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
 from repro.constants import MU0
 from repro.errors import ParameterError
 from repro.preisach.model import PreisachModel
@@ -144,6 +144,32 @@ class BatchPreisachModel:
         :meth:`adopt_states`)."""
         for i, model in enumerate(models):
             model.restore((self._state[i], float(self._h[i])))
+
+    # -- shard construction ------------------------------------------------
+
+    def shard_payload(self, start: int, stop: int) -> dict:
+        """Picklable construction payload for lanes ``[start, stop)``
+        (grids and weights only, no relay state — a rebuilt shard starts
+        from the demagnetised staircase)."""
+        check_lane_range(start, stop, self.n_cores)
+        return {
+            "weights": self.weights[start:stop].copy(),
+            "alpha_thresholds": self.alpha_thresholds[start:stop].copy(),
+            "beta_thresholds": self.beta_thresholds[start:stop].copy(),
+            "m_sat": self.m_sat[start:stop].copy(),
+        }
+
+    @classmethod
+    def from_shard_payload(cls, payload: dict) -> "BatchPreisachModel":
+        """Rebuild a (sub-)ensemble from a :meth:`shard_payload` dict."""
+        return cls(**payload)
+
+    def shard(self, start: int, stop: int) -> "BatchPreisachModel":
+        """A freshly reset batch over lanes ``[start, stop)`` — bitwise
+        identical per lane to this ensemble after a reset (the per-core
+        relay sum reduces each lane's own contiguous grid, so slicing
+        cannot change it)."""
+        return type(self).from_shard_payload(self.shard_payload(start, stop))
 
     # -- state access -----------------------------------------------------
 

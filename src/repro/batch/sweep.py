@@ -223,8 +223,13 @@ def run_batch_series(
                 extras_out[key][i] = value
 
     totals_after = batch.counter_totals()
+    # Union of keys with zero defaults: a family may register a counter
+    # lazily after its first step (absent from totals_before), and a
+    # counter present only before the run must still be reported (as a
+    # negative delta) rather than silently dropped.
     counters = {
-        key: totals_after[key] - totals_before[key] for key in totals_after
+        key: totals_after.get(key, 0) - totals_before.get(key, 0)
+        for key in sorted(totals_before.keys() | totals_after.keys())
     }
 
     return BatchSweepResult(

@@ -21,13 +21,17 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.batch.lanes import broadcast_lane, trace_series
+from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
 from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.baselines.time_domain import DIVERGENCE_LIMIT
 from repro.constants import DEFAULT_DHMAX
-from repro.core.slope import SlopeGuards, stack_guards
+from repro.core.slope import SlopeGuards, slice_guards, stack_guards
 from repro.errors import ParameterError
-from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
+from repro.ja.anhysteretic import (
+    Anhysteretic,
+    make_anhysteretic,
+    slice_anhysteretic,
+)
 from repro.ja.equations import (
     anhysteretic_slope_term,
     effective_field,
@@ -138,6 +142,34 @@ class BatchTimeDomainModel:
                     int(self.negative_slope_evaluations[i]),
                 )
             )
+
+    # -- shard construction ------------------------------------------------
+
+    def shard_payload(self, start: int, stop: int) -> dict:
+        """Picklable construction payload for lanes ``[start, stop)``
+        (materials, guards and divergence limits only — no live state)."""
+        check_lane_range(start, stop, self.n_cores)
+        return {
+            "params": self.params.lane_slice(start, stop),
+            "anhysteretic": slice_anhysteretic(self.anhysteretic, start, stop),
+            "guards": slice_guards(self.guards, start, stop),
+            "divergence_limit": self.divergence_limit[start:stop].copy(),
+        }
+
+    @classmethod
+    def from_shard_payload(cls, payload: dict) -> "BatchTimeDomainModel":
+        """Rebuild a (sub-)ensemble from a :meth:`shard_payload` dict."""
+        return cls(
+            payload["params"],
+            anhysteretic=payload["anhysteretic"],
+            guards=payload["guards"],
+            divergence_limit=payload["divergence_limit"],
+        )
+
+    def shard(self, start: int, stop: int) -> "BatchTimeDomainModel":
+        """A freshly reset batch over lanes ``[start, stop)`` — bitwise
+        identical per lane to this ensemble after a reset."""
+        return type(self).from_shard_payload(self.shard_payload(start, stop))
 
     # -- state access -----------------------------------------------------
 

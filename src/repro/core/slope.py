@@ -74,6 +74,26 @@ def stack_guards(guards: Sequence[SlopeGuards]) -> SlopeGuards:
     )
 
 
+def slice_guards(guards: SlopeGuards, start: int, stop: int) -> SlopeGuards:
+    """The lane range ``[start, stop)`` of a (possibly array-valued)
+    guard record.
+
+    Scalar flags apply to any ensemble width and pass through
+    unchanged; array flags are sliced per lane.  Used by the batch
+    engines' shard construction (:mod:`repro.parallel`).
+    """
+
+    def pick(flag: "bool | np.ndarray") -> "bool | np.ndarray":
+        if np.ndim(flag) == 0:
+            return flag
+        return np.asarray(flag)[start:stop].copy()
+
+    return SlopeGuards(
+        clamp_negative=pick(guards.clamp_negative),
+        drop_opposing=pick(guards.drop_opposing),
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class SlopeResult:
     """Outcome of one guarded slope evaluation.

@@ -26,6 +26,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     fig1,
     flux_driven,
     minor_loops,
+    parallel_ensemble,
     parameter_fit,
     performance,
     scenario_grid,

@@ -275,3 +275,37 @@ def make_anhysteretic(
     if cls is ModifiedLangevinAnhysteretic and use_a2:
         return cls(params.modified_shape)
     return cls(params.a)
+
+
+def slice_anhysteretic(
+    curve: Anhysteretic, start: int, stop: int
+) -> Anhysteretic:
+    """The lane range ``[start, stop)`` of a batch-evaluated curve.
+
+    A curve with a scalar shape serves any ensemble width unchanged and
+    is returned as-is; an array-shaped curve is rebuilt over the sliced
+    shapes (Brillouin ``j`` carried along).  Because every built-in
+    curve evaluates element-wise, the sliced curve is bitwise identical
+    per lane to the full-width one — the property the sharded executor
+    (:mod:`repro.parallel`) relies on.
+    """
+    if np.ndim(curve.shape) == 0:
+        return curve
+    shapes = np.asarray(curve.shape)
+    n = len(shapes)
+    if not (0 <= start < stop <= n):
+        raise ParameterError(
+            f"lane slice [{start}, {stop}) outside curve of {n} lanes"
+        )
+    extra: dict[str, float] = {}
+    j = getattr(curve, "j", None)
+    if j is not None:
+        extra["j"] = j
+    try:
+        return type(curve)(shapes[start:stop].copy(), **extra)
+    except TypeError as exc:
+        raise ParameterError(
+            f"cannot slice a {type(curve).__name__}: its constructor is "
+            "not (shape)-compatible; use a scalar-shape curve or override "
+            "slicing for the custom family"
+        ) from exc

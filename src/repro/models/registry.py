@@ -46,6 +46,20 @@ class ModelFamily:
     h_scale:
         A drive amplitude [A/m] that exercises the family's full loop
         (used by generic tests and scenario defaults).
+    extras_channels:
+        Names of the per-sample channels the family's batch model
+        records (``probe_extras`` keys) — the output schema the sharded
+        executor (:mod:`repro.parallel`) allocates shared buffers from.
+    counter_channels:
+        Names of the per-core counter totals (``counter_totals`` keys),
+        ``int64`` each.  Documentation/introspection only: the sharded
+        executor collects counters from the workers' actual totals, so
+        lazily registered counters need no registry entry.
+    batch_from_payload:
+        Rebuilds the family's batch model from a picklable
+        ``shard_payload`` dict (each engine's ``from_shard_payload``) —
+        how pool workers reconstruct their sub-ensemble without
+        shipping live models.
     """
 
     name: str
@@ -53,6 +67,9 @@ class ModelFamily:
     make_models: Callable[[int, int], list]
     stack: Callable[[Sequence], object]
     h_scale: float = 10e3
+    extras_channels: tuple[str, ...] = ()
+    counter_channels: tuple[str, ...] = ()
+    batch_from_payload: Callable[[dict], object] | None = None
 
     def make_scalar(self, seed: int = 0):
         """One scalar model of this family."""
@@ -142,6 +159,12 @@ def _stack_timeless(models: Sequence) -> object:
     return BatchTimelessModel.from_scalar_models(list(models))
 
 
+def _timeless_from_payload(payload: dict) -> object:
+    from repro.batch.engine import BatchTimelessModel
+
+    return BatchTimelessModel.from_shard_payload(payload)
+
+
 @lru_cache(maxsize=8)
 def _identified_preisach_ensemble(
     n: int, seed: int, n_cells: int, h_sat: float, dhmax: float
@@ -177,6 +200,12 @@ def _stack_preisach(models: Sequence) -> object:
     return BatchPreisachModel.from_scalar_models(list(models))
 
 
+def _preisach_from_payload(payload: dict) -> object:
+    from repro.batch.preisach import BatchPreisachModel
+
+    return BatchPreisachModel.from_shard_payload(payload)
+
+
 def _make_time_domain_models(n: int, seed: int = 0) -> list:
     from repro.baselines.time_domain import TimeDomainJAModel
     from repro.core.slope import SlopeGuards
@@ -191,12 +220,25 @@ def _stack_time_domain(models: Sequence) -> object:
     return BatchTimeDomainModel.from_scalar_models(list(models))
 
 
+def _time_domain_from_payload(payload: dict) -> object:
+    from repro.batch.time_domain import BatchTimeDomainModel
+
+    return BatchTimeDomainModel.from_shard_payload(payload)
+
+
 register_family(
     ModelFamily(
         name="timeless",
         description="timeless slope discretisation (the paper's model)",
         make_models=_make_timeless_models,
         stack=_stack_timeless,
+        extras_channels=("m_an",),
+        counter_channels=(
+            "euler_steps",
+            "clamped_slopes",
+            "dropped_increments",
+        ),
+        batch_from_payload=_timeless_from_payload,
     )
 )
 
@@ -207,6 +249,8 @@ register_family(
         make_models=_make_preisach_models,
         stack=_stack_preisach,
         h_scale=20e3,
+        counter_channels=("switch_events",),
+        batch_from_payload=_preisach_from_payload,
     )
 )
 
@@ -216,5 +260,12 @@ register_family(
         description="classic dM/dH forward-Euler chain (pre-paper)",
         make_models=_make_time_domain_models,
         stack=_stack_time_domain,
+        counter_channels=(
+            "steps",
+            "slope_evaluations",
+            "negative_slope_evaluations",
+            "diverged",
+        ),
+        batch_from_payload=_time_domain_from_payload,
     )
 )

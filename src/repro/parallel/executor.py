@@ -1,0 +1,480 @@
+"""Sharded multi-process execution of batch ensembles.
+
+:func:`run_sharded` splits any conforming batch ensemble into
+contiguous lane shards (:mod:`repro.parallel.plan`), drives each shard
+through the ordinary in-process executor
+(:func:`repro.batch.sweep.run_batch_series`) on a ``multiprocessing``
+worker pool, and reassembles a
+:class:`~repro.batch.sweep.BatchSweepResult` that is **bitwise
+identical** to the single-process run: every lane's computation is
+independent and the batch engines are bitwise per lane, so splitting
+the lane axis and concatenating the columns back cannot change a single
+bit — of ``h``/``m``/``b``/``updated``, the extras channels, or the
+per-core counters.
+
+Workers never receive live models (see :mod:`repro.parallel.spec`) and
+never pickle trajectories back: the parent allocates one shared-memory
+block per per-sample output channel and each worker writes its column
+range in place.  Only the per-core counters — tiny ``(width,)`` arrays
+whose key set a family may even grow mid-run — return through the
+worker result.  ``n_workers=1`` (or a single planned shard) falls back
+to a serial in-process loop over the same shard specs — same code
+path, no processes, no shared memory.
+
+The ``REPRO_PARALLEL_MAX_WORKERS`` environment variable caps the
+effective worker count regardless of what callers request (CI runners
+set it to stay within their core allowance).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.batch.sweep import BatchSweepResult, run_batch_series
+from repro.errors import ParameterError
+from repro.models.protocol import is_batch_model
+from repro.models.registry import get_family
+from repro.parallel.plan import plan_shards
+from repro.parallel.spec import DriveSpec, EnsembleSpec, ShardSpec
+
+#: Environment cap on the effective worker count (runner-safe CI knob).
+MAX_WORKERS_ENV = "REPRO_PARALLEL_MAX_WORKERS"
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware when the OS exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(n_workers: int | None = None) -> int:
+    """The effective worker count: requested (default: all CPUs), then
+    clamped by the :data:`MAX_WORKERS_ENV` environment cap."""
+    workers = available_cpus() if n_workers is None else n_workers
+    if workers < 1:
+        raise ParameterError(f"n_workers must be >= 1, got {workers}")
+    cap = os.environ.get(MAX_WORKERS_ENV)
+    if cap:
+        try:
+            workers = min(workers, max(1, int(cap)))
+        except ValueError:
+            raise ParameterError(
+                f"{MAX_WORKERS_ENV} must be an integer, got {cap!r}"
+            )
+    return workers
+
+
+@dataclass(frozen=True)
+class _Block:
+    """One shared-memory output array, described picklably."""
+
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def attach(self) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+        """Worker-side attach, without resource-tracker registration.
+
+        The parent owns (creates, unlinks, and tracks) every segment;
+        an attach that registers it again confuses the tracker into
+        "leaked shared_memory" warnings or spurious unlinks at shutdown
+        (CPython gh-82300 — Python 3.13 grew ``track=False`` for
+        exactly this).  Workers are single-threaded, so temporarily
+        silencing the register hook is safe on 3.11/3.12 too.
+        """
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=self.shm_name)
+        finally:
+            resource_tracker.register = original
+        return shm, np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+
+
+@dataclass(frozen=True)
+class _OutputLayout:
+    """The shared output schema of one sharded run.
+
+    Only the per-sample channels live in shared memory; per-core
+    counters are tiny ``(width,)`` arrays and travel back in the worker
+    return value instead — which also means the counter key set never
+    has to be known before the run (a conforming family may register a
+    counter lazily mid-run, the contract
+    :func:`repro.batch.sweep.run_batch_series` supports).
+    """
+
+    m: _Block
+    b: _Block
+    updated: _Block
+    extras: dict[str, _Block]
+
+
+class _CellJob:
+    """One sharded run, planned: specs, schema, and (later) buffers."""
+
+    def __init__(
+        self,
+        family: str,
+        n_total: int,
+        h_full: np.ndarray,
+        specs: list[ShardSpec],
+        extras_keys: tuple[str, ...],
+    ) -> None:
+        self.family = family
+        self.n_total = n_total
+        self.h_full = h_full
+        self.specs = specs
+        self.extras_keys = extras_keys
+        self.layout: _OutputLayout | None = None
+        self._shm: dict[str, shared_memory.SharedMemory] = {}
+
+    # -- shared-memory lifecycle ------------------------------------------
+
+    def _alloc(self, shape: tuple[int, ...], dtype) -> _Block:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._shm[shm.name] = shm
+        return _Block(shm.name, shape, np.dtype(dtype).str)
+
+    def allocate(self) -> None:
+        samples = len(self.h_full)
+        wide = (samples, self.n_total)
+        self.layout = _OutputLayout(
+            m=self._alloc(wide, np.float64),
+            b=self._alloc(wide, np.float64),
+            updated=self._alloc(wide, np.bool_),
+            extras={k: self._alloc(wide, np.float64) for k in self.extras_keys},
+        )
+
+    def assemble(self, metas) -> BatchSweepResult:
+        """Copy the shared buffers out into an ordinary result (reusing
+        the creation handles — no second attach, no extra tracker
+        registration); counters come from the worker metadata."""
+        layout = self.layout
+
+        def copy_out(block: _Block) -> np.ndarray:
+            shm = self._shm[block.shm_name]
+            return np.ndarray(
+                block.shape, dtype=block.dtype, buffer=shm.buf
+            ).copy()
+
+        return BatchSweepResult(
+            h=self.h_full,
+            m=copy_out(layout.m),
+            b=copy_out(layout.b),
+            updated=copy_out(layout.updated),
+            extras={k: copy_out(v) for k, v in layout.extras.items()},
+            counters=merge_shard_counters(
+                [meta[3] for meta in metas],
+                [spec.width for spec in self.specs],
+            ),
+            family=self.family,
+        )
+
+    def release(self) -> None:
+        for shm in self._shm.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double release
+                pass
+        self._shm = {}
+        self.layout = None
+
+
+def merge_shard_counters(
+    shard_counters: "list[dict[str, np.ndarray]]",
+    widths: "list[int]",
+) -> dict[str, np.ndarray]:
+    """Concatenate per-shard counter dicts over the union of keys.
+
+    A key a shard never registered (lazily appearing counters may fire
+    on some lanes only) fills with zeros of that shard's width — the
+    same value the full-width model would report for lanes that never
+    triggered it.
+    """
+    keys: dict[str, np.dtype] = {}
+    for counters in shard_counters:
+        for key, value in counters.items():
+            keys.setdefault(key, np.asarray(value).dtype)
+    return {
+        key: np.concatenate(
+            [
+                np.asarray(counters.get(key, np.zeros(width, dtype=dtype)))
+                for counters, width in zip(shard_counters, widths)
+            ]
+        )
+        for key, dtype in sorted(keys.items())
+    }
+
+
+def _extras_schema(source) -> tuple[str, ...]:
+    """Extras channel names: probed from a live batch, else from the
+    family registry record.  Extras are structural state channels
+    (stable over a run), so the pre-run schema is authoritative —
+    unlike counters, which travel back per shard instead."""
+    if is_batch_model(source):
+        return tuple(sorted(source.probe_extras()))
+    return tuple(get_family(source.family).extras_channels)
+
+
+def prepare_job(
+    source,
+    drive: DriveSpec,
+    n_workers: int,
+    min_shard: int,
+) -> _CellJob:
+    """Plan one sharded run: full-width samples, shard specs, schema."""
+    if is_batch_model(source):
+        family, n_total = source.family, source.n_cores
+    elif isinstance(source, EnsembleSpec):
+        family, n_total = source.family, source.n_cores
+    else:
+        raise ParameterError(
+            "run_sharded needs a BatchHysteresisModel or an EnsembleSpec, "
+            f"got {type(source).__name__}"
+        )
+    h_full = drive.full_samples(n_total)
+
+    bounds = plan_shards(n_total, n_workers, min_shard)
+    specs = []
+    for start, stop in bounds:
+        if h_full.ndim == 2:
+            # Pre-slice per-core drives (explicit or scenario-built):
+            # each worker receives only its own columns instead of K
+            # pickled copies — or K full-width rebuilds — of the whole
+            # matrix (ShardSpec treats explicit samples as shard-local).
+            # Shared 1-D scenario drives stay name-sized; rebuilding a
+            # vector worker-side is cheaper than shipping it.
+            shard_drive = DriveSpec(samples=h_full[:, start:stop])
+        else:
+            shard_drive = drive
+        if is_batch_model(source):
+            specs.append(
+                ShardSpec(
+                    family=family,
+                    n_cores_total=n_total,
+                    start=start,
+                    stop=stop,
+                    drive=shard_drive,
+                    payload=source.shard_payload(start, stop),
+                )
+            )
+        else:
+            specs.append(
+                ShardSpec(
+                    family=family,
+                    n_cores_total=n_total,
+                    start=start,
+                    stop=stop,
+                    drive=shard_drive,
+                    ensemble=source,
+                )
+            )
+    return _CellJob(family, n_total, h_full, specs, _extras_schema(source))
+
+
+def _resolve_drive(
+    source,
+    h_samples,
+    scenario: str | None,
+    h_max: float | None,
+    driver_step: float | None,
+) -> "tuple[DriveSpec, object | None]":
+    """Build the DriveSpec, resolving the driver step *before* sharding
+    (a shard's own ``driver_step_hint`` may differ from the full
+    ensemble's, which would break bitwise equality).
+
+    Returns ``(drive, built_batch)``: when an :class:`EnsembleSpec`
+    recipe had to be materialised just for its hint, the built batch
+    comes back so the caller can shard it directly instead of paying
+    the construction a second time.
+    """
+    if (h_samples is None) == (scenario is None):
+        raise ParameterError(
+            "run_sharded needs exactly one of h_samples / scenario"
+        )
+    if h_samples is not None:
+        return DriveSpec(samples=np.asarray(h_samples, dtype=float)), None
+    if h_max is None:
+        raise ParameterError(f"scenario {scenario!r} needs h_max")
+    built = None
+    if driver_step is None:
+        if is_batch_model(source):
+            driver_step = source.driver_step_hint()
+        else:
+            built = source.build_batch()
+            driver_step = built.driver_step_hint()
+    drive = DriveSpec(
+        scenario=scenario, h_max=float(h_max), driver_step=float(driver_step)
+    )
+    return drive, built
+
+
+def _run_spec(spec: ShardSpec) -> BatchSweepResult:
+    """One shard, in whatever process this runs in."""
+    return run_batch_series(spec.build_batch(), spec.build_samples())
+
+
+def run_job_serial(job: _CellJob) -> BatchSweepResult:
+    """The n_workers=1 fallback: same shard specs, no processes, no
+    shared memory — plain column concatenation."""
+    parts = [_run_spec(spec) for spec in job.specs]
+    for spec, part in zip(job.specs, parts):
+        # The same schema check the pooled path applies in _worker.
+        if set(part.extras) != set(job.extras_keys):
+            raise ParameterError(
+                f"shard [{spec.start}, {spec.stop}) of family "
+                f"{job.family!r} recorded extras {sorted(part.extras)}, "
+                f"expected {job.extras_keys}"
+            )
+    return BatchSweepResult(
+        h=job.h_full,
+        m=np.concatenate([p.m for p in parts], axis=1),
+        b=np.concatenate([p.b for p in parts], axis=1),
+        updated=np.concatenate([p.updated for p in parts], axis=1),
+        extras={
+            key: np.concatenate([p.extras[key] for p in parts], axis=1)
+            for key in job.extras_keys
+        },
+        counters=merge_shard_counters(
+            [p.counters for p in parts], [spec.width for spec in job.specs]
+        ),
+        family=job.family,
+    )
+
+
+def _worker(task: tuple[ShardSpec, _OutputLayout]):
+    """Pool entry point: rebuild, run, write columns into shared memory."""
+    spec, layout = task
+    result = _run_spec(spec)
+    attached: list[shared_memory.SharedMemory] = []
+
+    def write(block: _Block, values: np.ndarray) -> None:
+        shm, arr = block.attach()
+        attached.append(shm)
+        arr[:, spec.start : spec.stop] = values
+
+    try:
+        write(layout.m, result.m)
+        write(layout.b, result.b)
+        write(layout.updated, result.updated)
+        for key, block in layout.extras.items():
+            if key not in result.extras:
+                raise ParameterError(
+                    f"family {spec.family!r} recorded no {key!r} extras "
+                    f"channel (got {sorted(result.extras)}); the registry "
+                    "schema is stale"
+                )
+            write(block, result.extras[key])
+    finally:
+        for shm in attached:
+            shm.close()
+    return (
+        spec.start,
+        spec.stop,
+        tuple(sorted(result.extras)),
+        result.counters,
+    )
+
+
+def _check_meta(job: _CellJob, metas) -> None:
+    """Workers report which extras they recorded; any schema drift is
+    an error, not a silently half-written buffer."""
+    for start, stop, extras_keys, _ in metas:
+        if set(extras_keys) != set(job.extras_keys):
+            raise ParameterError(
+                f"shard [{start}, {stop}) of family {job.family!r} recorded "
+                f"extras {extras_keys}, expected {job.extras_keys}"
+            )
+
+
+def execute_jobs_pooled(pool, jobs: "list[_CellJob]") -> list[BatchSweepResult]:
+    """Run every job's shards on one pool and assemble per job.
+
+    The single shared allocate → map → check → assemble → release
+    sequence behind both :func:`run_sharded` (one job) and
+    :func:`repro.parallel.grid.run_scenario_grid` (a chunk of cells).
+    Buffers are always released, success or not.
+    """
+    try:
+        tasks = []
+        for job in jobs:
+            job.allocate()
+            tasks.extend((spec, job.layout) for spec in job.specs)
+        metas = pool.map(_worker, tasks)
+        results = []
+        cursor = 0
+        for job in jobs:
+            take = metas[cursor : cursor + len(job.specs)]
+            cursor += len(job.specs)
+            _check_meta(job, take)
+            results.append(job.assemble(take))
+        return results
+    finally:
+        for job in jobs:
+            job.release()
+
+
+def run_sharded(
+    source,
+    h_samples=None,
+    *,
+    scenario: str | None = None,
+    h_max: float | None = None,
+    driver_step: float | None = None,
+    n_workers: int | None = None,
+    min_shard: int = 1,
+    mp_context: str | None = None,
+) -> BatchSweepResult:
+    """Run one ensemble drive sharded over a process pool.
+
+    Parameters
+    ----------
+    source:
+        A live :class:`~repro.models.protocol.BatchHysteresisModel`
+        (sharded via its ``shard_payload``) or an
+        :class:`~repro.parallel.spec.EnsembleSpec` registry recipe
+        (workers rebuild their lanes from it).  Either way every lane
+        starts freshly reset, exactly as
+        :func:`~repro.batch.sweep.run_batch_series` resets it.
+    h_samples / scenario, h_max, driver_step:
+        The drive: explicit driver samples (1-D shared or
+        ``(samples, cores)``), or a scenario name with its amplitude.
+        ``driver_step`` defaults to the *full* ensemble's hint.
+    n_workers:
+        Pool width; defaults to the available CPUs and is always capped
+        by the ``REPRO_PARALLEL_MAX_WORKERS`` environment variable.
+        ``1`` selects the serial in-process fallback.
+    min_shard:
+        Smallest worthwhile shard width; fewer lanes per shard than
+        this and the planner reduces the shard count instead.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``, ...);
+        default: the platform default.
+
+    Returns the same :class:`~repro.batch.sweep.BatchSweepResult` the
+    single-process executor produces — bitwise, lane order preserved.
+    """
+    workers = resolve_workers(n_workers)
+    drive, built = _resolve_drive(
+        source, h_samples, scenario, h_max, driver_step
+    )
+    if built is not None:
+        # The recipe was materialised for its driver-step hint; shard
+        # the built batch directly (payload route) rather than making
+        # every worker rebuild the whole ensemble again.
+        source = built
+    job = prepare_job(source, drive, workers, min_shard)
+    if workers == 1 or len(job.specs) == 1:
+        return run_job_serial(job)
+    ctx = get_context(mp_context)
+    with ctx.Pool(processes=min(workers, len(job.specs))) as pool:
+        return execute_jobs_pooled(pool, [job])[0]

@@ -1,0 +1,141 @@
+"""Sharded scenario grids: families × scenarios × amplitudes, one pool.
+
+:func:`run_scenario_grid` is the high-level entry for sweep campaigns
+(the MagNet-Challenge shape: many materials, many drives, many
+amplitudes).  Every grid cell — one ``(family, scenario, h_max)``
+combination over an ``n_cores`` registry ensemble — is itself sharded,
+and **all** cells' shard tasks funnel through one shared worker pool,
+chunked so only a bounded number of cells hold shared-memory buffers
+at a time.  Each cell's result is bitwise identical to running that
+cell alone through :func:`repro.batch.sweep.run_batch_series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Sequence
+
+from repro.batch.sweep import BatchSweepResult
+from repro.errors import ParameterError
+from repro.parallel.executor import (
+    execute_jobs_pooled,
+    prepare_job,
+    resolve_workers,
+    run_job_serial,
+)
+from repro.parallel.spec import DriveSpec, EnsembleSpec
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One completed grid cell."""
+
+    family: str
+    scenario: str
+    h_max: float
+    result: BatchSweepResult
+
+    @property
+    def key(self) -> tuple[str, str, float]:
+        return (self.family, self.scenario, self.h_max)
+
+
+def _plan_cells(
+    families: Sequence[str],
+    scenarios: Sequence[str],
+    h_max_values: Sequence[float],
+    n_cores: int,
+    seed: int,
+    driver_step: float | None,
+) -> list[tuple[tuple[str, str, float], object, DriveSpec]]:
+    """Lightweight ``(key, source, drive)`` descriptor per grid cell.
+
+    Only the driver-step hints are resolved eagerly (one per family —
+    the same full-recipe resolution ``run_sharded`` performs); when a
+    family's ensemble had to be built for its hint, it becomes that
+    family's shard source directly, so neither the parent nor the
+    workers construct it again.  The heavyweight per-cell work — full
+    sample matrices, shared buffers — happens lazily, chunk by chunk.
+    """
+    cells = []
+    for family in families:
+        spec = EnsembleSpec(family=family, n_cores=n_cores, seed=seed)
+        source: object = spec
+        step = driver_step
+        if step is None:
+            source = spec.build_batch()
+            step = source.driver_step_hint()
+        for scenario in scenarios:
+            for h_max in h_max_values:
+                drive = DriveSpec(
+                    scenario=scenario,
+                    h_max=float(h_max),
+                    driver_step=float(step),
+                )
+                cells.append(((family, scenario, float(h_max)), source, drive))
+    return cells
+
+
+def run_scenario_grid(
+    families: Sequence[str],
+    scenarios: Sequence[str],
+    h_max_values: Sequence[float],
+    n_cores: int,
+    *,
+    seed: int = 0,
+    driver_step: float | None = None,
+    n_workers: int | None = None,
+    min_shard: int = 1,
+    chunk_cells: int = 8,
+    mp_context: str | None = None,
+) -> list[GridCell]:
+    """Run the full grid, sharded, through one worker pool.
+
+    Parameters mirror :func:`repro.parallel.executor.run_sharded`;
+    ``driver_step=None`` resolves one hint per family from its full
+    registry ensemble (which is then sharded directly rather than
+    rebuilt).  ``chunk_cells`` bounds how many cells hold live sample
+    matrices and shared-memory buffers at once — large grids stream
+    through the pool chunk by chunk instead of materialising every
+    cell up front.
+
+    Returns one :class:`GridCell` per combination, in
+    ``families × scenarios × h_max_values`` order.
+    """
+    if not (families and scenarios and h_max_values):
+        raise ParameterError(
+            "run_scenario_grid needs at least one family, scenario and h_max"
+        )
+    if chunk_cells < 1:
+        raise ParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
+    workers = resolve_workers(n_workers)
+    planned = _plan_cells(
+        families, scenarios, h_max_values, n_cores, seed, driver_step
+    )
+
+    cells: list[GridCell] = []
+    if workers == 1:
+        for (family, scenario, h_max), source, drive in planned:
+            job = prepare_job(source, drive, workers, min_shard)
+            cells.append(
+                GridCell(family, scenario, h_max, run_job_serial(job))
+            )
+        return cells
+
+    ctx = get_context(mp_context)
+    with ctx.Pool(processes=workers) as pool:
+        for offset in range(0, len(planned), chunk_cells):
+            chunk = planned[offset : offset + chunk_cells]
+            jobs = [
+                prepare_job(source, drive, workers, min_shard)
+                for _, source, drive in chunk
+            ]
+            results = execute_jobs_pooled(pool, jobs)
+            cells.extend(
+                GridCell(family, scenario, h_max, result)
+                for ((family, scenario, h_max), _, _), result in zip(
+                    chunk, results
+                )
+            )
+    return cells

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sweep import waypoint_samples
+from repro.errors import ScenarioError
 from repro.scenarios.registry import Scenario, register_scenario
 from repro.waveforms.sweeps import (
     decaying_triangle_waypoints,
@@ -39,7 +40,15 @@ def _pad_lanes(lanes: "list[np.ndarray]") -> np.ndarray:
 
     A held field is a no-op for every family (no pending increment, no
     relay crossing, zero dH), so padding does not perturb trajectories.
+    An empty lane has no final value to hold — that is a builder bug,
+    reported as such instead of an ``IndexError`` deep in the padding.
     """
+    empty = [i for i, lane in enumerate(lanes) if len(lane) == 0]
+    if empty:
+        raise ScenarioError(
+            f"per-core scenario produced empty lanes {empty}: every lane "
+            "needs at least one driver sample to pad from"
+        )
     samples = max(len(lane) for lane in lanes)
     out = np.empty((samples, len(lanes)))
     for i, lane in enumerate(lanes):
@@ -54,12 +63,12 @@ def _forc_family(h_max: float, driver_step: float, n_cores: int) -> np.ndarray:
     Core ``i`` rises to ``+h_max``, descends to its own reversal field
     ``alpha_i`` (evenly spread over ``[-0.8, 0.8] * h_max``) and rises
     back — the measurement family behind Everett identification, here
-    as a single lockstep batch.
+    as a single lockstep batch.  ``n_cores=1`` keeps ``np.linspace``'s
+    one-point spread, the ``-0.8 * h_max`` endpoint — i.e. exactly lane
+    0 of every multi-core run (a special-cased ``alpha=0`` here used to
+    make 1-core runs match no lane of the family at all).
     """
-    if n_cores == 1:
-        alphas = np.array([0.0])
-    else:
-        alphas = np.linspace(-0.8 * h_max, 0.8 * h_max, n_cores)
+    alphas = np.linspace(-0.8 * h_max, 0.8 * h_max, n_cores)
     lanes = [
         waypoint_samples([0.0, h_max, float(alpha), h_max], driver_step)
         for alpha in alphas

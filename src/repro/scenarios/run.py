@@ -9,6 +9,8 @@ executor for ensembles, the model's own ``trace`` for scalars.
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from repro.batch.sweep import BatchSweepResult, run_batch_series
@@ -63,11 +65,37 @@ def run_scenario(
         # a meaningful initial field start their history at the first
         # sample (a scenario opening at +h_sat must not integrate a
         # spurious 0 -> h_sat jump); the Preisach reset is field-free.
+        # Dispatch on the reset signature rather than trying the kwarg
+        # and catching TypeError — that catch used to swallow genuine
+        # TypeErrors raised *inside* a conforming reset.
+        _dispatch_reset(model, float(samples[0]))
+    return model.trace(samples)
+
+
+def _dispatch_reset(model, h_initial: float) -> None:
+    """Call ``model.reset`` with ``h_initial`` iff it takes one.
+
+    Signature introspection decides for every Python-level reset (so a
+    ``TypeError`` raised *inside* a conforming reset propagates); only
+    for unintrospectable callables (C extensions, odd wrappers) does
+    the historic try-the-kwarg-then-retry fallback remain — dropping
+    the field there outright would silently start such models at
+    ``h = 0``.
+    """
+    try:
+        parameters = inspect.signature(model.reset).parameters
+    except (TypeError, ValueError):
         try:
-            model.reset(h_initial=float(samples[0]))
+            model.reset(h_initial=h_initial)
         except TypeError:
             model.reset()
-    return model.trace(samples)
+        return
+    if "h_initial" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        model.reset(h_initial=h_initial)
+    else:
+        model.reset()
 
 
 __all__ = ["BatchSweepResult", "run_scenario", "scenario_samples"]

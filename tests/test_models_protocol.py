@@ -174,3 +174,88 @@ class TestBatchConformance:
         out = batch.step(family.h_scale / 2.0)
         mask = updated_mask(out, batch.n_cores)
         assert mask.shape == (2,) and mask.dtype == np.bool_
+
+
+class LazyCounterBatch:
+    """Minimal conforming batch model whose counter set changes across a
+    run: ``late`` appears only after the first step and ``prepared``
+    disappears — the shapes the executor's counter differencing must
+    survive (regression for the KeyError on lazily registered keys)."""
+
+    family = "lazy-test"
+
+    def __init__(self, n: int = 3) -> None:
+        self._n = n
+        self._h = np.zeros(n)
+        self._steps = np.zeros(n, dtype=np.int64)
+        self._stepped = False
+
+    @property
+    def n_cores(self) -> int:
+        return self._n
+
+    @property
+    def h(self) -> np.ndarray:
+        return self._h.copy()
+
+    @property
+    def m(self) -> np.ndarray:
+        return self._h * 0.5
+
+    @property
+    def m_normalised(self) -> np.ndarray:
+        return self.m
+
+    @property
+    def b(self) -> np.ndarray:
+        return self._h * 2.0
+
+    def begin_series(self, h_initial) -> None:
+        self._h = np.broadcast_to(
+            np.asarray(h_initial, dtype=float), (self._n,)
+        ).copy()
+
+    def step(self, h_new) -> np.ndarray:
+        self._h = np.broadcast_to(
+            np.asarray(h_new, dtype=float), (self._n,)
+        ).copy()
+        self._steps += 1
+        self._stepped = True
+        return np.ones(self._n, dtype=bool)
+
+    def counter_totals(self) -> dict:
+        totals = {"steps": self._steps.copy()}
+        if self._stepped:
+            totals["late"] = self._steps.copy()
+        else:
+            totals["prepared"] = np.ones(self._n, dtype=np.int64)
+        return totals
+
+    def probe_extras(self) -> dict:
+        return {}
+
+    def driver_step_hint(self) -> float:
+        return 1.0
+
+    def snapshot(self):
+        return (self._h.copy(), self._steps.copy(), self._stepped)
+
+    def restore(self, snap) -> None:
+        self._h, self._steps, self._stepped = (
+            snap[0].copy(),
+            snap[1].copy(),
+            snap[2],
+        )
+
+
+def test_counter_deltas_survive_lazy_registration():
+    """run_batch_series differences counters over the union of keys:
+    lazily registered counters appear (full total), keys present only
+    before the run surface as negative deltas instead of KeyErrors or
+    silent drops."""
+    batch = LazyCounterBatch(n=3)
+    result = run_batch_series(batch, np.array([1.0, 2.0, 3.0]))
+    assert set(result.counters) == {"steps", "late", "prepared"}
+    assert np.array_equal(result.counters["steps"], np.full(3, 3))
+    assert np.array_equal(result.counters["late"], np.full(3, 3))
+    assert np.array_equal(result.counters["prepared"], np.full(3, -1))

@@ -1,0 +1,388 @@
+"""Sharded multi-process executor: planning, specs, bitwise equivalence.
+
+The load-bearing suite is :class:`TestShardEquivalence`: for every
+registered model family, the sharded run — uneven lane splits, real
+pool workers, shared-memory reassembly — must reproduce the
+single-process :func:`repro.batch.sweep.run_batch_series` result array
+for array, including extras/counters keys and dtypes.  Bitwise, not
+approximately: sharding is a transport optimisation, never a numerics
+change.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch.sweep import run_batch_series
+from repro.errors import ParameterError, ScenarioError
+from repro.models.registry import get_family, list_families
+from repro.parallel import (
+    MAX_WORKERS_ENV,
+    DriveSpec,
+    EnsembleSpec,
+    ShardSpec,
+    plan_shards,
+    resolve_workers,
+    run_scenario_grid,
+    run_sharded,
+)
+from repro.scenarios import scenario_samples
+
+FAMILY_NAMES = [family.name for family in list_families()]
+
+#: The deliberately awkward geometry of the equivalence suite: 7 lanes
+#: over 3 workers -> shards of 3 + 2 + 2.
+N_CORES = 7
+N_WORKERS = 3
+
+
+def assert_results_bitwise_equal(reference, other) -> None:
+    """Full-record equality: arrays bit for bit (NaN-aware), channel
+    keys identical, dtypes identical."""
+    assert np.array_equal(reference.h, other.h)
+    assert np.array_equal(reference.m, other.m, equal_nan=True)
+    assert np.array_equal(reference.b, other.b, equal_nan=True)
+    assert np.array_equal(reference.updated, other.updated)
+    assert reference.updated.dtype == other.updated.dtype
+    assert reference.family == other.family
+    assert sorted(reference.extras) == sorted(other.extras)
+    for key in reference.extras:
+        assert np.array_equal(
+            reference.extras[key], other.extras[key], equal_nan=True
+        ), key
+        assert reference.extras[key].dtype == other.extras[key].dtype, key
+    assert sorted(reference.counters) == sorted(other.counters)
+    for key in reference.counters:
+        assert np.array_equal(
+            reference.counters[key], other.counters[key]
+        ), key
+        assert reference.counters[key].dtype == other.counters[key].dtype, key
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize(
+        "n_cores,n_workers,min_shard",
+        [(7, 3, 1), (512, 4, 1), (5, 8, 1), (16, 4, 8), (1, 1, 1), (9, 2, 4)],
+    )
+    def test_contiguous_ordered_exact_cover(self, n_cores, n_workers, min_shard):
+        bounds = plan_shards(n_cores, n_workers, min_shard)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n_cores
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start  # contiguous, ordered, non-overlapping
+        widths = [stop - start for start, stop in bounds]
+        assert min(widths) >= 1
+        assert max(widths) - min(widths) <= 1  # balanced
+
+    def test_uneven_split_shape(self):
+        assert plan_shards(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_min_shard_reduces_shard_count(self):
+        assert plan_shards(16, 8, min_shard=8) == [(0, 8), (8, 16)]
+        assert plan_shards(3, 8, min_shard=8) == [(0, 3)]
+
+    def test_never_more_shards_than_cores(self):
+        assert len(plan_shards(2, 16)) == 2
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (4, 0, 1), (4, 2, 0)])
+    def test_invalid_arguments_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            plan_shards(*bad)
+
+
+class TestSpecs:
+    def test_drive_spec_needs_exactly_one_route(self):
+        with pytest.raises(ParameterError):
+            DriveSpec()
+        with pytest.raises(ParameterError):
+            DriveSpec(scenario="major-loop", samples=np.zeros(3))
+        with pytest.raises(ScenarioError):
+            DriveSpec(scenario="major-loop", h_max=1e3)  # no driver_step
+
+    def test_drive_spec_slices_per_core_columns(self):
+        drive = DriveSpec(
+            scenario="forc-family", h_max=10e3, driver_step=200.0
+        )
+        full = drive.full_samples(N_CORES)
+        assert full.shape[1] == N_CORES
+        shard = drive.shard_samples(N_CORES, 3, 5)
+        assert np.array_equal(shard, full[:, 3:5])
+        shared = DriveSpec(samples=np.array([0.0, 1.0, 2.0]))
+        assert shared.shard_samples(N_CORES, 3, 5).ndim == 1
+
+    def test_ensemble_spec_rejects_unknown_family(self):
+        with pytest.raises(ParameterError):
+            EnsembleSpec(family="no-such-family", n_cores=4)
+
+    def test_ensemble_spec_slice_is_full_recipe_lane(self):
+        """Workers must rebuild the full RNG stream and slice — lane 2
+        of the recipe, not lane 0 of a narrower recipe."""
+        spec = EnsembleSpec(family="timeless", n_cores=4, seed=9)
+        sliced = spec.build_batch(2, 4)
+        full = spec.build_batch()
+        assert np.array_equal(sliced.params.m_sat, full.params.m_sat[2:4])
+        assert np.array_equal(sliced.dhmax, full.dhmax[2:4])
+
+    def test_shard_spec_needs_exactly_one_source(self):
+        drive = DriveSpec(samples=np.zeros(3))
+        spec = EnsembleSpec(family="timeless", n_cores=4)
+        with pytest.raises(ParameterError):
+            ShardSpec(
+                family="timeless",
+                n_cores_total=4,
+                start=0,
+                stop=2,
+                drive=drive,
+            )
+        with pytest.raises(ParameterError):
+            ShardSpec(
+                family="timeless",
+                n_cores_total=4,
+                start=2,
+                stop=2,
+                drive=drive,
+                ensemble=spec,
+            )
+
+    def test_specs_pickle_round_trip(self):
+        drive = DriveSpec(
+            scenario="minor-loop-ladder", h_max=10e3, driver_step=250.0
+        )
+        shard = ShardSpec(
+            family="timeless",
+            n_cores_total=4,
+            start=1,
+            stop=3,
+            drive=drive,
+            ensemble=EnsembleSpec(family="timeless", n_cores=4, seed=5),
+        )
+        clone = pickle.loads(pickle.dumps(shard))
+        assert (clone.family, clone.start, clone.stop) == ("timeless", 1, 3)
+        assert clone.drive == drive
+        assert clone.ensemble == shard.ensemble
+        batch = clone.build_batch()
+        assert batch.n_cores == 2
+
+    def test_drive_spec_equality_is_array_aware(self):
+        """The dataclass-generated __eq__ would crash on the ndarray
+        field; the custom one compares element-wise."""
+        a = DriveSpec(samples=np.array([0.0, 1.0]))
+        b = DriveSpec(samples=np.array([0.0, 1.0]))
+        c = DriveSpec(samples=np.array([0.0, 2.0]))
+        assert a == b and a != c
+        assert a != DriveSpec(
+            scenario="major-loop", h_max=1e3, driver_step=10.0
+        )
+
+
+class TestCounterMerge:
+    def test_union_with_zero_fill_for_lazy_keys(self):
+        """Counters registered by only some shards (lazily appearing
+        keys) merge over the union, zero-filled where absent — the
+        sharded analogue of run_batch_series' lazy-counter support."""
+        from repro.parallel.executor import merge_shard_counters
+
+        merged = merge_shard_counters(
+            [
+                {"steps": np.array([1, 2], dtype=np.int64)},
+                {
+                    "steps": np.array([3], dtype=np.int64),
+                    "late": np.array([9], dtype=np.int64),
+                },
+            ],
+            widths=[2, 1],
+        )
+        assert set(merged) == {"steps", "late"}
+        assert np.array_equal(merged["steps"], [1, 2, 3])
+        assert np.array_equal(merged["late"], [0, 0, 9])
+        assert merged["late"].dtype == np.int64
+
+    def test_shard_local_explicit_samples_enforced(self):
+        """ShardSpec explicit drives are shard-local; a full-width
+        matrix smuggled in is rejected, not silently mis-sliced."""
+        drive = DriveSpec(samples=np.zeros((4, 7)))
+        spec = ShardSpec(
+            family="timeless",
+            n_cores_total=7,
+            start=0,
+            stop=3,
+            drive=drive,
+            ensemble=EnsembleSpec(family="timeless", n_cores=7),
+        )
+        with pytest.raises(ParameterError, match="shard-local"):
+            spec.build_samples()
+
+
+class TestResolveWorkers:
+    def test_env_cap_clamps(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        assert resolve_workers(8) == 2
+        assert resolve_workers(1) == 1
+
+    def test_bad_env_cap_rejected(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "lots")
+        with pytest.raises(ParameterError):
+            resolve_workers(4)
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_workers(0)
+
+
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestShardConstruction:
+    def test_engine_shard_is_bitwise_lane_slice(self, name):
+        """Engine-level contract: a shard's run equals the full run's
+        column slice, for uneven slices, in process."""
+        family = get_family(name)
+        batch = family.make_batch(N_CORES, seed=1)
+        h = scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+        full = run_batch_series(batch, h)
+        for start, stop in plan_shards(N_CORES, N_WORKERS):
+            part = run_batch_series(batch.shard(start, stop), h)
+            assert np.array_equal(
+                part.m, full.m[:, start:stop], equal_nan=True
+            )
+            assert np.array_equal(
+                part.b, full.b[:, start:stop], equal_nan=True
+            )
+            for key in full.counters:
+                assert np.array_equal(
+                    part.counters[key], full.counters[key][start:stop]
+                ), key
+
+    def test_shard_payload_rejects_bad_range(self, name):
+        batch = get_family(name).make_batch(3, seed=1)
+        with pytest.raises(ParameterError):
+            batch.shard_payload(2, 2)
+        with pytest.raises(ParameterError):
+            batch.shard_payload(0, 4)
+
+
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestShardEquivalence:
+    """The tentpole contract: sharded == single-process, bitwise."""
+
+    def test_pool_uneven_split_per_core_drive(self, name):
+        """N = 7 lanes over 3 real pool workers, per-core FORC drive
+        (2-D samples exercise column slicing on both sides)."""
+        family = get_family(name)
+        batch = family.make_batch(N_CORES, seed=0)
+        h = scenario_samples(
+            "forc-family",
+            family.h_scale,
+            family.h_scale / 40.0,
+            n_cores=N_CORES,
+        )
+        reference = run_batch_series(batch, h)
+        sharded = run_sharded(batch, h, n_workers=N_WORKERS)
+        assert_results_bitwise_equal(reference, sharded)
+
+    def test_serial_fallback_shared_drive(self, name):
+        """n_workers=1: same shard specs, no processes, still bitwise."""
+        family = get_family(name)
+        batch = family.make_batch(N_CORES, seed=0)
+        h = scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+        reference = run_batch_series(batch, h)
+        sharded = run_sharded(batch, h, n_workers=1)
+        assert_results_bitwise_equal(reference, sharded)
+
+    def test_ensemble_spec_route_matches_live_batch(self, name):
+        """Workers rebuilding from the registry recipe produce the same
+        lanes as sharding a live batch."""
+        family = get_family(name)
+        spec = EnsembleSpec(family=name, n_cores=N_CORES, seed=0)
+        h = scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+        reference = run_batch_series(family.make_batch(N_CORES, seed=0), h)
+        sharded = run_sharded(spec, h, n_workers=N_WORKERS)
+        assert_results_bitwise_equal(reference, sharded)
+
+
+class TestRunShardedValidation:
+    def test_needs_exactly_one_drive(self):
+        batch = get_family("timeless").make_batch(2)
+        with pytest.raises(ParameterError):
+            run_sharded(batch)
+        with pytest.raises(ParameterError):
+            run_sharded(
+                batch, np.zeros(3), scenario="major-loop", h_max=1e3
+            )
+
+    def test_scenario_route_resolves_full_hint(self):
+        """The driver step comes from the full ensemble, not a shard:
+        the sharded scenario run equals the single-process scenario run
+        even though shard hints would differ."""
+        from repro.scenarios import run_scenario
+
+        batch = get_family("timeless").make_batch(N_CORES, seed=0)
+        reference = run_scenario(batch, "major-loop", h_max=5e3)
+        sharded = run_sharded(
+            batch, scenario="major-loop", h_max=5e3, n_workers=N_WORKERS
+        )
+        assert_results_bitwise_equal(reference, sharded)
+
+    def test_rejects_non_batch_source(self):
+        with pytest.raises(ParameterError):
+            run_sharded(object(), np.zeros(3))
+
+    def test_min_shard_collapses_to_serial(self):
+        """A tiny ensemble with a large min_shard never forks."""
+        family = get_family("timeless")
+        batch = family.make_batch(3, seed=0)
+        h = scenario_samples("major-loop", family.h_scale, 250.0)
+        reference = run_batch_series(batch, h)
+        sharded = run_sharded(batch, h, n_workers=4, min_shard=8)
+        assert_results_bitwise_equal(reference, sharded)
+
+
+class TestScenarioGrid:
+    def test_grid_cells_match_single_process(self):
+        families = ["timeless", "time-domain"]
+        scenarios = ["major-loop", "harmonic"]
+        amplitudes = [5e3, 10e3]
+        cells = run_scenario_grid(
+            families,
+            scenarios,
+            amplitudes,
+            n_cores=5,
+            seed=2,
+            driver_step=200.0,
+            n_workers=2,
+            chunk_cells=3,  # smaller than the 8 cells: chunking runs
+        )
+        assert [c.key for c in cells] == [
+            (f, s, h)
+            for f in families
+            for s in scenarios
+            for h in amplitudes
+        ]
+        for cell in cells:
+            batch = EnsembleSpec(
+                family=cell.family, n_cores=5, seed=2
+            ).build_batch()
+            h = scenario_samples(cell.scenario, cell.h_max, 200.0, n_cores=5)
+            assert_results_bitwise_equal(
+                run_batch_series(batch, h), cell.result
+            )
+
+    def test_serial_grid_matches_pooled(self):
+        kwargs = dict(n_cores=3, seed=1, driver_step=250.0, chunk_cells=2)
+        pooled = run_scenario_grid(
+            ["timeless"], ["major-loop", "inrush"], [5e3], n_workers=2, **kwargs
+        )
+        serial = run_scenario_grid(
+            ["timeless"], ["major-loop", "inrush"], [5e3], n_workers=1, **kwargs
+        )
+        for a, b in zip(pooled, serial):
+            assert a.key == b.key
+            assert_results_bitwise_equal(a.result, b.result)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ParameterError):
+            run_scenario_grid([], ["major-loop"], [1e3], n_cores=2)

@@ -174,3 +174,71 @@ class TestExecution:
             preisach, "forc-descent", h_max=20e3, driver_step=100.0
         )
         assert np.isfinite(b_p).all()
+
+
+class TestSatelliteFixes:
+    """Regressions for the scenario-layer correctness sweep (PR 3)."""
+
+    def test_pad_lanes_rejects_empty_lane(self):
+        from repro.scenarios.library import _pad_lanes
+
+        with pytest.raises(ScenarioError, match="empty lanes \\[1\\]"):
+            _pad_lanes([np.array([1.0, 2.0]), np.array([])])
+
+    def test_pad_lanes_holds_final_values(self):
+        from repro.scenarios.library import _pad_lanes
+
+        out = _pad_lanes([np.array([1.0, 2.0, 3.0]), np.array([5.0])])
+        assert np.array_equal(out[:, 0], [1.0, 2.0, 3.0])
+        assert np.array_equal(out[:, 1], [5.0, 5.0, 5.0])
+
+    def test_forc_family_one_core_is_lane_zero(self):
+        """A 1-core forc-family run is lane 0 of any multi-core run
+        (it used to reverse at alpha=0, matching no lane at all)."""
+        scenario = get_scenario("forc-family")
+        single = scenario.samples(10e3, 200.0, n_cores=1)
+        pair = scenario.samples(10e3, 200.0, n_cores=2)
+        # lane 0 (alpha = -0.8 h) is the deepest descent, hence the
+        # longest lane: the 2-core matrix is exactly its length and
+        # its column 0 needs no padding.
+        assert single.shape[0] == pair.shape[0]
+        assert np.array_equal(single[:, 0], pair[:, 0])
+        assert single[:, 0].min() == -8e3
+
+    def test_scalar_reset_type_errors_propagate(self):
+        """Regression: a genuine TypeError raised *inside* a conforming
+        reset(h_initial=...) used to be swallowed by the dispatch and
+        silently retried without the initial field."""
+        calls = []
+
+        class BrokenResetModel:
+            def reset(self, h_initial=0.0):
+                calls.append(h_initial)
+                raise TypeError("broken inside reset")
+
+            def trace(self, samples):  # pragma: no cover - never reached
+                raise AssertionError("trace must not run")
+
+        with pytest.raises(TypeError, match="broken inside reset"):
+            run_scenario(
+                BrokenResetModel(), "major-loop", h_max=5e3, driver_step=50.0
+            )
+        assert len(calls) == 1  # no silent field-free retry
+
+    def test_field_free_reset_still_dispatched_plain(self):
+        """Models whose reset takes no field (the Preisach family) get
+        the plain call; **kwargs resets receive the initial field."""
+        seen = {}
+
+        class KwargsResetModel:
+            def reset(self, **kwargs):
+                seen.update(kwargs)
+
+            def trace(self, samples):
+                samples = np.asarray(samples, dtype=float)
+                return samples, samples, samples
+
+        run_scenario(
+            KwargsResetModel(), "forc-descent", h_max=5e3, driver_step=50.0
+        )
+        assert seen == {"h_initial": 5e3}
