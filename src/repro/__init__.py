@@ -20,6 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.backend import ArrayBackend, get_backend, list_backends
 from repro.batch import (
     BatchPreisachModel,
     BatchTimeDomainModel,
@@ -34,9 +35,10 @@ from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
 from repro.models import get_family, list_families
 from repro.scenarios import get_scenario, list_scenarios, run_scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ArrayBackend",
     "BatchPreisachModel",
     "BatchTimeDomainModel",
     "BatchTimelessModel",
@@ -50,8 +52,10 @@ __all__ = [
     "SweepResult",
     "TimelessJAModel",
     "__version__",
+    "get_backend",
     "get_family",
     "get_scenario",
+    "list_backends",
     "list_families",
     "list_scenarios",
     "run_scenario",

@@ -1,0 +1,41 @@
+"""Pluggable array backends for the execution layers.
+
+One :class:`ArrayBackend` per way of evaluating the vectorised kernels:
+the ``numpy`` reference backend (always registered, bitwise lane
+contract) and the optional ``numba`` JIT backend (registered only when
+numba is importable; held to an ``rtol`` tier instead).  See
+:mod:`repro.backend.base` for the protocol and the selection rules
+(``backend=`` arguments, the ``REPRO_BACKEND`` environment variable).
+"""
+
+from repro.backend.base import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    ArrayBackend,
+    as_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backend.numba_backend import build_numba_backend
+from repro.backend.numpy_backend import NUMPY_BACKEND
+
+register_backend(NUMPY_BACKEND)
+
+_numba = build_numba_backend()
+if _numba is not None:
+    register_backend(_numba)
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "NUMPY_BACKEND",
+    "as_backend",
+    "build_numba_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+]

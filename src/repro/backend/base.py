@@ -1,0 +1,151 @@
+"""The array-backend protocol: a named ufunc namespace plus a registry.
+
+An :class:`ArrayBackend` is what the execution layers thread around
+instead of importing ``numpy`` directly: a namespace object (``xp``)
+carrying the ufuncs the kernels use (``where``, ``arctan``, ``tanh``,
+``abs``, ``multiply``, ...), an exactness contract, and optional
+per-family **fused series drivers** that advance a whole driver-sample
+axis in one call (a JIT-compiled loop, a GPU launch, ...).
+
+Two equivalence tiers exist, and every backend declares which one it
+holds:
+
+``exact=True``
+    The backend executes the *same IEEE-754 operations* the scalar
+    models execute per lane — the repo's bitwise lane contract.  The
+    ``numpy`` reference backend is exact by construction: its ``xp``
+    **is** the ``numpy`` module, so threading it changes no bits.
+``exact=False``
+    A compiled backend (``numba``) whose math kernels may differ from
+    NumPy's by 1 ulp (libm vs SIMD polynomials); its ``rtol`` is the
+    tolerance the conformance suite holds it to instead.
+
+Backend selection is explicit at construction time (``backend=`` on the
+batch engines) and environment-driven at the high-level surfaces: the
+family registry, the scenario runner, the experiment CLI and the
+:class:`repro.parallel.spec.EnsembleSpec` recipe all resolve
+``None`` through the ``REPRO_BACKEND`` environment variable (default
+``"numpy"``) via :func:`resolve_backend`.  The engines themselves
+default to the numpy backend so that directly constructed models keep
+the bitwise contract regardless of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ParameterError
+
+#: Environment variable naming the default backend for the high-level
+#: selection surfaces (registry, scenarios, experiment CLI, specs).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Name of the exact reference backend engines default to.
+DEFAULT_BACKEND = "numpy"
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One registered array backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"numba"``).
+    xp:
+        The ufunc namespace the vectorised kernels evaluate through —
+        a ``numpy``-compatible module object.  For the reference
+        backend this is the ``numpy`` module itself, which is what
+        makes threading it bitwise-neutral.
+    exact:
+        True when lanes executed on this backend are bitwise identical
+        to the scalar models (the repo's reference contract); False for
+        compiled backends held to ``rtol`` instead.
+    rtol:
+        Relative tolerance the conformance suite applies to non-exact
+        backends (ignored when ``exact``).
+    description:
+        One line for listings and experiment tables.
+    fused_series:
+        Optional per-family fused sweep drivers,
+        ``{family_name: driver}`` with
+        ``driver(batch, h_arr) -> (m, b, updated, extras) | None``.
+        A driver may decline a configuration it cannot compile (return
+        ``None``); the engine then falls back to its vectorised
+        ``xp`` loop.  State and counters after a driver call must be
+        exactly what per-sample stepping would have produced (within
+        the backend's equivalence tier).
+    """
+
+    name: str
+    xp: Any
+    exact: bool
+    rtol: float = 0.0
+    description: str = ""
+    fused_series: Mapping[str, Callable] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # keep reprs short in specs/payloads
+        tier = "bitwise" if self.exact else f"rtol={self.rtol:g}"
+        return f"ArrayBackend({self.name!r}, {tier})"
+
+
+_BACKENDS: dict[str, ArrayBackend] = {}
+
+
+def register_backend(backend: ArrayBackend) -> ArrayBackend:
+    """Register a backend under its name (duplicates are an error)."""
+    if backend.name in _BACKENDS:
+        raise ParameterError(f"duplicate array backend {backend.name!r}")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Look a backend up by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ParameterError(
+            f"unknown array backend {name!r}; registered: {known}"
+        )
+
+
+def list_backends() -> list[ArrayBackend]:
+    """All registered backends, sorted by name."""
+    return [_BACKENDS[k] for k in sorted(_BACKENDS)]
+
+
+def as_backend(backend: "ArrayBackend | str | None") -> ArrayBackend:
+    """Coerce an engine's ``backend`` argument to an :class:`ArrayBackend`.
+
+    ``None`` means the exact reference backend — deliberately **not**
+    the :data:`BACKEND_ENV` environment variable, so that directly
+    constructed engines (and the bitwise equivalence pins that build
+    them) never change behaviour with the environment.  Use
+    :func:`resolve_backend` where the environment should win.
+    """
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+def resolve_backend(choice: "ArrayBackend | str | None" = None) -> ArrayBackend:
+    """Resolve a backend choice with environment fallback.
+
+    Precedence: explicit ``choice`` (name or backend object), then the
+    ``REPRO_BACKEND`` environment variable, then ``"numpy"``.  This is
+    the selection rule of the high-level surfaces — the family
+    registry's ``make_batch``, ``run_scenario``, the experiment CLI and
+    the parallel :class:`~repro.parallel.spec.EnsembleSpec`.
+    """
+    if choice is not None:
+        return as_backend(choice)
+    env = os.environ.get(BACKEND_ENV, "").strip()
+    if env:
+        return get_backend(env)
+    return get_backend(DEFAULT_BACKEND)

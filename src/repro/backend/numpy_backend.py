@@ -1,0 +1,23 @@
+"""The exact reference backend: ``xp`` **is** the ``numpy`` module.
+
+Threading this backend through the kernels changes no bits — every
+``xp.where``/``xp.arctan``/... call resolves to the very ``np``
+function the pre-backend code called — so the bitwise lane contract
+(batch lane == scalar model, sharded == single-process) holds on it by
+construction.  It registers no fused-series drivers: the engines'
+vectorised fused loops already run on ``xp`` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+NUMPY_BACKEND = ArrayBackend(
+    name="numpy",
+    xp=np,
+    exact=True,
+    rtol=0.0,
+    description="NumPy reference backend (bitwise lane contract)",
+)

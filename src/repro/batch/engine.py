@@ -19,19 +19,22 @@ throughput win over the scalar loop comes from
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.constants import DEFAULT_DHMAX
+from repro.backend import ArrayBackend, as_backend
+from repro.constants import DEFAULT_DHMAX, MU0, TWO_OVER_PI
 from repro.core.kernel import StepInputs, StepOutputs, refresh_algebraic, step_kernel
 from repro.core.slope import SlopeGuards, slice_guards, stack_guards
-from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
+from repro.batch.lanes import broadcast_lane, check_lane_range, check_series, trace_series
 from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.errors import ParameterError
 from repro.ja.anhysteretic import (
     Anhysteretic,
+    ModifiedLangevinAnhysteretic,
     make_anhysteretic,
     slice_anhysteretic,
 )
@@ -151,6 +154,13 @@ class BatchTimelessModel:
         per-core guard settings (stacked to boolean arrays).
     accept_equal:
         Discretiser ``>=`` variant; bool or one per core.
+    backend:
+        Array backend the vectorised paths evaluate on — an
+        :class:`repro.backend.ArrayBackend`, a registered name, or
+        ``None`` for the exact NumPy reference backend.  Deliberately
+        *not* environment-resolved here (direct constructions keep the
+        bitwise contract); the registry / scenario / CLI surfaces
+        resolve ``REPRO_BACKEND`` before constructing.
     """
 
     family = "timeless"
@@ -162,7 +172,9 @@ class BatchTimelessModel:
         anhysteretic: Anhysteretic | None = None,
         guards: "SlopeGuards | Sequence[SlopeGuards]" = SlopeGuards(),
         accept_equal: "bool | Sequence[bool] | np.ndarray" = False,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
+        self.backend = as_backend(backend)
         self.params = stack_parameters(params)
         n = len(self.params)
         self.dhmax = broadcast_lane(dhmax, n, "dhmax")
@@ -324,6 +336,7 @@ class BatchTimelessModel:
             "accept_equal": (
                 accept if np.ndim(accept) == 0 else accept[start:stop].copy()
             ),
+            "backend": self.backend.name,
         }
 
     @classmethod
@@ -335,12 +348,20 @@ class BatchTimelessModel:
             anhysteretic=payload["anhysteretic"],
             guards=payload["guards"],
             accept_equal=payload["accept_equal"],
+            backend=payload.get("backend"),
         )
 
     def shard(self, start: int, stop: int) -> "BatchTimelessModel":
         """A freshly reset batch over lanes ``[start, stop)`` — bitwise
         identical per lane to this ensemble after a reset."""
         return type(self).from_shard_payload(self.shard_payload(start, stop))
+
+    def use_backend(
+        self, backend: "ArrayBackend | str | None"
+    ) -> "BatchTimelessModel":
+        """Switch the array backend (state is untouched); returns self."""
+        self.backend = as_backend(backend)
+        return self
 
     # -- state access -----------------------------------------------------
 
@@ -428,6 +449,7 @@ class BatchTimelessModel:
             self.dhmax,
             guards=self.guards,
             accept_equal=self.accept_equal,
+            xp=self.backend.xp,
         )
         state.h_applied = h
         state.m_an = np.asarray(out.m_an, dtype=float)
@@ -446,6 +468,197 @@ class BatchTimelessModel:
         counters.clamped_slopes += out.clamped
         counters.dropped_increments += out.dropped
         return out
+
+    def step_series(
+        self, h_samples: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """Fused sweep: advance the whole sample axis in one call.
+
+        Returns ``(m, b, updated, extras)`` — each per-sample channel of
+        shape ``(samples, cores)`` — leaving state and counters exactly
+        as per-sample :meth:`step` calls would have left them.  On the
+        exact NumPy backend the fused loop performs the same IEEE
+        operations as the per-sample path (bitwise, pinned by the
+        conformance suite); a backend with a compiled ``fused_series``
+        driver for this family (numba) runs the whole recurrence in one
+        JIT loop instead, holding the backend's ``rtol`` tier.
+        """
+        h_arr = check_series(h_samples, self.n_cores)
+        driver = self.backend.fused_series.get(self.family)
+        if driver is not None:
+            out = driver(self, h_arr)
+            if out is not None:
+                return out
+        return self._step_series_vectorised(h_arr)
+
+    def _step_series_vectorised(
+        self, h_arr: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """The backend-namespace fused loop (bitwise on ``xp = numpy``).
+
+        Performs exactly the per-lane IEEE operations of the per-sample
+        ``step`` path, but with the per-sample Python dispatch stripped
+        out: no ``StepInputs``/``StepOutputs`` records, no per-sample
+        ``asarray`` conversions or property probes, temporaries reused
+        through ufunc ``out=``, the slope evaluation skipped outright
+        on samples where no lane's discretiser fired, and counters
+        accumulated once at the end.  Every shortcut preserves the
+        elementwise operation sequence, which is why the fused result
+        stays bitwise identical to per-sample stepping on the exact
+        backend (associativity is never reordered; only
+        ``x * y``/``y * x`` commutations — IEEE-exact — are shared).
+        """
+        xp = self.backend.xp
+        params = self.params
+        curve = self.anhysteretic
+        # Precomputed per-lane constants.  The grouping matches the
+        # per-sample expressions exactly: ``alpha * m_sat * x`` is
+        # left-associative, so hoisting ``alpha * m_sat`` is bit-neutral.
+        am = params.alpha * params.m_sat
+        one_c = 1.0 + params.c
+        c = params.c
+        k = params.k
+        m_sat = params.m_sat
+        dhmax = self.dhmax
+        accept_equal = self.accept_equal
+        clamp_negative = self.guards.clamp_negative
+        drop_opposing = self.guards.drop_opposing
+        scalar_accept = np.ndim(accept_equal) == 0
+        scalar_clamp = np.ndim(clamp_negative) == 0
+        scalar_drop = np.ndim(drop_opposing) == 0
+        # The paper's modified Langevin is cheap enough to inline
+        # (saving two Python calls per sample); other curves evaluate
+        # through their own (backend-threaded) array branches.
+        inline_atan = type(curve) is ModifiedLangevinAnhysteretic
+        shape = curve.shape
+
+        state = self.state
+        h_acc = state.h_accepted
+        m_irr = state.m_irr
+        m_tot = state.m_total
+        delta_st = state.delta
+
+        n = self.n_cores
+        n_samples = len(h_arr)
+        shared = h_arr.ndim == 1
+        m_out = xp.empty((n_samples, n))
+        b_out = xp.empty((n_samples, n))
+        man_out = xp.empty((n_samples, n))
+        updated = xp.zeros((n_samples, n), dtype=bool)
+        clamped_n = xp.zeros(n, dtype=np.int64)
+        dropped_n = xp.zeros(n, dtype=np.int64)
+        t0 = xp.empty(n)
+        t1 = xp.empty(n)
+        magnitude = xp.empty(n)
+        m_an = m_rev = None
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for i in range(n_samples):
+                h = h_arr[i]
+                # core: algebraic refresh at the new field
+                xp.multiply(am, m_tot, out=t0)
+                xp.add(h, t0, out=t0)  # h_eff
+                if inline_atan:
+                    xp.divide(t0, shape, out=t0)
+                    m_an = xp.arctan(t0)
+                    xp.multiply(TWO_OVER_PI, m_an, out=m_an)
+                else:
+                    m_an = xp.asarray(curve.value(t0.copy()), dtype=float)
+                m_rev = c * m_an
+                xp.divide(m_rev, one_c, out=m_rev)
+                # monitorH: the discretiser decision
+                dh = h - h_acc
+                xp.abs(dh, out=magnitude)
+                if scalar_accept:
+                    accepted = (
+                        magnitude >= dhmax if accept_equal else magnitude > dhmax
+                    )
+                else:
+                    accepted = xp.where(
+                        accept_equal, magnitude >= dhmax, magnitude > dhmax
+                    )
+                if accepted.any():
+                    # Integral: guarded Forward Euler on the fired lanes.
+                    # (Lanes with dh == 0 can never fire — dhmax > 0 —
+                    # so the scalar path's dh == 0 short-circuit needs
+                    # no masking here.)
+                    delta = xp.where(dh > 0.0, 1.0, -1.0)
+                    xp.add(m_rev, m_irr, out=t1)
+                    delta_m = m_an - t1
+                    xp.multiply(delta, k, out=t1)
+                    xp.multiply(am, delta_m, out=t0)
+                    xp.subtract(t1, t0, out=t1)
+                    xp.multiply(one_c, t1, out=t1)  # denominator
+                    singular = t1 == 0.0
+                    if singular.any():
+                        regular = delta_m / xp.where(singular, 1.0, t1)
+                        at_pole = xp.where(
+                            delta_m > 0.0,
+                            math.inf,
+                            xp.where(delta_m < 0.0, -math.inf, 0.0),
+                        )
+                        raw = xp.where(singular, at_pole, regular)
+                    else:
+                        raw = xp.divide(delta_m, t1)
+                    if scalar_clamp:
+                        if clamp_negative:
+                            clamp_hit = ~(raw > 0.0)
+                            dmdh = xp.where(clamp_hit, 0.0, raw)
+                            clamped = clamp_hit & (raw != 0.0)
+                        else:
+                            dmdh = raw
+                            clamped = None
+                    else:
+                        clamp_hit = clamp_negative & ~(raw > 0.0)
+                        dmdh = xp.where(clamp_hit, 0.0, raw)
+                        clamped = clamp_hit & (raw != 0.0)
+                    dm = dh * dmdh
+                    xp.multiply(dm, dh, out=t0)
+                    if scalar_drop:
+                        if drop_opposing:
+                            dropped = t0 < 0.0
+                            dm = xp.where(dropped, 0.0, dm)
+                        else:
+                            dropped = None
+                    else:
+                        dropped = drop_opposing & (t0 < 0.0)
+                        dm = xp.where(dropped, 0.0, dm)
+                    m_irr = xp.where(accepted, m_irr + dm, m_irr)
+                    h_acc = xp.where(accepted, h, h_acc)
+                    delta_st = xp.where(accepted, delta, delta_st)
+                    if clamped is not None:
+                        clamped_n += accepted & clamped
+                    if dropped is not None:
+                        dropped_n += accepted & dropped
+                    updated[i] = accepted
+                m_tot = m_rev + m_irr
+                man_out[i] = m_an
+                row = m_out[i]
+                xp.multiply(m_tot, m_sat, out=row)  # == m_sat * m_tot
+                b_row = b_out[i]
+                xp.add(h, row, out=b_row)
+                xp.multiply(MU0, b_row, out=b_row)  # B = mu0*(h + m_sat*m)
+
+        euler = updated.sum(axis=0, dtype=np.int64)
+        last = h_arr[-1]
+        state.h_applied = (
+            np.full(n, float(last)) if shared else xp.asarray(last, dtype=float).copy()
+        )
+        state.h_accepted = h_acc
+        state.m_irr = m_irr
+        state.m_an = m_an.copy()
+        state.m_rev = m_rev.copy()
+        state.m_total = m_tot
+        state.delta = delta_st
+        state.updates += euler
+        counters = self.counters
+        counters.field_events += n_samples
+        counters.observations += n_samples
+        counters.euler_steps += euler
+        counters.acceptances += euler
+        counters.clamped_slopes += clamped_n
+        counters.dropped_increments += dropped_n
+        return m_out, b_out, updated, {"m_an": man_out}
 
     def apply_field_series(self, h_values: np.ndarray) -> np.ndarray:
         """Apply a series of samples; return B [T] of shape (samples, cores).

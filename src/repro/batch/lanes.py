@@ -34,6 +34,44 @@ def check_lane_range(start: int, stop: int, n_cores: int) -> None:
         )
 
 
+def check_series(h_samples, n_cores: int) -> np.ndarray:
+    """Validate a non-empty driver sample series for an ``n_cores`` batch.
+
+    The shared contract of :func:`repro.batch.sweep.run_batch_series`
+    and the engines' fused ``step_series`` paths: 1-D (one waveform
+    shared by all cores) or ``(samples, cores)``, at least one sample,
+    coerced to float.
+    """
+    h_arr = np.asarray(h_samples, dtype=float)
+    if h_arr.ndim not in (1, 2):
+        raise ParameterError(
+            f"h_samples must be 1-D or (samples, cores), got shape {h_arr.shape}"
+        )
+    if h_arr.ndim == 2 and h_arr.shape[1] != n_cores:
+        raise ParameterError(
+            f"per-core waveforms need {n_cores} columns, got {h_arr.shape[1]}"
+        )
+    if len(h_arr) == 0:
+        raise ParameterError("need at least one driver sample")
+    return h_arr
+
+
+def as_lane_matrix(h_arr: np.ndarray, n_cores: int) -> np.ndarray:
+    """A :func:`check_series`-validated series as a contiguous
+    ``(samples, cores)`` matrix.
+
+    Shared by the fused ``step_series`` implementations that index the
+    drive per lane: a 1-D shared waveform is broadcast column-wise
+    (bitwise the same values every lane — exactly what the per-sample
+    ``step`` paths build with ``np.full``); a 2-D drive passes through.
+    """
+    if h_arr.ndim == 1:
+        return np.ascontiguousarray(
+            np.broadcast_to(h_arr[:, None], (len(h_arr), n_cores))
+        )
+    return h_arr
+
+
 def trace_series(
     model, h_values: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

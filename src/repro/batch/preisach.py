@@ -22,7 +22,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
+from repro.backend import ArrayBackend, as_backend
+from repro.batch.lanes import (
+    as_lane_matrix,
+    broadcast_lane,
+    check_lane_range,
+    check_series,
+    trace_series,
+)
 from repro.constants import MU0
 from repro.errors import ParameterError
 from repro.preisach.model import PreisachModel
@@ -56,7 +63,9 @@ class BatchPreisachModel:
         alpha_thresholds: np.ndarray,
         beta_thresholds: np.ndarray,
         m_sat,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
+        self.backend = as_backend(backend)
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 3:
             raise ParameterError(
@@ -157,6 +166,7 @@ class BatchPreisachModel:
             "alpha_thresholds": self.alpha_thresholds[start:stop].copy(),
             "beta_thresholds": self.beta_thresholds[start:stop].copy(),
             "m_sat": self.m_sat[start:stop].copy(),
+            "backend": self.backend.name,
         }
 
     @classmethod
@@ -170,6 +180,13 @@ class BatchPreisachModel:
         relay sum reduces each lane's own contiguous grid, so slicing
         cannot change it)."""
         return type(self).from_shard_payload(self.shard_payload(start, stop))
+
+    def use_backend(
+        self, backend: "ArrayBackend | str | None"
+    ) -> "BatchPreisachModel":
+        """Switch the array backend (state is untouched); returns self."""
+        self.backend = as_backend(backend)
+        return self
 
     # -- state access -----------------------------------------------------
 
@@ -288,6 +305,81 @@ class BatchPreisachModel:
         updated = self.m_normalised != m_before
         self._switch_events += updated
         return updated
+
+    def step_series(
+        self, h_samples: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """Fused sweep: advance the whole sample axis in one call.
+
+        Returns ``(m, b, updated, extras)`` with state and counters
+        exactly as per-sample :meth:`step` calls would have left them
+        (bitwise on the exact NumPy backend — the relay sum reduces
+        each lane's own contiguous grid in the same pairwise order).
+        """
+        h_arr = check_series(h_samples, self.n_cores)
+        driver = self.backend.fused_series.get(self.family)
+        if driver is not None:
+            out = driver(self, h_arr)
+            if out is not None:
+                return out
+        return self._step_series_vectorised(h_arr)
+
+    def _step_series_vectorised(
+        self, h_arr: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """The backend-namespace fused loop: the per-sample switching
+        and reduction operations with the per-sample Python dispatch
+        (property probes, cache bookkeeping, per-step ``np.full``)
+        hoisted out of the loop."""
+        xp = self.backend.xp
+        if not np.isfinite(h_arr).all():
+            raise ParameterError(f"h must be finite, got {h_arr!r}")
+        n = self.n_cores
+        n_samples = len(h_arr)
+        h2d = as_lane_matrix(h_arr, n)
+
+        weights = self.weights
+        state = self._state
+        valid = self._valid
+        invalid = ~valid
+        alpha3 = self.alpha_thresholds[:, :, None]
+        beta3 = self.beta_thresholds[:, None, :]
+        m_sat = self.m_sat
+        h_cur = self._h
+        m_norm = self.m_normalised
+
+        m_out = xp.empty((n_samples, n))
+        b_out = xp.empty((n_samples, n))
+        updated_out = xp.empty((n_samples, n), dtype=bool)
+        switches = xp.zeros(n, dtype=np.int64)
+
+        for i in range(n_samples):
+            h = h2d[i]
+            h3 = h[:, None, None]
+            rising = h > h_cur
+            if rising.any():
+                up = rising[:, None, None] & (alpha3 <= h3)
+                np.copyto(state, 1.0, where=up & valid)
+                np.copyto(state, 0.0, where=up & invalid)
+            falling = h < h_cur
+            if falling.any():
+                down = falling[:, None, None] & (beta3 >= h3)
+                np.copyto(state, -1.0, where=down & valid)
+                np.copyto(state, 0.0, where=down & invalid)
+            h_cur = h
+            m_before = m_norm
+            m_norm = xp.sum(weights * state, axis=(1, 2))
+            updated = m_norm != m_before
+            switches += updated
+            updated_out[i] = updated
+            m_phys = m_norm * m_sat
+            m_out[i] = m_phys
+            b_out[i] = MU0 * (h + m_phys)
+
+        self._h = h_cur.copy()
+        self._m_cache = m_norm
+        self._switch_events += switches
+        return m_out, b_out, updated_out, {}
 
     def apply_field(self, h_new) -> np.ndarray:
         """Apply a field sample; return the new B [T] per core (the

@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batch.engine import BatchTimelessModel
+from repro.batch.lanes import check_series
 from repro.constants import DEFAULT_DHMAX
 from repro.core.slope import SlopeGuards
 from repro.core.sweep import SweepResult, waypoint_samples
@@ -178,6 +179,7 @@ def run_batch_series(
     batch,
     h_samples: np.ndarray,
     reset: bool = True,
+    fused: bool | None = None,
 ) -> BatchSweepResult:
     """Drive any batch model over explicit driver samples, recording all
     lanes.
@@ -188,39 +190,49 @@ def run_batch_series(
     never looks inside the model: it steps, probes ``m``/``b`` and the
     family's extra channels, and differences the family's counter
     totals over the run.
+
+    ``fused`` selects the sweep path: ``None`` (default) uses the
+    model's fused ``step_series`` — one call advancing the whole sample
+    axis, no per-sample Python round-trip — whenever the model
+    implements it, falling back to the per-sample loop otherwise;
+    ``True`` requires the fused path, ``False`` forces the per-sample
+    loop (the reference the fused path is pinned against).  On the
+    exact NumPy backend both paths are bitwise identical.
     """
-    h_arr = np.asarray(h_samples, dtype=float)
-    if h_arr.ndim not in (1, 2):
-        raise ParameterError(
-            f"h_samples must be 1-D or (samples, cores), got shape {h_arr.shape}"
-        )
-    if h_arr.ndim == 2 and h_arr.shape[1] != batch.n_cores:
-        raise ParameterError(
-            f"per-core waveforms need {batch.n_cores} columns, "
-            f"got {h_arr.shape[1]}"
-        )
-    if len(h_arr) == 0:
-        raise ParameterError("need at least one driver sample")
+    h_arr = check_series(h_samples, batch.n_cores)
     if reset:
         batch.begin_series(h_arr[0])
 
     totals_before = batch.counter_totals()
 
-    samples, n = h_arr.shape[0], batch.n_cores
-    m_out = np.empty((samples, n))
-    b_out = np.empty((samples, n))
-    updated = np.zeros((samples, n), dtype=bool)
-    extras_out: dict[str, np.ndarray] = {
-        key: np.empty((samples, n)) for key in batch.probe_extras()
-    }
-    for i in range(samples):
-        out = batch.step(h_arr[i])
-        updated[i] = updated_mask(out, n)
-        m_out[i] = batch.m
-        b_out[i] = batch.b
-        if extras_out:
-            for key, value in batch.probe_extras().items():
-                extras_out[key][i] = value
+    has_fused = callable(getattr(batch, "step_series", None))
+    if fused is True and not has_fused:
+        raise ParameterError(
+            f"fused=True but {type(batch).__name__} implements no "
+            "step_series; use fused=None to fall back automatically"
+        )
+    if has_fused and fused is not False:
+        m_out, b_out, updated, extras_out = batch.step_series(h_arr)
+    else:
+        samples, n = h_arr.shape[0], batch.n_cores
+        m_out = np.empty((samples, n))
+        b_out = np.empty((samples, n))
+        updated = np.zeros((samples, n), dtype=bool)
+        # Allocate each extras channel from its probed dtype: a family
+        # may record integer or boolean channels, which a hard-coded
+        # float64 buffer would silently coerce.
+        extras_out: dict[str, np.ndarray] = {
+            key: np.empty((samples, n), dtype=np.asarray(value).dtype)
+            for key, value in batch.probe_extras().items()
+        }
+        for i in range(samples):
+            out = batch.step(h_arr[i])
+            updated[i] = updated_mask(out, n)
+            m_out[i] = batch.m
+            b_out[i] = batch.b
+            if extras_out:
+                for key, value in batch.probe_extras().items():
+                    extras_out[key][i] = value
 
     totals_after = batch.counter_totals()
     # Union of keys with zero defaults: a family may register a counter

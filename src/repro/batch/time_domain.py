@@ -21,10 +21,17 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.batch.lanes import broadcast_lane, check_lane_range, trace_series
+from repro.backend import ArrayBackend, as_backend
+from repro.batch.lanes import (
+    as_lane_matrix,
+    broadcast_lane,
+    check_lane_range,
+    check_series,
+    trace_series,
+)
 from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.baselines.time_domain import DIVERGENCE_LIMIT
-from repro.constants import DEFAULT_DHMAX
+from repro.constants import DEFAULT_DHMAX, MU0
 from repro.core.slope import SlopeGuards, slice_guards, stack_guards
 from repro.errors import ParameterError
 from repro.ja.anhysteretic import (
@@ -70,7 +77,9 @@ class BatchTimeDomainModel:
         anhysteretic: Anhysteretic | None = None,
         guards: "SlopeGuards | Sequence[SlopeGuards]" = SlopeGuards.none(),
         divergence_limit: "float | np.ndarray" = DIVERGENCE_LIMIT,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
+        self.backend = as_backend(backend)
         self.params = stack_parameters(params)
         n = len(self.params)
         self.anhysteretic = (
@@ -154,6 +163,7 @@ class BatchTimeDomainModel:
             "anhysteretic": slice_anhysteretic(self.anhysteretic, start, stop),
             "guards": slice_guards(self.guards, start, stop),
             "divergence_limit": self.divergence_limit[start:stop].copy(),
+            "backend": self.backend.name,
         }
 
     @classmethod
@@ -164,12 +174,20 @@ class BatchTimeDomainModel:
             anhysteretic=payload["anhysteretic"],
             guards=payload["guards"],
             divergence_limit=payload["divergence_limit"],
+            backend=payload.get("backend"),
         )
 
     def shard(self, start: int, stop: int) -> "BatchTimeDomainModel":
         """A freshly reset batch over lanes ``[start, stop)`` — bitwise
         identical per lane to this ensemble after a reset."""
         return type(self).from_shard_payload(self.shard_payload(start, stop))
+
+    def use_backend(
+        self, backend: "ArrayBackend | str | None"
+    ) -> "BatchTimeDomainModel":
+        """Switch the array backend (state is untouched); returns self."""
+        self.backend = as_backend(backend)
+        return self
 
     # -- state access -----------------------------------------------------
 
@@ -254,6 +272,85 @@ class BatchTimeDomainModel:
             self.diverged |= active & runaway
         self._h = h
         return active
+
+    def step_series(
+        self, h_samples: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """Fused sweep: advance the whole sample axis in one call.
+
+        Returns ``(m, b, updated, extras)`` with state and counters
+        exactly as per-sample :meth:`step` calls would have left them
+        (bitwise on the exact NumPy backend)."""
+        h_arr = check_series(h_samples, self.n_cores)
+        driver = self.backend.fused_series.get(self.family)
+        if driver is not None:
+            out = driver(self, h_arr)
+            if out is not None:
+                return out
+        return self._step_series_vectorised(h_arr)
+
+    def _step_series_vectorised(
+        self, h_arr: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]":
+        """The backend-namespace fused loop: per-sample :meth:`step`
+        operations with the per-step Python dispatch (property probes,
+        ``np.full`` broadcasts, per-call ``errstate``) hoisted out."""
+        xp = self.backend.xp
+        n = self.n_cores
+        n_samples = len(h_arr)
+        h2d = as_lane_matrix(h_arr, n)
+
+        params = self.params
+        curve = self.anhysteretic
+        clamp = np.asarray(self.guards.clamp_negative)
+        limit = self.divergence_limit
+        m_sat = params.m_sat
+        h_cur = self._h
+        m = self._m
+        diverged = self.diverged
+
+        m_out = xp.empty((n_samples, n))
+        b_out = xp.empty((n_samples, n))
+        updated_out = xp.zeros((n_samples, n), dtype=bool)
+        steps = xp.zeros(n, dtype=np.int64)
+        negatives = xp.zeros(n, dtype=np.int64)
+
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            for i in range(n_samples):
+                h = h2d[i]
+                dh = h - h_cur
+                active = (dh != 0.0) & ~diverged
+                if active.any():
+                    delta = xp.where(dh >= 0.0, 1.0, -1.0)
+                    h_eff = effective_field(params, h_cur, m)
+                    m_an = curve.value(h_eff)
+                    slope = irreversible_slope(params, m_an, m, delta, xp=xp)
+                    negative = slope < 0.0
+                    slope = xp.where(negative & clamp, 0.0, slope)
+                    slope = slope + anhysteretic_slope_term(
+                        params, curve, h_eff
+                    )
+                    m_new = m + slope * dh
+                    m = xp.where(active, m_new, m)
+                    steps += active
+                    negatives += active & negative
+                    runaway = ~xp.isfinite(m) | (xp.abs(m) > limit)
+                    diverged = diverged | (active & runaway)
+                    updated_out[i] = active
+                h_cur = h
+                row = m_out[i]
+                xp.multiply(m, m_sat, out=row)
+                b_row = b_out[i]
+                xp.add(h, row, out=b_row)  # B = mu0*(h + m_sat*m)
+                xp.multiply(MU0, b_row, out=b_row)
+
+        self._h = h_cur.copy()
+        self._m = m
+        self.diverged = diverged
+        self.steps += steps
+        self.slope_evaluations += steps
+        self.negative_slope_evaluations += negatives
+        return m_out, b_out, updated_out, {}
 
     def apply_field(self, h_new) -> np.ndarray:
         """Apply a field sample; return the new B [T] per core."""

@@ -102,6 +102,7 @@ def discretiser_accepts(
     dh: "float | np.ndarray",
     dhmax: "float | np.ndarray",
     accept_equal: "bool | np.ndarray" = False,
+    xp=np,
 ) -> "bool | np.ndarray":
     """The ``monitorH`` comparison: does the pending increment trigger?
 
@@ -113,7 +114,7 @@ def discretiser_accepts(
         if accept_equal:
             return magnitude >= dhmax
         return magnitude > dhmax
-    return np.where(accept_equal, magnitude >= dhmax, magnitude > dhmax)
+    return xp.where(accept_equal, magnitude >= dhmax, magnitude > dhmax)
 
 
 def refresh_algebraic(
@@ -141,6 +142,7 @@ def step_kernel(
     dhmax: "float | np.ndarray",
     guards: SlopeGuards = SlopeGuards(),
     accept_equal: "bool | np.ndarray" = False,
+    xp=np,
 ) -> StepOutputs:
     """Advance one timeless event: algebraic refresh, discretiser
     decision, guarded Euler step, recombination.
@@ -148,10 +150,14 @@ def step_kernel(
     Pure function — no argument is mutated.  Scalar inputs return
     scalar outputs via the original branchy fast path; array inputs
     return array outputs computed lane-wise with masked updates.
+    ``xp`` is the array-backend namespace the vectorised path evaluates
+    through (:mod:`repro.backend`; the default — the ``numpy`` module —
+    is the exact reference backend, for which the threading changes no
+    bits).
     """
     m_an, m_rev = refresh_algebraic(params, anhysteretic, inputs.h_new, inputs.m_total)
     dh = inputs.h_new - inputs.h_accepted
-    accepted = discretiser_accepts(dh, dhmax, accept_equal)
+    accepted = discretiser_accepts(dh, dhmax, accept_equal, xp=xp)
 
     if np.ndim(accepted) == 0 and np.ndim(m_rev) == 0:
         # -- scalar fast path (one core, no array broadcasting cost) ----
@@ -192,22 +198,24 @@ def step_kernel(
         )
 
     # -- vectorised path: evaluate all lanes, mask the state writes ------
-    slope = guarded_slope(params, m_an, m_rev + inputs.m_irr, dh, guards=guards)
-    m_irr = np.where(accepted, inputs.m_irr + slope.dm, inputs.m_irr)
+    slope = guarded_slope(
+        params, m_an, m_rev + inputs.m_irr, dh, guards=guards, xp=xp
+    )
+    m_irr = xp.where(accepted, inputs.m_irr + slope.dm, inputs.m_irr)
     return StepOutputs(
-        h_accepted=np.where(accepted, inputs.h_new, inputs.h_accepted),
+        h_accepted=xp.where(accepted, inputs.h_new, inputs.h_accepted),
         m_irr=m_irr,
         m_rev=m_rev,
         m_an=m_an,
         m_total=m_rev + m_irr,
-        delta=np.where(
-            accepted, np.where(dh > 0.0, 1.0, -1.0), inputs.delta
+        delta=xp.where(
+            accepted, xp.where(dh > 0.0, 1.0, -1.0), inputs.delta
         ),
         accepted=accepted,
         dh=dh,
-        dmdh=np.where(accepted, slope.dmdh, 0.0),
-        dm=np.where(accepted, slope.dm, 0.0),
-        raw_dmdh=np.where(accepted, slope.raw_dmdh, 0.0),
+        dmdh=xp.where(accepted, slope.dmdh, 0.0),
+        dm=xp.where(accepted, slope.dm, 0.0),
+        raw_dmdh=xp.where(accepted, slope.raw_dmdh, 0.0),
         clamped=accepted & slope.clamped,
         dropped=accepted & slope.dropped,
     )

@@ -128,6 +128,7 @@ def guarded_slope(
     m_total: float,
     dh: float,
     guards: SlopeGuards = SlopeGuards(),
+    xp=np,
 ) -> SlopeResult:
     """Evaluate one guarded Forward Euler increment ``dm`` for field step ``dh``.
 
@@ -175,7 +176,7 @@ def guarded_slope(
         return SlopeResult(
             dmdh=dmdh, dm=dm, raw_dmdh=raw, clamped=clamped, dropped=dropped
         )
-    return _guarded_slope_array(params, m_an, m_total, dh, guards)
+    return _guarded_slope_array(params, m_an, m_total, dh, guards, xp=xp)
 
 
 def _guarded_slope_array(
@@ -184,29 +185,31 @@ def _guarded_slope_array(
     m_total: float | np.ndarray,
     dh: float | np.ndarray,
     guards: SlopeGuards,
+    xp=np,
 ) -> SlopeResult:
-    """Element-wise :func:`guarded_slope`; lanes match the scalar path bitwise."""
-    dh = np.asarray(dh, dtype=float)
-    delta = np.where(dh > 0.0, 1.0, -1.0)
+    """Element-wise :func:`guarded_slope`; lanes match the scalar path
+    bitwise on the exact (``xp is numpy``) reference backend."""
+    dh = xp.asarray(dh, dtype=float)
+    delta = xp.where(dh > 0.0, 1.0, -1.0)
     with np.errstate(invalid="ignore", over="ignore"):
-        raw = np.asarray(
-            irreversible_slope(params, m_an, m_total, delta), dtype=float
+        raw = xp.asarray(
+            irreversible_slope(params, m_an, m_total, delta, xp=xp), dtype=float
         )
         # Guard 1 — the published `if (dmdh1 > 0.0)`: NaN and zero also
         # fall into the clamp branch.
         clamp_hit = guards.clamp_negative & ~(raw > 0.0)
-        dmdh = np.where(clamp_hit, 0.0, raw)
+        dmdh = xp.where(clamp_hit, 0.0, raw)
         clamped = clamp_hit & (raw != 0.0)
         dm = dh * dmdh
         # Guard 2 — drop increments opposing the field direction.  A NaN
         # product compares False, matching the scalar NaN early-return.
         dropped = guards.drop_opposing & (dm * dh < 0.0)
-        dm = np.where(dropped, 0.0, dm)
+        dm = xp.where(dropped, 0.0, dm)
     # The scalar path short-circuits dh == 0 to an all-zero result.
     zero = dh == 0.0
-    dmdh = np.where(zero, 0.0, dmdh)
-    dm = np.where(zero, 0.0, dm)
-    raw = np.where(zero, 0.0, raw)
+    dmdh = xp.where(zero, 0.0, dmdh)
+    dm = xp.where(zero, 0.0, dm)
+    raw = xp.where(zero, 0.0, raw)
     clamped = clamped & ~zero
     dropped = dropped & ~zero
     return SlopeResult(dmdh=dmdh, dm=dm, raw_dmdh=raw, clamped=clamped, dropped=dropped)

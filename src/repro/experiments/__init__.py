@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     accuracy,
     ablation_anhysteretic,
     ablation_guards,
+    backend_fused,
     batch_ensemble,
     batch_families,
     circuit_demo,

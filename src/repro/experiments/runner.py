@@ -14,21 +14,26 @@ directory.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from repro.backend import BACKEND_ENV, list_backends, resolve_backend
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.io.csvio import write_bh_csv
 
 
-def _write_result(result, output_dir: Path) -> list[Path]:
+def _write_result(result, output_dir: Path, backend_name: str) -> list[Path]:
     output_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
+    # The backend header makes every regenerated table attributable:
+    # the same experiment on a JIT backend is a different measurement.
+    header = f"# backend: {backend_name}\n"
     report_path = output_dir / f"{result.experiment_id}.txt"
-    report_path.write_text(result.render() + "\n")
+    report_path.write_text(header + result.render() + "\n")
     written.append(report_path)
 
     for stem, text in result.artifacts.items():
@@ -58,7 +63,23 @@ def main(argv: list[str] | None = None) -> int:
         default="results",
         help="output directory (default: ./results)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "array backend for batch engines (registered: "
+            + ", ".join(b.name for b in list_backends())
+            + f"); defaults to ${BACKEND_ENV} or numpy"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    backend = resolve_backend(args.backend)
+    if args.backend is not None:
+        # Experiments construct their models through the registry and
+        # scenario surfaces, which resolve the environment default —
+        # exporting the choice is what makes --backend reach them.
+        os.environ[BACKEND_ENV] = backend.name
 
     if args.list:
         for experiment in list_experiments():
@@ -73,11 +94,11 @@ def main(argv: list[str] | None = None) -> int:
 
     output_dir = Path(args.output)
     for experiment_id in ids:
-        print(f"running {experiment_id} ...", flush=True)
+        print(f"running {experiment_id} (backend: {backend.name}) ...", flush=True)
         result = run_experiment(experiment_id)
         print(result.render())
         print()
-        for path in _write_result(result, output_dir):
+        for path in _write_result(result, output_dir, backend.name):
             print(f"  wrote {path}")
     return 0
 

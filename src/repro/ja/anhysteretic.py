@@ -28,6 +28,15 @@ Scalar arguments keep the original ``math``-based fast path; the array
 branches use the NumPy ufuncs backed by the same libm kernels, so the
 two evaluate bitwise identically element-wise (asserted by the
 batch/scalar equivalence tests).
+
+**Backend threading.**  The array branches evaluate through the
+curve's ``xp`` attribute — an array-backend ufunc namespace
+(:mod:`repro.backend`), defaulting to the ``numpy`` module itself (the
+exact reference backend, for which the indirection changes no bits).
+Assign a different namespace (``curve.xp = cupy`` style) to evaluate a
+curve's array path on another backend; the scalar fast paths always
+use NumPy's kernels, which is the 1-ulp parity rule the bitwise lane
+contract relies on.
 """
 
 from __future__ import annotations
@@ -63,6 +72,10 @@ class Anhysteretic(ABC):
 
     #: Registry key used by :func:`make_anhysteretic`.
     kind: str = "abstract"
+
+    #: Array-backend ufunc namespace the array branches evaluate
+    #: through (class default: the exact NumPy reference backend).
+    xp = np
 
     def __init__(self, shape: float | np.ndarray) -> None:
         if np.ndim(shape) == 0:
@@ -125,13 +138,14 @@ class LangevinAnhysteretic(Anhysteretic):
                 x2 = x * x
                 return x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
             return 1.0 / float(np.tanh(x)) - 1.0 / x
-        x = np.asarray(x, dtype=float)
+        xp = self.xp
+        x = xp.asarray(x, dtype=float)
         x2 = x * x
         series = x * (1.0 / 3.0 - x2 / 45.0 + 2.0 * x2 * x2 / 945.0)
-        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
-        safe = np.where(small, 1.0, x)
-        closed = 1.0 / np.tanh(safe) - 1.0 / safe
-        return np.where(small, series, closed)
+        small = xp.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        safe = xp.where(small, 1.0, x)
+        closed = 1.0 / xp.tanh(safe) - 1.0 / safe
+        return xp.where(small, series, closed)
 
     def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         if np.ndim(x) == 0:
@@ -143,16 +157,17 @@ class LangevinAnhysteretic(Anhysteretic):
                 return 1.0 / (x * x)
             sinh = float(np.sinh(x))
             return 1.0 / (x * x) - 1.0 / (sinh * sinh)
-        x = np.asarray(x, dtype=float)
+        xp = self.xp
+        x = xp.asarray(x, dtype=float)
         x2 = x * x
         series = 1.0 / 3.0 - x2 / 15.0 + 2.0 * x2 * x2 / 189.0
-        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
-        overflow = np.abs(x) > _SINH_OVERFLOW_CUTOFF
-        safe = np.where(small, 1.0, x)
+        small = xp.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        overflow = xp.abs(x) > _SINH_OVERFLOW_CUTOFF
+        safe = xp.where(small, 1.0, x)
         inv_x2 = 1.0 / (safe * safe)
-        sinh = np.sinh(np.where(small | overflow, 1.0, x))
+        sinh = xp.sinh(xp.where(small | overflow, 1.0, x))
         closed = inv_x2 - 1.0 / (sinh * sinh)
-        return np.where(small, series, np.where(overflow, inv_x2, closed))
+        return xp.where(small, series, xp.where(overflow, inv_x2, closed))
 
 
 class ModifiedLangevinAnhysteretic(Anhysteretic):
@@ -171,7 +186,7 @@ class ModifiedLangevinAnhysteretic(Anhysteretic):
         # batch engine's lanes must match the scalar path bitwise.
         if np.ndim(x) == 0:
             return TWO_OVER_PI * float(np.arctan(x))
-        return TWO_OVER_PI * np.arctan(x)
+        return TWO_OVER_PI * self.xp.arctan(x)
 
     def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         return TWO_OVER_PI / (1.0 + x * x)
@@ -202,12 +217,13 @@ class BrillouinAnhysteretic(Anhysteretic):
                 # B_J(x) ~ (J+1)/(3J) * x for small x.
                 return (j + 1.0) / (3.0 * j) * x
             return c1 / float(np.tanh(c1 * x)) - c2 / float(np.tanh(c2 * x))
-        x = np.asarray(x, dtype=float)
+        xp = self.xp
+        x = xp.asarray(x, dtype=float)
         series = (j + 1.0) / (3.0 * j) * x
-        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
-        safe = np.where(small, 1.0, x)
-        closed = c1 / np.tanh(c1 * safe) - c2 / np.tanh(c2 * safe)
-        return np.where(small, series, closed)
+        small = xp.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        safe = xp.where(small, 1.0, x)
+        closed = c1 / xp.tanh(c1 * safe) - c2 / xp.tanh(c2 * safe)
+        return xp.where(small, series, closed)
 
     def curve_derivative(self, x: float | np.ndarray) -> float | np.ndarray:
         j = self.j
@@ -226,19 +242,20 @@ class BrillouinAnhysteretic(Anhysteretic):
             return (c2 * c2) * csch_squared(c2 * x) - (c1 * c1) * csch_squared(
                 c1 * x
             )
-        x = np.asarray(x, dtype=float)
-        small = np.abs(x) < _LANGEVIN_SERIES_CUTOFF
+        xp = self.xp
+        x = xp.asarray(x, dtype=float)
+        small = xp.abs(x) < _LANGEVIN_SERIES_CUTOFF
 
         def csch_squared_array(y: np.ndarray) -> np.ndarray:
-            overflow = np.abs(y) > _SINH_OVERFLOW_CUTOFF
-            sinh = np.sinh(np.where(overflow, 1.0, y))
-            return np.where(overflow, 0.0, 1.0 / (sinh * sinh))
+            overflow = xp.abs(y) > _SINH_OVERFLOW_CUTOFF
+            sinh = xp.sinh(xp.where(overflow, 1.0, y))
+            return xp.where(overflow, 0.0, 1.0 / (sinh * sinh))
 
-        safe = np.where(small, 1.0, x)
+        safe = xp.where(small, 1.0, x)
         closed = (c2 * c2) * csch_squared_array(c2 * safe) - (
             c1 * c1
         ) * csch_squared_array(c1 * safe)
-        return np.where(small, (j + 1.0) / (3.0 * j), closed)
+        return xp.where(small, (j + 1.0) / (3.0 * j), closed)
 
 
 _KINDS: dict[str, type[Anhysteretic]] = {

@@ -28,6 +28,13 @@ original pure-``float`` fast path — including its exact branch
 structure — so scalar trajectories are bitwise identical to arrays
 element-wise; the pure step kernel (:mod:`repro.core.kernel`) and the
 batch ensemble engine (:mod:`repro.batch`) rely on this.
+
+**Backend threading.**  The array branches evaluate through an
+injectable ufunc namespace ``xp`` (default: the ``numpy`` module — the
+exact reference backend of :mod:`repro.backend`, for which the
+threading changes no bits).  Scalar branches always use NumPy's own
+kernels: that is the 1-ulp parity rule the bitwise lane contract is
+built on.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ def irreversible_slope(
     m_an: float,
     m_total: float,
     delta: float,
+    xp=np,
 ) -> float:
     """Raw irreversible slope ``dmirr/dH`` before any guard is applied.
 
@@ -86,13 +94,13 @@ def irreversible_slope(
         if denominator == 0.0:
             return math.inf if delta_m > 0 else (-math.inf if delta_m < 0 else 0.0)
         return delta_m / denominator
-    delta_m = np.asarray(delta_m, dtype=float)
-    denominator = np.asarray(denominator, dtype=float)
+    delta_m = xp.asarray(delta_m, dtype=float)
+    denominator = xp.asarray(denominator, dtype=float)
     singular = denominator == 0.0
     with np.errstate(divide="ignore", invalid="ignore"):
-        regular = delta_m / np.where(singular, 1.0, denominator)
-    at_pole = np.where(delta_m > 0.0, math.inf, np.where(delta_m < 0.0, -math.inf, 0.0))
-    return np.where(singular, at_pole, regular)
+        regular = delta_m / xp.where(singular, 1.0, denominator)
+    at_pole = xp.where(delta_m > 0.0, math.inf, xp.where(delta_m < 0.0, -math.inf, 0.0))
+    return xp.where(singular, at_pole, regular)
 
 
 def anhysteretic_slope_term(
@@ -136,6 +144,7 @@ def magnetisation_slope(
     m: float,
     delta: float,
     clamp_irreversible: bool = False,
+    xp=np,
 ) -> float:
     """Self-consistent total slope ``dm/dH`` (normalised).
 
@@ -163,7 +172,7 @@ def magnetisation_slope(
     """
     h_eff = effective_field(params, h, m)
     m_an = anhysteretic.value(h_eff)
-    irreversible = irreversible_slope(params, m_an, m, delta)
+    irreversible = irreversible_slope(params, m_an, m, delta, xp=xp)
     reversible = anhysteretic_slope_term(params, anhysteretic, h_eff)
     feedback = params.alpha * params.m_sat * reversible
     denominator = 1.0 - feedback
@@ -175,14 +184,14 @@ def magnetisation_slope(
             # to the simplified slope rather than produce a negative pole.
             return irreversible + reversible
         return (irreversible + reversible) / denominator
-    irreversible = np.asarray(irreversible, dtype=float)
+    irreversible = xp.asarray(irreversible, dtype=float)
     if clamp_irreversible:
-        irreversible = np.where(irreversible < 0.0, 0.0, irreversible)
+        irreversible = xp.where(irreversible < 0.0, 0.0, irreversible)
     total = irreversible + reversible
     runaway = denominator <= 0.0
     with np.errstate(divide="ignore", invalid="ignore"):
-        regular = total / np.where(runaway, 1.0, denominator)
-    return np.where(runaway, total, regular)
+        regular = total / xp.where(runaway, 1.0, denominator)
+    return xp.where(runaway, total, regular)
 
 
 def flux_density(params: JAParameters, h: float, m: float) -> float:

@@ -22,6 +22,15 @@ the contract:
     batch model and records its trajectories, per-sample extras and
     per-core counter totals without knowing the family.
 
+    A batch model **may** additionally implement the optional fused
+    sweep hook ``step_series(h_samples) -> (m, b, updated, extras)``:
+    one call advancing the whole (validated, non-empty) sample axis,
+    leaving state and counters exactly as per-sample ``step`` calls
+    would have.  The executor uses it when present — eliminating the
+    per-sample Python round-trip — and falls back to the per-sample
+    loop otherwise; it is deliberately not part of the runtime
+    protocol, so third-party families conform without it.
+
 Both protocols are ``runtime_checkable``: conformance is structural
 (duck-typed), so model classes do not import this module — the registry
 (:mod:`repro.models.registry`) and the generic conformance suite

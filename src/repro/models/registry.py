@@ -75,16 +75,32 @@ class ModelFamily:
         """One scalar model of this family."""
         return self.make_models(1, seed)[0]
 
-    def make_batch(self, n_cores: int, seed: int = 0):
-        """A stacked batch model over a heterogeneous ensemble."""
-        return self.stack(self.make_models(n_cores, seed))
+    def make_batch(self, n_cores: int, seed: int = 0, backend=None):
+        """A stacked batch model over a heterogeneous ensemble.
 
-    def make_pair(self, n_cores: int, seed: int = 0):
+        ``backend`` selects the array backend (name or
+        :class:`repro.backend.ArrayBackend`); ``None`` resolves the
+        ``REPRO_BACKEND`` environment default (:func:`repro.backend.
+        resolve_backend`) — this is one of the surfaces where the
+        environment wins, unlike direct engine construction.
+        """
+        return self._on_backend(self.stack(self.make_models(n_cores, seed)), backend)
+
+    def make_pair(self, n_cores: int, seed: int = 0, backend=None):
         """Matched ``(batch, scalars)`` built from the *same* ensemble —
-        the inputs of a lane-by-lane bitwise equivalence check."""
+        the inputs of a lane-by-lane equivalence check (bitwise on
+        exact backends, ``rtol``-tiered on JIT backends)."""
         scalars = self.make_models(n_cores, seed)
         reference = self.make_models(n_cores, seed)
-        return self.stack(scalars), reference
+        return self._on_backend(self.stack(scalars), backend), reference
+
+    @staticmethod
+    def _on_backend(batch, backend):
+        from repro.backend import resolve_backend
+
+        if hasattr(batch, "use_backend"):
+            batch.use_backend(resolve_backend(backend))
+        return batch
 
 
 _FAMILIES: dict[str, ModelFamily] = {}

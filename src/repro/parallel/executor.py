@@ -29,12 +29,13 @@ set it to stay within their core allowance).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import get_context
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.batch.sweep import BatchSweepResult, run_batch_series
 from repro.errors import ParameterError
 from repro.models.protocol import is_batch_model
@@ -231,10 +232,19 @@ def prepare_job(
     n_workers: int,
     min_shard: int,
 ) -> _CellJob:
-    """Plan one sharded run: full-width samples, shard specs, schema."""
+    """Plan one sharded run: full-width samples, shard specs, schema.
+
+    An :class:`EnsembleSpec` with ``backend=None`` is pinned to the
+    parent's resolved backend here, so workers rebuild their shards on
+    the backend the parent planned with rather than re-reading their
+    own ``REPRO_BACKEND`` environment.  (Live batch models already
+    carry the backend name inside their ``shard_payload``.)
+    """
     if is_batch_model(source):
         family, n_total = source.family, source.n_cores
     elif isinstance(source, EnsembleSpec):
+        if source.backend is None:
+            source = replace(source, backend=resolve_backend(None).name)
         family, n_total = source.family, source.n_cores
     else:
         raise ParameterError(

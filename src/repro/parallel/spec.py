@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.batch.lanes import check_lane_range
 from repro.errors import ParameterError, ScenarioError
 from repro.models.registry import get_family
@@ -31,11 +32,18 @@ class EnsembleSpec:
     range out of it — never ``make_models(width, seed)`` — because the
     factories draw every lane from one RNG stream: lane ``i`` of the
     ensemble only exists as the ``i``-th draw of the full recipe.
+
+    ``backend`` names the array backend the rebuilt batch runs on; the
+    executor pins ``None`` to the parent's resolved ``REPRO_BACKEND``
+    default before dispatch (see
+    :func:`repro.parallel.executor.prepare_job`), so every worker
+    rebuilds its shard on the same backend the parent planned with.
     """
 
     family: str
     n_cores: int
     seed: int = 0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -43,15 +51,21 @@ class EnsembleSpec:
                 f"n_cores must be >= 1, got {self.n_cores}"
             )
         get_family(self.family)  # fail fast on unknown families
+        if self.backend is not None:
+            resolve_backend(self.backend)  # fail fast on unknown backends
 
     def build_models(self) -> list:
         return get_family(self.family).make_models(self.n_cores, self.seed)
 
     def build_batch(self, start: int = 0, stop: int | None = None):
-        """Stack lanes ``[start, stop)`` of the recipe's ensemble."""
+        """Stack lanes ``[start, stop)`` of the recipe's ensemble, on
+        the recipe's backend (``None``: the environment default)."""
         stop = self.n_cores if stop is None else stop
         check_lane_range(start, stop, self.n_cores)
-        return get_family(self.family).stack(self.build_models()[start:stop])
+        batch = get_family(self.family).stack(self.build_models()[start:stop])
+        if hasattr(batch, "use_backend"):
+            batch.use_backend(resolve_backend(self.backend))
+        return batch
 
 
 @dataclass(frozen=True, eq=False)
@@ -150,6 +164,12 @@ class ShardSpec:
         A registry :class:`EnsembleSpec`; the worker rebuilds the full
         recipe and slices its range — the route when only the recipe
         exists.
+
+    Either route carries the parent's array-backend name — inside the
+    payload dict (the engines ship ``backend`` in ``shard_payload``) or
+    on the :class:`EnsembleSpec` — so workers rebuild their shard on
+    the same backend regardless of their own ``REPRO_BACKEND``
+    environment.
 
     Explicit-sample drives carried by a ShardSpec are **shard-local**:
     the executor pre-slices per-core matrices to this shard's columns

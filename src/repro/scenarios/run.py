@@ -37,6 +37,7 @@ def run_scenario(
     h_max: float,
     driver_step: float | None = None,
     reset: bool = True,
+    backend=None,
 ):
     """Run one scenario on a scalar or batch hysteresis model.
 
@@ -45,14 +46,39 @@ def run_scenario(
     :class:`~repro.batch.sweep.BatchSweepResult`; scalar models run
     their own ``trace`` and return the ``(h, m, b)`` arrays.  For batch
     models ``driver_step`` defaults to the model's own hint.
+
+    ``backend`` switches a batch model onto an array backend for this
+    run (name, :class:`repro.backend.ArrayBackend`, or ``"env"`` to
+    re-resolve the ``REPRO_BACKEND`` default); ``None`` leaves the
+    model's own backend untouched.  Scalar models carry no backend —
+    passing one is an error rather than a silent no-op.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if is_batch_model(model):
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            if not hasattr(model, "use_backend"):
+                # Third-party batch models conform to the structural
+                # protocol without any backend hook; error clearly
+                # instead of an AttributeError mid-dispatch.
+                raise ScenarioError(
+                    f"{type(model).__name__} has no use_backend hook; "
+                    "backend= only applies to backend-aware batch models"
+                )
+            model.use_backend(
+                resolve_backend(None if backend == "env" else backend)
+            )
         if driver_step is None:
             driver_step = model.driver_step_hint()
         samples = scenario.samples(h_max, driver_step, n_cores=model.n_cores)
         return run_batch_series(model, samples, reset=reset)
+    if backend is not None:
+        raise ScenarioError(
+            "scalar models carry no array backend; backend= applies to "
+            "batch models only"
+        )
     if driver_step is None:
         raise ScenarioError(
             "scalar models need an explicit driver_step (they carry no hint)"

@@ -1,0 +1,360 @@
+"""Tests for the array-backend layer: registry, selection surfaces,
+fused-sweep dispatch, and the extras-dtype contract of the executor."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV,
+    NUMPY_BACKEND,
+    ArrayBackend,
+    as_backend,
+    get_backend,
+    list_backends,
+    resolve_backend,
+)
+from repro.batch.engine import BatchTimelessModel
+from repro.batch.sweep import run_batch_series
+from repro.batch.time_domain import BatchTimeDomainModel
+from repro.core.sweep import waypoint_samples
+from repro.errors import ParameterError, ScenarioError
+from repro.models.registry import get_family, perturbed_parameters
+from repro.parallel import run_sharded
+from repro.parallel.executor import prepare_job
+from repro.parallel.spec import DriveSpec, EnsembleSpec
+from repro.scenarios import run_scenario
+
+
+def drive(n_steps_scale: float = 1.0) -> np.ndarray:
+    h = 10e3 * n_steps_scale
+    return waypoint_samples([0.0, h, -h, h], h / 40.0)
+
+
+class TestRegistry:
+    def test_numpy_backend_is_registered_and_exact(self):
+        backend = get_backend("numpy")
+        assert backend is NUMPY_BACKEND
+        assert backend.exact and backend.rtol == 0.0
+        # The reference namespace IS the numpy module: threading it
+        # through the kernels cannot change a bit.
+        assert backend.xp is np
+
+    def test_unknown_backend_errors(self):
+        with pytest.raises(ParameterError, match="unknown array backend"):
+            get_backend("tpu")
+
+    def test_as_backend_default_is_numpy_not_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "definitely-not-registered")
+        assert as_backend(None).name == "numpy"  # ctor default ignores env
+        with pytest.raises(ParameterError):
+            resolve_backend(None)  # the selection surfaces do not
+
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("numpy") is NUMPY_BACKEND
+        assert resolve_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+
+    def test_list_backends_sorted(self):
+        names = [backend.name for backend in list_backends()]
+        assert names == sorted(names)
+        assert "numpy" in names
+
+
+class TestEngineBackendPlumbing:
+    def test_engines_default_to_numpy(self):
+        params = perturbed_parameters(3)
+        assert BatchTimelessModel(params).backend.name == "numpy"
+        assert BatchTimeDomainModel(params).backend.name == "numpy"
+
+    def test_use_backend_returns_self(self):
+        batch = BatchTimelessModel(perturbed_parameters(2))
+        assert batch.use_backend("numpy") is batch
+        assert batch.backend is NUMPY_BACKEND
+
+    def test_shard_payload_carries_backend_for_every_family(self):
+        for family in ("timeless", "preisach", "time-domain"):
+            batch = get_family(family).make_batch(3, backend="numpy")
+            payload = batch.shard_payload(0, 2)
+            assert payload["backend"] == "numpy", family
+            rebuilt = type(batch).from_shard_payload(payload)
+            assert rebuilt.backend.name == "numpy", family
+
+    def test_make_batch_resolves_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        batch = get_family("timeless").make_batch(2)
+        assert batch.backend.name == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "not-a-backend")
+        with pytest.raises(ParameterError):
+            get_family("timeless").make_batch(2)
+
+    def test_step_series_validates_like_the_executor(self):
+        batch = BatchTimelessModel(perturbed_parameters(2))
+        with pytest.raises(ParameterError, match="at least one"):
+            batch.step_series(np.empty(0))
+        with pytest.raises(ParameterError, match="columns"):
+            batch.step_series(np.zeros((5, 3)))
+
+    def test_fused_true_requires_step_series(self):
+        """A model without the fused hook rejects fused=True loudly and
+        falls back silently under the default fused=None."""
+        with pytest.raises(ParameterError, match="step_series"):
+            run_batch_series(
+                FixedDtypeExtrasBatch(n=2), np.array([1.0, 2.0]), fused=True
+            )
+        fallback = run_batch_series(
+            FixedDtypeExtrasBatch(n=2), np.array([1.0, 2.0]), fused=None
+        )
+        assert len(fallback) == 2
+
+
+class TestFusedSweepEquality:
+    """Quick direct pins complementing the generic conformance suite."""
+
+    def test_timeless_fused_is_bitwise(self):
+        params = perturbed_parameters(8, seed=4)
+        a = BatchTimelessModel(params)
+        b = BatchTimelessModel(params)
+        h = drive()
+        fused = run_batch_series(a, h)
+        loop = run_batch_series(b, h, fused=False)
+        assert np.array_equal(fused.m, loop.m)
+        assert np.array_equal(fused.b, loop.b)
+        assert np.array_equal(fused.updated, loop.updated)
+        assert np.array_equal(fused.extras["m_an"], loop.extras["m_an"])
+        for key in loop.counters:
+            assert np.array_equal(fused.counters[key], loop.counters[key])
+        # post-run state advanced identically (snapshot equality)
+        sa, ca = a.snapshot()
+        sb, cb = b.snapshot()
+        for name in sa.__dataclass_fields__:
+            assert np.array_equal(getattr(sa, name), getattr(sb, name)), name
+        for name in ca.__dataclass_fields__:
+            assert np.array_equal(getattr(ca, name), getattr(cb, name)), name
+
+    def test_preisach_fused_rejects_non_finite_upfront(self):
+        batch = get_family("preisach").make_batch(2, backend="numpy")
+        h = np.array([0.0, 1e3, np.nan])
+        with pytest.raises(ParameterError, match="finite"):
+            batch.step_series(h)
+
+
+class FixedDtypeExtrasBatch:
+    """Minimal conforming batch whose extras channels are not float64:
+    the executor must allocate recording buffers from each channel's
+    probed dtype instead of hard-coding float (regression pin)."""
+
+    family = "dtype-test"
+
+    def __init__(self, n: int = 2) -> None:
+        self._n = n
+        self._h = np.zeros(n)
+        self._count = np.zeros(n, dtype=np.int32)
+
+    @property
+    def n_cores(self) -> int:
+        return self._n
+
+    @property
+    def h(self) -> np.ndarray:
+        return self._h.copy()
+
+    @property
+    def m(self) -> np.ndarray:
+        return self._h * 0.5
+
+    @property
+    def m_normalised(self) -> np.ndarray:
+        return self.m
+
+    @property
+    def b(self) -> np.ndarray:
+        return self._h * 2.0
+
+    def begin_series(self, h_initial) -> None:
+        self._h = np.broadcast_to(
+            np.asarray(h_initial, dtype=float), (self._n,)
+        ).copy()
+        self._count[:] = 0
+
+    def step(self, h_new) -> np.ndarray:
+        self._h = np.broadcast_to(
+            np.asarray(h_new, dtype=float), (self._n,)
+        ).copy()
+        self._count += 1
+        return np.ones(self._n, dtype=bool)
+
+    def counter_totals(self) -> dict:
+        return {"steps": self._count.astype(np.int64)}
+
+    def probe_extras(self) -> dict:
+        return {
+            "event_count": self._count.copy(),
+            "armed": self._count % 2 == 1,
+        }
+
+    def driver_step_hint(self) -> float:
+        return 1.0
+
+    def snapshot(self):
+        return (self._h.copy(), self._count.copy())
+
+    def restore(self, snap) -> None:
+        self._h, self._count = snap[0].copy(), snap[1].copy()
+
+
+def test_executor_preserves_extras_dtypes():
+    """The extras preallocation satellite: integer and boolean channels
+    survive the round trip instead of being coerced to float64."""
+    result = run_batch_series(
+        FixedDtypeExtrasBatch(n=2), np.array([1.0, 2.0, 3.0])
+    )
+    assert result.extras["event_count"].dtype == np.int32
+    assert np.array_equal(
+        result.extras["event_count"],
+        np.array([[1, 1], [2, 2], [3, 3]], dtype=np.int32),
+    )
+    assert result.extras["armed"].dtype == np.bool_
+    assert np.array_equal(
+        result.extras["armed"],
+        np.array([[True, True], [False, False], [True, True]]),
+    )
+
+
+class TestNumbaDriverSemantics:
+    """The numba driver's loop body is a plain importable function that
+    numba compiles lazily — so its semantics are validated here by
+    interpreting it, on hosts with or without numba installed."""
+
+    def _interpreted(self, monkeypatch):
+        from repro.backend import numba_backend
+
+        monkeypatch.setitem(
+            numba_backend._KERNEL_CACHE,
+            "timeless",
+            numba_backend.timeless_series_loop,
+        )
+        return numba_backend
+
+    def test_loop_matches_reference_within_jit_tier(self, monkeypatch):
+        numba_backend = self._interpreted(monkeypatch)
+        params = perturbed_parameters(3, seed=7)
+        fused_batch = BatchTimelessModel(
+            params, dhmax=np.array([40.0, 60.0, 90.0])
+        )
+        loop_batch = BatchTimelessModel(
+            params, dhmax=np.array([40.0, 60.0, 90.0])
+        )
+        h = drive()
+        fused_batch.begin_series(h[0])
+        out = numba_backend._timeless_fused_series(fused_batch, h)
+        assert out is not None
+        m, b, updated, extras = out
+        reference = run_batch_series(loop_batch, h, fused=False)
+        # Discretiser decisions involve only exactly-representable
+        # operands: they match the reference bitwise even off-backend.
+        assert np.array_equal(updated, reference.updated)
+        assert np.array_equal(
+            fused_batch.counters.euler_steps,
+            reference.counters["euler_steps"],
+        )
+        # Trajectories hold the JIT tier (libm vs NumPy: 1 ulp/call).
+        rtol = 1e-9
+        for actual, expected in ((m, reference.m), (b, reference.b),
+                                 (extras["m_an"], reference.extras["m_an"])):
+            scale = float(np.max(np.abs(expected)))
+            assert np.allclose(actual, expected, rtol=rtol, atol=rtol * scale)
+
+    def test_driver_declines_non_modified_langevin(self):
+        from repro.backend import numba_backend
+        from repro.ja.anhysteretic import LangevinAnhysteretic
+
+        batch = BatchTimelessModel(
+            perturbed_parameters(2, seed=1),
+            anhysteretic=LangevinAnhysteretic(np.array([900.0, 1100.0])),
+        )
+        assert numba_backend._timeless_fused_series(batch, drive()) is None
+        # and the engine's fused entry falls back to the exact path
+        reference = BatchTimelessModel(
+            perturbed_parameters(2, seed=1),
+            anhysteretic=LangevinAnhysteretic(np.array([900.0, 1100.0])),
+        )
+        h = drive()
+        fused = run_batch_series(batch, h)
+        loop = run_batch_series(reference, h, fused=False)
+        assert np.array_equal(fused.b, loop.b)
+
+
+def test_runner_records_backend_header(tmp_path):
+    """The CLI stamps the active backend into every report header, so
+    regenerated EXP tables are attributable to a backend."""
+    from repro.experiments.registry import ExperimentResult
+    from repro.experiments.runner import _write_result
+
+    result = ExperimentResult(experiment_id="EXP-HDR-TEST", title="header")
+    result.artifacts = {"extra": "artifact-body"}
+    _write_result(result, tmp_path, "numpy")
+    report = (tmp_path / "EXP-HDR-TEST.txt").read_text()
+    assert report.startswith("# backend: numpy\n")
+    assert "EXP-HDR-TEST" in report
+    # artefact payloads stay verbatim (downstream parsers read them raw)
+    assert (tmp_path / "EXP-HDR-TEST_extra.txt").read_text().startswith(
+        "artifact-body"
+    )
+
+
+class TestSelectionSurfaces:
+    def test_run_scenario_backend_argument(self):
+        batch = get_family("timeless").make_batch(2, backend="numpy")
+        result = run_scenario(batch, "major-loop", h_max=5e3, backend="numpy")
+        assert batch.backend.name == "numpy"
+        assert result.n_cores == 2
+
+    def test_run_scenario_backend_rejected_for_foreign_batch_models(self):
+        """A protocol-conforming batch model without the use_backend
+        hook gets a clear error, not an AttributeError."""
+        with pytest.raises(ScenarioError, match="use_backend"):
+            run_scenario(
+                FixedDtypeExtrasBatch(n=2),
+                "major-loop",
+                h_max=10.0,
+                backend="numpy",
+            )
+
+    def test_run_scenario_backend_rejected_for_scalars(self):
+        scalar = get_family("timeless").make_scalar()
+        with pytest.raises(ScenarioError, match="no array backend"):
+            run_scenario(
+                scalar,
+                "major-loop",
+                h_max=5e3,
+                driver_step=100.0,
+                backend="numpy",
+            )
+
+    def test_ensemble_spec_validates_and_applies_backend(self):
+        with pytest.raises(ParameterError, match="unknown array backend"):
+            EnsembleSpec(family="timeless", n_cores=2, backend="gpu")
+        spec = EnsembleSpec(family="timeless", n_cores=2, backend="numpy")
+        assert spec.build_batch().backend.name == "numpy"
+
+    def test_prepare_job_pins_unresolved_spec_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        spec = EnsembleSpec(family="timeless", n_cores=4)
+        job = prepare_job(
+            spec, DriveSpec(samples=drive()), n_workers=2, min_shard=1
+        )
+        backends = {shard.ensemble.backend for shard in job.specs}
+        assert backends == {"numpy"}
+
+    def test_sharded_run_matches_fused_single_process(self):
+        batch = get_family("timeless").make_batch(5, backend="numpy")
+        h = drive()
+        single = run_batch_series(batch, h)
+        sharded = run_sharded(batch, h, n_workers=1, min_shard=1)
+        assert np.array_equal(single.m, sharded.m)
+        assert np.array_equal(single.b, sharded.b)
+        for key in single.counters:
+            assert np.array_equal(single.counters[key], sharded.counters[key])

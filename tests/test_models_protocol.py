@@ -5,11 +5,19 @@ registry and asserts the protocol contract — step/peek semantics,
 snapshot/restore exactness, saturation symmetry, batch/scalar lane
 equivalence — generically.  A new family that registers itself is
 covered with zero new test code.
+
+The batch-lane and fused-sweep equivalence checks run per registered
+array backend and are **tiered**: exact backends (numpy) are held to
+the bitwise contract, JIT backends (numba, present only when
+importable) to their declared ``rtol``.  The same tiering applies to
+whatever backend the environment selects (``REPRO_BACKEND``), so the
+suite passes unchanged on the numba CI leg.
 """
 
 import numpy as np
 import pytest
 
+from repro.backend import get_backend, list_backends
 from repro.core.sweep import waypoint_samples
 from repro.batch.sweep import run_batch_series
 from repro.models import (
@@ -21,6 +29,22 @@ from repro.models import (
 )
 
 FAMILY_NAMES = [family.name for family in list_families()]
+BACKEND_NAMES = [backend.name for backend in list_backends()]
+
+
+def assert_tiered_equal(actual, reference, backend, label: str) -> None:
+    """Bitwise on exact backends, ``rtol``-tiered on JIT backends."""
+    if backend is None or backend.exact:
+        assert np.array_equal(actual, reference, equal_nan=True), label
+        return
+    scale = float(np.nanmax(np.abs(reference))) if np.size(reference) else 0.0
+    assert np.allclose(
+        actual,
+        reference,
+        rtol=backend.rtol,
+        atol=backend.rtol * max(scale, 1.0),
+        equal_nan=True,
+    ), label
 
 
 def drive_samples(family, cycles: int = 1) -> np.ndarray:
@@ -125,17 +149,23 @@ class TestBatchConformance:
         assert batch.n_cores == 3
         assert batch.driver_step_hint() > 0.0
 
-    def test_lanes_bitwise_equal_scalar_models(self, name):
-        """The defining batch property, asserted per family."""
+    def test_lanes_equal_scalar_models(self, name):
+        """The defining batch property, asserted per family — bitwise
+        on exact backends, rtol-tiered when the environment selects a
+        JIT backend (``make_pair`` resolves ``REPRO_BACKEND``)."""
         family = get_family(name)
         batch, scalars = family.make_pair(4)
+        backend = getattr(batch, "backend", None)
         samples = drive_samples(family)
         result = run_batch_series(batch, samples, reset=True)
         for i, scalar in enumerate(scalars):
             scalar.reset()
             b_ref = scalar.apply_field_series(list(samples))
-            assert np.array_equal(result.b[:, i], b_ref, equal_nan=True), (
-                f"{name} lane {i} diverged from its scalar model"
+            assert_tiered_equal(
+                result.b[:, i],
+                b_ref,
+                backend,
+                f"{name} lane {i} diverged from its scalar model",
             )
 
     def test_counters_and_extras_shapes(self, name):
@@ -174,6 +204,102 @@ class TestBatchConformance:
         out = batch.step(family.h_scale / 2.0)
         mask = updated_mask(out, batch.n_cores)
         assert mask.shape == (2,) and mask.dtype == np.bool_
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestBackendSweepConformance:
+    """The fused-sweep and lane contracts, per family x registered
+    backend: bitwise for exact backends, rtol-tiered for JIT backends.
+    A newly registered backend is covered with zero new test code."""
+
+    def test_fused_matches_per_sample_sweep(self, name, backend_name):
+        """run_batch_series via step_series == the per-sample loop."""
+        family = get_family(name)
+        backend = get_backend(backend_name)
+        fused_batch = family.make_batch(4, backend=backend_name)
+        loop_batch = family.make_batch(4, backend=backend_name)
+        samples = drive_samples(family)
+        fused = run_batch_series(fused_batch, samples)
+        # The per-sample loop always steps through the exact numpy
+        # kernel path, so it doubles as the cross-backend reference.
+        loop = run_batch_series(loop_batch, samples, fused=False)
+        for channel in ("m", "b"):
+            assert_tiered_equal(
+                getattr(fused, channel),
+                getattr(loop, channel),
+                backend,
+                f"{name}/{backend_name} fused {channel} diverged",
+            )
+        assert np.array_equal(fused.updated, loop.updated)
+        assert sorted(fused.extras) == sorted(loop.extras)
+        for key in loop.extras:
+            assert_tiered_equal(
+                fused.extras[key],
+                loop.extras[key],
+                backend,
+                f"{name}/{backend_name} fused extras {key!r} diverged",
+            )
+        assert sorted(fused.counters) == sorted(loop.counters)
+        if backend.exact:
+            for key in loop.counters:
+                assert np.array_equal(fused.counters[key], loop.counters[key])
+        else:
+            # Threshold decisions on exactly-representable operands
+            # (discretiser/switching activity) stay exact even on JIT
+            # backends; guard counters may flip at a slope's zero
+            # crossing, so they are only checked for presence above.
+            for key in ("euler_steps", "switch_events", "steps"):
+                if key in loop.counters:
+                    assert np.array_equal(
+                        fused.counters[key], loop.counters[key]
+                    ), key
+
+    def test_fused_lanes_match_scalar_models(self, name, backend_name):
+        """Each fused lane reproduces its scalar model (tiered)."""
+        family = get_family(name)
+        backend = get_backend(backend_name)
+        batch, scalars = family.make_pair(3, backend=backend_name)
+        samples = drive_samples(family)
+        result = run_batch_series(batch, samples, reset=True)
+        for i, scalar in enumerate(scalars):
+            scalar.reset()
+            b_ref = scalar.apply_field_series(list(samples))
+            assert_tiered_equal(
+                result.b[:, i],
+                b_ref,
+                backend,
+                f"{name}/{backend_name} lane {i} diverged from scalar",
+            )
+
+    def test_fused_continuation_matches_loop(self, name, backend_name):
+        """A reset=False continuation advances fused state exactly as
+        per-sample stepping advances it (same backend both sides)."""
+        family = get_family(name)
+        backend = get_backend(backend_name)
+        fused_batch = family.make_batch(3, backend=backend_name)
+        loop_batch = family.make_batch(3, backend=backend_name)
+        samples = drive_samples(family)
+        split = len(samples) // 2
+        run_batch_series(fused_batch, samples[:split])
+        run_batch_series(loop_batch, samples[:split], fused=False)
+        second_fused = run_batch_series(
+            fused_batch, samples[split:], reset=False
+        )
+        second_loop = run_batch_series(
+            loop_batch, samples[split:], reset=False, fused=False
+        )
+        assert_tiered_equal(
+            second_fused.b,
+            second_loop.b,
+            backend,
+            f"{name}/{backend_name} continuation diverged",
+        )
+        if backend.exact:
+            for key in second_loop.counters:
+                assert np.array_equal(
+                    second_fused.counters[key], second_loop.counters[key]
+                ), key
 
 
 class LazyCounterBatch:
