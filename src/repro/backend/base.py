@@ -86,6 +86,23 @@ class ArrayBackend:
     description: str = ""
     fused_series: Mapping[str, Callable] = field(default_factory=dict)
 
+    def fused_driver(self, family: str) -> "Callable | None":
+        """The compiled fused-series driver registered for a family.
+
+        This is the per-family dispatch point of the engines' fused
+        ``step_series`` paths: ``None`` means the backend compiles no
+        driver for the family and the engine runs its vectorised ``xp``
+        loop instead.  (A registered driver may still *decline* a
+        specific configuration at call time by returning ``None``.)
+        """
+        return self.fused_series.get(family)
+
+    @property
+    def fused_families(self) -> tuple[str, ...]:
+        """Names of the families this backend compiles drivers for
+        (sorted; introspection for listings and experiment tables)."""
+        return tuple(sorted(self.fused_series))
+
     def __repr__(self) -> str:  # keep reprs short in specs/payloads
         tier = "bitwise" if self.exact else f"rtol={self.rtol:g}"
         return f"ArrayBackend({self.name!r}, {tier})"

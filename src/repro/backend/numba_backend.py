@@ -1,25 +1,41 @@
 """Optional numba JIT backend (registered only when numba imports).
 
-The backend's value is a **fused series driver** for the timeless
-family: the whole ``(samples, cores)`` recurrence runs as one
-nopython-compiled double loop — no per-sample ufunc dispatch, no
-temporaries — which is exactly the shape the paper's timeless
-discretisation compiles to (a pure per-step map).
+The backend's value is one **fused series driver per registered model
+family**: the whole ``(samples, cores)`` recurrence runs as one
+nopython-compiled loop nest — no per-sample ufunc dispatch, no
+temporaries —
 
-The compiled loop transliterates the *scalar* fast path of
-:func:`repro.core.kernel.step_kernel` (the published SystemC
-processes), so its trajectories match the reference backend to within
-libm-vs-NumPy rounding — 1 ulp per transcendental call.  That makes
-this backend ``exact=False``: the conformance suite holds it to
-``rtol`` instead of the bitwise pin.  Discretiser decisions (and hence
-``euler_steps``) still match the reference exactly, because the
-pending-increment comparison only involves exactly-representable
-subtractions of driver samples.
+* **timeless** — the paper's recurrence as a per-lane double loop, a
+  transliteration of the scalar fast path of
+  :func:`repro.core.kernel.step_kernel` (the published SystemC
+  processes);
+* **preisach** — the ``(cores, nα, nβ)`` masked relay-tensor switching
+  as threshold scans over each lane's flattened relay grid, with the
+  Everett-weighted relay sum recomputed only on samples that actually
+  switched a weighted relay;
+* **time-domain** — the per-lane explicit dM/dH chain with the
+  pathology counters (negative-slope evaluations) and the sticky
+  ``diverged`` freeze of runaway lanes.
 
-Configurations the compiled loop does not cover — any anhysteretic
-curve other than the paper's modified Langevin — are *declined* (the
-driver returns ``None``) and the engine falls back to its vectorised
-``xp`` loop, which on this backend evaluates through NumPy unchanged.
+The compiled loops evaluate through libm (``math.atan``) where the
+reference evaluates through NumPy's SIMD kernels — 1 ulp per
+transcendental call — and the Preisach relay sum reduces sequentially
+where NumPy reduces pairwise.  That makes this backend ``exact=False``:
+the conformance suite holds trajectories to ``rtol`` instead of the
+bitwise pin.  Threshold decisions still match the reference exactly —
+the timeless discretiser comparison (hence ``euler_steps``), Preisach
+relay switching (hence ``updated`` and ``switch_events``) and the
+time-domain ``dh != 0`` activity mask (hence ``steps``) all involve
+only exactly-representable operands.
+
+Configurations a compiled loop does not cover — any anhysteretic curve
+other than the paper's modified Langevin for the JA families — are
+*declined* (the driver returns ``None``) and the engine falls back to
+its vectorised ``xp`` loop, which on this backend evaluates through
+NumPy unchanged.  Every loop body is a plain importable function:
+hosts without numba validate the semantics by interpreting it
+(``tests/test_backend.py``), and the JIT wrapper compiles it once per
+process on first use.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ import numpy as np
 
 from repro.backend.base import ArrayBackend
 from repro.constants import MU0, TWO_OVER_PI
+from repro.errors import ParameterError
 
 
 def build_numba_backend() -> "ArrayBackend | None":
@@ -43,8 +60,12 @@ def build_numba_backend() -> "ArrayBackend | None":
         xp=np,
         exact=False,
         rtol=1e-9,
-        description="numba JIT backend (fused nopython series loop)",
-        fused_series={"timeless": _timeless_fused_series},
+        description="numba JIT backend (fused nopython series loops)",
+        fused_series={
+            "timeless": _timeless_fused_series,
+            "preisach": _preisach_fused_series,
+            "time-domain": _time_domain_fused_series,
+        },
     )
 
 
@@ -242,3 +263,288 @@ def _timeless_fused_series(batch, h_arr: np.ndarray):
     counters.dropped_increments += dropped_n
 
     return m_out, b_out, updated, {"m_an": man_out}
+
+
+def preisach_series_loop(
+    h2d,
+    state,
+    weights,
+    valid,
+    alpha,
+    beta,
+    m_sat,
+    h_cur,
+    m_norm,
+    m_out,
+    b_out,
+    upd,
+    switches,
+):
+    """The fused Preisach switching recurrence as a plain
+    nopython-compilable loop nest over each lane's flattened relay grid
+    — the same masked row/column writes as
+    :meth:`repro.batch.preisach.BatchPreisachModel.step`, relay by
+    relay, Everett weighting included.
+
+    The weighted relay sum is recomputed only on samples that changed a
+    *weighted* relay (zero-weight and sign-of-zero flips cannot move
+    the reference's float sum either), and reduces sequentially where
+    NumPy reduces pairwise — which is why trajectories hold the
+    backend's rtol tier while the switching decisions, the ``updated``
+    mask and ``switch_events`` stay exact: threshold comparisons
+    involve only exactly-representable driver samples and grid values,
+    and any weighted switch moves the exact sum by at least twice the
+    smallest non-zero weight (orders of magnitude above summation
+    rounding).
+
+    Kept importable without numba so the semantics are testable on any
+    host; :func:`_preisach_kernel` wraps it in ``numba.njit`` once per
+    process when the backend is actually used.
+    """
+    n_samples, n_cores = h2d.shape
+    n_alpha = alpha.shape[1]
+    n_beta = beta.shape[1]
+    for i in range(n_samples):
+        for j in range(n_cores):
+            h = h2d[i, j]
+            weighted_switch = False
+            if h > h_cur[j]:
+                for ia in range(n_alpha):
+                    if alpha[j, ia] <= h:
+                        for ib in range(n_beta):
+                            new = 1.0 if valid[j, ia, ib] else 0.0
+                            if (
+                                state[j, ia, ib] != new
+                                and weights[j, ia, ib] != 0.0
+                            ):
+                                weighted_switch = True
+                            state[j, ia, ib] = new
+            elif h < h_cur[j]:
+                for ib in range(n_beta):
+                    if beta[j, ib] >= h:
+                        for ia in range(n_alpha):
+                            new = -1.0 if valid[j, ia, ib] else 0.0
+                            if (
+                                state[j, ia, ib] != new
+                                and weights[j, ia, ib] != 0.0
+                            ):
+                                weighted_switch = True
+                            state[j, ia, ib] = new
+            h_cur[j] = h
+            changed = False
+            if weighted_switch:
+                total = 0.0
+                for ia in range(n_alpha):
+                    for ib in range(n_beta):
+                        total += weights[j, ia, ib] * state[j, ia, ib]
+                changed = total != m_norm[j]
+                m_norm[j] = total
+            if changed:
+                switches[j] += 1
+            upd[i, j] = changed
+            m_phys = m_norm[j] * m_sat[j]
+            m_out[i, j] = m_phys
+            b_out[i, j] = _MU0 * (h + m_phys)
+
+
+def _preisach_kernel():
+    """Compile (once per process) the fused Preisach series loop."""
+    kernel = _KERNEL_CACHE.get("preisach")
+    if kernel is not None:
+        return kernel
+    import numba
+
+    kernel = numba.njit(cache=False)(preisach_series_loop)
+    _KERNEL_CACHE["preisach"] = kernel
+    return kernel
+
+
+def _preisach_fused_series(batch, h_arr: np.ndarray):
+    """Fused series driver for
+    :class:`repro.batch.preisach.BatchPreisachModel`.
+
+    ``h_arr`` arrives validated (1-D or ``(samples, cores)`` float).
+    Returns ``(m, b, updated, extras)`` with relay state and counters
+    advanced exactly as per-sample stepping would have advanced them
+    (switching and ``switch_events`` exact, trajectories within the
+    backend's rtol tier).
+    """
+    from repro.batch.lanes import as_lane_matrix
+
+    if not np.isfinite(h_arr).all():
+        raise ParameterError(f"h must be finite, got {h_arr!r}")
+    n = batch.n_cores
+    n_samples = len(h_arr)
+    h2d = np.ascontiguousarray(as_lane_matrix(h_arr, n))
+
+    h_cur = batch.h.copy()
+    m_norm = batch.m_normalised  # fresh pairwise-summed reference seed
+    switches = np.zeros(n, dtype=np.int64)
+    m_out = np.empty((n_samples, n))
+    b_out = np.empty((n_samples, n))
+    updated = np.zeros((n_samples, n), dtype=np.bool_)
+
+    _preisach_kernel()(
+        h2d,
+        batch.relay_state(),
+        batch.weights,
+        batch.relay_validity(),
+        batch.alpha_thresholds,
+        batch.beta_thresholds,
+        batch.m_sat,
+        h_cur,
+        m_norm,
+        m_out,
+        b_out,
+        updated,
+        switches,
+    )
+
+    batch.commit_fused_series(h_cur, switches)
+    return m_out, b_out, updated, {}
+
+
+def time_domain_series_loop(
+    h2d,
+    am,
+    one_c,
+    rev_coeff,
+    k_arr,
+    shape,
+    clamp_negative,
+    limit,
+    m_sat,
+    h_cur,
+    m,
+    diverged,
+    m_out,
+    b_out,
+    upd,
+    steps,
+    negatives,
+):
+    """The fused classic dM/dH chain as a plain nopython-compilable
+    double loop — a transliteration of the scalar sample-driven path of
+    :meth:`repro.baselines.time_domain.TimeDomainJAModel.apply_field`
+    (forward Euler in H, slope evaluated at the *previous* field), with
+    the per-lane pathology counters and the sticky ``diverged`` freeze.
+
+    Kept importable without numba so the semantics are testable on any
+    host; :func:`_time_domain_kernel` wraps it in ``numba.njit`` once
+    per process when the backend is actually used.
+    """
+    n_samples, n_cores = h2d.shape
+    for i in range(n_samples):
+        for j in range(n_cores):
+            h = h2d[i, j]
+            dh = h - h_cur[j]
+            if dh != 0.0 and not diverged[j]:
+                delta = 1.0 if dh >= 0.0 else -1.0
+                h_eff = h_cur[j] + am[j] * m[j]
+                x = h_eff / shape[j]
+                m_an = _TWO_OVER_PI * math.atan(x)
+                delta_m = m_an - m[j]
+                denominator = one_c[j] * (delta * k_arr[j] - am[j] * delta_m)
+                if denominator == 0.0:
+                    if delta_m > 0.0:
+                        slope = math.inf
+                    elif delta_m < 0.0:
+                        slope = -math.inf
+                    else:
+                        slope = 0.0
+                else:
+                    slope = delta_m / denominator
+                if slope < 0.0:
+                    negatives[j] += 1
+                    if clamp_negative[j]:
+                        slope = 0.0
+                slope = slope + rev_coeff[j] * (
+                    _TWO_OVER_PI / (1.0 + x * x) / shape[j]
+                )
+                m[j] = m[j] + slope * dh
+                steps[j] += 1
+                if (
+                    math.isnan(m[j])
+                    or math.isinf(m[j])
+                    or abs(m[j]) > limit[j]
+                ):
+                    diverged[j] = True
+                upd[i, j] = True
+            h_cur[j] = h
+            m_phys = m[j] * m_sat[j]
+            m_out[i, j] = m_phys
+            b_out[i, j] = _MU0 * (h + m_phys)
+
+
+def _time_domain_kernel():
+    """Compile (once per process) the fused time-domain series loop."""
+    kernel = _KERNEL_CACHE.get("time-domain")
+    if kernel is not None:
+        return kernel
+    import numba
+
+    kernel = numba.njit(cache=False)(time_domain_series_loop)
+    _KERNEL_CACHE["time-domain"] = kernel
+    return kernel
+
+
+def _time_domain_fused_series(batch, h_arr: np.ndarray):
+    """Fused series driver for
+    :class:`repro.batch.time_domain.BatchTimeDomainModel`.
+
+    ``h_arr`` arrives validated (1-D or ``(samples, cores)`` float).
+    Returns ``(m, b, updated, extras)`` with state and counters
+    advanced exactly as per-sample stepping would have advanced them
+    (the ``dh != 0`` activity mask and ``steps`` exact, trajectories
+    within the backend's rtol tier), or ``None`` to decline a
+    configuration the compiled loop does not cover.
+    """
+    from repro.batch.lanes import as_lane_matrix
+    from repro.ja.anhysteretic import ModifiedLangevinAnhysteretic
+
+    curve = batch.anhysteretic
+    if type(curve) is not ModifiedLangevinAnhysteretic:
+        return None
+
+    n = batch.n_cores
+    n_samples = len(h_arr)
+    h2d = np.ascontiguousarray(as_lane_matrix(h_arr, n))
+
+    params = batch.params
+    am = params.alpha * params.m_sat
+    one_c = 1.0 + params.c
+    rev_coeff = params.c / one_c
+    shape = _lane_array(curve.shape, n, float)
+    clamp_negative = _lane_array(batch.guards.clamp_negative, n, bool)
+
+    h_cur = batch.h.copy()
+    m = batch.m_normalised
+    diverged = batch.diverged.copy()
+    m_out = np.empty((n_samples, n))
+    b_out = np.empty((n_samples, n))
+    updated = np.zeros((n_samples, n), dtype=np.bool_)
+    steps = np.zeros(n, dtype=np.int64)
+    negatives = np.zeros(n, dtype=np.int64)
+
+    _time_domain_kernel()(
+        h2d,
+        am,
+        one_c,
+        rev_coeff,
+        params.k,
+        shape,
+        clamp_negative,
+        batch.divergence_limit,
+        params.m_sat,
+        h_cur,
+        m,
+        diverged,
+        m_out,
+        b_out,
+        updated,
+        steps,
+        negatives,
+    )
+
+    batch.commit_fused_series(h_cur, m, diverged, steps, negatives)
+    return m_out, b_out, updated, {}

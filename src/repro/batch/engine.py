@@ -484,7 +484,7 @@ class BatchTimelessModel:
         JIT loop instead, holding the backend's ``rtol`` tier.
         """
         h_arr = check_series(h_samples, self.n_cores)
-        driver = self.backend.fused_series.get(self.family)
+        driver = self.backend.fused_driver(self.family)
         if driver is not None:
             out = driver(self, h_arr)
             if out is not None:

@@ -317,12 +317,42 @@ class BatchPreisachModel:
         each lane's own contiguous grid in the same pairwise order).
         """
         h_arr = check_series(h_samples, self.n_cores)
-        driver = self.backend.fused_series.get(self.family)
+        driver = self.backend.fused_driver(self.family)
         if driver is not None:
             out = driver(self, h_arr)
             if out is not None:
                 return out
         return self._step_series_vectorised(h_arr)
+
+    # -- compiled fused-driver state access --------------------------------
+
+    def relay_state(self) -> np.ndarray:
+        """The live ``(cores, n_alpha, n_beta)`` relay tensor, advanced
+        in place by compiled fused drivers (exactly as the per-sample
+        masked writes advance it)."""
+        return self._state
+
+    def relay_validity(self) -> np.ndarray:
+        """The ``alpha >= beta`` half-plane mask of the relay tensor."""
+        return self._valid
+
+    def commit_fused_series(
+        self,
+        h_last: np.ndarray,
+        switches: np.ndarray,
+    ) -> None:
+        """Reassemble engine state after a compiled fused driver ran:
+        adopt the final applied fields and accumulate the per-lane
+        switch events (the relay tensor itself was advanced in place
+        via :meth:`relay_state`).  The weighted-sum cache is dropped —
+        not seeded with the driver's own (sequentially reduced) sum —
+        so the next per-sample probe recomputes NumPy's pairwise sum
+        from the exactly-advanced relay tensor; caching the sequential
+        value would make a no-op follow-up ``step`` report phantom
+        ``updated`` lanes from 1-ulp summation-order noise."""
+        self._h = h_last
+        self._m_cache = None
+        self._switch_events += switches
 
     def _step_series_vectorised(
         self, h_arr: np.ndarray

@@ -282,12 +282,31 @@ class BatchTimeDomainModel:
         exactly as per-sample :meth:`step` calls would have left them
         (bitwise on the exact NumPy backend)."""
         h_arr = check_series(h_samples, self.n_cores)
-        driver = self.backend.fused_series.get(self.family)
+        driver = self.backend.fused_driver(self.family)
         if driver is not None:
             out = driver(self, h_arr)
             if out is not None:
                 return out
         return self._step_series_vectorised(h_arr)
+
+    def commit_fused_series(
+        self,
+        h_last: np.ndarray,
+        m: np.ndarray,
+        diverged: np.ndarray,
+        steps: np.ndarray,
+        negatives: np.ndarray,
+    ) -> None:
+        """Reassemble engine state after a compiled fused driver ran:
+        adopt the final fields, magnetisations and divergence flags and
+        accumulate the per-lane pathology counters — exactly the commit
+        the vectorised fused loop performs."""
+        self._h = h_last
+        self._m = m
+        self.diverged = diverged
+        self.steps += steps
+        self.slope_evaluations += steps
+        self.negative_slope_evaluations += negatives
 
     def _step_series_vectorised(
         self, h_arr: np.ndarray

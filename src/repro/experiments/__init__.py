@@ -26,6 +26,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     equivalence,
     fig1,
     flux_driven,
+    fused_sharded,
     minor_loops,
     parallel_ensemble,
     parameter_fit,

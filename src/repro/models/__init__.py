@@ -22,6 +22,7 @@ from repro.models.registry import (
     list_families,
     perturbed_parameters,
     register_family,
+    unregister_family,
 )
 
 __all__ = [
@@ -33,5 +34,6 @@ __all__ = [
     "list_families",
     "perturbed_parameters",
     "register_family",
+    "unregister_family",
     "updated_mask",
 ]

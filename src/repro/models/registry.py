@@ -47,9 +47,13 @@ class ModelFamily:
         A drive amplitude [A/m] that exercises the family's full loop
         (used by generic tests and scenario defaults).
     extras_channels:
-        Names of the per-sample channels the family's batch model
-        records (``probe_extras`` keys) — the output schema the sharded
+        The per-sample channels the family's batch model records
+        (``probe_extras`` keys) — the output schema the sharded
         executor (:mod:`repro.parallel`) allocates shared buffers from.
+        Each entry is either a bare channel name (``float64``, the
+        overwhelmingly common case) or a ``(name, dtype)`` pair for
+        families recording integer/boolean channels;
+        :meth:`extras_schema` resolves the normalised mapping.
     counter_channels:
         Names of the per-core counter totals (``counter_totals`` keys),
         ``int64`` each.  Documentation/introspection only: the sharded
@@ -67,9 +71,25 @@ class ModelFamily:
     make_models: Callable[[int, int], list]
     stack: Callable[[Sequence], object]
     h_scale: float = 10e3
-    extras_channels: tuple[str, ...] = ()
+    extras_channels: "tuple[str | tuple[str, str], ...]" = ()
     counter_channels: tuple[str, ...] = ()
     batch_from_payload: Callable[[dict], object] | None = None
+
+    def extras_schema(self) -> "dict[str, np.dtype]":
+        """The extras channels as ``{name: dtype}`` — bare names resolve
+        to ``float64``, ``(name, dtype)`` entries to their declared
+        dtype.  This is the allocation schema of the sharded executor's
+        shared output buffers; a wrong declared dtype would silently
+        coerce what the in-process executor records from the probed
+        arrays, so families with non-float extras must declare them."""
+        schema: dict[str, np.dtype] = {}
+        for entry in self.extras_channels:
+            if isinstance(entry, str):
+                schema[entry] = np.dtype(np.float64)
+            else:
+                name, dtype = entry
+                schema[name] = np.dtype(dtype)
+        return schema
 
     def make_scalar(self, seed: int = 0):
         """One scalar model of this family."""
@@ -111,6 +131,21 @@ def register_family(family: ModelFamily) -> ModelFamily:
         raise ParameterError(f"duplicate model family {family.name!r}")
     _FAMILIES[family.name] = family
     return family
+
+
+def unregister_family(name: str) -> ModelFamily:
+    """Remove a registered family (tests and plug-in teardown).
+
+    The built-in families are permanent: code all over the repo names
+    them, so removing one would only manufacture confusing failures.
+    """
+    if name in ("timeless", "preisach", "time-domain"):
+        raise ParameterError(f"cannot unregister built-in family {name!r}")
+    try:
+        return _FAMILIES.pop(name)
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ParameterError(f"unknown model family {name!r}; known: {known}")
 
 
 def get_family(name: str) -> ModelFamily:

@@ -126,13 +126,14 @@ class _CellJob:
         n_total: int,
         h_full: np.ndarray,
         specs: list[ShardSpec],
-        extras_keys: tuple[str, ...],
+        extras_schema: "dict[str, np.dtype]",
     ) -> None:
         self.family = family
         self.n_total = n_total
         self.h_full = h_full
         self.specs = specs
-        self.extras_keys = extras_keys
+        self.extras_schema = extras_schema
+        self.extras_keys = tuple(sorted(extras_schema))
         self.layout: _OutputLayout | None = None
         self._shm: dict[str, shared_memory.SharedMemory] = {}
 
@@ -147,11 +148,18 @@ class _CellJob:
     def allocate(self) -> None:
         samples = len(self.h_full)
         wide = (samples, self.n_total)
+        # Extras blocks allocate from each channel's schema dtype (probed
+        # from the live batch, or declared by the family registry record):
+        # a hard-coded float64 block would silently coerce the integer and
+        # boolean channels the in-process executor preserves.
         self.layout = _OutputLayout(
             m=self._alloc(wide, np.float64),
             b=self._alloc(wide, np.float64),
             updated=self._alloc(wide, np.bool_),
-            extras={k: self._alloc(wide, np.float64) for k in self.extras_keys},
+            extras={
+                key: self._alloc(wide, dtype)
+                for key, dtype in self.extras_schema.items()
+            },
         )
 
     def assemble(self, metas) -> BatchSweepResult:
@@ -216,14 +224,20 @@ def merge_shard_counters(
     }
 
 
-def _extras_schema(source) -> tuple[str, ...]:
-    """Extras channel names: probed from a live batch, else from the
-    family registry record.  Extras are structural state channels
-    (stable over a run), so the pre-run schema is authoritative —
-    unlike counters, which travel back per shard instead."""
+def _extras_schema(source) -> "dict[str, np.dtype]":
+    """Extras channel schema ``{name: dtype}``: probed from a live
+    batch, else declared by the family registry record.  Extras are
+    structural state channels (stable over a run), so the pre-run
+    schema is authoritative — unlike counters, which travel back per
+    shard instead — and it carries each channel's dtype so the shared
+    output buffers preserve integer/boolean channels exactly as the
+    in-process executor does."""
     if is_batch_model(source):
-        return tuple(sorted(source.probe_extras()))
-    return tuple(get_family(source.family).extras_channels)
+        return {
+            key: np.asarray(value).dtype
+            for key, value in source.probe_extras().items()
+        }
+    return get_family(source.family).extras_schema()
 
 
 def prepare_job(
@@ -333,18 +347,38 @@ def _run_spec(spec: ShardSpec) -> BatchSweepResult:
     return run_batch_series(spec.build_batch(), spec.build_samples())
 
 
+def _recorded_extras_schema(extras: "dict[str, np.ndarray]") -> tuple:
+    """A shard's recorded extras as sorted ``(name, dtype-str)`` pairs —
+    the shape both executor paths compare against the pre-run schema."""
+    return tuple(sorted((key, value.dtype.str) for key, value in extras.items()))
+
+
+def _check_extras_schema(job: _CellJob, start: int, stop: int, recorded) -> None:
+    """Key *and* dtype drift between the planned schema and what a shard
+    actually recorded is an error, not a silently coerced buffer."""
+    expected = tuple(
+        sorted(
+            (key, np.dtype(dtype).str)
+            for key, dtype in job.extras_schema.items()
+        )
+    )
+    if tuple(recorded) != expected:
+        raise ParameterError(
+            f"shard [{start}, {stop}) of family {job.family!r} recorded "
+            f"extras {list(recorded)}, expected {list(expected)}; the "
+            "schema (registry declaration or pre-run probe) is stale"
+        )
+
+
 def run_job_serial(job: _CellJob) -> BatchSweepResult:
     """The n_workers=1 fallback: same shard specs, no processes, no
     shared memory — plain column concatenation."""
     parts = [_run_spec(spec) for spec in job.specs]
     for spec, part in zip(job.specs, parts):
         # The same schema check the pooled path applies in _worker.
-        if set(part.extras) != set(job.extras_keys):
-            raise ParameterError(
-                f"shard [{spec.start}, {spec.stop}) of family "
-                f"{job.family!r} recorded extras {sorted(part.extras)}, "
-                f"expected {job.extras_keys}"
-            )
+        _check_extras_schema(
+            job, spec.start, spec.stop, _recorded_extras_schema(part.extras)
+        )
     return BatchSweepResult(
         h=job.h_full,
         m=np.concatenate([p.m for p in parts], axis=1),
@@ -383,27 +417,31 @@ def _worker(task: tuple[ShardSpec, _OutputLayout]):
                     f"channel (got {sorted(result.extras)}); the registry "
                     "schema is stale"
                 )
-            write(block, result.extras[key])
+            values = result.extras[key]
+            if values.dtype.str != block.dtype:
+                raise ParameterError(
+                    f"family {spec.family!r} recorded {key!r} extras as "
+                    f"{values.dtype}, but the shared buffer was allocated "
+                    f"as {np.dtype(block.dtype)}; the schema (registry "
+                    "declaration or pre-run probe) is stale"
+                )
+            write(block, values)
     finally:
         for shm in attached:
             shm.close()
     return (
         spec.start,
         spec.stop,
-        tuple(sorted(result.extras)),
+        _recorded_extras_schema(result.extras),
         result.counters,
     )
 
 
 def _check_meta(job: _CellJob, metas) -> None:
-    """Workers report which extras they recorded; any schema drift is
-    an error, not a silently half-written buffer."""
-    for start, stop, extras_keys, _ in metas:
-        if set(extras_keys) != set(job.extras_keys):
-            raise ParameterError(
-                f"shard [{start}, {stop}) of family {job.family!r} recorded "
-                f"extras {extras_keys}, expected {job.extras_keys}"
-            )
+    """Workers report which extras (names and dtypes) they recorded;
+    any schema drift is an error, not a silently half-written buffer."""
+    for start, stop, recorded, _ in metas:
+        _check_extras_schema(job, start, stop, recorded)
 
 
 def execute_jobs_pooled(pool, jobs: "list[_CellJob]") -> list[BatchSweepResult]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Sequence
 
+from repro.backend import resolve_backend
 from repro.batch.sweep import BatchSweepResult
 from repro.errors import ParameterError
 from repro.parallel.executor import (
@@ -48,6 +49,7 @@ def _plan_cells(
     n_cores: int,
     seed: int,
     driver_step: float | None,
+    backend_name: str,
 ) -> list[tuple[tuple[str, str, float], object, DriveSpec]]:
     """Lightweight ``(key, source, drive)`` descriptor per grid cell.
 
@@ -57,10 +59,17 @@ def _plan_cells(
     family's shard source directly, so neither the parent nor the
     workers construct it again.  The heavyweight per-cell work — full
     sample matrices, shared buffers — happens lazily, chunk by chunk.
+
+    Every cell's spec is stamped with ``backend_name`` — the backend
+    :func:`run_scenario_grid` resolved once at entry — so cells
+    prepared later in the campaign cannot re-read a changed
+    ``REPRO_BACKEND`` environment and split one grid across backends.
     """
     cells = []
     for family in families:
-        spec = EnsembleSpec(family=family, n_cores=n_cores, seed=seed)
+        spec = EnsembleSpec(
+            family=family, n_cores=n_cores, seed=seed, backend=backend_name
+        )
         source: object = spec
         step = driver_step
         if step is None:
@@ -85,6 +94,7 @@ def run_scenario_grid(
     *,
     seed: int = 0,
     driver_step: float | None = None,
+    backend: str | None = None,
     n_workers: int | None = None,
     min_shard: int = 1,
     chunk_cells: int = 8,
@@ -95,10 +105,15 @@ def run_scenario_grid(
     Parameters mirror :func:`repro.parallel.executor.run_sharded`;
     ``driver_step=None`` resolves one hint per family from its full
     registry ensemble (which is then sharded directly rather than
-    rebuilt).  ``chunk_cells`` bounds how many cells hold live sample
-    matrices and shared-memory buffers at once — large grids stream
-    through the pool chunk by chunk instead of materialising every
-    cell up front.
+    rebuilt).  ``backend`` selects the array backend for every cell
+    (``None``: the ``REPRO_BACKEND`` environment default) — resolved
+    **once here at grid entry** and stamped into every cell's
+    :class:`~repro.parallel.spec.EnsembleSpec`, so a mid-campaign
+    environment change cannot split one grid across backends (cells
+    are prepared lazily, chunk by chunk, long after this call starts).
+    ``chunk_cells`` bounds how many cells hold live sample matrices
+    and shared-memory buffers at once — large grids stream through the
+    pool chunk by chunk instead of materialising every cell up front.
 
     Returns one :class:`GridCell` per combination, in
     ``families × scenarios × h_max_values`` order.
@@ -110,8 +125,10 @@ def run_scenario_grid(
     if chunk_cells < 1:
         raise ParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
     workers = resolve_workers(n_workers)
+    backend_name = resolve_backend(backend).name
     planned = _plan_cells(
-        families, scenarios, h_max_values, n_cores, seed, driver_step
+        families, scenarios, h_max_values, n_cores, seed, driver_step,
+        backend_name,
     )
 
     cells: list[GridCell] = []

@@ -205,6 +205,30 @@ class FixedDtypeExtrasBatch:
         self._h, self._count = snap[0].copy(), snap[1].copy()
 
 
+def test_family_extras_schema_resolves_dtypes():
+    """Registry extras entries: bare names mean float64, (name, dtype)
+    pairs declare the integer/boolean channels the sharded executor
+    must allocate shared buffers for."""
+    from repro.models.registry import ModelFamily
+
+    family = ModelFamily(
+        name="schema-test",
+        description="schema resolution test",
+        make_models=lambda n, seed: [],
+        stack=lambda models: None,
+        extras_channels=("plain", ("event_count", "<i4"), ("armed", "|b1")),
+    )
+    schema = family.extras_schema()
+    assert schema == {
+        "plain": np.dtype(np.float64),
+        "event_count": np.dtype(np.int32),
+        "armed": np.dtype(np.bool_),
+    }
+    assert get_family("timeless").extras_schema() == {
+        "m_an": np.dtype(np.float64)
+    }
+
+
 def test_executor_preserves_extras_dtypes():
     """The extras preallocation satellite: integer and boolean channels
     survive the round trip instead of being coerced to float64."""
@@ -224,9 +248,9 @@ def test_executor_preserves_extras_dtypes():
 
 
 class TestNumbaDriverSemantics:
-    """The numba driver's loop body is a plain importable function that
-    numba compiles lazily — so its semantics are validated here by
-    interpreting it, on hosts with or without numba installed."""
+    """Every numba driver's loop body is a plain importable function
+    that numba compiles lazily — so the semantics are validated here by
+    interpreting them, on hosts with or without numba installed."""
 
     def _interpreted(self, monkeypatch):
         from repro.backend import numba_backend
@@ -235,6 +259,16 @@ class TestNumbaDriverSemantics:
             numba_backend._KERNEL_CACHE,
             "timeless",
             numba_backend.timeless_series_loop,
+        )
+        monkeypatch.setitem(
+            numba_backend._KERNEL_CACHE,
+            "preisach",
+            numba_backend.preisach_series_loop,
+        )
+        monkeypatch.setitem(
+            numba_backend._KERNEL_CACHE,
+            "time-domain",
+            numba_backend.time_domain_series_loop,
         )
         return numba_backend
 
@@ -285,6 +319,137 @@ class TestNumbaDriverSemantics:
         fused = run_batch_series(batch, h)
         loop = run_batch_series(reference, h, fused=False)
         assert np.array_equal(fused.b, loop.b)
+
+    def test_preisach_loop_matches_reference(self, monkeypatch):
+        """Relay switching, the ``updated`` mask and ``switch_events``
+        are exact across backends (threshold comparisons on
+        exactly-representable operands); trajectories differ only by
+        the sequential-vs-pairwise relay sum, far inside the JIT tier."""
+        numba_backend = self._interpreted(monkeypatch)
+        family = get_family("preisach")
+        fused_batch = family.make_batch(3, seed=5)
+        loop_batch = family.make_batch(3, seed=5)
+        h = drive(2.0)  # 20 kA/m: the preisach drive amplitude
+        fused_batch.begin_series(h[0])
+        out = numba_backend._preisach_fused_series(fused_batch, h)
+        assert out is not None
+        m, b, updated, extras = out
+        assert extras == {}
+        reference = run_batch_series(loop_batch, h, fused=False)
+        assert np.array_equal(updated, reference.updated)
+        assert np.array_equal(
+            fused_batch.counter_totals()["switch_events"],
+            reference.counters["switch_events"],
+        )
+        rtol = 1e-9
+        for actual, expected in ((m, reference.m), (b, reference.b)):
+            scale = float(np.max(np.abs(expected)))
+            assert np.allclose(actual, expected, rtol=rtol, atol=rtol * scale)
+        # the applied-field state advanced exactly (driver commit)
+        assert np.array_equal(fused_batch.h, loop_batch.h)
+
+    def test_preisach_driver_rejects_non_finite(self, monkeypatch):
+        numba_backend = self._interpreted(monkeypatch)
+        batch = get_family("preisach").make_batch(2)
+        batch.begin_series(0.0)
+        with pytest.raises(ParameterError, match="finite"):
+            numba_backend._preisach_fused_series(
+                batch, np.array([0.0, np.inf])
+            )
+
+    def test_time_domain_loop_matches_reference(self, monkeypatch):
+        """The dM/dH chain: the ``dh != 0`` activity mask and ``steps``
+        are exact, pathology counters agree, trajectories hold the JIT
+        tier (here: bitwise up to libm-vs-NumPy transcendentals)."""
+        numba_backend = self._interpreted(monkeypatch)
+        family = get_family("time-domain")
+        fused_batch = family.make_batch(3, seed=5)
+        loop_batch = family.make_batch(3, seed=5)
+        h = drive()
+        fused_batch.begin_series(h[0])
+        out = numba_backend._time_domain_fused_series(fused_batch, h)
+        assert out is not None
+        m, b, updated, extras = out
+        assert extras == {}
+        reference = run_batch_series(loop_batch, h, fused=False)
+        assert np.array_equal(updated, reference.updated)
+        totals = fused_batch.counter_totals()
+        for key in ("steps", "slope_evaluations"):
+            assert np.array_equal(totals[key], reference.counters[key]), key
+        assert np.array_equal(
+            totals["negative_slope_evaluations"],
+            reference.counters["negative_slope_evaluations"],
+        )
+        rtol = 1e-9
+        for actual, expected in ((m, reference.m), (b, reference.b)):
+            scale = float(np.max(np.abs(expected)))
+            assert np.allclose(actual, expected, rtol=rtol, atol=rtol * scale)
+
+    def test_time_domain_loop_freezes_diverged_lanes(self, monkeypatch):
+        """Runaway lanes freeze stickily at their per-lane limit — the
+        compiled chain reproduces the reference's pathology accounting,
+        not just its healthy trajectories."""
+        from repro.core.slope import SlopeGuards
+
+        numba_backend = self._interpreted(monkeypatch)
+        params = perturbed_parameters(4, seed=3)
+        limits = np.array([0.4, 0.5, 100.0, 0.6])
+        fused_batch = BatchTimeDomainModel(
+            params, guards=SlopeGuards.none(), divergence_limit=limits
+        )
+        loop_batch = BatchTimeDomainModel(
+            params, guards=SlopeGuards.none(), divergence_limit=limits
+        )
+        h = waypoint_samples([0.0, 20e3, -20e3, 20e3], 500.0)
+        fused_batch.begin_series(h[0])
+        m, b, updated, _ = numba_backend._time_domain_fused_series(
+            fused_batch, h
+        )
+        reference = run_batch_series(loop_batch, h, fused=False)
+        assert fused_batch.diverged.any()  # the scenario actually bites
+        assert np.array_equal(fused_batch.diverged, loop_batch.diverged)
+        assert np.array_equal(updated, reference.updated)
+        assert np.array_equal(
+            fused_batch.counter_totals()["steps"], reference.counters["steps"]
+        )
+
+    def test_time_domain_driver_declines_non_modified_langevin(
+        self, monkeypatch
+    ):
+        from repro.ja.anhysteretic import LangevinAnhysteretic
+
+        numba_backend = self._interpreted(monkeypatch)
+        batch = BatchTimeDomainModel(
+            perturbed_parameters(2, seed=1),
+            anhysteretic=LangevinAnhysteretic(np.array([900.0, 1100.0])),
+        )
+        batch.begin_series(0.0)
+        assert numba_backend._time_domain_fused_series(batch, drive()) is None
+
+    def test_backend_registers_drivers_for_all_families(self):
+        """The numba backend (when importable) compiles a driver for
+        every built-in family; the lookup API resolves them by name."""
+        from repro.backend import numba_backend
+
+        backend = numba_backend.build_numba_backend()
+        if backend is None:
+            backend = ArrayBackend(
+                name="stub",
+                xp=np,
+                exact=False,
+                rtol=1e-9,
+                fused_series={
+                    "timeless": numba_backend._timeless_fused_series,
+                    "preisach": numba_backend._preisach_fused_series,
+                    "time-domain": numba_backend._time_domain_fused_series,
+                },
+            )
+        assert backend.fused_families == ("preisach", "time-domain", "timeless")
+        for name in ("timeless", "preisach", "time-domain"):
+            assert callable(backend.fused_driver(name)), name
+        assert backend.fused_driver("no-such-family") is None
+        # the exact reference backend compiles no drivers at all
+        assert NUMPY_BACKEND.fused_families == ()
 
 
 def test_runner_records_backend_header(tmp_path):

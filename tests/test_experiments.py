@@ -217,3 +217,21 @@ class TestBatchFamiliesCheap:
         for family in ("preisach", "time-domain"):
             row = result.data[family]
             assert row["equal_lanes"] == row["n_cores"], family
+
+
+class TestFusedShardedCheap:
+    def test_composition_rows_hold_their_tier(self):
+        result = run_experiment(
+            "EXP-B5", n_cores=6, driver_step=800.0, n_workers=2
+        )
+        rows = result.data["rows"]
+        # one single + one sharded row per family per registered backend
+        assert len(rows) == 3 * 2 * len(result.data["backends"])
+        for row in rows:
+            if row["equal_lanes"] is not None:  # exact-tier rows
+                assert row["equal_lanes"] == 6, row
+            else:
+                assert "within rtol" in row["equivalence"], row
+        assert result.data["workers"] >= 1
+        families = {row["family"] for row in rows}
+        assert families == {"timeless", "preisach", "time-domain"}

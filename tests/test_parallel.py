@@ -9,11 +9,13 @@ approximately: sharding is a transport optimisation, never a numerics
 change.
 """
 
+import multiprocessing
 import pickle
 
 import numpy as np
 import pytest
 
+from repro.backend import BACKEND_ENV, get_backend, list_backends
 from repro.batch.sweep import run_batch_series
 from repro.errors import ParameterError, ScenarioError
 from repro.models.registry import get_family, list_families
@@ -30,6 +32,7 @@ from repro.parallel import (
 from repro.scenarios import scenario_samples
 
 FAMILY_NAMES = [family.name for family in list_families()]
+BACKEND_NAMES = [backend.name for backend in list_backends()]
 
 #: The deliberately awkward geometry of the equivalence suite: 7 lanes
 #: over 3 workers -> shards of 3 + 2 + 2.
@@ -304,6 +307,80 @@ class TestShardEquivalence:
         assert_results_bitwise_equal(reference, sharded)
 
 
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("name", FAMILY_NAMES)
+class TestFusedShardedEquivalence:
+    """Fused × sharded composition, per family × registered backend:
+    shards run the fused ``step_series`` path internally (compiled
+    drivers included, when the backend registers one for the family),
+    and the reassembly is pinned against the single-process
+    ``run_batch_series(fused=True)`` — bitwise on exact backends,
+    rtol-tiered on JIT backends.  A newly registered backend is covered
+    with zero new test code."""
+
+    def _assert_composed_equal(self, reference, sharded, backend) -> None:
+        if backend.exact:
+            assert_results_bitwise_equal(reference, sharded)
+            return
+        # Per-sample trajectories hold the backend tier; structure
+        # (channel sets, updated masks, threshold-decision counters)
+        # stays exact — the same split the conformance suite applies.
+        assert np.array_equal(reference.h, sharded.h)
+        assert np.array_equal(reference.updated, sharded.updated)
+        assert sorted(reference.extras) == sorted(sharded.extras)
+        assert sorted(reference.counters) == sorted(sharded.counters)
+        for key in ("euler_steps", "switch_events", "steps"):
+            if key in reference.counters:
+                assert np.array_equal(
+                    reference.counters[key], sharded.counters[key]
+                ), key
+        for actual, expected in ((sharded.m, reference.m), (sharded.b, reference.b)):
+            scale = float(np.nanmax(np.abs(expected)))
+            assert np.allclose(
+                actual,
+                expected,
+                rtol=backend.rtol,
+                atol=backend.rtol * max(scale, 1.0),
+                equal_nan=True,
+            )
+
+    def test_sharded_matches_single_process_fused(self, name, backend_name):
+        """N = 7 lanes over 3 pool workers (uneven 3+2+2 split), both
+        sides on the same backend and both on the fused path."""
+        family = get_family(name)
+        backend = get_backend(backend_name)
+        batch = family.make_batch(N_CORES, seed=0, backend=backend_name)
+        h = scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+        reference = run_batch_series(
+            family.make_batch(N_CORES, seed=0, backend=backend_name),
+            h,
+            fused=True,
+        )
+        sharded = run_sharded(batch, h, n_workers=N_WORKERS)
+        self._assert_composed_equal(reference, sharded, backend)
+
+    def test_serial_fallback_matches_single_process_fused(
+        self, name, backend_name
+    ):
+        """The n_workers=1 serial path composes with the fused drivers
+        identically (same shard specs, no processes)."""
+        family = get_family(name)
+        backend = get_backend(backend_name)
+        batch = family.make_batch(N_CORES, seed=0, backend=backend_name)
+        h = scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+        reference = run_batch_series(
+            family.make_batch(N_CORES, seed=0, backend=backend_name),
+            h,
+            fused=True,
+        )
+        sharded = run_sharded(batch, h, n_workers=1)
+        self._assert_composed_equal(reference, sharded, backend)
+
+
 class TestRunShardedValidation:
     def test_needs_exactly_one_drive(self):
         batch = get_family("timeless").make_batch(2)
@@ -386,3 +463,197 @@ class TestScenarioGrid:
     def test_empty_axes_rejected(self):
         with pytest.raises(ParameterError):
             run_scenario_grid([], ["major-loop"], [1e3], n_cores=2)
+
+    def test_backend_resolved_once_at_grid_entry(self, monkeypatch):
+        """The grid pins the backend before planning any cell: flipping
+        ``REPRO_BACKEND`` mid-campaign (here: before every cell's
+        ``prepare_job``) must not re-resolve per cell — with per-cell
+        resolution the unregistered name would raise, and a registered
+        one would silently split the grid across backends."""
+        import repro.parallel.grid as grid_mod
+
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        real_prepare = grid_mod.prepare_job
+        pinned_backends = []
+
+        def flipping_prepare(source, *args, **kwargs):
+            monkeypatch.setenv(BACKEND_ENV, "definitely-not-registered")
+            pinned_backends.append(source.backend)
+            return real_prepare(source, *args, **kwargs)
+
+        monkeypatch.setattr(grid_mod, "prepare_job", flipping_prepare)
+        cells = run_scenario_grid(
+            ["timeless"],
+            ["major-loop"],
+            [2e3, 5e3],
+            n_cores=2,
+            driver_step=250.0,
+            n_workers=1,
+        )
+        assert len(cells) == 2
+        assert pinned_backends == ["numpy", "numpy"]
+
+    def test_explicit_backend_argument_stamps_cells(self):
+        """run_scenario_grid(backend=...) reaches every cell's spec."""
+        import repro.parallel.grid as grid_mod
+
+        cells = grid_mod._plan_cells(
+            ["timeless"], ["major-loop"], [1e3], 2, 0, 100.0, "numpy"
+        )
+        for _, source, _ in cells:
+            assert source.backend == "numpy"
+
+
+class DtypeExtrasShardedBatch:
+    """Minimal conforming batch whose extras channels are int32/bool —
+    the sharded regression twin of the in-process dtype pin: shared
+    output buffers must allocate from the registry-declared dtypes
+    instead of hard-coding float64 (which silently coerced these
+    channels before the per-channel schema existed)."""
+
+    family = "dtype-shard-test"
+
+    def __init__(self, multipliers) -> None:
+        self._mult = np.asarray(multipliers, dtype=np.int32)
+        n = len(self._mult)
+        self._h = np.zeros(n)
+        self._count = np.zeros(n, dtype=np.int32)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self._mult)
+
+    @property
+    def h(self) -> np.ndarray:
+        return self._h.copy()
+
+    @property
+    def m(self) -> np.ndarray:
+        return self._h * 0.5
+
+    @property
+    def m_normalised(self) -> np.ndarray:
+        return self.m
+
+    @property
+    def b(self) -> np.ndarray:
+        return self._h * 2.0
+
+    def begin_series(self, h_initial) -> None:
+        self._h = np.broadcast_to(
+            np.asarray(h_initial, dtype=float), (self.n_cores,)
+        ).copy()
+        self._count[:] = 0
+
+    def step(self, h_new) -> np.ndarray:
+        self._h = np.broadcast_to(
+            np.asarray(h_new, dtype=float), (self.n_cores,)
+        ).copy()
+        self._count += 1
+        return np.ones(self.n_cores, dtype=bool)
+
+    def counter_totals(self) -> dict:
+        return {"steps": self._count.astype(np.int64)}
+
+    def probe_extras(self) -> dict:
+        # Lane-dependent values: reassembly order errors cannot hide.
+        return {
+            "event_count": (self._count * self._mult).astype(np.int32),
+            "armed": (self._count + self._mult) % 2 == 1,
+        }
+
+    def driver_step_hint(self) -> float:
+        return 1.0
+
+    def snapshot(self):
+        return (self._h.copy(), self._count.copy())
+
+    def restore(self, snap) -> None:
+        self._h, self._count = snap[0].copy(), snap[1].copy()
+
+    def shard_payload(self, start: int, stop: int) -> dict:
+        return {"multipliers": self._mult[start:stop].copy()}
+
+
+@pytest.fixture
+def dtype_extras_family():
+    """Temporarily register the non-float-extras family (fork workers
+    inherit the registration; the registry is restored afterwards)."""
+    from repro.models.registry import ModelFamily, register_family, unregister_family
+
+    family = ModelFamily(
+        name=DtypeExtrasShardedBatch.family,
+        description="sharded extras dtype regression family",
+        make_models=lambda n, seed: list(range(1, n + 1)),
+        stack=lambda models: DtypeExtrasShardedBatch(list(models)),
+        extras_channels=(("event_count", "<i4"), ("armed", "|b1")),
+        counter_channels=("steps",),
+        batch_from_payload=lambda payload: DtypeExtrasShardedBatch(**payload),
+    )
+    register_family(family)
+    try:
+        yield family
+    finally:
+        unregister_family(family.name)
+
+
+class TestShardedExtrasDtypes:
+    def test_pooled_round_trip_preserves_probed_dtypes(
+        self, dtype_extras_family
+    ):
+        """The satellite pin: int32/bool extras survive the pooled
+        shared-memory path exactly as the in-process executor records
+        them — values and dtypes, over an uneven 7-lanes/3-workers
+        split."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method (registry is inherited)")
+        batch = dtype_extras_family.make_batch(N_CORES)
+        h = np.array([1.0, 2.0, 3.0, 4.0])
+        reference = run_batch_series(batch, h)
+        assert reference.extras["event_count"].dtype == np.int32
+        assert reference.extras["armed"].dtype == np.bool_
+        sharded = run_sharded(
+            dtype_extras_family.make_batch(N_CORES),
+            h,
+            n_workers=N_WORKERS,
+            mp_context="fork",
+        )
+        assert_results_bitwise_equal(reference, sharded)
+
+    def test_serial_round_trip_preserves_probed_dtypes(
+        self, dtype_extras_family
+    ):
+        batch = dtype_extras_family.make_batch(5)
+        h = np.array([1.0, 2.0, 3.0])
+        reference = run_batch_series(batch, h)
+        sharded = run_sharded(
+            dtype_extras_family.make_batch(5), h, n_workers=1
+        )
+        assert_results_bitwise_equal(reference, sharded)
+
+    def test_registry_schema_route_allocates_declared_dtypes(
+        self, dtype_extras_family
+    ):
+        """An EnsembleSpec source has no live batch to probe: the
+        registry-declared (name, dtype) entries are the allocation
+        schema."""
+        from repro.parallel.executor import _extras_schema, prepare_job
+
+        spec = EnsembleSpec(family=dtype_extras_family.name, n_cores=4)
+        schema = _extras_schema(spec)
+        assert schema == {
+            "event_count": np.dtype(np.int32),
+            "armed": np.dtype(np.bool_),
+        }
+        job = prepare_job(
+            spec,
+            DriveSpec(samples=np.array([1.0, 2.0])),
+            n_workers=2,
+            min_shard=1,
+        )
+        try:
+            job.allocate()
+            assert job.layout.extras["event_count"].dtype == "<i4"
+            assert job.layout.extras["armed"].dtype == "|b1"
+        finally:
+            job.release()
