@@ -23,6 +23,7 @@ from repro.experiments.backend_fused import (
     make_timeless_batch,
     max_relative_deviation,
 )
+from repro.experiments.runner import results_header
 from repro.scenarios import scenario_samples
 
 N_CORES = 256
@@ -62,7 +63,9 @@ def test_fused_speedup_over_per_sample(benchmark, results_dir):
         f"{throughput:.3e} core-steps/s at N = {N_CORES}"
     )
     print("\n" + report)
-    (results_dir / "EXP-B4_bench.txt").write_text(report + "\n")
+    (results_dir / "EXP-B4_bench.txt").write_text(
+        results_header(backend="numpy", workers=1) + report + "\n"
+    )
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert bitwise_equal_lanes(reference, result) == N_CORES

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.batch import BatchTimelessModel, run_batch_series
 from repro.experiments import run_experiment
+from repro.experiments.runner import results_header
 from repro.experiments.batch_ensemble import (
     make_ensemble,
     make_waveforms,
@@ -74,7 +75,9 @@ def test_batch_speedup_over_scalar_loop(benchmark, results_dir):
         f"at N = {N_CORES}"
     )
     print("\n" + report)
-    (results_dir / "EXP-B1_bench.txt").write_text(report + "\n")
+    (results_dir / "EXP-B1_bench.txt").write_text(
+        results_header(backend="numpy", workers=1) + report + "\n"
+    )
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert np.array_equal(result.b, b_scalar)

@@ -27,6 +27,7 @@ from repro.experiments import run_experiment
 from repro.experiments.backend_fused import max_relative_deviation
 from repro.experiments.batch_families import make_preisach_ensemble
 from repro.experiments.parallel_ensemble import bitwise_equal_lanes
+from repro.experiments.runner import results_header
 from repro.parallel import available_cpus, resolve_workers, run_sharded
 from repro.scenarios import scenario_samples
 
@@ -48,7 +49,7 @@ def _header(workers: int, backend: str) -> str:
     """Results-file header naming what was actually measured — the
     workload's own backend, not whatever ``REPRO_BACKEND`` happens to
     resolve to in the invoking shell."""
-    return f"# backend: {backend}\n# workers: {workers}\n"
+    return results_header(backend=backend, workers=workers)
 
 
 def test_fused_sharded_speedup(benchmark, results_dir):

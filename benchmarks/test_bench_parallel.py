@@ -22,6 +22,7 @@ from repro.batch.sweep import run_batch_series
 from repro.experiments import run_experiment
 from repro.experiments.batch_families import make_preisach_ensemble
 from repro.experiments.parallel_ensemble import bitwise_equal_lanes
+from repro.experiments.runner import results_header
 from repro.parallel import available_cpus, resolve_workers, run_sharded
 from repro.scenarios import scenario_samples
 
@@ -70,7 +71,11 @@ def test_sharded_speedup_over_single_process(benchmark, results_dir):
         f"speedup, {throughput:.3e} core-steps/s at N = {N_CORES}"
     )
     print("\n" + report)
-    (results_dir / "EXP-B3_bench.txt").write_text(report + "\n")
+    (results_dir / "EXP-B3_bench.txt").write_text(
+        results_header(backend=batch.backend.name, workers=workers)
+        + report
+        + "\n"
+    )
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert bitwise_equal_lanes(single, result) == N_CORES

@@ -1,0 +1,86 @@
+"""EXP-B6 bench: the calibrated autoscheduler's acceptance bars.
+
+The planning twin of ``test_bench_fused_sharded.py``: EXP-B6 races
+``plan="auto"`` against every hand-picked plan on each family ×
+ensemble-size cell, all through ``run_sharded(..., plan=...)``.  Two
+bars, both measured (not predicted):
+
+* the auto plan lands within **1.2x of the best** hand-picked plan on
+  every cell — the planner never costs more than noise;
+* on at least one cell the **spread** between the best and worst hand
+  plan is **>= 2x** — i.e. the plan space is genuinely treacherous on
+  this host, so planning is worth having.
+
+Hosts with < 4 real cores skip (not fail): with one or two CPUs the
+candidate space collapses to near-identical plans and both bars are
+meaningless — the tier-1 smoke test (``tests/test_sched.py``) still
+covers structure and correctness there.  A tiny-budget calibration runs
+in-process; the resulting table lands in ``results/EXP-B6.txt`` with
+backend, worker, thread and calibration-id stamps.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import results_header
+from repro.parallel import available_cpus, resolve_workers
+
+REQUIRED_CPUS = 4
+
+
+def test_auto_plan_acceptance(benchmark, results_dir):
+    cpus = available_cpus()
+    workers = resolve_workers(None)
+    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
+        pytest.skip(
+            f"needs >= {REQUIRED_CPUS} real cores for a meaningful plan "
+            f"space, host grants {workers} ({cpus} CPUs, "
+            "REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-B6", sizes=(32, 512), repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    (results_dir / "EXP-B6.txt").write_text(
+        results_header(
+            backend=", ".join(result.data["backends"]),
+            workers=workers,
+            threads=max(row["threads"] for row in result.data["rows"]),
+            calibration=result.data["calibration_id"],
+        )
+        + result.render()
+        + "\n"
+    )
+    summary = "; ".join(
+        f"{key}: auto={cell['auto_seconds']:.3f}s "
+        f"({cell['auto_vs_best']:.2f}x of {cell['best_plan']}), "
+        f"spread {cell['spread']:.2f}x"
+        for key, cell in result.data["cells"].items()
+    )
+    (results_dir / "EXP-B6_bench.txt").write_text(
+        results_header(
+            backend=", ".join(result.data["backends"]),
+            workers=workers,
+            calibration=result.data["calibration_id"],
+        )
+        + summary
+        + "\n"
+    )
+
+    # Correctness rides along on every measured plan.
+    for row in result.data["rows"]:
+        assert row["equivalence_ok"], row
+
+    # Bar 1: auto within 1.2x of the best hand plan on EVERY cell.
+    for key, cell in result.data["cells"].items():
+        assert cell["auto_vs_best"] <= 1.2, (key, cell)
+
+    # Bar 2: somewhere, hand-picking wrong costs >= 2x — the spread that
+    # makes calibrated planning worth its probes.
+    assert max(
+        cell["spread"] for cell in result.data["cells"].values()
+    ) >= 2.0, result.data["cells"]

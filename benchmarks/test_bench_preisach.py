@@ -15,6 +15,7 @@ import numpy as np
 from repro.batch.preisach import BatchPreisachModel
 from repro.batch.sweep import run_batch_series
 from repro.experiments import run_experiment
+from repro.experiments.runner import results_header
 from repro.experiments.batch_families import (
     make_drive,
     make_preisach_ensemble,
@@ -68,7 +69,9 @@ def test_batch_preisach_speedup_over_scalar_loop(benchmark, results_dir):
         f"({models[0].relay_count} relays/core)"
     )
     print("\n" + report)
-    (results_dir / "EXP-B2_bench.txt").write_text(report + "\n")
+    (results_dir / "EXP-B2_bench.txt").write_text(
+        results_header(backend="numpy", workers=1) + report + "\n"
+    )
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert np.array_equal(result.b, b_scalar)

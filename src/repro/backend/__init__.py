@@ -20,6 +20,13 @@ from repro.backend.base import (
 )
 from repro.backend.numba_backend import build_numba_backend
 from repro.backend.numpy_backend import NUMPY_BACKEND
+from repro.backend.threads import (
+    active_threads,
+    has_threading,
+    max_threads,
+    set_active_threads,
+    thread_limit,
+)
 
 register_backend(NUMPY_BACKEND)
 
@@ -32,10 +39,15 @@ __all__ = [
     "BACKEND_ENV",
     "DEFAULT_BACKEND",
     "NUMPY_BACKEND",
+    "active_threads",
     "as_backend",
     "build_numba_backend",
     "get_backend",
+    "has_threading",
     "list_backends",
+    "max_threads",
     "register_backend",
     "resolve_backend",
+    "set_active_threads",
+    "thread_limit",
 ]

@@ -36,6 +36,17 @@ NumPy unchanged.  Every loop body is a plain importable function:
 hosts without numba validate the semantics by interpreting it
 (``tests/test_backend.py``), and the JIT wrapper compiles it once per
 process on first use.
+
+Each family has **two** loop bodies: the sample-major double loop (the
+original transliteration, compiled sequentially) and a lane-major
+variant whose outer loop runs over lanes via ``numba.prange`` — the
+intra-shard threading axis of the execution planner
+(:mod:`repro.sched`).  Lanes are independent, so the lane-major order
+re-executes each lane's exact arithmetic sequence: a threaded run is
+bitwise identical to the sequential fused run on this backend
+(``tests/test_backend_threaded.py`` pins it).  The drivers dispatch on
+:func:`repro.backend.threads.active_threads`: more than one pinned
+thread selects the ``parallel=True`` lane-major kernel.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ import math
 import numpy as np
 
 from repro.backend.base import ArrayBackend
+from repro.backend.threads import active_threads, prange
 from repro.constants import MU0, TWO_OVER_PI
 from repro.errors import ParameterError
 
@@ -159,16 +171,110 @@ def timeless_series_loop(
             b_out[i, j] = _MU0 * (h + m_sat[j] * m_tot[j])
 
 
-def _timeless_kernel():
-    """Compile (once per process) the fused timeless series loop."""
-    kernel = _KERNEL_CACHE.get("timeless")
+def timeless_lane_series_loop(
+    h2d,
+    shape,
+    am,
+    one_c,
+    c_arr,
+    k_arr,
+    m_sat,
+    dhmax,
+    accept_equal,
+    clamp_negative,
+    drop_opposing,
+    h_acc,
+    m_irr,
+    m_tot,
+    delta_st,
+    m_out,
+    b_out,
+    man_out,
+    upd,
+    euler,
+    clamped_n,
+    dropped_n,
+):
+    """Lane-major twin of :func:`timeless_series_loop`: the outer loop
+    runs over *lanes* via ``prange``, each lane walking its whole sample
+    column sequentially.  Lanes are independent (no state or reduction
+    crosses the lane axis), so each lane executes the identical
+    arithmetic sequence — the threaded kernel is bitwise equal to the
+    sequential one on this backend.
+
+    Kept importable without numba (``prange`` degrades to ``range``) so
+    the semantics are testable interpreted on any host;
+    :func:`_timeless_parallel_kernel` compiles it with ``parallel=True``
+    once per process when a plan pins more than one thread.
+    """
+    n_samples, n_cores = h2d.shape
+    for j in prange(n_cores):
+        for i in range(n_samples):
+            h = h2d[i, j]
+            m_an = _TWO_OVER_PI * math.atan((h + am[j] * m_tot[j]) / shape[j])
+            m_rev = c_arr[j] * m_an / one_c[j]
+            dh = h - h_acc[j]
+            magnitude = abs(dh)
+            if accept_equal[j]:
+                accepted = magnitude >= dhmax[j]
+            else:
+                accepted = magnitude > dhmax[j]
+            if accepted:
+                delta = 1.0 if dh > 0.0 else -1.0
+                delta_m = m_an - (m_rev + m_irr[j])
+                denominator = one_c[j] * (delta * k_arr[j] - am[j] * delta_m)
+                if denominator == 0.0:
+                    if delta_m > 0.0:
+                        raw = math.inf
+                    elif delta_m < 0.0:
+                        raw = -math.inf
+                    else:
+                        raw = 0.0
+                else:
+                    raw = delta_m / denominator
+                dmdh = raw
+                if clamp_negative[j] and not (dmdh > 0.0):
+                    dmdh = 0.0
+                    if raw != 0.0:
+                        clamped_n[j] += 1
+                if math.isnan(dmdh):
+                    dm = math.nan
+                else:
+                    dm = dh * dmdh
+                    if drop_opposing[j] and dm * dh < 0.0:
+                        dm = 0.0
+                        dropped_n[j] += 1
+                m_irr[j] = m_irr[j] + dm
+                h_acc[j] = h
+                delta_st[j] = delta
+                euler[j] += 1
+                upd[i, j] = True
+            m_tot[j] = m_rev + m_irr[j]
+            man_out[i, j] = m_an
+            m_out[i, j] = m_tot[j] * m_sat[j]
+            b_out[i, j] = _MU0 * (h + m_sat[j] * m_tot[j])
+
+
+def _compiled(key: str, body, parallel: bool = False):
+    """Compile (once per process) one loop body under a cache key."""
+    kernel = _KERNEL_CACHE.get(key)
     if kernel is not None:
         return kernel
     import numba
 
-    kernel = numba.njit(cache=False)(timeless_series_loop)
-    _KERNEL_CACHE["timeless"] = kernel
+    kernel = numba.njit(cache=False, parallel=parallel)(body)
+    _KERNEL_CACHE[key] = kernel
     return kernel
+
+
+def _timeless_kernel():
+    """Compile (once per process) the fused timeless series loop."""
+    return _compiled("timeless", timeless_series_loop)
+
+
+def _timeless_parallel_kernel():
+    """Compile (once per process) the ``prange`` lane-major variant."""
+    return _compiled("timeless-lanes", timeless_lane_series_loop, parallel=True)
 
 
 def _lane_array(value, n: int, dtype) -> np.ndarray:
@@ -221,7 +327,12 @@ def _timeless_fused_series(batch, h_arr: np.ndarray):
     clamped_n = np.zeros(n, dtype=np.int64)
     dropped_n = np.zeros(n, dtype=np.int64)
 
-    _timeless_kernel()(
+    kernel = (
+        _timeless_parallel_kernel()
+        if active_threads() > 1
+        else _timeless_kernel()
+    )
+    kernel(
         h2d,
         shape,
         am,
@@ -347,16 +458,85 @@ def preisach_series_loop(
             b_out[i, j] = _MU0 * (h + m_phys)
 
 
+def preisach_lane_series_loop(
+    h2d,
+    state,
+    weights,
+    valid,
+    alpha,
+    beta,
+    m_sat,
+    h_cur,
+    m_norm,
+    m_out,
+    b_out,
+    upd,
+    switches,
+):
+    """Lane-major twin of :func:`preisach_series_loop`: ``prange`` over
+    lanes, each lane scanning its own relay grid through the whole
+    series sequentially.  All state (relay tensor rows, ``h_cur``,
+    ``m_norm``, ``switches``) is per-lane, so the threaded kernel is
+    bitwise equal to the sequential one — including the sequential relay
+    sum that defines this backend's rtol tier.
+
+    Kept importable without numba; :func:`_preisach_parallel_kernel`
+    compiles it with ``parallel=True`` once per process.
+    """
+    n_samples, n_cores = h2d.shape
+    n_alpha = alpha.shape[1]
+    n_beta = beta.shape[1]
+    for j in prange(n_cores):
+        for i in range(n_samples):
+            h = h2d[i, j]
+            weighted_switch = False
+            if h > h_cur[j]:
+                for ia in range(n_alpha):
+                    if alpha[j, ia] <= h:
+                        for ib in range(n_beta):
+                            new = 1.0 if valid[j, ia, ib] else 0.0
+                            if (
+                                state[j, ia, ib] != new
+                                and weights[j, ia, ib] != 0.0
+                            ):
+                                weighted_switch = True
+                            state[j, ia, ib] = new
+            elif h < h_cur[j]:
+                for ib in range(n_beta):
+                    if beta[j, ib] >= h:
+                        for ia in range(n_alpha):
+                            new = -1.0 if valid[j, ia, ib] else 0.0
+                            if (
+                                state[j, ia, ib] != new
+                                and weights[j, ia, ib] != 0.0
+                            ):
+                                weighted_switch = True
+                            state[j, ia, ib] = new
+            h_cur[j] = h
+            changed = False
+            if weighted_switch:
+                total = 0.0
+                for ia in range(n_alpha):
+                    for ib in range(n_beta):
+                        total += weights[j, ia, ib] * state[j, ia, ib]
+                changed = total != m_norm[j]
+                m_norm[j] = total
+            if changed:
+                switches[j] += 1
+            upd[i, j] = changed
+            m_phys = m_norm[j] * m_sat[j]
+            m_out[i, j] = m_phys
+            b_out[i, j] = _MU0 * (h + m_phys)
+
+
 def _preisach_kernel():
     """Compile (once per process) the fused Preisach series loop."""
-    kernel = _KERNEL_CACHE.get("preisach")
-    if kernel is not None:
-        return kernel
-    import numba
+    return _compiled("preisach", preisach_series_loop)
 
-    kernel = numba.njit(cache=False)(preisach_series_loop)
-    _KERNEL_CACHE["preisach"] = kernel
-    return kernel
+
+def _preisach_parallel_kernel():
+    """Compile (once per process) the ``prange`` lane-major variant."""
+    return _compiled("preisach-lanes", preisach_lane_series_loop, parallel=True)
 
 
 def _preisach_fused_series(batch, h_arr: np.ndarray):
@@ -384,7 +564,12 @@ def _preisach_fused_series(batch, h_arr: np.ndarray):
     b_out = np.empty((n_samples, n))
     updated = np.zeros((n_samples, n), dtype=np.bool_)
 
-    _preisach_kernel()(
+    kernel = (
+        _preisach_parallel_kernel()
+        if active_threads() > 1
+        else _preisach_kernel()
+    )
+    kernel(
         h2d,
         batch.relay_state(),
         batch.weights,
@@ -476,16 +661,87 @@ def time_domain_series_loop(
             b_out[i, j] = _MU0 * (h + m_phys)
 
 
+def time_domain_lane_series_loop(
+    h2d,
+    am,
+    one_c,
+    rev_coeff,
+    k_arr,
+    shape,
+    clamp_negative,
+    limit,
+    m_sat,
+    h_cur,
+    m,
+    diverged,
+    m_out,
+    b_out,
+    upd,
+    steps,
+    negatives,
+):
+    """Lane-major twin of :func:`time_domain_series_loop`: ``prange``
+    over lanes, each lane stepping its own explicit dM/dH chain through
+    the whole series sequentially — pathology counters and the sticky
+    ``diverged`` freeze included, all per-lane, so the threaded kernel
+    is bitwise equal to the sequential one.
+
+    Kept importable without numba; :func:`_time_domain_parallel_kernel`
+    compiles it with ``parallel=True`` once per process.
+    """
+    n_samples, n_cores = h2d.shape
+    for j in prange(n_cores):
+        for i in range(n_samples):
+            h = h2d[i, j]
+            dh = h - h_cur[j]
+            if dh != 0.0 and not diverged[j]:
+                delta = 1.0 if dh >= 0.0 else -1.0
+                h_eff = h_cur[j] + am[j] * m[j]
+                x = h_eff / shape[j]
+                m_an = _TWO_OVER_PI * math.atan(x)
+                delta_m = m_an - m[j]
+                denominator = one_c[j] * (delta * k_arr[j] - am[j] * delta_m)
+                if denominator == 0.0:
+                    if delta_m > 0.0:
+                        slope = math.inf
+                    elif delta_m < 0.0:
+                        slope = -math.inf
+                    else:
+                        slope = 0.0
+                else:
+                    slope = delta_m / denominator
+                if slope < 0.0:
+                    negatives[j] += 1
+                    if clamp_negative[j]:
+                        slope = 0.0
+                slope = slope + rev_coeff[j] * (
+                    _TWO_OVER_PI / (1.0 + x * x) / shape[j]
+                )
+                m[j] = m[j] + slope * dh
+                steps[j] += 1
+                if (
+                    math.isnan(m[j])
+                    or math.isinf(m[j])
+                    or abs(m[j]) > limit[j]
+                ):
+                    diverged[j] = True
+                upd[i, j] = True
+            h_cur[j] = h
+            m_phys = m[j] * m_sat[j]
+            m_out[i, j] = m_phys
+            b_out[i, j] = _MU0 * (h + m_phys)
+
+
 def _time_domain_kernel():
     """Compile (once per process) the fused time-domain series loop."""
-    kernel = _KERNEL_CACHE.get("time-domain")
-    if kernel is not None:
-        return kernel
-    import numba
+    return _compiled("time-domain", time_domain_series_loop)
 
-    kernel = numba.njit(cache=False)(time_domain_series_loop)
-    _KERNEL_CACHE["time-domain"] = kernel
-    return kernel
+
+def _time_domain_parallel_kernel():
+    """Compile (once per process) the ``prange`` lane-major variant."""
+    return _compiled(
+        "time-domain-lanes", time_domain_lane_series_loop, parallel=True
+    )
 
 
 def _time_domain_fused_series(batch, h_arr: np.ndarray):
@@ -526,7 +782,12 @@ def _time_domain_fused_series(batch, h_arr: np.ndarray):
     steps = np.zeros(n, dtype=np.int64)
     negatives = np.zeros(n, dtype=np.int64)
 
-    _time_domain_kernel()(
+    kernel = (
+        _time_domain_parallel_kernel()
+        if active_threads() > 1
+        else _time_domain_kernel()
+    )
+    kernel(
         h2d,
         am,
         one_c,

@@ -1,0 +1,107 @@
+"""Intra-shard lane threading: explicit numba thread pinning.
+
+The fourth axis of the execution stack (after backend, pool width and
+fused dispatch): the numba backend's fused drivers can advance their
+independent lanes on several *threads* inside one process, via
+``numba.prange`` over the lane axis.  This module owns the pinning so
+that the planner's oversubscription rule — **pool workers × threads per
+worker never exceeds the host's CPU affinity** — is enforceable:
+
+* the active thread count is explicit process state
+  (:func:`set_active_threads` / :func:`active_threads`), never an
+  ambient numba default, so a pool worker runs exactly the thread count
+  its :class:`~repro.parallel.spec.ShardSpec` carries;
+* :func:`max_threads` respects ``NUMBA_NUM_THREADS``: numba caps
+  ``set_num_threads`` at its launch-time thread-pool size, so requests
+  above it are clamped, not errors;
+* hosts without numba degrade to a single thread — the interpreted
+  validation path (``tests/test_backend_threaded.py``) still exercises
+  the lane-major loop bodies, because ``prange`` falls back to plain
+  ``range`` outside JIT compilation.
+
+Per-lane arithmetic is untouched by the lane-major iteration order
+(lanes are independent; no reduction crosses a lane), so a threaded run
+is **bitwise identical** to the same backend's sequential fused run —
+the threading tier costs no additional accuracy beyond the backend's
+own rtol tier against the numpy reference.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+try:  # pragma: no cover - trivial alias, exercised on both CI legs
+    from numba import prange  # noqa: F401  (re-exported for loop bodies)
+
+    _HAS_NUMBA = True
+except ImportError:  # interpreted fallback: identical iteration order
+    prange = range
+    _HAS_NUMBA = False
+
+#: Process-local active thread count (what the fused drivers consult).
+_ACTIVE_THREADS = 1
+
+
+def has_threading() -> bool:
+    """True when numba (and therefore a real thread pool) is available."""
+    return _HAS_NUMBA
+
+
+def max_threads() -> int:
+    """The largest thread count this process can pin.
+
+    numba sizes its thread pool once at launch (``NUMBA_NUM_THREADS``,
+    defaulting to the host CPU count); ``set_num_threads`` above that is
+    an error, so the planner and the executor clamp against this value.
+    Without numba there is no lane thread pool at all: 1.
+    """
+    if not _HAS_NUMBA:
+        return 1
+    from numba import config
+
+    return int(config.NUMBA_NUM_THREADS)
+
+
+def active_threads() -> int:
+    """The thread count the fused drivers currently run with."""
+    return _ACTIVE_THREADS
+
+
+def set_active_threads(n: int) -> int:
+    """Pin the fused drivers' lane-thread count; returns the effective
+    (clamped) value.
+
+    Requests above :func:`max_threads` clamp rather than raise — the
+    calibration file may have been recorded on a wider host, and a
+    clamped plan is still the nearest executable plan.  ``n < 1`` is a
+    caller bug and raises.
+    """
+    global _ACTIVE_THREADS
+    if n < 1:
+        raise ParameterError(f"thread count must be >= 1, got {n}")
+    effective = min(int(n), max_threads())
+    if _HAS_NUMBA and effective > 0:
+        import numba
+
+        numba.set_num_threads(effective)
+    _ACTIVE_THREADS = effective
+    return effective
+
+
+@contextmanager
+def thread_limit(n: int):
+    """Scoped thread pinning: set, run, restore.
+
+    The executor wraps every shard execution in this — pool workers pin
+    the thread count their spec carries, the serial fallback pins it
+    in-process — so a plan's thread choice can never leak into
+    subsequent unrelated runs.
+    """
+    previous = _ACTIVE_THREADS
+    effective = set_active_threads(n)
+    try:
+        yield effective
+    finally:
+        set_active_threads(previous)

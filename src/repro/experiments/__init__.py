@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     parallel_ensemble,
     parameter_fit,
     performance,
+    planner_bench,
     scenario_grid,
     stability,
 )

@@ -25,13 +25,40 @@ from repro.experiments.registry import list_experiments, run_experiment
 from repro.io.csvio import write_bh_csv
 
 
+def results_header(
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    threads: "int | None" = None,
+    calibration: "str | None" = None,
+) -> str:
+    """The shared ``# key: value`` stamp every results file leads with.
+
+    One helper instead of per-file f-strings so the header vocabulary
+    stays fixed — ``backend`` (array backend actually measured),
+    ``workers`` (pool width), ``threads`` (lane threads per worker) and
+    ``calibration`` (the :attr:`Calibration.calibration_id` that planned
+    the run) — and so a grep for ``# backend:`` works across every
+    ``results/`` artefact.  ``None`` fields are omitted, keeping old
+    single-axis records byte-compatible.
+    """
+    fields = (
+        ("backend", backend),
+        ("workers", workers),
+        ("threads", threads),
+        ("calibration", calibration),
+    )
+    return "".join(
+        f"# {key}: {value}\n" for key, value in fields if value is not None
+    )
+
+
 def _write_result(result, output_dir: Path, backend_name: str) -> list[Path]:
     output_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
     # The backend header makes every regenerated table attributable:
     # the same experiment on a JIT backend is a different measurement.
-    header = f"# backend: {backend_name}\n"
+    header = results_header(backend=backend_name)
     report_path = output_dir / f"{result.experiment_id}.txt"
     report_path.write_text(header + result.render() + "\n")
     written.append(report_path)

@@ -64,11 +64,19 @@ def resolve_workers(n_workers: int | None = None) -> int:
     cap = os.environ.get(MAX_WORKERS_ENV)
     if cap:
         try:
-            workers = min(workers, max(1, int(cap)))
+            cap_value = int(cap)
         except ValueError:
             raise ParameterError(
                 f"{MAX_WORKERS_ENV} must be an integer, got {cap!r}"
             )
+        if cap_value < 1:
+            # A sub-1 cap is a configuration error, not "serial please":
+            # silently clamping it to 1 would mask a broken CI matrix
+            # entry (the historical behaviour) — fail loudly instead.
+            raise ParameterError(
+                f"{MAX_WORKERS_ENV} must be >= 1, got {cap_value}"
+            )
+        workers = min(workers, cap_value)
     return workers
 
 
@@ -245,6 +253,7 @@ def prepare_job(
     drive: DriveSpec,
     n_workers: int,
     min_shard: int,
+    threads: int = 1,
 ) -> _CellJob:
     """Plan one sharded run: full-width samples, shard specs, schema.
 
@@ -253,6 +262,12 @@ def prepare_job(
     the backend the parent planned with rather than re-reading their
     own ``REPRO_BACKEND`` environment.  (Live batch models already
     carry the backend name inside their ``shard_payload``.)
+
+    ``threads`` is stamped into every :class:`ShardSpec` so whichever
+    process runs a shard pins that lane-thread count for its duration
+    (see :func:`_run_spec`); callers enforce the oversubscription rule
+    before it gets here (:func:`run_sharded` clamps plans to
+    ``workers x threads <= available_cpus()``).
     """
     if is_batch_model(source):
         family, n_total = source.family, source.n_cores
@@ -289,6 +304,7 @@ def prepare_job(
                     stop=stop,
                     drive=shard_drive,
                     payload=source.shard_payload(start, stop),
+                    threads=threads,
                 )
             )
         else:
@@ -300,6 +316,7 @@ def prepare_job(
                     stop=stop,
                     drive=shard_drive,
                     ensemble=source,
+                    threads=threads,
                 )
             )
     return _CellJob(family, n_total, h_full, specs, _extras_schema(source))
@@ -343,8 +360,15 @@ def _resolve_drive(
 
 
 def _run_spec(spec: ShardSpec) -> BatchSweepResult:
-    """One shard, in whatever process this runs in."""
-    return run_batch_series(spec.build_batch(), spec.build_samples())
+    """One shard, in whatever process this runs in — with the spec's
+    lane-thread count pinned for exactly the duration of the run, so a
+    plan's thread choice never leaks into unrelated work (and pooled
+    shards, which always carry ``threads=1``, explicitly pin the
+    children single-threaded rather than trusting ambient state)."""
+    from repro.backend import thread_limit
+
+    with thread_limit(spec.threads):
+        return run_batch_series(spec.build_batch(), spec.build_samples())
 
 
 def _recorded_extras_schema(extras: "dict[str, np.ndarray]") -> tuple:
@@ -471,6 +495,23 @@ def execute_jobs_pooled(pool, jobs: "list[_CellJob]") -> list[BatchSweepResult]:
             job.release()
 
 
+def _apply_plan_backend(source, backend_name: str):
+    """Move ``source`` onto the plan's backend; returns the (possibly
+    new) source and a zero-argument restore callable.
+
+    An :class:`EnsembleSpec` is immutable — a re-pinned copy comes back
+    and nothing needs restoring.  A live batch is switched in place via
+    its ``use_backend`` hook and switched back by the restore callable
+    once its shard payloads (which carry the backend name) are cut, so
+    the caller's batch never observably changes backend.
+    """
+    if is_batch_model(source):
+        previous = source.backend
+        source.use_backend(backend_name)
+        return source, lambda: source.use_backend(previous)
+    return replace(source, backend=backend_name), lambda: None
+
+
 def run_sharded(
     source,
     h_samples=None,
@@ -481,6 +522,7 @@ def run_sharded(
     n_workers: int | None = None,
     min_shard: int = 1,
     mp_context: str | None = None,
+    plan=None,
 ) -> BatchSweepResult:
     """Run one ensemble drive sharded over a process pool.
 
@@ -507,11 +549,21 @@ def run_sharded(
     mp_context:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``, ...);
         default: the platform default.
+    plan:
+        ``None`` (default) keeps today's explicit knobs exactly as
+        documented above.  ``"auto"`` plans this run from the host's
+        persisted calibration (:func:`repro.sched.planner.plan_for`); an
+        :class:`~repro.sched.planner.ExecutionPlan` applies that plan
+        verbatim.  A plan owns the backend / pool-width / lane-thread
+        axes — it is mutually exclusive with ``n_workers`` — and is
+        always clamped to this host: the pool width passes through
+        :func:`resolve_workers` (environment cap included) and
+        ``threads_per_worker`` is reduced so ``workers × threads``
+        never exceeds the CPU affinity.
 
     Returns the same :class:`~repro.batch.sweep.BatchSweepResult` the
     single-process executor produces — bitwise, lane order preserved.
     """
-    workers = resolve_workers(n_workers)
     drive, built = _resolve_drive(
         source, h_samples, scenario, h_max, driver_step
     )
@@ -520,7 +572,29 @@ def run_sharded(
         # the built batch directly (payload route) rather than making
         # every worker rebuild the whole ensemble again.
         source = built
-    job = prepare_job(source, drive, workers, min_shard)
+    if plan is not None:
+        if n_workers is not None:
+            raise ParameterError(
+                "pass either plan= or n_workers=, not both: a plan owns "
+                "the pool width"
+            )
+        # Lazy import: repro.sched sits above the executor in the layer
+        # stack, and plan=None callers never pay for (or depend on) it.
+        from repro.sched.planner import resolve_plan
+
+        chosen = resolve_plan(plan, source, drive, min_shard=min_shard)
+        workers = resolve_workers(chosen.n_workers)
+        threads = max(
+            1, min(chosen.threads_per_worker, available_cpus() // workers)
+        )
+        source, restore_backend = _apply_plan_backend(source, chosen.backend)
+        try:
+            job = prepare_job(source, drive, workers, min_shard, threads)
+        finally:
+            restore_backend()
+    else:
+        workers = resolve_workers(n_workers)
+        job = prepare_job(source, drive, workers, min_shard)
     if workers == 1 or len(job.specs) == 1:
         return run_job_serial(job)
     ctx = get_context(mp_context)

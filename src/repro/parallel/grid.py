@@ -99,6 +99,7 @@ def run_scenario_grid(
     min_shard: int = 1,
     chunk_cells: int = 8,
     mp_context: str | None = None,
+    plan=None,
 ) -> list[GridCell]:
     """Run the full grid, sharded, through one worker pool.
 
@@ -115,6 +116,16 @@ def run_scenario_grid(
     and shared-memory buffers at once — large grids stream through the
     pool chunk by chunk instead of materialising every cell up front.
 
+    ``plan`` applies one calibrated execution plan to the whole grid
+    (the one-campaign / one-configuration invariant above is why a grid
+    takes a single plan, not one per cell): ``"auto"`` picks the shape
+    minimising the summed predicted cost across every cell
+    (:func:`repro.sched.planner.plan_grid`); an explicit
+    :class:`~repro.sched.planner.ExecutionPlan` applies verbatim.  A
+    plan owns the backend and pool-width axes, so it is mutually
+    exclusive with ``backend`` / ``n_workers``, and it is clamped to
+    this host exactly as in :func:`~repro.parallel.executor.run_sharded`.
+
     Returns one :class:`GridCell` per combination, in
     ``families × scenarios × h_max_values`` order.
     """
@@ -124,8 +135,45 @@ def run_scenario_grid(
         )
     if chunk_cells < 1:
         raise ParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
-    workers = resolve_workers(n_workers)
-    backend_name = resolve_backend(backend).name
+    threads = 1
+    if plan is not None:
+        if backend is not None or n_workers is not None:
+            raise ParameterError(
+                "pass either plan= or explicit backend=/n_workers=, not "
+                "both: a plan owns those axes"
+            )
+        from repro.parallel.executor import available_cpus
+        from repro.sched.planner import ExecutionPlan
+        from repro.sched.planner import plan_grid as _plan_grid
+
+        if isinstance(plan, ExecutionPlan):
+            chosen = plan
+        elif plan == "auto":
+            # Workload cells for the planner: each cell's drive length,
+            # estimated from a single-lane build of its scenario (row
+            # counts depend on h_max and driver_step, not on the lane
+            # count — planning never pays for full-width matrices).
+            probe = _plan_cells(
+                families, scenarios, h_max_values, n_cores, seed,
+                driver_step, resolve_backend(None).name,
+            )
+            workloads = [
+                (family, n_cores, len(drive.full_samples(1)))
+                for (family, _, _), _, drive in probe
+            ]
+            chosen = _plan_grid(workloads, min_shard=min_shard)
+        else:
+            raise ParameterError(
+                f"plan must be an ExecutionPlan or 'auto', got {plan!r}"
+            )
+        workers = resolve_workers(chosen.n_workers)
+        threads = max(
+            1, min(chosen.threads_per_worker, available_cpus() // workers)
+        )
+        backend_name = resolve_backend(chosen.backend).name
+    else:
+        workers = resolve_workers(n_workers)
+        backend_name = resolve_backend(backend).name
     planned = _plan_cells(
         families, scenarios, h_max_values, n_cores, seed, driver_step,
         backend_name,
@@ -134,7 +182,7 @@ def run_scenario_grid(
     cells: list[GridCell] = []
     if workers == 1:
         for (family, scenario, h_max), source, drive in planned:
-            job = prepare_job(source, drive, workers, min_shard)
+            job = prepare_job(source, drive, workers, min_shard, threads)
             cells.append(
                 GridCell(family, scenario, h_max, run_job_serial(job))
             )
@@ -145,7 +193,7 @@ def run_scenario_grid(
         for offset in range(0, len(planned), chunk_cells):
             chunk = planned[offset : offset + chunk_cells]
             jobs = [
-                prepare_job(source, drive, workers, min_shard)
+                prepare_job(source, drive, workers, min_shard, threads)
                 for _, source, drive in chunk
             ]
             results = execute_jobs_pooled(pool, jobs)

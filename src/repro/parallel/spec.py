@@ -177,6 +177,13 @@ class ShardSpec:
     Shared (1-D) scenario drives stay name-sized and are rebuilt
     worker-side.
 
+    ``threads`` is the lane-thread count this shard pins while it runs
+    (see :mod:`repro.backend.threads`): the executing process wraps the
+    run in ``thread_limit(threads)``, so the thread choice travels with
+    the task instead of leaking ambient state across the fork.  The
+    planner only emits ``threads > 1`` on single-shard serial plans;
+    pooled shards always carry 1.
+
     ShardSpecs compare by identity (``eq=False``): payloads hold
     ndarrays and engine configuration objects, for which a generated
     field-wise ``__eq__`` would be ill-defined — compare the scalar
@@ -191,11 +198,16 @@ class ShardSpec:
     drive: DriveSpec
     ensemble: EnsembleSpec | None = None
     payload: dict | None = None
+    threads: int = 1
 
     def __post_init__(self) -> None:
         if (self.ensemble is None) == (self.payload is None):
             raise ParameterError(
                 "a ShardSpec needs exactly one of ensemble / payload"
+            )
+        if self.threads < 1:
+            raise ParameterError(
+                f"shard threads must be >= 1, got {self.threads}"
             )
         check_lane_range(self.start, self.stop, self.n_cores_total)
 

@@ -1,0 +1,81 @@
+"""Command-line micro-calibration: ``python -m repro.sched.calibrate``.
+
+Runs :func:`repro.sched.calibration.run_calibration` with an explicit
+probe budget and persists the JSON.  CI's calibration smoke step runs
+this with the tiny ``--smoke`` budget and uploads the file as an
+artifact; on workstations the default ladder gives the planner a
+better-conditioned fit in a few extra seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sched.calibration import (
+    SMOKE_BUDGET,
+    default_calibration_path,
+    run_calibration,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sched.calibrate",
+        description="Micro-calibrate the execution stack on this host.",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="calibration file to write (default: REPRO_CALIBRATION_FILE "
+        "or results/calibration.json)",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        nargs="+",
+        default=[4, 16, 64],
+        help="lane counts on the probe ladder",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        nargs="+",
+        default=[64, 256],
+        help="drive sample counts on the probe ladder",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats per probe (best-of)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the tiny CI smoke budget instead of the ladder flags",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        calibration = run_calibration(**SMOKE_BUDGET)
+    else:
+        calibration = run_calibration(
+            lanes=args.lanes, samples=args.samples, repeats=args.repeats
+        )
+    target = calibration.save(args.output)
+    host = calibration.host
+    print(
+        f"wrote {target} (id {calibration.calibration_id}): "
+        f"{len(calibration.probes)} probes, "
+        f"backends {', '.join(calibration.backends)}, "
+        f"{host['cpus']} cpus, numba {host['numba'] or 'absent'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

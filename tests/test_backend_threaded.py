@@ -1,0 +1,237 @@
+"""Intra-shard lane threading: pinning controls and lane-major loops.
+
+Two contracts, both validated **interpreted** so they hold on hosts
+with or without numba installed (the same pattern as
+``tests/test_backend.py``'s driver-semantics suite):
+
+1. the thread-pinning surface (:mod:`repro.backend.threads`) is
+   explicit process state — clamped to the host, scoped by
+   ``thread_limit``, never ambient;
+2. every family's lane-major ``prange`` loop body is **bitwise equal**
+   to its sample-major twin — the claim that makes threaded numba runs
+   bitwise against sequential numba runs (lanes are independent, so
+   swapping the loop nesting re-executes each lane's exact arithmetic
+   sequence).  This is stronger than the backend's rtol tier and it is
+   what the planner's threading axis leans on.
+
+The numba CI leg additionally compiles both kernels and exercises the
+dispatch (``active_threads() > 1`` selects the ``parallel=True``
+kernel) with real threads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    active_threads,
+    has_threading,
+    max_threads,
+    set_active_threads,
+    thread_limit,
+)
+from repro.backend import numba_backend
+from repro.batch.sweep import run_batch_series
+from repro.core.sweep import waypoint_samples
+from repro.errors import ParameterError
+from repro.models.registry import get_family
+
+#: (family, sequential loop body cache key/value, lane-major twin).
+LOOP_PAIRS = [
+    (
+        "timeless",
+        "timeless",
+        numba_backend.timeless_series_loop,
+        "timeless-lanes",
+        numba_backend.timeless_lane_series_loop,
+        numba_backend._timeless_fused_series,
+    ),
+    (
+        "preisach",
+        "preisach",
+        numba_backend.preisach_series_loop,
+        "preisach-lanes",
+        numba_backend.preisach_lane_series_loop,
+        numba_backend._preisach_fused_series,
+    ),
+    (
+        "time-domain",
+        "time-domain",
+        numba_backend.time_domain_series_loop,
+        "time-domain-lanes",
+        numba_backend.time_domain_lane_series_loop,
+        numba_backend._time_domain_fused_series,
+    ),
+]
+
+
+def drive(scale: float = 1.0) -> np.ndarray:
+    h = 10e3 * scale
+    return waypoint_samples([0.0, h, -h, h], h / 40.0)
+
+
+class TestThreadControls:
+    def test_max_threads_is_one_without_numba(self):
+        if has_threading():
+            assert max_threads() >= 1
+        else:
+            assert max_threads() == 1
+
+    def test_default_is_single_threaded(self):
+        assert active_threads() == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_sub_one_request_rejected(self, bad):
+        with pytest.raises(ParameterError, match="thread count"):
+            set_active_threads(bad)
+        assert active_threads() == 1  # state untouched by the rejection
+
+    def test_requests_clamp_to_host_capacity(self):
+        """Above max_threads() clamps, never raises: calibrations
+        recorded on wider hosts must still produce executable plans."""
+        try:
+            effective = set_active_threads(10_000)
+            assert effective == max_threads()
+            assert active_threads() == effective
+        finally:
+            set_active_threads(1)
+
+    def test_thread_limit_scopes_and_restores(self):
+        assert active_threads() == 1
+        with thread_limit(max(2, max_threads())) as effective:
+            assert effective == min(max(2, max_threads()), max_threads())
+            assert active_threads() == effective
+            with thread_limit(1) as inner:
+                assert inner == 1
+                assert active_threads() == 1
+            assert active_threads() == effective  # inner scope restored
+        assert active_threads() == 1  # outer scope restored
+
+    def test_thread_limit_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with thread_limit(max_threads()):
+                raise RuntimeError("boom")
+        assert active_threads() == 1
+
+
+def _interpreted(monkeypatch, forced_threads: int):
+    """Wire every loop body (both variants) into the kernel cache so
+    the drivers run interpreted, and force the dispatch decision."""
+    for _family, seq_key, seq_loop, lane_key, lane_loop, _drv in LOOP_PAIRS:
+        monkeypatch.setitem(numba_backend._KERNEL_CACHE, seq_key, seq_loop)
+        monkeypatch.setitem(numba_backend._KERNEL_CACHE, lane_key, lane_loop)
+    monkeypatch.setattr(
+        numba_backend, "active_threads", lambda: forced_threads
+    )
+
+
+@pytest.mark.parametrize(
+    "family_name,driver",
+    [(pair[0], pair[5]) for pair in LOOP_PAIRS],
+    ids=[pair[0] for pair in LOOP_PAIRS],
+)
+class TestLaneMajorBitwiseEquality:
+    """The load-bearing claim: lane-major == sample-major, bitwise —
+    outputs, advanced state, and counters."""
+
+    def _run(self, family_name, driver, monkeypatch, threads):
+        _interpreted(monkeypatch, forced_threads=threads)
+        family = get_family(family_name)
+        batch = family.make_batch(5, seed=11)
+        h = drive(2.0 if family_name == "preisach" else 1.0)
+        batch.begin_series(h[0])
+        out = driver(batch, h)
+        assert out is not None
+        m, b, updated, extras = out
+        return m, b, updated, extras, batch
+
+    def test_outputs_and_state_bitwise_equal(
+        self, family_name, driver, monkeypatch
+    ):
+        m1, b1, upd1, extras1, batch1 = self._run(
+            family_name, driver, monkeypatch, threads=1
+        )
+        m2, b2, upd2, extras2, batch2 = self._run(
+            family_name, driver, monkeypatch, threads=2
+        )
+        assert np.array_equal(m1, m2)  # bitwise, not allclose
+        assert np.array_equal(b1, b2)
+        assert np.array_equal(upd1, upd2)
+        assert sorted(extras1) == sorted(extras2)
+        for key in extras1:
+            assert np.array_equal(extras1[key], extras2[key]), key
+        totals1, totals2 = batch1.counter_totals(), batch2.counter_totals()
+        assert sorted(totals1) == sorted(totals2)
+        for key in totals1:
+            assert np.array_equal(totals1[key], totals2[key]), key
+        assert np.array_equal(batch1.h, batch2.h)
+        assert np.array_equal(batch1.m, batch2.m)
+
+    def test_lane_major_holds_jit_tier_vs_reference(
+        self, family_name, driver, monkeypatch
+    ):
+        """Against the per-sample numpy reference, the lane-major path
+        holds exactly the tier the sequential driver holds: decisions
+        exact, trajectories within rtol 1e-9."""
+        m, b, updated, _extras, batch = self._run(
+            family_name, driver, monkeypatch, threads=2
+        )
+        family = get_family(family_name)
+        loop_batch = family.make_batch(5, seed=11)
+        h = drive(2.0 if family_name == "preisach" else 1.0)
+        reference = run_batch_series(loop_batch, h, fused=False)
+        assert np.array_equal(updated, reference.updated)
+        rtol = 1e-9
+        for actual, expected in ((m, reference.m), (b, reference.b)):
+            scale = float(np.nanmax(np.abs(expected)))
+            assert np.allclose(
+                actual,
+                expected,
+                rtol=rtol,
+                atol=rtol * max(scale, 1.0),
+                equal_nan=True,
+            )
+
+
+class TestDispatch:
+    def test_thread_count_selects_kernel_variant(self, monkeypatch):
+        """active_threads() > 1 routes through the lane-major kernel;
+        1 routes through the sample-major kernel — observed via the
+        cache entries the driver pulls."""
+        calls = []
+
+        def spy(key, body):
+            def wrapper(*args):
+                calls.append(key)
+                return body(*args)
+
+            return wrapper
+
+        for _f, seq_key, seq_loop, lane_key, lane_loop, _d in LOOP_PAIRS:
+            monkeypatch.setitem(
+                numba_backend._KERNEL_CACHE, seq_key, spy(seq_key, seq_loop)
+            )
+            monkeypatch.setitem(
+                numba_backend._KERNEL_CACHE, lane_key, spy(lane_key, lane_loop)
+            )
+
+        family = get_family("timeless")
+        h = drive()
+
+        monkeypatch.setattr(numba_backend, "active_threads", lambda: 1)
+        batch = family.make_batch(2, seed=0)
+        batch.begin_series(h[0])
+        numba_backend._timeless_fused_series(batch, h)
+        assert calls == ["timeless"]
+
+        monkeypatch.setattr(numba_backend, "active_threads", lambda: 3)
+        batch = family.make_batch(2, seed=0)
+        batch.begin_series(h[0])
+        numba_backend._timeless_fused_series(batch, h)
+        assert calls == ["timeless", "timeless-lanes"]
+
+    def test_prange_fallback_is_range_without_numba(self):
+        """The loop bodies stay importable and iterate identically on
+        numba-free hosts: prange must alias plain range there."""
+        if has_threading():
+            pytest.skip("numba present: prange is the real numba.prange")
+        assert numba_backend.prange is range

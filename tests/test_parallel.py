@@ -30,6 +30,7 @@ from repro.parallel import (
     run_sharded,
 )
 from repro.scenarios import scenario_samples
+from repro.sched import Calibration, ExecutionPlan, Probe
 
 FAMILY_NAMES = [family.name for family in list_families()]
 BACKEND_NAMES = [backend.name for backend in list_backends()]
@@ -92,6 +93,31 @@ class TestPlanShards:
         with pytest.raises(ParameterError):
             plan_shards(*bad)
 
+    def test_property_sweep(self):
+        """Every invariant, over the whole (n_cores, n_workers,
+        min_shard) grid the executors and the cost model rely on —
+        plan_shards is pure arithmetic, so exhaustive beats sampled."""
+        for n_cores in (1, 2, 3, 5, 7, 8, 16, 31, 64, 129, 512):
+            for n_workers in (1, 2, 3, 4, 7, 8, 16, 33):
+                for min_shard in (1, 2, 4, 9, 100):
+                    bounds = plan_shards(n_cores, n_workers, min_shard)
+                    label = (n_cores, n_workers, min_shard)
+                    # contiguous, ordered, exact cover of [0, n_cores)
+                    assert bounds[0][0] == 0, label
+                    assert bounds[-1][1] == n_cores, label
+                    for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                        assert stop == start, label
+                    widths = [stop - start for start, stop in bounds]
+                    # every shard non-empty, balanced to within one lane
+                    assert min(widths) >= 1, label
+                    assert max(widths) - min(widths) <= 1, label
+                    # never more shards than workers or lanes
+                    assert len(bounds) <= min(n_workers, n_cores), label
+                    # the min_shard floor: splitting never produces a
+                    # shard below it (a single shard may be the whole
+                    # ensemble, however small)
+                    assert len(bounds) == 1 or min(widths) >= min_shard, label
+
 
 class TestSpecs:
     def test_drive_spec_needs_exactly_one_route(self):
@@ -145,6 +171,18 @@ class TestSpecs:
                 stop=2,
                 drive=drive,
                 ensemble=spec,
+            )
+
+    def test_shard_spec_rejects_sub_one_threads(self):
+        with pytest.raises(ParameterError, match="threads"):
+            ShardSpec(
+                family="timeless",
+                n_cores_total=4,
+                start=0,
+                stop=2,
+                drive=DriveSpec(samples=np.zeros(3)),
+                ensemble=EnsembleSpec(family="timeless", n_cores=4),
+                threads=0,
             )
 
     def test_specs_pickle_round_trip(self):
@@ -226,6 +264,17 @@ class TestResolveWorkers:
         monkeypatch.setenv(MAX_WORKERS_ENV, "lots")
         with pytest.raises(ParameterError):
             resolve_workers(4)
+
+    @pytest.mark.parametrize("cap", ["0", "-1", "-8"])
+    def test_sub_one_env_cap_rejected(self, cap, monkeypatch):
+        """A sub-1 cap is a configuration error and must fail loudly —
+        the historical behaviour clamped it to 1, silently serialising
+        runs a broken CI matrix entry meant to parallelise."""
+        monkeypatch.setenv(MAX_WORKERS_ENV, cap)
+        with pytest.raises(ParameterError, match=">= 1"):
+            resolve_workers(4)
+        with pytest.raises(ParameterError, match=">= 1"):
+            resolve_workers(None)  # the default request hits it too
 
     def test_invalid_request_rejected(self):
         with pytest.raises(ParameterError):
@@ -418,6 +467,170 @@ class TestRunShardedValidation:
         assert_results_bitwise_equal(reference, sharded)
 
 
+def write_synthetic_calibration(path) -> None:
+    """A numpy-only calibration with a large measured pool overhead, so
+    ``plan="auto"`` deterministically picks the single-process numpy
+    plan on any host — correctness of the plan *plumbing* is what these
+    tests pin; plan *selection* is pinned in tests/test_sched.py."""
+    probes = tuple(
+        Probe(
+            family=name,
+            backend="numpy",
+            threads=1,
+            lanes=lanes,
+            samples=samples,
+            seconds=samples * (1e-6 + 1e-7 * lanes),
+        )
+        for name in FAMILY_NAMES
+        for lanes in (4, 16, 64)
+        for samples in (64, 256)
+    )
+    Calibration(
+        host={"hostname": "synthetic"},
+        probes=probes,
+        pool={
+            "base_seconds": 10.0,
+            "per_worker_seconds": 1.0,
+            "start_method": "fork",
+        },
+        created="2026-08-08T00:00:00",
+    ).save(path)
+
+
+class TestExecutionPlanPlumbing:
+    """``plan=`` owns the backend / pool / thread knobs end to end —
+    and never changes what is computed, only how."""
+
+    def _drive(self, family):
+        return scenario_samples(
+            "minor-loop-ladder", family.h_scale, family.h_scale / 40.0
+        )
+
+    def test_plan_and_n_workers_mutually_exclusive(self):
+        batch = get_family("timeless").make_batch(2, seed=0)
+        with pytest.raises(ParameterError, match="plan"):
+            run_sharded(
+                batch,
+                np.zeros(3),
+                n_workers=2,
+                plan=ExecutionPlan(backend="numpy"),
+            )
+
+    def test_invalid_plan_value_rejected(self):
+        batch = get_family("timeless").make_batch(2, seed=0)
+        with pytest.raises(ParameterError, match="plan must be"):
+            run_sharded(batch, np.zeros(3), plan="fast")
+
+    def test_explicit_plan_matches_unplanned_run(self):
+        """A hand plan through plan= is bitwise the same run as the
+        explicit n_workers knob it replaces — pooled and serial."""
+        family = get_family("timeless")
+        h = self._drive(family)
+        reference = run_sharded(
+            family.make_batch(N_CORES, seed=0), h, n_workers=N_WORKERS
+        )
+        for workers in (1, N_WORKERS):
+            planned = run_sharded(
+                family.make_batch(N_CORES, seed=0),
+                h,
+                plan=ExecutionPlan(backend="numpy", n_workers=workers),
+            )
+            assert_results_bitwise_equal(reference, planned)
+
+    def test_auto_plan_matches_unplanned_run(self, tmp_path, monkeypatch):
+        """plan="auto" against a persisted calibration: still bitwise
+        against the plain single-process run, for a live batch and for
+        an EnsembleSpec recipe."""
+        from repro.sched import CALIBRATION_ENV
+
+        target = tmp_path / "cal.json"
+        write_synthetic_calibration(target)
+        monkeypatch.setenv(CALIBRATION_ENV, str(target))
+        family = get_family("timeless")
+        h = self._drive(family)
+        reference = run_batch_series(family.make_batch(N_CORES, seed=0), h)
+        for source in (
+            family.make_batch(N_CORES, seed=0),
+            EnsembleSpec(family="timeless", n_cores=N_CORES, seed=0),
+        ):
+            sharded = run_sharded(source, h, plan="auto")
+            assert_results_bitwise_equal(reference, sharded)
+
+    def test_threads_clamped_to_host_affinity(self, monkeypatch):
+        """workers x threads never exceeds the CPU affinity: a plan
+        asking for more lane threads than the host has is clamped
+        before shard specs are cut."""
+        import repro.parallel.executor as executor
+
+        monkeypatch.setattr(executor, "available_cpus", lambda: 4)
+        seen = []
+        real_prepare = executor.prepare_job
+
+        def spying_prepare(source, drive, n_workers, min_shard, threads=1):
+            seen.append((n_workers, threads))
+            return real_prepare(source, drive, n_workers, min_shard, threads)
+
+        monkeypatch.setattr(executor, "prepare_job", spying_prepare)
+        family = get_family("timeless")
+        h = self._drive(family)
+        run_sharded(
+            family.make_batch(3, seed=0),
+            h,
+            plan=ExecutionPlan(
+                backend="numpy", n_workers=1, threads_per_worker=64
+            ),
+        )
+        assert seen == [(1, 4)]  # 64 requested, 4 CPUs -> 4 threads
+
+        seen.clear()
+        monkeypatch.setattr(executor, "available_cpus", lambda: 1)
+        run_sharded(
+            family.make_batch(3, seed=0),
+            h,
+            plan=ExecutionPlan(
+                backend="numpy", n_workers=1, threads_per_worker=64
+            ),
+        )
+        assert seen == [(1, 1)]
+        for workers, threads in seen:
+            assert workers * threads <= 1
+
+    def test_plan_threads_stamped_into_shard_specs(self):
+        """prepare_job carries the plan's thread count into every
+        ShardSpec (pooled shards always carry threads=1 — the planner
+        never composes the axes, and ExecutionPlan cannot express it)."""
+        from repro.parallel.executor import prepare_job
+
+        spec = EnsembleSpec(family="timeless", n_cores=6, seed=0)
+        drive = DriveSpec(samples=np.zeros(4))
+        serial_job = prepare_job(spec, drive, 1, 1, threads=2)
+        assert [s.threads for s in serial_job.specs] == [2]
+        serial_job.release()
+        pooled_job = prepare_job(spec, drive, 3, 1, threads=1)
+        assert [s.threads for s in pooled_job.specs] == [1, 1, 1]
+        pooled_job.release()
+
+    def test_apply_plan_backend_spec_is_repinned_copy(self):
+        from repro.parallel.executor import _apply_plan_backend
+
+        spec = EnsembleSpec(family="timeless", n_cores=4, seed=0)
+        replaced, restore = _apply_plan_backend(spec, "numpy")
+        assert replaced.backend == "numpy"
+        assert spec.backend is None  # the original spec is untouched
+        restore()  # no-op for immutable specs
+
+    def test_apply_plan_backend_live_batch_restores(self):
+        from repro.parallel.executor import _apply_plan_backend
+
+        batch = get_family("timeless").make_batch(3, seed=0)
+        previous = batch.backend
+        replaced, restore = _apply_plan_backend(batch, "numpy")
+        assert replaced is batch
+        assert batch.backend.name == "numpy"
+        restore()
+        assert batch.backend is previous
+
+
 class TestScenarioGrid:
     def test_grid_cells_match_single_process(self):
         families = ["timeless", "time-domain"]
@@ -502,6 +715,63 @@ class TestScenarioGrid:
         )
         for _, source, _ in cells:
             assert source.backend == "numpy"
+
+    def test_plan_conflicts_with_explicit_knobs(self):
+        plan = ExecutionPlan(backend="numpy")
+        kwargs = dict(n_cores=2, driver_step=250.0)
+        with pytest.raises(ParameterError, match="plan"):
+            run_scenario_grid(
+                ["timeless"], ["major-loop"], [1e3],
+                n_workers=2, plan=plan, **kwargs,
+            )
+        with pytest.raises(ParameterError, match="plan"):
+            run_scenario_grid(
+                ["timeless"], ["major-loop"], [1e3],
+                backend="numpy", plan=plan, **kwargs,
+            )
+
+    def test_invalid_plan_value_rejected(self):
+        with pytest.raises(ParameterError, match="plan must be"):
+            run_scenario_grid(
+                ["timeless"], ["major-loop"], [1e3],
+                n_cores=2, driver_step=250.0, plan="fast",
+            )
+
+    def test_explicit_plan_matches_unplanned_grid(self):
+        kwargs = dict(n_cores=3, seed=1, driver_step=250.0)
+        reference = run_scenario_grid(
+            ["timeless"], ["major-loop", "inrush"], [5e3],
+            n_workers=2, **kwargs,
+        )
+        planned = run_scenario_grid(
+            ["timeless"], ["major-loop", "inrush"], [5e3],
+            plan=ExecutionPlan(backend="numpy", n_workers=2), **kwargs,
+        )
+        for a, b in zip(reference, planned):
+            assert a.key == b.key
+            assert_results_bitwise_equal(a.result, b.result)
+
+    def test_auto_plan_grid_matches_unplanned(self, tmp_path, monkeypatch):
+        """One auto plan for the whole grid, from the persisted
+        calibration — every cell still bitwise against the explicit
+        run (one-backend-per-grid is preserved by construction)."""
+        from repro.sched import CALIBRATION_ENV
+
+        target = tmp_path / "cal.json"
+        write_synthetic_calibration(target)
+        monkeypatch.setenv(CALIBRATION_ENV, str(target))
+        kwargs = dict(n_cores=3, seed=1, driver_step=250.0)
+        reference = run_scenario_grid(
+            ["timeless", "preisach"], ["major-loop"], [5e3],
+            n_workers=1, **kwargs,
+        )
+        planned = run_scenario_grid(
+            ["timeless", "preisach"], ["major-loop"], [5e3],
+            plan="auto", **kwargs,
+        )
+        for a, b in zip(reference, planned):
+            assert a.key == b.key
+            assert_results_bitwise_equal(a.result, b.result)
 
 
 class DtypeExtrasShardedBatch:
