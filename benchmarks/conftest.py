@@ -23,6 +23,27 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
+def bench_json(results_dir) -> Callable:
+    """Writer for the machine-readable bench trajectory.
+
+    ``bench_json("EXP-B7", records, workers=..., calibration=...)``
+    lands ``results/BENCH-EXP-B7.json`` next to the text report — each
+    record a dict with at least ``op`` / ``n`` / ``seconds``.
+    """
+    from repro.experiments.runner import write_bench_json
+
+    def _write(experiment_id: str, records: list, **header) -> Path:
+        return write_bench_json(
+            results_dir / f"BENCH-{experiment_id}.json",
+            experiment_id,
+            records,
+            **header,
+        )
+
+    return _write
+
+
+@pytest.fixture(scope="session")
 def persist(results_dir) -> Callable:
     """Writer for ExperimentResult reports (and artefacts)."""
 

@@ -52,7 +52,7 @@ def _header(workers: int, backend: str) -> str:
     return results_header(backend=backend, workers=workers)
 
 
-def test_fused_sharded_speedup(benchmark, results_dir):
+def test_fused_sharded_speedup(benchmark, results_dir, bench_json):
     """The acceptance headline: fused shards across >= 4 real workers
     beat the single-process fused sweep >= 2x at N = 512; skipped (not
     failed) on smaller hosts."""
@@ -87,6 +87,15 @@ def test_fused_sharded_speedup(benchmark, results_dir):
     print("\n" + report)
     (results_dir / "EXP-B5_bench.txt").write_text(
         _header(workers, batch.backend.name) + report + "\n"
+    )
+    bench_json(
+        "EXP-B5",
+        [
+            {"op": "fused_sharded", "n": N_CORES, "seconds": sharded_seconds},
+            {"op": "fused_single", "n": N_CORES, "seconds": single_seconds},
+        ],
+        backend=batch.backend.name,
+        workers=workers,
     )
 
     # Bitwise equivalence of what was just timed (not a tolerance).

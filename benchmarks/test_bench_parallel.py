@@ -40,7 +40,7 @@ def _workload():
     return batch, h
 
 
-def test_sharded_speedup_over_single_process(benchmark, results_dir):
+def test_sharded_speedup_over_single_process(benchmark, results_dir, bench_json):
     """The acceptance headline: >= 2x over single-process at N = 512
     with >= 4 workers; skipped (not failed) on smaller hosts."""
     workers = resolve_workers(min(REQUIRED_WORKERS, available_cpus()))
@@ -75,6 +75,15 @@ def test_sharded_speedup_over_single_process(benchmark, results_dir):
         results_header(backend=batch.backend.name, workers=workers)
         + report
         + "\n"
+    )
+    bench_json(
+        "EXP-B3",
+        [
+            {"op": "sharded", "n": N_CORES, "seconds": sharded_seconds},
+            {"op": "single", "n": N_CORES, "seconds": single_seconds},
+        ],
+        backend=batch.backend.name,
+        workers=workers,
     )
 
     # Bitwise equivalence of what was just timed (not a tolerance).

@@ -28,7 +28,7 @@ from repro.parallel import available_cpus, resolve_workers
 REQUIRED_CPUS = 4
 
 
-def test_auto_plan_acceptance(benchmark, results_dir):
+def test_auto_plan_acceptance(benchmark, results_dir, bench_json):
     cpus = available_cpus()
     workers = resolve_workers(None)
     if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
@@ -69,6 +69,22 @@ def test_auto_plan_acceptance(benchmark, results_dir):
         )
         + summary
         + "\n"
+    )
+    bench_json(
+        "EXP-B6",
+        [
+            {
+                "op": f"{row['family']}:{row['plan']}",
+                "n": row["n_cores"],
+                "seconds": row["seconds"],
+                "backend": row["backend"],
+                "workers": row["workers"],
+                "threads": row["threads"],
+            }
+            for row in result.data["rows"]
+        ],
+        workers=workers,
+        calibration=result.data["calibration_id"],
     )
 
     # Correctness rides along on every measured plan.

@@ -1,0 +1,71 @@
+"""EXP-B7 bench: the warm-pool service layer's acceptance bar.
+
+EXP-B7 measures what the service stack buys over one-shot execution:
+cold vs warm submission latency (a persistent pre-warmed pool against
+a fresh ``multiprocessing`` pool per call), cache miss vs hit cost,
+and — the headline — the same scenario grid run twice through
+``run_scenario_grid(..., service=...)``.  Pass 1 computes every unique
+cell and inserts it; pass 2 is served entirely from the
+content-addressed cache, and must land **>= 5x** faster.
+
+Hosts granted < 4 real cores skip (not fail): with one or two workers
+the cold path barely pays any spin-up and the timing bars are noise —
+the tier-1 suite (``tests/test_service.py``) still pins all the
+correctness there (bitwise cache parity, dedupe, coalescing).  The
+table lands in ``results/EXP-B7.txt`` and the machine-readable
+trajectory in ``results/BENCH-EXP-B7.json``.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import results_header
+from repro.parallel import available_cpus, resolve_workers
+
+REQUIRED_CPUS = 4
+
+
+def test_service_warm_pool_acceptance(benchmark, results_dir, bench_json):
+    cpus = available_cpus()
+    workers = resolve_workers(None)
+    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
+        pytest.skip(
+            f"needs >= {REQUIRED_CPUS} real cores for meaningful warm-pool "
+            f"timing, host grants {workers} ({cpus} CPUs, "
+            "REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("EXP-B7", n_cores=256, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    (results_dir / "EXP-B7.txt").write_text(
+        results_header(
+            backend=", ".join(result.data["backends"]),
+            workers=result.data["workers"],
+        )
+        + result.render()
+        + "\n"
+    )
+    bench_json(
+        "EXP-B7",
+        result.data["rows"],
+        backend=", ".join(result.data["backends"]),
+        workers=result.data["workers"],
+    )
+
+    # Correctness rides along: the warm-pool result is the cold result.
+    assert result.data["warm_matches_cold"], result.data
+    assert result.data["pass2_matches_pass1"], result.data
+
+    # A cache hit must be far cheaper than its miss.
+    assert result.data["hit_seconds"] < result.data["miss_seconds"], (
+        result.data
+    )
+
+    # The bar: the repeated grid's second pass is served from the cache
+    # at >= 5x the first pass's speed.
+    assert result.data["grid_speedup"] >= 5.0, result.data

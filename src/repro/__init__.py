@@ -35,7 +35,7 @@ from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
 from repro.models import get_family, list_families
 from repro.scenarios import get_scenario, list_scenarios, run_scenario
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ArrayBackend",

@@ -33,6 +33,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     performance,
     planner_bench,
     scenario_grid,
+    service_bench,
     stability,
 )
 

@@ -14,8 +14,10 @@ directory.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -50,6 +52,65 @@ def results_header(
     return "".join(
         f"# {key}: {value}\n" for key, value in fields if value is not None
     )
+
+
+def write_bench_json(
+    path: Path,
+    experiment_id: str,
+    records: "list[dict]",
+    *,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    threads: "int | None" = None,
+    calibration: "str | None" = None,
+) -> Path:
+    """Machine-readable bench trajectory: ``results/BENCH-<exp>.json``.
+
+    The JSON twin of :func:`results_header` + the ``.txt`` tables: the
+    same stamp vocabulary (backend / workers / threads / calibration)
+    at the top level, plus one record per measured operation — each a
+    dict with at least ``op``, ``n`` and ``seconds``, free to carry
+    more.  Benchmarks write these alongside the text reports so the
+    performance trajectory is diffable and plottable across runs
+    without parsing tables.  Written atomically (temp file +
+    ``os.replace``) — CI uploads these as artifacts and must never
+    capture a half-written file.
+    """
+    for record in records:
+        missing = {"op", "n", "seconds"} - set(record)
+        if missing:
+            raise ValueError(
+                f"bench record is missing {sorted(missing)}: {record!r}"
+            )
+    payload = {
+        "experiment": experiment_id,
+        "records": list(records),
+    }
+    for key, value in (
+        ("backend", backend),
+        ("workers", workers),
+        ("threads", threads),
+        ("calibration", calibration),
+    ):
+        if value is not None:
+            payload[key] = value
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
+    return path
 
 
 def _write_result(result, output_dir: Path, backend_name: str) -> list[Path]:

@@ -523,6 +523,7 @@ def run_sharded(
     min_shard: int = 1,
     mp_context: str | None = None,
     plan=None,
+    pool=None,
 ) -> BatchSweepResult:
     """Run one ensemble drive sharded over a process pool.
 
@@ -560,10 +561,29 @@ def run_sharded(
         :func:`resolve_workers` (environment cap included) and
         ``threads_per_worker`` is reduced so ``workers × threads``
         never exceeds the CPU affinity.
+    pool:
+        A live :class:`~repro.service.pool.WorkerPool` to run the
+        shards on instead of spinning up (and tearing down) a one-shot
+        pool.  The live pool owns the pool width — mutually exclusive
+        with ``n_workers`` and ``mp_context``; a plan's width is
+        additionally clamped to the pool's, and ``plan="auto"`` prices
+        pooled candidates spin-up-free (the pool already paid it).
+        The pool is never closed here: it outlives this call by design.
 
     Returns the same :class:`~repro.batch.sweep.BatchSweepResult` the
     single-process executor produces — bitwise, lane order preserved.
     """
+    if pool is not None:
+        if n_workers is not None:
+            raise ParameterError(
+                "pass either pool= or n_workers=, not both: a live pool "
+                "owns the pool width"
+            )
+        if mp_context is not None:
+            raise ParameterError(
+                "mp_context applies to the one-shot pool run_sharded "
+                "creates; a live pool already carries its start method"
+            )
     drive, built = _resolve_drive(
         source, h_samples, scenario, h_max, driver_step
     )
@@ -582,8 +602,13 @@ def run_sharded(
         # stack, and plan=None callers never pay for (or depend on) it.
         from repro.sched.planner import resolve_plan
 
-        chosen = resolve_plan(plan, source, drive, min_shard=min_shard)
+        chosen = resolve_plan(
+            plan, source, drive, min_shard=min_shard,
+            warm_pool=pool is not None,
+        )
         workers = resolve_workers(chosen.n_workers)
+        if pool is not None:
+            workers = min(workers, pool.n_workers)
         threads = max(
             1, min(chosen.threads_per_worker, available_cpus() // workers)
         )
@@ -593,10 +618,14 @@ def run_sharded(
         finally:
             restore_backend()
     else:
-        workers = resolve_workers(n_workers)
+        workers = pool.n_workers if pool is not None else resolve_workers(
+            n_workers
+        )
         job = prepare_job(source, drive, workers, min_shard)
     if workers == 1 or len(job.specs) == 1:
         return run_job_serial(job)
+    if pool is not None:
+        return pool.execute([job])[0]
     ctx = get_context(mp_context)
-    with ctx.Pool(processes=min(workers, len(job.specs))) as pool:
-        return execute_jobs_pooled(pool, [job])[0]
+    with ctx.Pool(processes=min(workers, len(job.specs))) as one_shot:
+        return execute_jobs_pooled(one_shot, [job])[0]

@@ -8,10 +8,25 @@ and **all** cells' shard tasks funnel through one shared worker pool,
 chunked so only a bounded number of cells hold shared-memory buffers
 at a time.  Each cell's result is bitwise identical to running that
 cell alone through :func:`repro.batch.sweep.run_batch_series`.
+
+Grids **dedupe** before computing: callers composing ``h_max_values``
+from overlapping sources (a default ladder plus a spot-check list)
+historically paid for every duplicate combination; now each unique
+``(family, scenario, h_max)`` cell is computed once and duplicates are
+served the same result object (the collapse is logged).
+
+A grid can also run through a :class:`~repro.service.api.HysteresisService`
+via ``service=``: unique cells are first looked up in the service's
+content-addressed cache, only the misses are planned and computed (on
+the service's persistent warm pool), and fresh results are inserted so
+the next campaign starts warm.  The service deliberately stays
+duck-typed here — :mod:`repro.parallel.grid` never imports
+:mod:`repro.service`, which sits *above* it in the layer stack.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Sequence
@@ -26,6 +41,8 @@ from repro.parallel.executor import (
     run_job_serial,
 )
 from repro.parallel.spec import DriveSpec, EnsembleSpec
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -50,8 +67,8 @@ def _plan_cells(
     seed: int,
     driver_step: float | None,
     backend_name: str,
-) -> list[tuple[tuple[str, str, float], object, DriveSpec]]:
-    """Lightweight ``(key, source, drive)`` descriptor per grid cell.
+) -> list[tuple[tuple[str, str, float], EnsembleSpec, object, DriveSpec]]:
+    """Lightweight ``(key, spec, source, drive)`` descriptor per cell.
 
     Only the driver-step hints are resolved eagerly (one per family —
     the same full-recipe resolution ``run_sharded`` performs); when a
@@ -59,6 +76,8 @@ def _plan_cells(
     family's shard source directly, so neither the parent nor the
     workers construct it again.  The heavyweight per-cell work — full
     sample matrices, shared buffers — happens lazily, chunk by chunk.
+    The spec rides along even when a built batch is the source: it is
+    the stable recipe the service layer digests for cache keys.
 
     Every cell's spec is stamped with ``backend_name`` — the backend
     :func:`run_scenario_grid` resolved once at entry — so cells
@@ -82,8 +101,35 @@ def _plan_cells(
                     h_max=float(h_max),
                     driver_step=float(step),
                 )
-                cells.append(((family, scenario, float(h_max)), source, drive))
+                cells.append(
+                    ((family, scenario, float(h_max)), spec, source, drive)
+                )
     return cells
+
+
+def _dedupe_cells(planned):
+    """Collapse duplicate cell keys, preserving first-seen order.
+
+    Returns ``(unique, order)`` where ``unique`` maps each key to its
+    ``(spec, source, drive)`` descriptor and ``order`` is the original
+    key sequence (duplicates included) for final result assembly.
+    """
+    unique: dict = {}
+    order = []
+    for key, spec, source, drive in planned:
+        if key not in unique:
+            unique[key] = (spec, source, drive)
+        order.append(key)
+    collapsed = len(order) - len(unique)
+    if collapsed:
+        _log.info(
+            "run_scenario_grid collapsed %d duplicate cell(s): computing "
+            "%d unique of %d requested",
+            collapsed,
+            len(unique),
+            len(order),
+        )
+    return unique, order
 
 
 def run_scenario_grid(
@@ -100,6 +146,7 @@ def run_scenario_grid(
     chunk_cells: int = 8,
     mp_context: str | None = None,
     plan=None,
+    service=None,
 ) -> list[GridCell]:
     """Run the full grid, sharded, through one worker pool.
 
@@ -116,6 +163,10 @@ def run_scenario_grid(
     and shared-memory buffers at once — large grids stream through the
     pool chunk by chunk instead of materialising every cell up front.
 
+    Duplicate ``(family, scenario, h_max)`` combinations are collapsed
+    before planning: each unique cell is computed once and every
+    duplicate position in the returned list carries the same result.
+
     ``plan`` applies one calibrated execution plan to the whole grid
     (the one-campaign / one-configuration invariant above is why a grid
     takes a single plan, not one per cell): ``"auto"`` picks the shape
@@ -126,6 +177,18 @@ def run_scenario_grid(
     exclusive with ``backend`` / ``n_workers``, and it is clamped to
     this host exactly as in :func:`~repro.parallel.executor.run_sharded`.
 
+    ``service`` routes the grid through a live
+    :class:`~repro.service.api.HysteresisService`: unique cells are
+    looked up in its content-addressed cache first, **only the misses**
+    are planned (spin-up-free — the service's pool is already warm) and
+    computed on the service's persistent pool, and fresh results are
+    cached for the next campaign.  The service owns the pool, so
+    ``n_workers`` / ``mp_context`` are mutually exclusive with it; and
+    because the backend is part of the cache key (numpy's bitwise tier
+    and numba's rtol tier must never cross-serve), ``plan="auto"``
+    under a service prices only the width/thread axes — the backend
+    pins to ``backend`` (or the environment default) before lookup.
+
     Returns one :class:`GridCell` per combination, in
     ``families × scenarios × h_max_values`` order.
     """
@@ -135,6 +198,21 @@ def run_scenario_grid(
         )
     if chunk_cells < 1:
         raise ParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
+    if service is not None:
+        if n_workers is not None:
+            raise ParameterError(
+                "pass either service= or n_workers=, not both: the "
+                "service's pool owns the pool width"
+            )
+        if mp_context is not None:
+            raise ParameterError(
+                "mp_context applies to the one-shot pool the grid creates; "
+                "a service's pool already carries its start method"
+            )
+        return _run_grid_service(
+            families, scenarios, h_max_values, n_cores, seed, driver_step,
+            backend, min_shard, chunk_cells, plan, service,
+        )
     threads = 1
     if plan is not None:
         if backend is not None or n_workers is not None:
@@ -157,9 +235,10 @@ def run_scenario_grid(
                 families, scenarios, h_max_values, n_cores, seed,
                 driver_step, resolve_backend(None).name,
             )
+            unique_probe, _ = _dedupe_cells(probe)
             workloads = [
-                (family, n_cores, len(drive.full_samples(1)))
-                for (family, _, _), _, drive in probe
+                (key[0], n_cores, len(drive.full_samples(1)))
+                for key, (_, _, drive) in unique_probe.items()
             ]
             chosen = _plan_grid(workloads, min_shard=min_shard)
         else:
@@ -178,29 +257,119 @@ def run_scenario_grid(
         families, scenarios, h_max_values, n_cores, seed, driver_step,
         backend_name,
     )
+    unique, order = _dedupe_cells(planned)
 
-    cells: list[GridCell] = []
+    results: dict = {}
+    todo = list(unique.items())
     if workers == 1:
-        for (family, scenario, h_max), source, drive in planned:
+        for key, (_, source, drive) in todo:
             job = prepare_job(source, drive, workers, min_shard, threads)
-            cells.append(
-                GridCell(family, scenario, h_max, run_job_serial(job))
-            )
-        return cells
+            results[key] = run_job_serial(job)
+    else:
+        ctx = get_context(mp_context)
+        with ctx.Pool(processes=workers) as pool:
+            for offset in range(0, len(todo), chunk_cells):
+                chunk = todo[offset : offset + chunk_cells]
+                jobs = [
+                    prepare_job(source, drive, workers, min_shard, threads)
+                    for _, (_, source, drive) in chunk
+                ]
+                for (key, _), result in zip(
+                    chunk, execute_jobs_pooled(pool, jobs)
+                ):
+                    results[key] = result
+    return [GridCell(*key, results[key]) for key in order]
 
-    ctx = get_context(mp_context)
-    with ctx.Pool(processes=workers) as pool:
-        for offset in range(0, len(planned), chunk_cells):
-            chunk = planned[offset : offset + chunk_cells]
-            jobs = [
-                prepare_job(source, drive, workers, min_shard, threads)
-                for _, source, drive in chunk
-            ]
-            results = execute_jobs_pooled(pool, jobs)
-            cells.extend(
-                GridCell(family, scenario, h_max, result)
-                for ((family, scenario, h_max), _, _), result in zip(
-                    chunk, results
-                )
+
+def _run_grid_service(
+    families,
+    scenarios,
+    h_max_values,
+    n_cores,
+    seed,
+    driver_step,
+    backend,
+    min_shard,
+    chunk_cells,
+    plan,
+    service,
+):
+    """The ``service=`` route: cache lookups, then misses on the warm
+    pool.  The backend is resolved *before* planning — it is part of
+    every cache key, so the planner may only choose width/threads."""
+    backend_name = resolve_backend(backend).name
+    planned = _plan_cells(
+        families, scenarios, h_max_values, n_cores, seed, driver_step,
+        backend_name,
+    )
+    unique, order = _dedupe_cells(planned)
+
+    results: dict = {}
+    pending = []
+    for key, (spec, source, drive) in unique.items():
+        digest = service.digest_for(spec, drive)
+        hit = service.cache.get(digest)
+        if hit is not None:
+            results[key] = hit
+        else:
+            pending.append((key, digest, source, drive))
+    if len(unique) - len(pending):
+        _log.info(
+            "run_scenario_grid served %d of %d unique cell(s) from cache",
+            len(unique) - len(pending),
+            len(unique),
+        )
+
+    threads = 1
+    workers = service.pool.n_workers
+    if plan is not None and pending:
+        if backend is not None and plan != "auto":
+            raise ParameterError(
+                "pass either plan= or backend=, not both: an explicit "
+                "plan owns the backend axis"
             )
-    return cells
+        from repro.parallel.executor import available_cpus
+        from repro.sched.planner import ExecutionPlan
+        from repro.sched.planner import plan_grid as _plan_grid
+
+        if isinstance(plan, ExecutionPlan):
+            if resolve_backend(plan.backend).name != backend_name:
+                raise ParameterError(
+                    "a cached grid's backend is part of its cache keys: "
+                    f"plan backend {plan.backend!r} conflicts with the "
+                    f"grid backend {backend_name!r}"
+                )
+            chosen = plan
+        elif plan == "auto":
+            workloads = [
+                (key[0], n_cores, len(drive.full_samples(1)))
+                for key, _, _, drive in pending
+            ]
+            chosen = _plan_grid(
+                workloads,
+                min_shard=min_shard,
+                warm_pool=True,
+                backend=backend_name,
+            )
+        else:
+            raise ParameterError(
+                f"plan must be an ExecutionPlan or 'auto', got {plan!r}"
+            )
+        workers = min(resolve_workers(chosen.n_workers), workers)
+        threads = max(
+            1, min(chosen.threads_per_worker, available_cpus() // workers)
+        )
+
+    for offset in range(0, len(pending), chunk_cells):
+        chunk = pending[offset : offset + chunk_cells]
+        jobs = [
+            prepare_job(source, drive, workers, min_shard, threads)
+            for _, _, source, drive in chunk
+        ]
+        for (key, digest, _, _), result in zip(
+            chunk, service.pool.execute(jobs)
+        ):
+            # Hand the *frozen* cache entry onward so duplicates and
+            # later campaigns all see the same read-only arrays.
+            results[key] = service.cache.put(digest, result)
+    return [GridCell(*key, results[key]) for key in order]

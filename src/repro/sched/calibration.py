@@ -31,6 +31,7 @@ import json
 import os
 import platform
 import socket
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from multiprocessing import get_context
@@ -155,9 +156,26 @@ class Calibration:
             raise ParameterError(f"calibration file is incomplete: {exc}")
 
     def save(self, path: "Path | str | None" = None) -> Path:
+        """Persist atomically: write a temp file in the target directory
+        and ``os.replace`` it over the destination.  ``get_calibration``
+        auto-creates this file mid-run; a reader racing (or a writer
+        crashing) must see either the old complete file or the new one,
+        never a truncated JSON that would fail every later load."""
         target = Path(path) if path is not None else default_calibration_path()
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.to_json())
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self.to_json())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
         return target
 
     @classmethod

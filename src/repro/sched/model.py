@@ -141,11 +141,18 @@ class CostModel:
 
     def predict_sharded(
         self, family: str, backend: str, lanes: int, samples: int,
-        n_workers: int, min_shard: int = 1,
+        n_workers: int, min_shard: int = 1, warm_pool: bool = False,
     ) -> "float | None":
         """Predicted seconds for a pooled sharded run: pool spin-up plus
         the widest shard's compute (the makespan; shards run threads=1
-        inside pool workers — the planner never composes both axes)."""
+        inside pool workers — the planner never composes both axes).
+
+        ``warm_pool=True`` prices the spin-up at zero: a live
+        :class:`~repro.service.pool.WorkerPool` already paid the fork
+        (and, under ``fork``, the JIT warm-up its children inherited),
+        so a run dispatched onto it pays only shard compute — which is
+        exactly why the planner prefers wider plans for short grids
+        when a warm pool is attached."""
         from repro.parallel.plan import plan_shards
 
         fit = self.fit_for(family, backend, threads=1)
@@ -153,5 +160,9 @@ class CostModel:
             return None
         shards = plan_shards(lanes, n_workers, min_shard=min_shard)
         widest = max(stop - start for start, stop in shards)
-        overhead = self.pool_base + self.pool_per_worker * len(shards)
+        overhead = (
+            0.0
+            if warm_pool
+            else self.pool_base + self.pool_per_worker * len(shards)
+        )
         return overhead + fit.seconds(widest, samples)

@@ -151,6 +151,8 @@ def enumerate_candidates(
     samples: int,
     max_workers: "int | None" = None,
     min_shard: int = 1,
+    warm_pool: bool = False,
+    backend: "str | None" = None,
 ) -> "list[ExecutionPlan]":
     """Every executable candidate plan, priced, cheapest first.
 
@@ -158,14 +160,27 @@ def enumerate_candidates(
     calibrated thread count, pooled at each ladder width), constrained
     by the oversubscription and fork-safety rules above.  Combinations
     the calibration never probed are skipped, not guessed.
+
+    ``warm_pool=True`` prices pooled candidates without the spin-up
+    overhead (see :meth:`CostModel.predict_sharded`): with a live
+    :class:`~repro.service.pool.WorkerPool` attached, sharding starts
+    paying off on workloads the cold cost model would have kept serial.
+
+    ``backend`` pins the backend axis to that one backend — the
+    service layer's cache keys make the backend semantic, so planning
+    under a cache may only trade the width/thread axes.
     """
     from repro.backend import max_threads
     from repro.parallel.executor import available_cpus, resolve_workers
 
     cpus = available_cpus()
     cap = resolve_workers(max_workers)
+    pinned = backend
+    backends = model.backends(family)
+    if pinned is not None:
+        backends = tuple(b for b in backends if b == pinned)
     candidates: list[ExecutionPlan] = []
-    for backend in model.backends(family):
+    for backend in backends:
         seconds = model.predict_single(family, backend, lanes, samples)
         if seconds is not None:
             candidates.append(
@@ -201,7 +216,8 @@ def enumerate_candidates(
             if workers <= 1:
                 continue
             seconds = model.predict_sharded(
-                family, backend, lanes, samples, workers, min_shard
+                family, backend, lanes, samples, workers, min_shard,
+                warm_pool=warm_pool,
             )
             if seconds is None:
                 continue
@@ -217,8 +233,9 @@ def enumerate_candidates(
             )
     if not candidates:
         raise ParameterError(
-            f"the calibration has no probes for family {family!r}; "
-            "re-run python -m repro.sched.calibrate"
+            f"the calibration has no probes for family {family!r}"
+            + (f" on backend {pinned!r}" if pinned is not None else "")
+            + "; re-run python -m repro.sched.calibrate"
         )
     return sorted(candidates, key=lambda plan: plan.predicted_seconds)
 
@@ -230,19 +247,25 @@ def plan_for(
     calibration: "Calibration | None" = None,
     max_workers: "int | None" = None,
     min_shard: int = 1,
+    warm_pool: bool = False,
+    backend: "str | None" = None,
 ) -> ExecutionPlan:
     """The cheapest executable plan for one run.
 
     ``calibration=None`` loads (or, once per host, creates) the
     persisted calibration file — see
-    :func:`repro.sched.calibration.get_calibration`.
+    :func:`repro.sched.calibration.get_calibration`.  ``warm_pool``
+    prices pooled candidates spin-up-free (a live pool is attached);
+    ``backend`` pins the backend axis (the service layer's cache keys
+    include the backend, so a cached run may only plan width/threads).
     """
     family, lanes, n_samples = describe_workload(source, drive, samples)
     if calibration is None:
         calibration = get_calibration()
     model = CostModel.from_calibration(calibration)
     return enumerate_candidates(
-        model, family, lanes, n_samples, max_workers, min_shard
+        model, family, lanes, n_samples, max_workers, min_shard,
+        warm_pool=warm_pool, backend=backend,
     )[0]
 
 
@@ -251,6 +274,8 @@ def plan_grid(
     calibration: "Calibration | None" = None,
     max_workers: "int | None" = None,
     min_shard: int = 1,
+    warm_pool: bool = False,
+    backend: "str | None" = None,
 ) -> ExecutionPlan:
     """One plan for a whole grid of ``(family, lanes, samples)`` cells.
 
@@ -261,6 +286,12 @@ def plan_grid(
     cell, because the same shape costs differently per family.
     Candidate shapes must be priceable for **every** cell's family;
     shapes any cell cannot price are discarded.
+
+    ``backend`` pins the backend axis: only shapes on that backend are
+    considered, and the planner chooses width/threads alone.  The
+    service layer uses this — with a result cache attached the backend
+    is *semantic* (it is part of every cache key), so the planner must
+    not trade it away for speed.
     """
     if not workloads:
         raise ParameterError("plan_grid needs at least one workload cell")
@@ -274,17 +305,22 @@ def plan_grid(
         cell = {
             (p.backend, p.n_workers, p.threads_per_worker): p.predicted_seconds
             for p in enumerate_candidates(
-                model, family, int(lanes), int(samples), max_workers, min_shard
+                model, family, int(lanes), int(samples), max_workers,
+                min_shard, warm_pool=warm_pool,
             )
         }
         per_cell.append(cell)
     shared = set(per_cell[0])
     for cell in per_cell[1:]:
         shared &= set(cell)
+    if backend is not None:
+        shared = {shape for shape in shared if shape[0] == backend}
     if not shared:
         raise ParameterError(
             "no candidate plan shape is calibrated for every family in "
-            "this grid; re-run python -m repro.sched.calibrate"
+            "this grid"
+            + (f" on backend {backend!r}" if backend is not None else "")
+            + "; re-run python -m repro.sched.calibrate"
         )
     for shape in shared:
         totals[shape] = sum(cell[shape] for cell in per_cell)
@@ -306,12 +342,16 @@ def resolve_plan(
     samples: "int | None" = None,
     max_workers: "int | None" = None,
     min_shard: int = 1,
+    warm_pool: bool = False,
 ) -> ExecutionPlan:
     """Normalise the executor's ``plan=`` argument.
 
     ``"auto"`` plans from the persisted calibration; an
     :class:`ExecutionPlan` passes through unchanged (hand-written plans
     are first-class — the benchmarks race them against ``"auto"``).
+    ``warm_pool`` reaches the auto path only: the executor sets it when
+    a live pool is attached, so auto plans stop pricing a spin-up the
+    caller already paid.
     """
     if isinstance(plan, ExecutionPlan):
         return plan
@@ -322,6 +362,7 @@ def resolve_plan(
             samples=samples,
             max_workers=max_workers,
             min_shard=min_shard,
+            warm_pool=warm_pool,
         )
     raise ParameterError(
         f"plan must be an ExecutionPlan or 'auto', got {plan!r}"

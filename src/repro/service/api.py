@@ -1,0 +1,307 @@
+"""Hysteresis-as-a-service: one warm pool, one cache, many campaigns.
+
+:class:`HysteresisService` ties the three service pieces together:
+
+* a persistent :class:`~repro.service.pool.WorkerPool` — forked once
+  (fused JIT kernels pre-warmed in the parent so ``fork`` children
+  inherit them compiled), reused by every request, so successive
+  campaigns stop re-paying the calibration's measured ``pool_base``;
+* a content-addressed :class:`~repro.service.cache.ResultCache` —
+  requests are keyed by :func:`~repro.service.digest.spec_digest`
+  (ensemble recipe + drive + backend; never pool width or threads), so
+  a repeated request *is* its previous result;
+* an async front-end — :meth:`submit` returns an ``asyncio`` future,
+  :meth:`stream_grid` yields grid cells as they land, and identical
+  concurrent submissions **coalesce**: one computation feeds every
+  waiter with the same frozen result.
+
+Synchronous callers use :meth:`run` (same cache, same pool, no event
+loop needed), and :func:`repro.parallel.grid.run_scenario_grid` accepts
+the whole service via ``service=`` for cache-aware batch campaigns.
+
+Because cache keys include the backend name, auto-planning under the
+service is **backend-pinned**: the planner may trade pool width and
+lane threads (priced spin-up-free — the pool is already warm), but the
+backend axis is fixed by the request.  numpy's bitwise tier and
+numba's rtol tier never cross-serve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from functools import partial
+from pathlib import Path
+from typing import AsyncIterator, Sequence
+
+from repro.backend import resolve_backend
+from repro.batch.sweep import BatchSweepResult
+from repro.errors import ParameterError
+from repro.parallel.executor import run_sharded
+from repro.parallel.spec import DriveSpec, EnsembleSpec
+from repro.service.cache import ResultCache
+from repro.service.digest import spec_digest
+from repro.service.pool import WorkerPool
+
+#: Conventional spill location, relative to the repo/working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+class HysteresisService:
+    """A long-lived hysteresis computation service.
+
+    Parameters
+    ----------
+    n_workers / mp_context / warm:
+        Forwarded to :class:`~repro.service.pool.WorkerPool`; the pool
+        is created (and its kernels warmed) at construction, so the
+        first request already runs warm.
+    cache_entries:
+        In-memory LRU capacity of the result cache.
+    cache_dir:
+        Optional disk-spill directory (``DEFAULT_CACHE_DIR`` is the
+        convention: ``results/cache/``).  ``None`` keeps the cache
+        purely in-memory.
+    dispatch_threads:
+        Size of the thread pool the async front-end dispatches on.
+        Dispatch threads block on the worker pool's internal lock, so
+        this bounds *queued* requests, not parallel compute — the
+        parallelism lives in the shards.
+    """
+
+    def __init__(
+        self,
+        n_workers: "int | None" = None,
+        *,
+        mp_context: "str | None" = None,
+        warm: bool = True,
+        cache_entries: int = 128,
+        cache_dir: "Path | str | None" = None,
+        dispatch_threads: int = 2,
+    ) -> None:
+        if dispatch_threads < 1:
+            raise ParameterError(
+                f"dispatch_threads must be >= 1, got {dispatch_threads}"
+            )
+        self.pool = WorkerPool(n_workers, mp_context=mp_context, warm=warm)
+        self.cache = ResultCache(cache_entries, spill_dir=cache_dir)
+        self._dispatch = concurrent.futures.ThreadPoolExecutor(
+            max_workers=dispatch_threads, thread_name_prefix="hysteresis"
+        )
+        self._inflight: "dict[str, concurrent.futures.Future]" = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # -- content addressing -------------------------------------------
+
+    def digest_for(self, spec: EnsembleSpec, drive: DriveSpec) -> str:
+        """The cache key this service uses for one request."""
+        return spec_digest(spec, drive)
+
+    # -- synchronous front door ---------------------------------------
+
+    def run(
+        self,
+        spec: EnsembleSpec,
+        drive: DriveSpec,
+        *,
+        plan=None,
+        min_shard: int = 1,
+    ) -> BatchSweepResult:
+        """One request, synchronously: cache hit or warm-pool compute.
+
+        ``plan`` may be ``None`` (the pool's full width), ``"auto"``
+        (calibrated planning, spin-up-free and pinned to the request's
+        backend), or an explicit
+        :class:`~repro.sched.planner.ExecutionPlan` whose backend must
+        match the request's (cache keys include the backend).  The
+        returned result is the frozen cache entry — arrays read-only,
+        shared by every requester of this digest.
+        """
+        self._check_open()
+        digest = self.digest_for(spec, drive)
+        return self._fetch(digest, spec, drive, plan, min_shard)
+
+    # -- async front door ---------------------------------------------
+
+    def submit(
+        self,
+        spec: EnsembleSpec,
+        drive: DriveSpec,
+        *,
+        plan=None,
+        min_shard: int = 1,
+        loop: "asyncio.AbstractEventLoop | None" = None,
+    ) -> "asyncio.Future[BatchSweepResult]":
+        """Submit one request; returns an ``asyncio`` future.
+
+        The digest is computed eagerly (spec validation errors surface
+        at the call site, not inside the future); the cache lookup and
+        any compute run on a dispatch thread.  Identical in-flight
+        submissions coalesce onto one computation.
+        """
+        self._check_open()
+        digest = self.digest_for(spec, drive)
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise ParameterError(
+                    "HysteresisService.submit needs a running event loop "
+                    "(or an explicit loop=); synchronous callers should "
+                    "use HysteresisService.run"
+                ) from None
+        return loop.run_in_executor(
+            self._dispatch,
+            partial(self._fetch, digest, spec, drive, plan, min_shard),
+        )
+
+    async def stream_grid(
+        self,
+        families: Sequence[str],
+        scenarios: Sequence[str],
+        h_max_values: Sequence[float],
+        n_cores: int,
+        *,
+        seed: int = 0,
+        driver_step: "float | None" = None,
+        backend: "str | None" = None,
+        plan=None,
+        min_shard: int = 1,
+    ) -> AsyncIterator:
+        """Yield :class:`~repro.parallel.grid.GridCell`\\ s as they land.
+
+        The grid is deduped up front (each unique cell computed — or
+        cache-served — once) and cells complete in whatever order the
+        dispatch finishes them, cache hits typically first.  Unlike
+        :func:`~repro.parallel.grid.run_scenario_grid` this streams the
+        *unique* cells; callers wanting the full positional list should
+        use ``run_scenario_grid(..., service=self)``.
+        """
+        from repro.parallel.grid import GridCell, _dedupe_cells, _plan_cells
+
+        self._check_open()
+        backend_name = resolve_backend(backend).name
+        planned = _plan_cells(
+            list(families), list(scenarios), list(h_max_values), n_cores,
+            seed, driver_step, backend_name,
+        )
+        unique, _ = _dedupe_cells(planned)
+        loop = asyncio.get_running_loop()
+
+        async def one_cell(key, spec, source, drive):
+            digest = self.digest_for(spec, drive)
+            result = await loop.run_in_executor(
+                self._dispatch,
+                partial(self._fetch, digest, source, drive, plan, min_shard,
+                        spec),
+            )
+            return GridCell(*key, result)
+
+        pending = [
+            one_cell(key, spec, source, drive)
+            for key, (spec, source, drive) in unique.items()
+        ]
+        for finished in asyncio.as_completed(pending):
+            yield await finished
+
+    # -- internals ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ParameterError(
+                "this HysteresisService is closed; construct a new one"
+            )
+
+    def _fetch(
+        self, digest, source, drive, plan, min_shard, spec=None
+    ) -> BatchSweepResult:
+        """Cache hit, coalesced wait, or compute-and-insert.
+
+        ``source`` is what the executor runs (an
+        :class:`~repro.parallel.spec.EnsembleSpec` or an already-built
+        batch); ``spec`` is the digestable recipe when ``source`` is a
+        live batch (the grid's pre-built route).
+        """
+        hit = self.cache.get(digest)
+        if hit is not None:
+            return hit
+        with self._inflight_lock:
+            fut = self._inflight.get(digest)
+            if fut is None:
+                fut = concurrent.futures.Future()
+                self._inflight[digest] = fut
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            # Another thread is already computing this digest: wait for
+            # its frozen cache entry rather than duplicating the work.
+            return fut.result()
+        try:
+            result = self.cache.put(
+                digest,
+                self._compute(source, drive, plan, min_shard,
+                              spec if spec is not None else source),
+            )
+            fut.set_result(result)
+            return result
+        except BaseException as exc:
+            fut.set_exception(exc)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(digest, None)
+
+    def _compute(self, source, drive, plan, min_shard, spec):
+        """One warm-pool computation, backend-pinned when auto-planned."""
+        if plan == "auto":
+            from repro.sched.planner import plan_for
+
+            backend_name = resolve_backend(
+                spec.backend if isinstance(spec, EnsembleSpec) else None
+            ).name
+            plan = plan_for(
+                source, drive, min_shard=min_shard, warm_pool=True,
+                backend=backend_name,
+            )
+        elif plan is not None:
+            backend_name = resolve_backend(
+                spec.backend if isinstance(spec, EnsembleSpec) else None
+            ).name
+            if resolve_backend(plan.backend).name != backend_name:
+                raise ParameterError(
+                    "cache keys include the backend: plan backend "
+                    f"{plan.backend!r} conflicts with the request's "
+                    f"backend {backend_name!r}"
+                )
+        kwargs = dict(min_shard=min_shard, pool=self.pool)
+        if plan is not None:
+            kwargs["plan"] = plan
+        if drive.scenario is not None:
+            return run_sharded(
+                source,
+                scenario=drive.scenario,
+                h_max=drive.h_max,
+                driver_step=drive.driver_step,
+                **kwargs,
+            )
+        return run_sharded(source, drive.samples, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the dispatch threads and worker pool down.  Idempotent;
+        the cache (and any disk spill) stays readable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dispatch.shutdown(wait=True)
+        self.pool.close()
+
+    def __enter__(self) -> "HysteresisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,149 @@
+"""Canonical, stable digests of service workloads.
+
+The result cache (:mod:`repro.service.cache`) is content-addressed: a
+request is identified by a digest of *what* it computes — the
+``(EnsembleSpec, DriveSpec, backend)`` triple — and deliberately by
+nothing about *how* it executes.  Pool width, lane-thread count and
+shard geometry are excluded by construction: the sharded executor's
+reassembly is bitwise-identical to the single-process run (PR 3) and
+lane-major threading replays each lane's exact arithmetic sequence
+(PR 6), so any execution plan can serve any hit.
+
+The backend name **is** part of the key.  numpy results are bitwise
+pinned; numba trajectories carry the backend's rtol tier — serving one
+for the other would silently change what "cached" means, so the two
+can never cross-serve.
+
+Digests must be stable across processes and Python runs:
+:func:`canonicalise` normalises every payload value (dict-key order,
+dtype spellings, ndarray contents) into a canonical JSON-able form
+before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.backend import resolve_backend
+from repro.errors import ParameterError
+from repro.parallel.spec import DriveSpec, EnsembleSpec
+
+#: Bump when the canonical payload layout changes incompatibly — a new
+#: schema never collides with (or serves) digests of the old one.
+DIGEST_SCHEMA = 1
+
+
+def _array_token(value: np.ndarray) -> list:
+    """An ndarray as ``["ndarray", shape, canonical-dtype, sha256]``.
+
+    Shape and dtype are part of the token (the same bytes viewed as a
+    different shape or dtype are a different drive); the content hash
+    is over the C-contiguous bytes, so any memory layout of equal
+    values digests equally.
+    """
+    arr = np.ascontiguousarray(value)
+    return [
+        "ndarray",
+        list(arr.shape),
+        np.dtype(arr.dtype).str,
+        hashlib.sha256(arr.tobytes()).hexdigest(),
+    ]
+
+
+def canonicalise(value):
+    """Normalise one payload value into a canonical JSON-able form.
+
+    Handles the vocabulary a workload description needs — ``None``,
+    bools, ints, floats, strings, numpy scalars, dtypes (any spelling:
+    ``"float64"``, ``"<f8"``, ``np.float64`` and ``np.dtype(...)`` all
+    normalise to the same ``.str`` token), ndarrays, and dicts/lists/
+    tuples of those.  Dict keys must be strings and are sorted at
+    serialisation time, so insertion order never reaches the digest.
+    Anything else is an error, not a ``repr`` guess: an unhashable
+    payload means the caller is trying to digest something that is not
+    a reproducible recipe.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.dtype):
+        return ["dtype", value.str]
+    if isinstance(value, type) and issubclass(value, np.generic):
+        return ["dtype", np.dtype(value).str]
+    if isinstance(value, np.ndarray):
+        return _array_token(value)
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ParameterError(
+                    f"digest payload keys must be strings, got {key!r}"
+                )
+            out[key] = canonicalise(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalise(item) for item in value]
+    raise ParameterError(
+        f"cannot canonicalise a {type(value).__name__} into a digest "
+        "payload; digests cover reproducible recipe values only"
+    )
+
+
+def digest_payload(payload: dict) -> str:
+    """The hex digest of one canonicalised payload dict."""
+    text = json.dumps(canonicalise(payload), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def spec_digest(
+    ensemble: EnsembleSpec,
+    drive: DriveSpec,
+    backend: "str | None" = None,
+) -> str:
+    """The content address of one ``(ensemble, drive, backend)`` request.
+
+    ``backend`` overrides the spec's own backend field; when both are
+    ``None`` the ``REPRO_BACKEND`` environment default resolves — so a
+    spec left on the default backend and a spec explicitly pinned to it
+    digest identically (they compute identical results).  A scenario
+    drive must carry its resolved ``driver_step`` (the
+    :class:`~repro.parallel.spec.DriveSpec` validator enforces this):
+    the step is semantic — it changes the sample ladder — unlike pool
+    width or lane threads, which never appear in the payload.
+    """
+    if not isinstance(ensemble, EnsembleSpec):
+        raise ParameterError(
+            "spec_digest needs an EnsembleSpec recipe (live batch models "
+            f"are not content-addressable), got {type(ensemble).__name__}"
+        )
+    if not isinstance(drive, DriveSpec):
+        raise ParameterError(
+            f"spec_digest needs a DriveSpec, got {type(drive).__name__}"
+        )
+    backend_name = resolve_backend(
+        backend if backend is not None else ensemble.backend
+    ).name
+    payload = {
+        "schema": DIGEST_SCHEMA,
+        "family": ensemble.family,
+        "n_cores": ensemble.n_cores,
+        "seed": ensemble.seed,
+        "backend": backend_name,
+        "drive": {
+            "scenario": drive.scenario,
+            "h_max": drive.h_max,
+            "driver_step": drive.driver_step,
+            "samples": drive.samples,
+        },
+    }
+    return digest_payload(payload)

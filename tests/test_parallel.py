@@ -713,7 +713,8 @@ class TestScenarioGrid:
         cells = grid_mod._plan_cells(
             ["timeless"], ["major-loop"], [1e3], 2, 0, 100.0, "numpy"
         )
-        for _, source, _ in cells:
+        for _, spec, source, _ in cells:
+            assert spec.backend == "numpy"
             assert source.backend == "numpy"
 
     def test_plan_conflicts_with_explicit_knobs(self):

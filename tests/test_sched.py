@@ -637,3 +637,137 @@ class TestPlannerExperimentSmoke:
             assert cell["auto_vs_best"] > 0.0
             assert cell["spread"] >= 1.0
         assert "hand plans vs plan='auto'" in result.render()
+
+
+class TestAtomicCalibrationSave:
+    def test_save_replaces_in_one_rename(self, tmp_path, monkeypatch):
+        """save() stages the JSON in a temp file in the target's own
+        directory and os.replace()s it — same-filesystem rename, so a
+        racing reader sees either the old complete file or the new."""
+        import os
+
+        target = tmp_path / "cal.json"
+        synthetic_calibration().save(target)
+        new = synthetic_calibration(pool_base=0.07)
+
+        seen = {}
+        real_replace = os.replace
+
+        def tracking_replace(src, dst):
+            seen["src"], seen["dst"] = str(src), str(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(calibration_module.os, "replace", tracking_replace)
+        new.save(target)
+        assert seen["dst"] == str(target)
+        from pathlib import Path
+
+        assert Path(seen["src"]).parent == target.parent
+        assert Calibration.load(target).calibration_id == new.calibration_id
+
+    def test_failed_save_keeps_old_file_and_no_temp_litter(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "cal.json"
+        old = synthetic_calibration()
+        old.save(target)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            calibration_module.os, "replace", exploding_replace
+        )
+        with pytest.raises(OSError, match="disk full"):
+            synthetic_calibration(pool_base=0.07).save(target)
+        assert Calibration.load(target).calibration_id == old.calibration_id
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestWarmPoolPricing:
+    def test_predict_sharded_drops_spin_up_when_warm(self):
+        model = CostModel.from_calibration(synthetic_calibration())
+        cold = model.predict_sharded("timeless", "numpy", 64, 256, 4)
+        warm = model.predict_sharded(
+            "timeless", "numpy", 64, 256, 4, warm_pool=True
+        )
+        shards = plan_shards(64, 4)
+        overhead = 0.05 + 0.01 * len(shards)
+        assert cold == pytest.approx(warm + overhead)
+        widest = max(stop - start for start, stop in shards)
+        assert warm == pytest.approx(256 * (1e-6 + 1e-7 * widest))
+
+    def test_warm_pool_flips_serial_to_pooled(self, wide_host):
+        """With spin-up dominating, the cold planner stays serial; the
+        same workload priced against a live pool shards out."""
+        calibration = synthetic_calibration(
+            coeffs={("numpy", 1): (0.0, 1e-5)},
+            pool_base=10.0,
+            pool_per_worker=1.0,
+        )
+        spec = EnsembleSpec(family="timeless", n_cores=64, seed=0)
+        cold = plan_for(spec, samples=1000, calibration=calibration)
+        warm = plan_for(
+            spec, samples=1000, calibration=calibration, warm_pool=True
+        )
+        assert cold.n_workers == 1
+        assert warm.n_workers == 8
+        assert warm.predicted_seconds < cold.predicted_seconds
+
+    def test_warm_pool_never_changes_semantics(self, wide_host):
+        """warm_pool only reprices spin-up: the candidate *set* (and so
+        the executable shapes) is identical cold and warm."""
+        calibration = synthetic_calibration()
+        model = CostModel.from_calibration(calibration)
+        cold = enumerate_candidates(model, "timeless", 64, 256)
+        warm = enumerate_candidates(
+            model, "timeless", 64, 256, warm_pool=True
+        )
+        shapes = lambda plans: sorted(
+            (p.backend, p.n_workers, p.threads_per_worker) for p in plans
+        )
+        assert shapes(cold) == shapes(warm)
+
+
+class TestBackendPinnedPlanning:
+    def test_plan_for_backend_pin(self, wide_host):
+        calibration = synthetic_calibration(
+            coeffs={
+                ("numpy", 1): (1e-6, 1e-7),
+                ("numba", 1): (1e-8, 1e-9),
+            }
+        )
+        spec = EnsembleSpec(family="timeless", n_cores=16, seed=0)
+        free = plan_for(spec, samples=256, calibration=calibration)
+        assert free.backend == "numba"  # the cheap synthetic line wins
+        pinned = plan_for(
+            spec, samples=256, calibration=calibration, backend="numpy"
+        )
+        assert pinned.backend == "numpy"
+
+    def test_pin_to_uncalibrated_backend_rejected(self, wide_host):
+        spec = EnsembleSpec(family="timeless", n_cores=16, seed=0)
+        with pytest.raises(ParameterError, match="on backend"):
+            plan_for(
+                spec,
+                samples=256,
+                calibration=synthetic_calibration(),
+                backend="cupy",
+            )
+
+    def test_plan_grid_backend_pin(self, wide_host):
+        calibration = synthetic_calibration(
+            coeffs={
+                ("numpy", 1): (1e-6, 1e-7),
+                ("numba", 1): (1e-8, 1e-9),
+            }
+        )
+        workloads = [(name, 16, 256) for name in FAMILY_NAMES]
+        free = plan_grid(workloads, calibration=calibration)
+        assert free.backend == "numba"
+        pinned = plan_grid(
+            workloads, calibration=calibration, backend="numpy"
+        )
+        assert pinned.backend == "numpy"
+        with pytest.raises(ParameterError, match="on backend"):
+            plan_grid(workloads, calibration=calibration, backend="cupy")
