@@ -14,12 +14,12 @@ import numpy as np
 
 from repro.batch import BatchTimelessModel, run_batch_series
 from repro.experiments import run_experiment
-from repro.experiments.runner import results_header
 from repro.experiments.batch_ensemble import (
     make_ensemble,
     make_waveforms,
     run_scalar_ensemble,
 )
+from repro.experiments.runner import results_header
 
 N_CORES = 256
 #: Coarser driver than the experiment default keeps the scalar

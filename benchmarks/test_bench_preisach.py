@@ -15,12 +15,12 @@ import numpy as np
 from repro.batch.preisach import BatchPreisachModel
 from repro.batch.sweep import run_batch_series
 from repro.experiments import run_experiment
-from repro.experiments.runner import results_header
 from repro.experiments.batch_families import (
     make_drive,
     make_preisach_ensemble,
     run_scalar_ensemble,
 )
+from repro.experiments.runner import results_header
 
 N_CORES = 64
 N_CELLS = 24

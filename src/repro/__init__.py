@@ -31,11 +31,11 @@ from repro.core.model import TimelessJAModel
 from repro.core.slope import SlopeGuards
 from repro.core.sweep import SweepResult, run_sweep, run_sweep_dense
 from repro.errors import ReproError
-from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
+from repro.ja.parameters import PAPER_PARAMETERS, PRESETS, JAParameters
 from repro.models import get_family, list_families
 from repro.scenarios import get_scenario, list_scenarios, run_scenario
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ArrayBackend",

@@ -125,7 +125,7 @@ def timeless_series_loop(
         for j in range(n_cores):
             h = h2d[i, j]
             # core: algebraic refresh at the new field
-            m_an = _TWO_OVER_PI * math.atan((h + am[j] * m_tot[j]) / shape[j])
+            m_an = _TWO_OVER_PI * math.atan((h + am[j] * m_tot[j]) / shape[j])  # repro-lint: disable=L002 -- deliberate libm: this backend's documented rtol tier (PR 4)
             m_rev = c_arr[j] * m_an / one_c[j]
             # monitorH: the discretiser decision
             dh = h - h_acc[j]
@@ -211,7 +211,7 @@ def timeless_lane_series_loop(
     for j in prange(n_cores):
         for i in range(n_samples):
             h = h2d[i, j]
-            m_an = _TWO_OVER_PI * math.atan((h + am[j] * m_tot[j]) / shape[j])
+            m_an = _TWO_OVER_PI * math.atan((h + am[j] * m_tot[j]) / shape[j])  # repro-lint: disable=L002 -- deliberate libm: this backend's documented rtol tier (PR 4)
             m_rev = c_arr[j] * m_an / one_c[j]
             dh = h - h_acc[j]
             magnitude = abs(dh)
@@ -627,7 +627,7 @@ def time_domain_series_loop(
                 delta = 1.0 if dh >= 0.0 else -1.0
                 h_eff = h_cur[j] + am[j] * m[j]
                 x = h_eff / shape[j]
-                m_an = _TWO_OVER_PI * math.atan(x)
+                m_an = _TWO_OVER_PI * math.atan(x)  # repro-lint: disable=L002 -- deliberate libm: this backend's documented rtol tier (PR 4)
                 delta_m = m_an - m[j]
                 denominator = one_c[j] * (delta * k_arr[j] - am[j] * delta_m)
                 if denominator == 0.0:
@@ -698,7 +698,7 @@ def time_domain_lane_series_loop(
                 delta = 1.0 if dh >= 0.0 else -1.0
                 h_eff = h_cur[j] + am[j] * m[j]
                 x = h_eff / shape[j]
-                m_an = _TWO_OVER_PI * math.atan(x)
+                m_an = _TWO_OVER_PI * math.atan(x)  # repro-lint: disable=L002 -- deliberate libm: this backend's documented rtol tier (PR 4)
                 delta_m = m_an - m[j]
                 denominator = one_c[j] * (delta * k_arr[j] - am[j] * delta_m)
                 if denominator == 0.0:

@@ -12,7 +12,7 @@ The VHDL-AMS ``'INTEG`` baseline (implicit, solver-coupled) lives in
 """
 
 from repro.baselines.scipy_reference import ScipyTimeDomainResult, solve_time_domain
-from repro.baselines.time_domain import TimeDomainResult, TimeDomainJAModel
+from repro.baselines.time_domain import TimeDomainJAModel, TimeDomainResult
 
 __all__ = [
     "ScipyTimeDomainResult",

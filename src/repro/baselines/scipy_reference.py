@@ -17,12 +17,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.integrate import solve_ivp
 
+from repro.baselines.time_domain import TimeDomainJAModel
 from repro.constants import MU0
 from repro.core.slope import SlopeGuards
 from repro.errors import SolverError
 from repro.ja.anhysteretic import Anhysteretic, make_anhysteretic
 from repro.ja.parameters import JAParameters
-from repro.baselines.time_domain import TimeDomainJAModel
 from repro.waveforms.base import Waveform
 
 

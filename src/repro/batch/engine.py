@@ -26,11 +26,11 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.backend import ArrayBackend, as_backend
+from repro.batch.lanes import broadcast_lane, check_lane_range, check_series, trace_series
+from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.constants import DEFAULT_DHMAX, MU0, TWO_OVER_PI
 from repro.core.kernel import StepInputs, StepOutputs, refresh_algebraic, step_kernel
 from repro.core.slope import SlopeGuards, slice_guards, stack_guards
-from repro.batch.lanes import broadcast_lane, check_lane_range, check_series, trace_series
-from repro.batch.params import BatchJAParameters, stack_parameters
 from repro.errors import ParameterError
 from repro.ja.anhysteretic import (
     Anhysteretic,

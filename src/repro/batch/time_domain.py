@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.backend import ArrayBackend, as_backend
+from repro.baselines.time_domain import DIVERGENCE_LIMIT
 from repro.batch.lanes import (
     as_lane_matrix,
     broadcast_lane,
@@ -30,7 +31,6 @@ from repro.batch.lanes import (
     trace_series,
 )
 from repro.batch.params import BatchJAParameters, stack_parameters
-from repro.baselines.time_domain import DIVERGENCE_LIMIT
 from repro.constants import DEFAULT_DHMAX, MU0
 from repro.core.slope import SlopeGuards, slice_guards, stack_guards
 from repro.errors import ParameterError

@@ -6,18 +6,11 @@ the paper (see DESIGN.md section 4 for the index).  Experiments return
 tables and raw data; the CLI runner writes them to disk.
 """
 
-from repro.experiments.registry import (
-    ExperimentResult,
-    get_experiment,
-    list_experiments,
-    run_experiment,
-)
-
 # Importing the experiment modules registers them.
 from repro.experiments import (  # noqa: F401  (import for side effect)
-    accuracy,
     ablation_anhysteretic,
     ablation_guards,
+    accuracy,
     backend_fused,
     batch_ensemble,
     batch_families,
@@ -35,6 +28,12 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     scenario_grid,
     service_bench,
     stability,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
 )
 
 __all__ = [

@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro.backend import BACKEND_ENV, get_backend, list_backends, resolve_backend
+from repro.backend import BACKEND_ENV, list_backends, resolve_backend
 from repro.batch.engine import BatchTimelessModel
 from repro.batch.sweep import run_batch_series
 from repro.experiments.registry import ExperimentResult, register

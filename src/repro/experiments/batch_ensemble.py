@@ -29,7 +29,7 @@ from repro.core.model import TimelessJAModel
 from repro.core.sweep import waypoint_samples
 from repro.experiments.registry import ExperimentResult, register
 from repro.io.table import TextTable
-from repro.ja.parameters import JAParameters, PAPER_PARAMETERS
+from repro.ja.parameters import PAPER_PARAMETERS, JAParameters
 from repro.waveforms.sweeps import major_loop_waypoints
 
 

@@ -24,10 +24,10 @@ import time
 
 import numpy as np
 
+from repro.baselines.time_domain import TimeDomainJAModel
 from repro.batch.preisach import BatchPreisachModel
 from repro.batch.sweep import run_batch_series
 from repro.batch.time_domain import BatchTimeDomainModel
-from repro.baselines.time_domain import TimeDomainJAModel
 from repro.core.slope import SlopeGuards
 from repro.experiments.registry import ExperimentResult, register
 from repro.io.table import TextTable

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.comparison import compare_bh_curves
 from repro.core.inverse import FluxDrivenJAModel
 from repro.core.model import TimelessJAModel
 from repro.core.sweep import run_sweep

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.loops import extract_loops, loop_closure_error, loop_contains
 from repro.analysis.stability import audit_trajectory
 from repro.constants import DEFAULT_DHMAX, FIG1_H_MAX

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.constants import DEFAULT_DHMAX, FIG1_H_MAX
 from repro.core.model import TimelessJAModel
 from repro.core.sweep import run_sweep, waypoint_samples

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from repro.errors import ExperimentError
 from repro.io.table import TextTable
 

@@ -17,8 +17,6 @@ row is clean and the others are not.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.stability import audit_trajectory
 from repro.baselines.time_domain import TimeDomainJAModel
 from repro.batch.engine import BatchTimelessModel

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Union
 
 from repro.errors import SchedulingError
 from repro.hdl.kernel.events import Event

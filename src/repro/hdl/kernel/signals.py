@@ -11,7 +11,7 @@ hand-off (``core`` → ``hchanged`` → ``monitorH`` → ``trig`` →
 
 from __future__ import annotations
 
-from typing import Generic, TypeVar, TYPE_CHECKING
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.errors import SignalError
 from repro.hdl.kernel.events import Event

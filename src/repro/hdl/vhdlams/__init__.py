@@ -18,16 +18,16 @@ models the paper criticises).
 """
 
 from repro.hdl.vhdlams.above import AboveDetector
+from repro.hdl.vhdlams.ja_entity import TimelessJAArchitecture
+from repro.hdl.vhdlams.ja_integ import IntegJAArchitecture
 from repro.hdl.vhdlams.quantity import Quantity, QuantityReader
-from repro.hdl.vhdlams.system import AnalogProcess, AnalogSystem, Equation
 from repro.hdl.vhdlams.solver import (
     SolverOptions,
     SolverReport,
     TransientResult,
     TransientSolver,
 )
-from repro.hdl.vhdlams.ja_entity import TimelessJAArchitecture
-from repro.hdl.vhdlams.ja_integ import IntegJAArchitecture
+from repro.hdl.vhdlams.system import AnalogProcess, AnalogSystem, Equation
 
 __all__ = [
     "AboveDetector",

@@ -13,8 +13,7 @@ Newton behaviour and a trapezoidal LTE estimate.  All pathologies are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

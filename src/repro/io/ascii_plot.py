@@ -8,7 +8,6 @@ published figure.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

@@ -22,7 +22,7 @@ from repro.ja.equations import (
     magnetisation_slope_simplified,
     reversible_magnetisation,
 )
-from repro.ja.parameters import JAParameters, PAPER_PARAMETERS, PRESETS
+from repro.ja.parameters import PAPER_PARAMETERS, PRESETS, JAParameters
 from repro.ja.thermal import ThermalJAParameters
 
 __all__ = [

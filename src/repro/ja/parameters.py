@@ -15,7 +15,7 @@ kept so either anhysteretic can be selected without re-entering data.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Mapping
 
 from repro.errors import ParameterError

@@ -1,0 +1,69 @@
+"""``repro.lint`` — the repo's own AST-based invariant checker.
+
+Seven PRs of scaling accumulated load-bearing conventions that were
+only enforced by reviewer memory.  This package machine-enforces them
+as a custom static-analysis pass over the source tree:
+
+``L001`` layer-order
+    The import graph of ``src/repro/`` must respect the layer DAG
+    documented in :mod:`repro.lint.layers` (``parallel`` never imports
+    ``service``; ``sched`` sits above ``parallel``; ...), with an
+    explicit allowlist for the documented lazy-import cycle breaks.
+``L002`` bitwise-purity
+    No ``math.*`` transcendentals or float-accumulating builtins in
+    the kernel-parity modules — the PR 1 rule that ``math.atan`` vs
+    ``np.arctan`` differ by 1 ulp and silently break bitwise lane
+    equality.
+``L003`` numba-importability
+    Fused-driver loop bodies (and their ``prange`` twins) must stay
+    plain module-level, closure-free functions using nopython-safe
+    constructs — the interpreted-validation tests rely on it.
+``L004`` digest-completeness
+    Every semantic ``EnsembleSpec``/``DriveSpec`` dataclass field must
+    reach the ``spec_digest`` payload (a field that skips the digest
+    serves stale cache entries), modulo the execution-shape exclusion
+    list.
+``L005`` concurrency-hygiene
+    Caller-owned pools are never closed by executors, worker-side
+    ``SharedMemory`` attaches silence the resource tracker (CPython
+    gh-82300), and mutable default arguments are banned in
+    ``parallel``/``service``.
+
+Run it as ``python -m repro.lint`` (exit non-zero on violations,
+``--format json|text``, per-rule ``--select``/``--ignore``).  Inline
+pragmas suppress a rule on one line, with an optional justification
+after ``--``::
+
+    x = math.atan(y)  # repro-lint: disable=L002 -- scalar-only path
+
+New rules register the way array backends do: subclass
+:class:`~repro.lint.base.Rule` and decorate with
+:func:`~repro.lint.base.register_rule` (see ``repro/lint/rules/``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import (
+    ImportEdge,
+    Module,
+    Project,
+    Rule,
+    Violation,
+    get_rule,
+    list_rules,
+    register_rule,
+)
+from repro.lint.runner import DEFAULT_ROOT, lint_paths
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "ImportEdge",
+    "Module",
+    "Project",
+    "Rule",
+    "Violation",
+    "get_rule",
+    "lint_paths",
+    "list_rules",
+    "register_rule",
+]

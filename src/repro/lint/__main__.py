@@ -1,0 +1,104 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exit status 0 when the tree is clean, 1 on violations, 2 on usage
+errors.  ``--format json`` emits a machine-readable report (the CI
+artifact); the default text format prints one ``path:line:col: RULE
+message`` per violation, ruff/flake8 style.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.errors import ParameterError
+from repro.lint.base import list_rules
+from repro.lint.runner import DEFAULT_ROOT, lint_paths
+
+
+def _csv(value: str) -> "list[str]":
+    return [token.strip() for token in value.split(",") if token.strip()]
+
+
+def _relative(path: str) -> str:
+    try:
+        return os.path.relpath(path)
+    except ValueError:  # different drive (Windows) — keep absolute
+        return path
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro source tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to check (default: {DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_csv,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_csv,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in list_rules():
+            print(f"{cls.id}  {cls.name}: {cls.description}")
+        return 0
+
+    try:
+        violations, n_files = lint_paths(
+            args.paths or None, select=args.select, ignore=args.ignore
+        )
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        report = {
+            "schema": 1,
+            "files": n_files,
+            "rules": [cls.id for cls in list_rules()],
+            "violations": [
+                {**v.as_dict(), "path": _relative(v.path)} for v in violations
+            ],
+            "count": len(violations),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(
+                violation.render().replace(violation.path, _relative(violation.path), 1)
+            )
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(f"repro.lint: {n_files} files checked, {len(violations)} {noun}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

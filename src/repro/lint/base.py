@@ -1,0 +1,234 @@
+"""Shared machinery of the invariant checker: violations, parsed
+module records, pragma handling and the rule registry.
+
+Every rule shares **one** ``ast`` walk per file: the runner parses each
+source file into a :class:`Module` (tree + pragma table + lazily built
+import-edge list) and hands the same records to every registered rule.
+Rules are small visitor classes registered under a stable id
+(``L001``..) via :func:`register_rule` — the same registration idiom
+the array backends use, so later PRs add rules without touching the
+runner.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ParameterError
+
+#: Inline suppression pragma.  ``# repro-lint: disable=L002`` silences
+#: the named rule(s) on that physical line; everything after ``--`` is
+#: a human justification (required by convention for L002 waivers,
+#: never parsed).
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to an absolute dotted target.
+
+    ``lazy`` marks function-scoped imports — the deliberate
+    cycle-breaking idiom the layer rule allowlists, as opposed to
+    module-level (eager) imports which must always respect the DAG.
+    """
+
+    target: str
+    line: int
+    col: int
+    lazy: bool
+
+
+def parse_pragmas(lines: "list[str]") -> "dict[int, frozenset[str]]":
+    """Map 1-based line numbers to the rule ids disabled on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if rules:
+            table[number] = rules
+    return table
+
+
+def module_name_of(path: Path) -> "str | None":
+    """The dotted module name of a source file, anchored at the last
+    ``repro`` path segment (``src/repro/core/kernel.py`` →
+    ``repro.core.kernel``; fixture trees under ``tests/`` resolve the
+    same way).  ``None`` when the file is not under a ``repro`` tree.
+    """
+    parts = path.resolve().with_suffix("").parts
+    anchors = [i for i, part in enumerate(parts) if part == "repro"]
+    if not anchors:
+        return None
+    tail = parts[anchors[-1]:]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect every import edge of one module, marking lazy ones."""
+
+    def __init__(self, module: "Module") -> None:
+        self.module = module
+        self.edges: list[ImportEdge] = []
+        self._depth = 0
+
+    def visit_FunctionDef(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _add(self, target: str, node) -> None:
+        self.edges.append(
+            ImportEdge(target, node.lineno, node.col_offset, self._depth > 0)
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(alias.name, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Resolve relative imports against this module's package.
+            name = self.module.name or ""
+            pkg_parts = name.split(".") if name else []
+            if not self.module.is_package and pkg_parts:
+                pkg_parts = pkg_parts[:-1]
+            cut = len(pkg_parts) - (node.level - 1)
+            pkg_parts = pkg_parts[: max(cut, 0)]
+            base = ".".join(pkg_parts + ([node.module] if node.module else []))
+        if not base:
+            return
+        self._add(base, node)
+        # ``from repro import batch`` imports the subpackage too: record
+        # each alias as a candidate submodule edge so package-level
+        # rules see through the indirection (non-module attributes
+        # resolve to unknown names the rules simply skip).
+        for alias in node.names:
+            if alias.name != "*":
+                self._add(f"{base}.{alias.name}", node)
+
+
+class Module:
+    """One parsed source file: tree, pragma table, import edges."""
+
+    def __init__(self, path: Path, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.name = module_name_of(path)
+        self.is_package = path.name == "__init__.py"
+        self.pragmas = parse_pragmas(self.lines)
+        self._imports: "list[ImportEdge] | None" = None
+
+    @property
+    def package(self) -> "str | None":
+        """The top-level ``repro`` subpackage token this module belongs
+        to (``repro.core.kernel`` → ``"core"``); the root package's own
+        modules map to themselves (``repro.constants`` → ``"constants"``,
+        ``repro/__init__.py`` → ``"repro"``)."""
+        if self.name is None:
+            return None
+        parts = self.name.split(".")
+        return parts[1] if len(parts) > 1 else parts[0]
+
+    @property
+    def imports(self) -> "list[ImportEdge]":
+        if self._imports is None:
+            collector = _ImportCollector(self)
+            collector.visit(self.tree)
+            self._imports = collector.edges
+        return self._imports
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.pragmas.get(line, frozenset())
+
+
+class Project:
+    """Every module of one lint run — what whole-tree rules consume."""
+
+    def __init__(self, modules: "list[Module]") -> None:
+        self.modules = modules
+        self.by_name = {m.name: m for m in modules if m.name is not None}
+
+    def find(self, name: str) -> "Module | None":
+        return self.by_name.get(name)
+
+
+class Rule:
+    """Base class of one registered invariant check.
+
+    Subclasses set ``id``/``name``/``description`` and implement either
+    (or both) hooks; the runner calls ``check_module`` once per parsed
+    file and ``check_project`` once per run with the full tree.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: Module):
+        return ()
+
+    def check_project(self, project: Project):
+        return ()
+
+
+_RULES: "dict[str, type[Rule]]" = {}
+
+
+def register_rule(cls: "type[Rule]") -> "type[Rule]":
+    """Register a rule class under its id (duplicates are an error)."""
+    if not cls.id:
+        raise ParameterError(f"rule {cls.__name__} declares no id")
+    if cls.id in _RULES:
+        raise ParameterError(f"duplicate lint rule id {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> "type[Rule]":
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise ParameterError(f"unknown lint rule {rule_id!r}; registered: {known}")
+
+
+def list_rules() -> "list[type[Rule]]":
+    """All registered rule classes, sorted by id."""
+    return [_RULES[k] for k in sorted(_RULES)]

@@ -1,0 +1,15 @@
+"""Rule modules.  Importing this package registers every built-in rule
+with the registry in :mod:`repro.lint.base`; add a new rule by adding
+a module here (decorated with ``@register_rule``) and importing it
+below — the same grow-by-registration idiom the array backends use.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    bitwise_purity,
+    concurrency_hygiene,
+    digest_completeness,
+    layer_order,
+    numba_importability,
+)

@@ -1,0 +1,146 @@
+"""L004 — every semantic spec field must reach ``spec_digest``.
+
+The result cache (PR 7) is content-addressed: a request's identity is
+the digest of its ``(EnsembleSpec, DriveSpec, backend)`` triple.  The
+failure mode this rule exists for: someone adds a semantic field to a
+spec dataclass — a new anisotropy knob, a new drive shape — and
+forgets the digest payload.  Two genuinely different workloads then
+share a key and the cache **serves stale results**, silently, to every
+requester.
+
+The check is a static cross-reference: the dataclass fields of
+``EnsembleSpec``/``DriveSpec`` (wherever they are defined in the
+linted tree) against the attribute accesses ``spec_digest`` makes on
+its ``ensemble``/``drive`` parameters.  Execution-shape fields —
+pool width, lane threads — are *deliberately* excluded from digests
+(the PR 3/6 bitwise pins make them neutral), so they live on an
+explicit exclusion list rather than being silently skippable.
+
+The runtime backstop lives in :func:`repro.service.digest.spec_digest`
+itself (it rejects spec types with unknown extra fields); this rule is
+the build-time half of the same guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Module, Project, Rule, Violation, register_rule
+
+#: Fields that describe *how* a workload executes, not *what* it
+#: computes — excluded from digests by design (PR 3/PR 6: pool width
+#: and lane threading are bitwise-neutral).  Grow this list only for
+#: fields the ROADMAP documents as execution shape.
+EXECUTION_SHAPE_FIELDS = frozenset({"n_workers", "threads", "mp_context", "pool"})
+
+#: ``spec_digest`` parameter position -> spec class it must cover.
+SPEC_PARAMS = (("ensemble", "EnsembleSpec"), ("drive", "DriveSpec"))
+
+DIGEST_FUNCTION = "spec_digest"
+
+
+def _dataclass_fields(node: ast.ClassDef) -> "list[str]":
+    """Annotated instance fields of a dataclass body (``ClassVar`` and
+    underscore-private annotations excluded)."""
+    fields = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        if statement.target.id.startswith("_"):
+            continue
+        fields.append(statement.target.id)
+    return fields
+
+
+def _find_spec_classes(project: Project) -> "dict[str, tuple[Module, ast.ClassDef]]":
+    """Locate the spec dataclasses, preferring the canonical module
+    (``repro.parallel.spec``) when several trees are linted at once."""
+    found: "dict[str, tuple[Module, ast.ClassDef]]" = {}
+    wanted = {class_name for _, class_name in SPEC_PARAMS}
+    ordered = sorted(
+        project.modules,
+        key=lambda m: (m.name != "repro.parallel.spec", str(m.path)),
+    )
+    for module in ordered:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in wanted:
+                found.setdefault(node.name, (module, node))
+    return found
+
+
+@register_rule
+class DigestCompletenessRule(Rule):
+    id = "L004"
+    name = "digest-completeness"
+    description = (
+        "every EnsembleSpec/DriveSpec dataclass field must be read by "
+        "spec_digest (or sit on the execution-shape exclusion list) — "
+        "a skipped semantic field serves stale cache entries"
+    )
+
+    def check_project(self, project: Project):
+        digest_module = None
+        digest_fn = None
+        for module in project.modules:
+            for node in module.tree.body:
+                if (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name == DIGEST_FUNCTION
+                ):
+                    digest_module, digest_fn = module, node
+                    break
+            if digest_fn is not None:
+                break
+        if digest_fn is None:
+            return  # nothing to check in this tree
+        classes = _find_spec_classes(project)
+        if not classes:
+            return
+
+        params = [arg.arg for arg in digest_fn.args.args]
+        accessed: "dict[str, set[str]]" = {name: set() for name in params}
+        for node in ast.walk(digest_fn):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in accessed
+            ):
+                accessed[node.value.id].add(node.attr)
+
+        for position, (_, class_name) in enumerate(SPEC_PARAMS):
+            if class_name not in classes:
+                continue
+            if position >= len(params):
+                yield Violation(
+                    self.id,
+                    str(digest_module.path),
+                    digest_fn.lineno,
+                    digest_fn.col_offset,
+                    f"{DIGEST_FUNCTION} has no parameter for {class_name} "
+                    f"(expected at position {position})",
+                )
+                continue
+            param = params[position]
+            spec_module, spec_node = classes[class_name]
+            for field_name in _dataclass_fields(spec_node):
+                if field_name in EXECUTION_SHAPE_FIELDS:
+                    continue
+                if field_name in accessed[param]:
+                    continue
+                yield Violation(
+                    self.id,
+                    str(spec_module.path),
+                    spec_node.lineno,
+                    spec_node.col_offset,
+                    f"field {field_name!r} of {class_name} never reaches "
+                    f"the {DIGEST_FUNCTION} payload — two workloads "
+                    "differing only in it would share a cache key and "
+                    "serve stale results; add it to the payload (or, if "
+                    "it is execution shape, to the documented "
+                    "EXECUTION_SHAPE_FIELDS exclusion list)",
+                )

@@ -1,0 +1,89 @@
+"""L001 — the import graph must respect the layer DAG.
+
+The stack grew bottom-up (kernel → batch → parallel → sched →
+service); an import that reaches *up* the stack couples a lower layer
+to machinery built on top of it — the exact cycle the PR 5/PR 6
+gotchas document (``repro.batch`` importing ``repro.backend`` eagerly
+while the numba drivers need ``repro.batch.lanes``; the executor
+needing the planner that plans *for* it).  The documented escape hatch
+is a **function-scoped** import listed in
+:data:`repro.lint.layers.LAZY_ALLOWLIST`; everything else upward —
+eager or lazy — is a violation.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Module, Rule, Violation, register_rule
+from repro.lint.layers import LAZY_ALLOWLIST, rank_of
+
+
+def _package_of_target(target: str) -> "str | None":
+    """The layered package a dotted import target lands in, or ``None``
+    for anything outside the ``repro`` namespace."""
+    parts = target.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "repro"
+
+
+@register_rule
+class LayerOrderRule(Rule):
+    id = "L001"
+    name = "layer-order"
+    description = (
+        "imports must respect the layer DAG in repro.lint.layers; "
+        "upward imports are allowed only as allowlisted lazy cycle breaks"
+    )
+
+    def check_module(self, module: Module):
+        src = module.package
+        src_rank = rank_of(src)
+        if src_rank is None:
+            return
+        seen: set = set()
+        for edge in module.imports:
+            dst = _package_of_target(edge.target)
+            if dst is None or dst == src:
+                continue
+            # One statement yields a base edge plus one edge per alias;
+            # report each offending (line, package) pair once.
+            if (edge.line, dst, edge.lazy) in seen:
+                continue
+            seen.add((edge.line, dst, edge.lazy))
+            dst_rank = rank_of(dst)
+            if dst_rank is None:
+                # A repro subpackage missing from the layer table is a
+                # hole in the DAG — surface it rather than skipping.
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    edge.line,
+                    edge.col,
+                    f"package {dst!r} is not in the layer table "
+                    "(repro.lint.layers.LAYER_ORDER) — assign it a layer",
+                )
+                continue
+            if dst_rank < src_rank:
+                continue
+            if edge.lazy and (src, dst) in LAZY_ALLOWLIST:
+                continue
+            if edge.lazy:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    edge.line,
+                    edge.col,
+                    f"lazy import of {edge.target!r} reaches up the layer "
+                    f"DAG ({src} -> {dst}) but ({src!r}, {dst!r}) is not "
+                    "on the documented LAZY_ALLOWLIST in repro.lint.layers",
+                )
+            else:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    edge.line,
+                    edge.col,
+                    f"module-level import of {edge.target!r} violates the "
+                    f"layer DAG: {src!r} (layer {src_rank}) may not import "
+                    f"{dst!r} (layer {dst_rank}); see repro.lint.layers",
+                )

@@ -1,0 +1,176 @@
+"""L003 — fused-driver loop bodies stay plain importable functions.
+
+The numba backend's whole validation story (PRs 4–6) rests on one
+structural property: every JIT loop body — the sample-major drivers
+*and* their lane-major ``prange`` twins — is a **module-level,
+closure-free function using nopython-safe constructs**, so hosts
+without numba can interpret the identical code path
+(``tests/test_backend.py``, ``tests/test_backend_threaded.py``) and
+``prange`` degrades to ``range``.  A body that grows a closure, a
+``with`` block or a nested ``def`` still compiles *somewhere* but
+silently stops being the function the interpreted validation runs.
+
+Kernel bodies are found by the repo's own conventions:
+
+* the function named by the second argument of a ``_compiled(key,
+  body, ...)`` call (the per-process JIT cache idiom);
+* any module-level function whose name ends in ``_series_loop``
+  (drivers and their lane-major twins).
+
+Functions registered as fused drivers (``fused_series={...}`` mappings
+and ``_compiled`` bodies) must additionally be plain module-level
+names — not lambdas, not nested factories.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Module, Rule, Violation, register_rule
+
+#: Suffix naming convention of the loop bodies and their prange twins.
+BODY_SUFFIX = "_series_loop"
+
+
+def _module_level_functions(tree: ast.Module) -> "dict[str, ast.FunctionDef]":
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+class _NopythonVisitor(ast.NodeVisitor):
+    """Flag constructs a nopython/interpreted-twin body must not use."""
+
+    BANNED_STATEMENTS = {
+        ast.Try: "try/except needs the interpreter's exception machinery",
+        ast.With: "context managers are not nopython-safe",
+        ast.AsyncWith: "context managers are not nopython-safe",
+        ast.Global: "global mutation breaks the pure-loop contract",
+        ast.Nonlocal: "nonlocal implies a closure",
+        ast.Import: "imports inside a kernel body defeat importability",
+        ast.ImportFrom: "imports inside a kernel body defeat importability",
+        ast.Yield: "generators cannot compile nopython",
+        ast.YieldFrom: "generators cannot compile nopython",
+        ast.Await: "async constructs cannot compile nopython",
+        ast.Lambda: "lambdas are closures — hoist to a module-level def",
+        ast.JoinedStr: "f-strings are interpreter-only",
+    }
+
+    def __init__(self) -> None:
+        self.findings: "list[tuple[int, int, str]]" = []
+
+    def visit(self, node) -> None:
+        reason = self.BANNED_STATEMENTS.get(type(node))
+        if reason is not None:
+            self.findings.append((node.lineno, node.col_offset, reason))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"nested def {node.name!r} makes the body a closure "
+                    "factory — kernel bodies must be flat",
+                )
+            )
+            return  # don't descend: one finding per nested def
+        super().generic_visit(node)
+
+
+@register_rule
+class NumbaImportabilityRule(Rule):
+    id = "L003"
+    name = "numba-importability"
+    description = (
+        "fused-driver loop bodies and prange twins must be module-level, "
+        "closure-free and nopython-safe (the interpreted validation "
+        "tests run the same code path)"
+    )
+
+    def check_module(self, module: Module):
+        top_level = _module_level_functions(module.tree)
+        bodies: "dict[str, ast.FunctionDef]" = {
+            name: node
+            for name, node in top_level.items()
+            if name.endswith(BODY_SUFFIX)
+        }
+
+        for node in ast.walk(module.tree):
+            # _compiled(key, body): the body must be a module-level name.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "_compiled"
+                and len(node.args) >= 2
+            ):
+                body = node.args[1]
+                if isinstance(body, ast.Name) and body.id in top_level:
+                    bodies[body.id] = top_level[body.id]
+                else:
+                    yield Violation(
+                        self.id,
+                        str(module.path),
+                        node.lineno,
+                        node.col_offset,
+                        "_compiled() must be handed a module-level function "
+                        "by name — lambdas/nested defs are uninterpretable "
+                        "on hosts without numba",
+                    )
+            # fused_series={...}: registered drivers are module-level names.
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "fused_series" and isinstance(
+                        keyword.value, ast.Dict
+                    ):
+                        for value in keyword.value.values:
+                            if not (
+                                isinstance(value, ast.Name)
+                                and value.id in top_level
+                            ):
+                                yield Violation(
+                                    self.id,
+                                    str(module.path),
+                                    value.lineno,
+                                    value.col_offset,
+                                    "fused_series drivers must be "
+                                    "module-level functions registered by "
+                                    "name",
+                                )
+            # A *_series_loop defined anywhere but module level is a
+            # closure by construction.
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name.endswith(BODY_SUFFIX)
+                and node.name not in top_level
+            ):
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    f"kernel body {node.name!r} is not module-level — the "
+                    "interpreted validation tests cannot import it",
+                )
+
+        for name, fn in sorted(bodies.items()):
+            if fn.args.vararg is not None or fn.args.kwarg is not None:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    fn.lineno,
+                    fn.col_offset,
+                    f"kernel body {name!r} takes *args/**kwargs — nopython "
+                    "signatures must be explicit",
+                )
+            visitor = _NopythonVisitor()
+            for statement in fn.body:
+                visitor.visit(statement)
+            for line, col, reason in visitor.findings:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    line,
+                    col,
+                    f"kernel body {name!r}: {reason}",
+                )

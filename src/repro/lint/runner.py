@@ -1,0 +1,114 @@
+"""Drive the rules over a source tree and collect violations.
+
+One parse per file, every rule over the same records, pragma
+suppression applied at the end — see :mod:`repro.lint.base` for the
+shared machinery and ``repro/lint/rules/`` for the rules themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  (imports register the built-in rules)
+from repro.errors import ParameterError
+from repro.lint.base import Module, Project, Violation, list_rules
+
+#: What ``python -m repro.lint`` checks with no path arguments: the
+#: installed ``repro`` package tree itself.
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+
+
+def iter_python_files(paths: "list[Path]") -> "list[Path]":
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: "dict[Path, None]" = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                seen.setdefault(found.resolve(), None)
+        elif path.suffix == ".py" and path.exists():
+            seen.setdefault(path.resolve(), None)
+        else:
+            raise ParameterError(f"not a Python file or directory: {path}")
+    return sorted(seen)
+
+
+def select_rules(
+    select: "list[str] | None" = None,
+    ignore: "list[str] | None" = None,
+):
+    """The rule instances one run applies (``--select`` wins first,
+    then ``--ignore`` subtracts); unknown ids are an error."""
+    available = {cls.id: cls for cls in list_rules()}
+    chosen = list(available)
+    if select:
+        for rule_id in select:
+            if rule_id not in available:
+                raise ParameterError(
+                    f"unknown lint rule {rule_id!r}; "
+                    f"available: {', '.join(sorted(available))}"
+                )
+        chosen = [rid for rid in chosen if rid in set(select)]
+    if ignore:
+        for rule_id in ignore:
+            if rule_id not in available:
+                raise ParameterError(
+                    f"unknown lint rule {rule_id!r}; "
+                    f"available: {', '.join(sorted(available))}"
+                )
+        chosen = [rid for rid in chosen if rid not in set(ignore)]
+    return [available[rid]() for rid in chosen]
+
+
+def lint_paths(
+    paths: "list[Path] | None" = None,
+    select: "list[str] | None" = None,
+    ignore: "list[str] | None" = None,
+) -> "tuple[list[Violation], int]":
+    """Lint files/trees; returns ``(violations, files_checked)``.
+
+    Violations suppressed by an inline ``# repro-lint: disable=RULE``
+    pragma on their line are dropped.  Files that fail to parse yield
+    an ``E000`` violation (never suppressible) instead of aborting the
+    run.
+    """
+    files = iter_python_files(
+        [Path(p) for p in paths] if paths else [DEFAULT_ROOT]
+    )
+    modules: "list[Module]" = []
+    violations: "list[Violation]" = []
+    for path in files:
+        try:
+            modules.append(Module(path, path.read_text()))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    "E000",
+                    str(path),
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+    project = Project(modules)
+    by_path = {str(m.path): m for m in modules}
+
+    raw: "list[Violation]" = []
+    for rule in select_rules(select, ignore):
+        for module in modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(project))
+
+    seen: set = set()
+    for violation in raw:
+        key = (violation.rule, violation.path, violation.line, violation.col,
+               violation.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        module = by_path.get(violation.path)
+        if module is not None and module.suppressed(violation.rule, violation.line):
+            continue
+        violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, len(files)

@@ -6,16 +6,16 @@ that context — core geometries, material presets, a JA-cored inductor
 and transformer, and a small electrical co-simulation driving them.
 """
 
+from repro.magnetics.circuit import RLDriveCircuit, RLDriveResult
 from repro.magnetics.geometry import CoreGeometry, EICore, ToroidCore
 from repro.magnetics.inductor import HysteresisInductor
 from repro.magnetics.material import MagneticMaterial
-from repro.magnetics.circuit import RLDriveCircuit, RLDriveResult
 from repro.magnetics.transformer import HysteresisTransformer
 from repro.magnetics.units import (
     amps_per_meter_from_oersted,
+    gauss_from_tesla,
     oersted_from_amps_per_meter,
     tesla_from_gauss,
-    gauss_from_tesla,
 )
 
 __all__ = [

@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constants import MU0
 from repro.errors import ParameterError
 from repro.ja.parameters import (
     HARD_STEEL,
-    JAParameters,
     PAPER_PARAMETERS,
     SOFT_FERRITE,
+    JAParameters,
 )
 
 

@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.ja.parameters import JAParameters, PAPER_PARAMETERS
+from repro.ja.parameters import PAPER_PARAMETERS, JAParameters
 
 
 @dataclass(frozen=True)

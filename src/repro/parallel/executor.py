@@ -30,8 +30,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from multiprocessing import get_context
-from multiprocessing import resource_tracker, shared_memory
+from multiprocessing import get_context, resource_tracker, shared_memory
 
 import numpy as np
 

@@ -14,6 +14,8 @@ Importing this package registers the built-in catalogue
 (:mod:`repro.scenarios.library`).
 """
 
+# Importing the library registers the built-in catalogue.
+from repro.scenarios import library  # noqa: F401  (import for side effect)
 from repro.scenarios.registry import (
     Scenario,
     get_scenario,
@@ -21,9 +23,6 @@ from repro.scenarios.registry import (
     register_scenario,
 )
 from repro.scenarios.run import run_scenario, scenario_samples
-
-# Importing the library registers the built-in catalogue.
-from repro.scenarios import library  # noqa: F401  (import for side effect)
 
 __all__ = [
     "Scenario",

@@ -14,7 +14,6 @@ import sys
 
 from repro.sched.calibration import (
     SMOKE_BUDGET,
-    default_calibration_path,
     run_calibration,
 )
 

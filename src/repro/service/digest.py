@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import fields as dataclass_fields
 
 import numpy as np
 
@@ -34,6 +35,41 @@ from repro.parallel.spec import DriveSpec, EnsembleSpec
 #: Bump when the canonical payload layout changes incompatibly — a new
 #: schema never collides with (or serves) digests of the old one.
 DIGEST_SCHEMA = 1
+
+#: The spec fields this module knows how to serialise.  ``spec_digest``
+#: cross-checks the *actual* dataclass fields of what it is handed
+#: against these sets and refuses to digest a spec with unknown extras:
+#: silently skipping a semantic field would let two different workloads
+#: share a cache key.  (Lint rule L004 enforces the same property
+#: statically; this is its runtime backstop for subclasses and
+#: monkeypatched spec types the static pass never sees.)
+ENSEMBLE_DIGEST_FIELDS = frozenset({"family", "n_cores", "seed", "backend"})
+DRIVE_DIGEST_FIELDS = frozenset({"scenario", "h_max", "driver_step", "samples"})
+
+#: Fields describing *how* a workload executes rather than *what* it
+#: computes — excluded from digests by design (pool width and lane
+#: threads are bitwise-neutral per the PR 3/PR 6 pins), so their
+#: presence on a spec type is not an error.
+EXECUTION_SHAPE_FIELDS = frozenset({"n_workers", "threads", "mp_context", "pool"})
+
+
+def _check_digest_fields(spec, known: frozenset, label: str) -> None:
+    """Refuse to digest a spec type carrying fields the payload would
+    silently drop (a clear error beats a stale cache hit)."""
+    unknown = sorted(
+        field.name
+        for field in dataclass_fields(spec)
+        if field.name not in known and field.name not in EXECUTION_SHAPE_FIELDS
+    )
+    if unknown:
+        raise ParameterError(
+            f"{label} type {type(spec).__name__!r} carries fields "
+            f"spec_digest does not serialise: {', '.join(unknown)}; "
+            "digesting would silently drop them and serve stale cache "
+            "entries — add them to the digest payload (and bump "
+            "DIGEST_SCHEMA) or, for execution-shape knobs, to "
+            "EXECUTION_SHAPE_FIELDS"
+        )
 
 
 def _array_token(value: np.ndarray) -> list:
@@ -130,6 +166,8 @@ def spec_digest(
         raise ParameterError(
             f"spec_digest needs a DriveSpec, got {type(drive).__name__}"
         )
+    _check_digest_fields(ensemble, ENSEMBLE_DIGEST_FIELDS, "ensemble spec")
+    _check_digest_fields(drive, DRIVE_DIGEST_FIELDS, "drive spec")
     backend_name = resolve_backend(
         backend if backend is not None else ensemble.backend
     ).name

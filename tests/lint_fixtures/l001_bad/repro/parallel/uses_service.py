@@ -1,0 +1,13 @@
+"""Seeded L001 violations: ``parallel`` reaching up to ``service``.
+
+Never imported — parsed by the linter only.
+"""
+
+from repro.service.cache import ResultCache  # eager upward: violation
+
+
+def lazy_upward():
+    # Lazy, but (parallel, service) is not on the allowlist: violation.
+    from repro.service.pool import WorkerPool
+
+    return WorkerPool, ResultCache

@@ -1,0 +1,12 @@
+"""Seeded L002 violations in a kernel-parity module name.
+
+Never imported — parsed by the linter only.
+"""
+
+import math
+
+
+def step(x, values):
+    angle = math.atan(x)  # libm transcendental: violation
+    total = sum(values)  # left-to-right float accumulation: violation
+    return angle + total

@@ -1,0 +1,12 @@
+"""Clean twin of the L002 fixture: np ufuncs plus exact math members
+(constants and predicates are parity-safe).  Never imported."""
+
+import math
+
+import numpy as np
+
+
+def step(x, values):
+    if math.isnan(x):
+        return math.inf
+    return np.arctan(x) + np.sum(values)

@@ -1,0 +1,12 @@
+"""L002 fixture with an inline waiver: the violation on the pragma
+line is suppressed, the one without a pragma still fires."""
+
+import math
+
+
+def scalar_only(x):
+    return math.atan(x)  # repro-lint: disable=L002 -- deliberately scalar test path
+
+
+def unwaived(x):
+    return math.tanh(x)

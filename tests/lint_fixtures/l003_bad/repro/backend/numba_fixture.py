@@ -1,0 +1,19 @@
+"""Seeded L003 violations: kernel bodies that stop being plain
+importable functions.  Never imported — parsed only (the bare
+``_compiled`` names would not resolve at runtime)."""
+
+
+def make_loop(scale):
+    def hidden_series_loop(x):  # nested: a closure, not importable
+        return x * scale
+
+    return hidden_series_loop
+
+
+def bad_series_loop(out, n):
+    with open("x") as handle:  # context manager: not nopython-safe
+        out[0] = n + len(handle.name)
+
+
+def _kernel():
+    return _compiled("bad", lambda x: x)  # noqa: F821  (parse-only fixture)

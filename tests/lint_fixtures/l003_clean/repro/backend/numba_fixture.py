@@ -1,0 +1,27 @@
+"""Clean twin of the L003 fixture: a module-level, closure-free,
+nopython-safe loop body and its lane-major twin, registered by name."""
+
+import math
+
+
+def good_series_loop(h2d, out):
+    n_samples, n_cores = h2d.shape
+    for j in range(n_cores):
+        acc = 0.0
+        for i in range(n_samples):
+            value = h2d[i, j]
+            if math.isnan(value):
+                value = 0.0
+            acc = acc + value
+            out[i, j] = acc
+
+
+def good_lane_series_loop(h2d, out):
+    n_samples, n_cores = h2d.shape
+    for j in range(n_cores):  # prange in the real twins
+        for i in range(n_samples):
+            out[i, j] = h2d[i, j]
+
+
+def _kernel():
+    return _compiled("good", good_series_loop)  # noqa: F821  (parse-only)

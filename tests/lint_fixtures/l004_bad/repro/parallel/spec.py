@@ -1,0 +1,20 @@
+"""Seeded L004 violation: ``anisotropy`` is a semantic field the
+digest fixture never reads.  Never imported — parsed only."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    family: str
+    n_cores: int
+    seed: int = 0
+    backend: "str | None" = None
+    anisotropy: float = 0.0  # new semantic field, skipped by the digest
+    n_workers: int = 1  # execution shape: excluded by design, no violation
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    scenario: "str | None" = None
+    h_max: "float | None" = None

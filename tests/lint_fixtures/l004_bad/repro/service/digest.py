@@ -1,0 +1,12 @@
+"""Digest half of the seeded L004 fixture: reads every field except
+``anisotropy``.  Never imported — parsed only."""
+
+
+def spec_digest(ensemble, drive, backend=None):
+    return {
+        "family": ensemble.family,
+        "n_cores": ensemble.n_cores,
+        "seed": ensemble.seed,
+        "backend": backend or ensemble.backend,
+        "drive": {"scenario": drive.scenario, "h_max": drive.h_max},
+    }

@@ -1,0 +1,20 @@
+"""Clean twin of the L004 fixture: every semantic field is read by
+the digest, the execution-shape field is excluded by the documented
+list.  Never imported — parsed only."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    family: str
+    n_cores: int
+    seed: int = 0
+    backend: "str | None" = None
+    n_workers: int = 1  # execution shape: excluded by design
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    scenario: "str | None" = None
+    h_max: "float | None" = None

@@ -1,0 +1,11 @@
+"""Digest half of the clean L004 twin: reads every semantic field."""
+
+
+def spec_digest(ensemble, drive, backend=None):
+    return {
+        "family": ensemble.family,
+        "n_cores": ensemble.n_cores,
+        "seed": ensemble.seed,
+        "backend": backend or ensemble.backend,
+        "drive": {"scenario": drive.scenario, "h_max": drive.h_max},
+    }

@@ -1,0 +1,21 @@
+"""Seeded L005 violations: closing a borrowed pool, an unsilenced
+SharedMemory attach, and a mutable default.  Never imported."""
+
+from multiprocessing import shared_memory
+
+
+def run_on(pool, jobs):
+    results = pool.map(len, jobs)
+    pool.close()  # borrowed pool: violation
+    return results
+
+
+def attach(name):
+    # No resource-tracker silencing and no track=False: violation.
+    shm = shared_memory.SharedMemory(name=name)
+    return shm
+
+
+def collect(values, into=[]):  # mutable default: violation
+    into.extend(values)
+    return into

@@ -1,0 +1,29 @@
+"""Clean twin of the L005 fixture: borrowed pool left alive, attach
+silences the resource tracker (the gh-82300 idiom), create-side call
+tracked on purpose, immutable default.  Never imported."""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def run_on(pool, jobs):
+    return pool.map(len, jobs)
+
+
+def attach(name):
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+    return shm
+
+
+def create(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def collect(values, into=None):
+    into = [] if into is None else into
+    into.extend(values)
+    return into

@@ -16,7 +16,6 @@ from repro.batch import (
     BatchJAParameters,
     BatchTimelessModel,
     run_batch_series,
-    run_batch_sweep,
     sweep,
 )
 from repro.core.model import TimelessJAModel

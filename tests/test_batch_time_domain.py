@@ -9,9 +9,9 @@ pathology counters matching the scalar accounting exactly.
 import numpy as np
 import pytest
 
+from repro.baselines.time_domain import TimeDomainJAModel
 from repro.batch.sweep import run_batch_series
 from repro.batch.time_domain import BatchTimeDomainModel
-from repro.baselines.time_domain import TimeDomainJAModel
 from repro.core.slope import SlopeGuards
 from repro.errors import ParameterError
 from repro.ja.parameters import (

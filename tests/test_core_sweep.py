@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.model import TimelessJAModel
 from repro.core.sweep import (
-    SweepResult,
     concatenate_sweeps,
     run_sweep,
     run_sweep_dense,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KernelError, SignalError
-from repro.hdl.kernel import Module, Scheduler, Signal, SimTime
+from repro.hdl.kernel import Module, Scheduler, SimTime
 from repro.hdl.kernel.tracing import Tracer
 
 

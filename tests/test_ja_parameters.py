@@ -7,11 +7,11 @@ import pytest
 from repro.errors import ParameterError
 from repro.ja.parameters import (
     HARD_STEEL,
-    JAParameters,
     JILES_ATHERTON_1984,
     PAPER_PARAMETERS,
     PRESETS,
     SOFT_FERRITE,
+    JAParameters,
     get_preset,
 )
 

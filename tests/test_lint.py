@@ -1,0 +1,239 @@
+"""repro.lint — the AST invariant checker.
+
+Every rule must catch its seeded-violation fixture, pass its clean
+twin, respect inline ``disable=`` pragmas, and the real source tree
+must be clean (the CI gate in executable form).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lint import (
+    DEFAULT_ROOT,
+    Rule,
+    Violation,
+    get_rule,
+    lint_paths,
+    list_rules,
+    register_rule,
+)
+from repro.lint.base import _RULES, Module
+from repro.lint.layers import LAYER_ORDER, LAZY_ALLOWLIST, RANK, rank_of
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ALL_RULES = ("L001", "L002", "L003", "L004", "L005")
+
+
+def rules_hit(paths, **kwargs):
+    violations, _ = lint_paths(paths, **kwargs)
+    return violations, {v.rule for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: every rule catches its seeded violation and passes its twin
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_rule_catches_seeded_fixture(rule_id):
+    bad = FIXTURES / f"{rule_id.lower()}_bad"
+    _, hit = rules_hit([bad])
+    assert rule_id in hit, f"{rule_id} missed its seeded fixture"
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_rule_passes_clean_twin(rule_id):
+    clean = FIXTURES / f"{rule_id.lower()}_clean"
+    violations, hit = rules_hit([clean], select=[rule_id])
+    assert not violations, (
+        f"{rule_id} false-positives on its clean twin: "
+        + "; ".join(v.render() for v in violations)
+    )
+
+
+def test_l001_flags_both_eager_and_unlisted_lazy():
+    violations = rules_hit([FIXTURES / "l001_bad"], select=["L001"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "module-level import" in messages
+    assert "lazy import" in messages
+    assert len(violations) == 2
+
+
+def test_l002_reports_both_transcendental_and_sum():
+    violations = rules_hit([FIXTURES / "l002_bad"], select=["L002"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "math.atan" in messages and "np.arctan" in messages
+    assert "sum()" in messages
+
+
+def test_l003_reports_nested_body_with_block_and_lambda():
+    violations = rules_hit([FIXTURES / "l003_bad"], select=["L003"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "not module-level" in messages
+    assert "context managers" in messages
+    assert "_compiled()" in messages
+
+
+def test_l004_names_the_skipped_field_and_excludes_execution_shape():
+    violations = rules_hit([FIXTURES / "l004_bad"], select=["L004"])[0]
+    assert len(violations) == 1
+    assert "'anisotropy'" in violations[0].message
+    # n_workers is execution shape — excluded, not a violation.
+    assert "n_workers" not in violations[0].message
+
+
+def test_l005_reports_all_three_hygiene_classes():
+    violations = rules_hit([FIXTURES / "l005_bad"], select=["L005"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "caller-owned pool" in messages
+    assert "resource tracker" in messages
+    assert "mutable default" in messages
+    assert len(violations) == 3
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_suppresses_only_its_line():
+    violations = rules_hit([FIXTURES / "l002_pragma"], select=["L002"])[0]
+    assert len(violations) == 1
+    assert "math.tanh" in violations[0].message
+
+
+def test_pragma_parsing_multiple_rules_and_justification():
+    source = "x = 1  # repro-lint: disable=L001, L002 -- reason here\n"
+    module = Module(FIXTURES / "l002_bad" / "repro" / "core" / "kernel.py", source)
+    assert module.pragmas == {1: frozenset({"L001", "L002"})}
+
+
+# ---------------------------------------------------------------------------
+# The real tree is clean (same property the CI gate enforces)
+# ---------------------------------------------------------------------------
+
+
+def test_real_tree_is_clean():
+    violations, n_files = lint_paths([DEFAULT_ROOT])
+    assert n_files > 100  # the whole src/repro tree, not a subset
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+def test_cli_exits_zero_on_real_tree_and_nonzero_on_fixture():
+    env_path = str(REPO_ROOT / "src")
+    ok = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    report = json.loads(ok.stdout)
+    assert report["count"] == 0 and report["files"] > 100
+    assert report["rules"] == list(ALL_RULES)
+
+    bad = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            "--format",
+            "json",
+            str(FIXTURES / "l001_bad"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert bad.returncode == 1
+    report = json.loads(bad.stdout)
+    assert report["count"] == 2
+    assert {v["rule"] for v in report["violations"]} == {"L001"}
+
+
+# ---------------------------------------------------------------------------
+# Selection, registry, runner plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_select_and_ignore():
+    bad = FIXTURES / "l002_bad"
+    assert rules_hit([bad], select=["L001"])[1] == set()
+    assert rules_hit([bad], ignore=["L002"])[1] == set()
+    assert rules_hit([bad], select=["L002"])[1] == {"L002"}
+    with pytest.raises(ParameterError, match="unknown lint rule"):
+        lint_paths([bad], select=["L999"])
+
+
+def test_registry_lists_five_rules_and_rejects_duplicates():
+    ids = [cls.id for cls in list_rules()]
+    assert ids == list(ALL_RULES)
+    assert get_rule("L001").name == "layer-order"
+    with pytest.raises(ParameterError, match="duplicate lint rule"):
+
+        @register_rule
+        class Duplicate(Rule):
+            id = "L001"
+
+    # a new id registers and unregisters cleanly (the backend idiom)
+    @register_rule
+    class Custom(Rule):
+        id = "L999"
+        name = "custom"
+
+        def check_module(self, module):
+            return [Violation("L999", str(module.path), 1, 0, "hello")]
+
+    try:
+        hit = rules_hit([FIXTURES / "l002_clean"], select=["L999"])[1]
+        assert hit == {"L999"}
+    finally:
+        del _RULES["L999"]
+
+
+def test_syntax_error_becomes_e000(tmp_path):
+    broken = tmp_path / "repro" / "core"
+    broken.mkdir(parents=True)
+    (broken / "oops.py").write_text("def broken(:\n")
+    violations, _ = lint_paths([tmp_path])
+    assert [v.rule for v in violations] == ["E000"]
+
+
+def test_unknown_path_is_an_error(tmp_path):
+    with pytest.raises(ParameterError, match="not a Python file"):
+        lint_paths([tmp_path / "missing.py"])
+
+
+# ---------------------------------------------------------------------------
+# The layer table itself
+# ---------------------------------------------------------------------------
+
+
+def test_layer_table_covers_every_real_package():
+    packages = {
+        child.name
+        for child in (DEFAULT_ROOT).iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    }
+    packages |= {"repro", "constants", "errors"}
+    assert packages <= set(RANK), sorted(packages - set(RANK))
+
+
+def test_layer_invariants_parallel_service_sched():
+    assert RANK["parallel"] < RANK["service"]  # parallel never imports service
+    assert RANK["sched"] > RANK["parallel"]  # sched sits above parallel
+    assert ("parallel", "sched") in LAZY_ALLOWLIST  # the documented break
+    assert ("parallel", "service") not in LAZY_ALLOWLIST
+    assert rank_of("nonexistent") is None
+    assert len([p for layer in LAYER_ORDER for p in layer]) == len(RANK)

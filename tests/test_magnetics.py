@@ -18,7 +18,7 @@ from repro.magnetics import (
     oersted_from_amps_per_meter,
     tesla_from_gauss,
 )
-from repro.magnetics.material import FERRITE, MagneticMaterial, PAPER_STEEL
+from repro.magnetics.material import FERRITE, PAPER_STEEL, MagneticMaterial
 from repro.waveforms import SineWave
 
 

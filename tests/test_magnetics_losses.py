@@ -1,6 +1,5 @@
 """Tests for repro.magnetics.losses (Steinmetz characterisation)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AnalysisError

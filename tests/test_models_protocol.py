@@ -18,8 +18,8 @@ import numpy as np
 import pytest
 
 from repro.backend import get_backend, list_backends
-from repro.core.sweep import waypoint_samples
 from repro.batch.sweep import run_batch_series
+from repro.core.sweep import waypoint_samples
 from repro.models import (
     BatchHysteresisModel,
     HysteresisModel,

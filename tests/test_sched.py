@@ -32,11 +32,11 @@ from repro.parallel.plan import plan_shards
 from repro.parallel.spec import EnsembleSpec
 from repro.sched import (
     CALIBRATION_ENV,
+    SCHEMA_VERSION,
     Calibration,
     CostModel,
     ExecutionPlan,
     Probe,
-    SCHEMA_VERSION,
     default_calibration_path,
     describe_workload,
     enumerate_candidates,

@@ -249,3 +249,47 @@ def test_live_batches_are_not_content_addressable():
         spec_digest(spec.build_batch(), DriveSpec(**BASE_DRIVE))
     with pytest.raises(ParameterError, match="DriveSpec"):
         spec_digest(spec, np.zeros(4))
+
+
+# ---------------------------------------------------------------------------
+# Unknown-extra-field backstop (the runtime half of lint rule L004)
+# ---------------------------------------------------------------------------
+
+
+def test_subclass_with_extra_semantic_field_is_rejected():
+    """A spec subclass growing a field the payload never serialises
+    must raise, not silently digest to its parent's key."""
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class AnisotropicSpec(EnsembleSpec):
+        anisotropy: float = 0.0
+
+    spec = AnisotropicSpec(**BASE_SPEC)
+    with pytest.raises(ParameterError, match="anisotropy"):
+        spec_digest(spec, DriveSpec(**BASE_DRIVE))
+
+
+def test_subclass_with_extra_drive_field_is_rejected():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True, eq=False)
+    class RampDrive(DriveSpec):
+        ramp_rate: float = 0.0
+
+    with pytest.raises(ParameterError, match="ramp_rate"):
+        spec_digest(EnsembleSpec(**BASE_SPEC), RampDrive(**BASE_DRIVE))
+
+
+def test_subclass_with_execution_shape_field_still_digests():
+    """Execution-shape fields are on the documented exclusion list —
+    a subclass carrying one digests exactly like its parent (pool
+    width is bitwise-neutral, PR 3)."""
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class PooledSpec(EnsembleSpec):
+        n_workers: int = 4
+
+    digest = spec_digest(PooledSpec(**BASE_SPEC), DriveSpec(**BASE_DRIVE))
+    assert digest == base_digest()
