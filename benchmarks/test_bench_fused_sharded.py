@@ -54,15 +54,10 @@ def _header(workers: int, backend: str) -> str:
 
 def test_fused_sharded_speedup(benchmark, results_dir, bench_json):
     """The acceptance headline: fused shards across >= 4 real workers
-    beat the single-process fused sweep >= 2x at N = 512; skipped (not
-    failed) on smaller hosts."""
+    beat the single-process fused sweep >= 2x at N = 512.  Smaller
+    hosts still measure and land ``results/BENCH-EXP-B5.json`` — only
+    the 2x *assertion* skips."""
     workers = resolve_workers(min(REQUIRED_WORKERS, available_cpus()))
-    if workers < REQUIRED_WORKERS:
-        pytest.skip(
-            f"needs >= {REQUIRED_WORKERS} real workers for the 2x claim, "
-            f"host grants {workers} "
-            f"({available_cpus()} CPUs, REPRO_PARALLEL_MAX_WORKERS cap)"
-        )
     batch, h = _workload()
 
     result = benchmark.pedantic(
@@ -100,6 +95,12 @@ def test_fused_sharded_speedup(benchmark, results_dir, bench_json):
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert bitwise_equal_lanes(single, result) == N_CORES
+    if workers < REQUIRED_WORKERS:
+        pytest.skip(
+            f"measured and recorded at {workers} worker(s), but the 2x "
+            f"claim needs >= {REQUIRED_WORKERS} real workers "
+            f"({available_cpus()} CPUs, REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
     assert speedup >= 2.0, report
 
 

@@ -42,14 +42,10 @@ def _workload():
 
 def test_sharded_speedup_over_single_process(benchmark, results_dir, bench_json):
     """The acceptance headline: >= 2x over single-process at N = 512
-    with >= 4 workers; skipped (not failed) on smaller hosts."""
+    with >= 4 workers.  Smaller hosts still measure at whatever width
+    they grant and land ``results/BENCH-EXP-B3.json`` — only the 2x
+    *assertion* skips, so every host leaves an honest trajectory."""
     workers = resolve_workers(min(REQUIRED_WORKERS, available_cpus()))
-    if workers < REQUIRED_WORKERS:
-        pytest.skip(
-            f"needs >= {REQUIRED_WORKERS} real workers for the 2x claim, "
-            f"host grants {workers} "
-            f"({available_cpus()} CPUs, REPRO_PARALLEL_MAX_WORKERS cap)"
-        )
     batch, h = _workload()
 
     result = benchmark.pedantic(
@@ -88,6 +84,12 @@ def test_sharded_speedup_over_single_process(benchmark, results_dir, bench_json)
 
     # Bitwise equivalence of what was just timed (not a tolerance).
     assert bitwise_equal_lanes(single, result) == N_CORES
+    if workers < REQUIRED_WORKERS:
+        pytest.skip(
+            f"measured and recorded at {workers} worker(s), but the 2x "
+            f"claim needs >= {REQUIRED_WORKERS} real workers "
+            f"({available_cpus()} CPUs, REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
     assert speedup >= 2.0, report
 
 

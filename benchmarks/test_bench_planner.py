@@ -29,14 +29,11 @@ REQUIRED_CPUS = 4
 
 
 def test_auto_plan_acceptance(benchmark, results_dir, bench_json):
+    """Narrow hosts still measure and land ``results/BENCH-EXP-B6.json``
+    (an honest record of a collapsed plan space); only the two timing
+    bars skip below ``REQUIRED_CPUS``."""
     cpus = available_cpus()
     workers = resolve_workers(None)
-    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
-        pytest.skip(
-            f"needs >= {REQUIRED_CPUS} real cores for a meaningful plan "
-            f"space, host grants {workers} ({cpus} CPUs, "
-            "REPRO_PARALLEL_MAX_WORKERS cap)"
-        )
 
     result = benchmark.pedantic(
         lambda: run_experiment("EXP-B6", sizes=(32, 512), repeats=3),
@@ -90,6 +87,14 @@ def test_auto_plan_acceptance(benchmark, results_dir, bench_json):
     # Correctness rides along on every measured plan.
     for row in result.data["rows"]:
         assert row["equivalence_ok"], row
+
+    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
+        pytest.skip(
+            f"measured and recorded, but the timing bars need >= "
+            f"{REQUIRED_CPUS} real cores for a meaningful plan space; "
+            f"host grants {workers} ({cpus} CPUs, "
+            "REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
 
     # Bar 1: auto within 1.2x of the best hand plan on EVERY cell.
     for key, cell in result.data["cells"].items():

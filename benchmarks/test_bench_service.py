@@ -26,14 +26,10 @@ REQUIRED_CPUS = 4
 
 
 def test_service_warm_pool_acceptance(benchmark, results_dir, bench_json):
+    """Narrow hosts still measure and land ``results/BENCH-EXP-B7.json``;
+    only the timing bars skip below ``REQUIRED_CPUS``."""
     cpus = available_cpus()
     workers = resolve_workers(None)
-    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
-        pytest.skip(
-            f"needs >= {REQUIRED_CPUS} real cores for meaningful warm-pool "
-            f"timing, host grants {workers} ({cpus} CPUs, "
-            "REPRO_PARALLEL_MAX_WORKERS cap)"
-        )
 
     result = benchmark.pedantic(
         lambda: run_experiment("EXP-B7", n_cores=256, repeats=3),
@@ -60,6 +56,14 @@ def test_service_warm_pool_acceptance(benchmark, results_dir, bench_json):
     # Correctness rides along: the warm-pool result is the cold result.
     assert result.data["warm_matches_cold"], result.data
     assert result.data["pass2_matches_pass1"], result.data
+
+    if cpus < REQUIRED_CPUS or workers < REQUIRED_CPUS:
+        pytest.skip(
+            f"measured and recorded, but the timing bars need >= "
+            f"{REQUIRED_CPUS} real cores for meaningful warm-pool timing; "
+            f"host grants {workers} ({cpus} CPUs, "
+            "REPRO_PARALLEL_MAX_WORKERS cap)"
+        )
 
     # A cache hit must be far cheaper than its miss.
     assert result.data["hit_seconds"] < result.data["miss_seconds"], (

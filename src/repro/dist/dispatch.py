@@ -1,0 +1,608 @@
+"""Multi-host shard dispatch: campaigns over a fleet of worker agents.
+
+:func:`run_distributed` is the socket-transport sibling of
+:func:`repro.parallel.executor.run_sharded`: the same
+``prepare_job`` planning (full-ensemble driver-step resolution first —
+the PR 3 bitwise rule), the same :class:`~repro.parallel.spec.ShardSpec`
+payloads, but each shard travels to a :class:`~repro.dist.worker.
+WorkerAgent` over TCP and its result streams back as bounded lane
+blocks (:mod:`repro.parallel.blocks`).  Reassembly writes every block
+into full-width output buffers by absolute lane range — idempotent, so
+a re-dispatched shard simply rewrites its (bitwise identical) columns —
+and the finished :class:`~repro.batch.sweep.BatchSweepResult` is
+bitwise identical to the single-process run.
+
+Robustness model:
+
+* **per-job deadline** — every receive on a worker connection counts
+  against the dispatching job's deadline; an expired deadline retires
+  the connection and requeues the job;
+* **dead-worker requeue** — a connection error (killed agent, dropped
+  link) requeues the in-flight job for any surviving worker, up to
+  ``retries`` re-dispatches per job; block writes being idempotent is
+  what makes the partial first attempt harmless;
+* **request dedup** — submitted jobs are keyed by a content digest of
+  their shard spec (the same canonicalisation as the PR 7 result
+  cache); identical in-flight requests coalesce onto one wire job with
+  many sinks, mirroring the service layer's future table;
+* **graceful degradation** — zero reachable workers (or a fleet that
+  dies mid-campaign) degrades to the local executor with a logged
+  warning, never an error.
+
+Worker-*side* exceptions (a failed rebuild, a schema drift) are
+deterministic — they are raised as :class:`~repro.errors.DistError`
+rather than retried.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from multiprocessing import AuthenticationError
+from multiprocessing.connection import Client
+
+import numpy as np
+
+from repro.batch.sweep import BatchSweepResult
+from repro.dist.protocol import (
+    DEFAULT_AUTHKEY,
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.errors import DistError, DistTimeoutError, ParameterError
+from repro.parallel.blocks import (
+    BlockBudget,
+    iter_shard_blocks,
+    merge_shard_counters,
+)
+from repro.parallel.executor import (
+    _apply_plan_backend,
+    _resolve_drive,
+    prepare_job,
+    run_job_serial,
+)
+from repro.parallel.spec import ShardSpec
+
+_log = logging.getLogger(__name__)
+
+#: Per-job wall-clock budget before a worker is presumed wedged.
+DEFAULT_DEADLINE_S = 600.0
+
+#: Re-dispatches per job after its first attempt.
+DEFAULT_RETRIES = 2
+
+#: Budget for the connect + ping handshake per host.
+CONNECT_TIMEOUT_S = 5.0
+
+
+def shard_digest(spec: ShardSpec) -> "str | None":
+    """Content digest of one shard request, for wire-level dedup.
+
+    Semantic fields only — the drive, the lane range, and the rebuild
+    route — never execution shape (``threads``, ``chunk_lanes``): two
+    requests that compute bitwise-identical columns coalesce regardless
+    of how either would have chunked.  ``None`` (no dedup, dispatch
+    as unique) when a payload route carries values the canonicaliser
+    cannot digest.
+    """
+    # Lazy sideways import: repro.service and repro.dist share a layer
+    # rank; only the digest helpers are borrowed, at call time.
+    from repro.service.digest import digest_payload
+
+    if spec.ensemble is not None:
+        route = {
+            "kind": "ensemble",
+            "family": spec.ensemble.family,
+            "n_cores": spec.ensemble.n_cores,
+            "seed": spec.ensemble.seed,
+            "backend": spec.ensemble.backend,
+        }
+    else:
+        route = {"kind": "payload", "payload": spec.payload}
+    payload = {
+        "schema": PROTOCOL_VERSION,
+        "family": spec.family,
+        "n_cores_total": spec.n_cores_total,
+        "start": spec.start,
+        "stop": spec.stop,
+        "drive": {
+            "scenario": spec.drive.scenario,
+            "h_max": spec.drive.h_max,
+            "driver_step": spec.drive.driver_step,
+            "samples": spec.drive.samples,
+        },
+        "route": route,
+    }
+    try:
+        return digest_payload(payload)
+    except ParameterError:
+        return None
+
+
+class _WorkerFailure(DistError):
+    """A worker-side exception forwarded over the wire (deterministic —
+    re-dispatching would fail identically, so it is never retried)."""
+
+
+class _Assembly:
+    """Full-width output buffers one job's streamed blocks land in.
+
+    Writes are by absolute lane range into disjoint column slices, so
+    concurrent worker threads never touch overlapping memory and a
+    retried shard's rewrite is a no-op by value.  Counters commit per
+    shard only when that shard's stream completes — a half-streamed
+    attempt leaves no counter residue behind.
+    """
+
+    def __init__(self, job) -> None:
+        self.job = job
+        wide = (len(job.h_full), job.n_total)
+        self.m = np.empty(wide, dtype=np.float64)
+        self.b = np.empty(wide, dtype=np.float64)
+        self.updated = np.empty(wide, dtype=np.bool_)
+        self.extras = {
+            key: np.empty(wide, dtype=dtype)
+            for key, dtype in job.extras_schema.items()
+        }
+        self._shard_counters: dict = {}
+
+    def write_block(self, block) -> None:
+        expected = self.job.extras_schema
+        if sorted(block.extras) != sorted(expected):
+            raise ParameterError(
+                f"family {self.job.family!r} lanes [{block.start}, "
+                f"{block.stop}) recorded extras {sorted(block.extras)}, "
+                f"expected {sorted(expected)}; the schema (registry "
+                "declaration or pre-run probe) is stale"
+            )
+        self.m[:, block.start : block.stop] = block.m
+        self.b[:, block.start : block.stop] = block.b
+        self.updated[:, block.start : block.stop] = block.updated
+        for key, values in block.extras.items():
+            if values.dtype != np.dtype(expected[key]):
+                raise ParameterError(
+                    f"family {self.job.family!r} recorded {key!r} extras "
+                    f"as {values.dtype}, but the schema declares "
+                    f"{np.dtype(expected[key])}; the schema is stale"
+                )
+            self.extras[key][:, block.start : block.stop] = values
+
+    def commit_shard(self, start, stop, counters, widths) -> None:
+        self._shard_counters[(start, stop)] = merge_shard_counters(
+            counters, widths
+        )
+
+    def result(self) -> BatchSweepResult:
+        ordered, widths = [], []
+        for spec in self.job.specs:
+            key = (spec.start, spec.stop)
+            if key not in self._shard_counters:
+                raise DistError(
+                    f"shard [{spec.start}, {spec.stop}) never completed; "
+                    "the campaign result is incomplete"
+                )
+            ordered.append(self._shard_counters[key])
+            widths.append(spec.width)
+        return BatchSweepResult(
+            h=self.job.h_full,
+            m=self.m,
+            b=self.b,
+            updated=self.updated,
+            extras=self.extras,
+            counters=merge_shard_counters(ordered, widths),
+            family=self.job.family,
+        )
+
+
+class _WireJob:
+    """One deduped wire request: a spec plus every sink awaiting it."""
+
+    __slots__ = ("spec", "digest", "sinks", "attempts")
+
+    def __init__(self, spec: ShardSpec, digest: "str | None") -> None:
+        self.spec = spec
+        self.digest = digest
+        self.sinks: list[_Assembly] = []
+        self.attempts = 0
+
+
+class _CampaignState:
+    """Shared job queue + completion accounting for one ``run_jobs``.
+
+    Worker threads pull with :meth:`next_job`, which blocks while other
+    threads still hold outstanding jobs (a dead worker's requeue must
+    be able to wake an idle survivor) and returns ``None`` once every
+    job has completed, failed, or exhausted its retries.
+    """
+
+    def __init__(self, jobs, retries: int) -> None:
+        self._cond = threading.Condition()
+        self._pending = deque(jobs)
+        self._outstanding = len(jobs)
+        self._retries = retries
+        self.failures: list[tuple[_WireJob, str]] = []
+        self.exhausted: list[_WireJob] = []
+
+    def next_job(self) -> "_WireJob | None":
+        with self._cond:
+            while True:
+                if self._pending:
+                    return self._pending.popleft()
+                if self._outstanding <= 0:
+                    return None
+                self._cond.wait()
+
+    def complete(self, job: _WireJob) -> None:
+        with self._cond:
+            self._outstanding -= 1
+            self._cond.notify_all()
+
+    def requeue(self, job: _WireJob) -> None:
+        job.attempts += 1
+        with self._cond:
+            if job.attempts > self._retries:
+                # Out of re-dispatch budget: hand the job to the local
+                # drain instead of erroring the whole campaign.
+                self.exhausted.append(job)
+                self._outstanding -= 1
+            else:
+                self._pending.append(job)
+            self._cond.notify_all()
+
+    def fail(self, job: _WireJob, message: str) -> None:
+        with self._cond:
+            self.failures.append((job, message))
+            self._outstanding -= 1
+            self._cond.notify_all()
+
+    def abandoned(self) -> "list[_WireJob]":
+        """Jobs still queued after every worker thread has exited."""
+        with self._cond:
+            jobs = list(self._pending)
+            self._pending.clear()
+            self._outstanding -= len(jobs)
+            self._cond.notify_all()
+            return jobs
+
+
+class Dispatcher:
+    """A connected fleet of worker agents, reusable across campaigns.
+
+    Connections are made (and ping-verified, protocol version included)
+    at construction; unreachable hosts are logged and skipped, and
+    :attr:`n_live` reports the surviving fleet size.  ``run_jobs``
+    executes a batch of prepared cell jobs across the fleet — the
+    digest-keyed dedup table spans the whole batch, so identical shard
+    requests from different jobs coalesce onto one wire dispatch.
+    """
+
+    def __init__(
+        self,
+        hosts,
+        *,
+        authkey: bytes = DEFAULT_AUTHKEY,
+        deadline_s: "float | None" = DEFAULT_DEADLINE_S,
+        retries: int = DEFAULT_RETRIES,
+        max_buffer_bytes: "int | None" = None,
+        connect_timeout_s: float = CONNECT_TIMEOUT_S,
+    ) -> None:
+        if retries < 0:
+            raise ParameterError(f"retries must be >= 0, got {retries}")
+        self.deadline_s = deadline_s
+        self.retries = retries
+        self.budget = BlockBudget(max_buffer_bytes)
+        self._authkey = authkey
+        self._connect_timeout_s = connect_timeout_s
+        self._workers: dict = {}
+        for address in hosts:
+            conn = self._connect(address)
+            if conn is not None:
+                self._workers[address] = conn
+
+    @property
+    def n_live(self) -> int:
+        return len(self._workers)
+
+    def close(self) -> None:
+        for conn in self._workers.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._workers = {}
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self, address: str):
+        try:
+            conn = Client(
+                parse_address(address), family="AF_INET",
+                authkey=self._authkey,
+            )
+        except (OSError, EOFError, AuthenticationError) as exc:
+            _log.warning(
+                "repro.dist worker %s unreachable: %s", address, exc
+            )
+            return None
+        try:
+            send_message(conn, ("ping",))
+            reply = recv_message(conn, self._connect_timeout_s)
+            if reply[0] != "pong" or reply[1] != PROTOCOL_VERSION:
+                raise DistError(
+                    f"worker {address} answered {reply!r}; expected "
+                    f"('pong', {PROTOCOL_VERSION}) — mismatched protocol "
+                    "versions cannot share a fleet"
+                )
+        except (OSError, EOFError, DistTimeoutError) as exc:
+            _log.warning(
+                "repro.dist worker %s failed the handshake: %s",
+                address, exc,
+            )
+            conn.close()
+            return None
+        return conn
+
+    def _drop(self, address: str, conn) -> None:
+        if self._workers.get(address) is conn:
+            del self._workers[address]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    # -- campaign execution ------------------------------------------------
+
+    def run_jobs(self, jobs) -> "list[BatchSweepResult]":
+        """Execute prepared cell jobs across the fleet, reassembled.
+
+        Every job's shards enter one digest-deduped queue; one serving
+        thread per live connection drains it.  Shards left over when
+        the whole fleet has died (or a job ran out of re-dispatches)
+        drain through the local block runner with a logged warning —
+        the campaign completes, bitwise identical, just slower.
+        Worker-side exceptions raise :class:`~repro.errors.DistError`.
+        """
+        assemblies = [_Assembly(job) for job in jobs]
+        table: dict = {}
+        wire_jobs: list[_WireJob] = []
+        coalesced = 0
+        for job, assembly in zip(jobs, assemblies):
+            for spec in job.specs:
+                digest = shard_digest(spec)
+                wire = table.get(digest) if digest is not None else None
+                if wire is None:
+                    wire = _WireJob(spec, digest)
+                    wire_jobs.append(wire)
+                    if digest is not None:
+                        table[digest] = wire
+                else:
+                    coalesced += 1
+                wire.sinks.append(assembly)
+        if coalesced:
+            _log.info(
+                "dispatch coalesced %d duplicate shard request(s): %d "
+                "unique on the wire", coalesced, len(wire_jobs),
+            )
+        state = _CampaignState(wire_jobs, self.retries)
+        threads = [
+            threading.Thread(
+                target=self._serve,
+                args=(address, conn, state),
+                name=f"repro-dispatch-{address}",
+                daemon=True,
+            )
+            for address, conn in list(self._workers.items())
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        leftovers = state.abandoned() + state.exhausted
+        if state.failures:
+            job, message = state.failures[0]
+            raise DistError(
+                f"shard [{job.spec.start}, {job.spec.stop}) failed "
+                f"worker-side ({len(state.failures)} failure(s) total):\n"
+                f"{message}"
+            )
+        if leftovers:
+            _log.warning(
+                "no surviving repro.dist worker for %d shard(s); "
+                "draining them through the local executor",
+                len(leftovers),
+            )
+            for wire in leftovers:
+                self._run_local(wire)
+        return [assembly.result() for assembly in assemblies]
+
+    def _serve(self, address: str, conn, state: _CampaignState) -> None:
+        """One connection's serving loop: pull, dispatch, stream."""
+        while True:
+            wire = state.next_job()
+            if wire is None:
+                return
+            try:
+                self._dispatch_one(conn, wire)
+            except _WorkerFailure as exc:
+                state.fail(wire, str(exc))
+            except (EOFError, OSError, DistTimeoutError) as exc:
+                _log.warning(
+                    "worker %s lost mid-job (%s: %s); requeueing shard "
+                    "[%d, %d)",
+                    address, type(exc).__name__, exc,
+                    wire.spec.start, wire.spec.stop,
+                )
+                state.requeue(wire)
+                self._drop(address, conn)
+                return
+            else:
+                state.complete(wire)
+
+    def _dispatch_one(self, conn, wire: _WireJob) -> None:
+        """Send one request; stream its blocks under the job deadline."""
+        spec = wire.spec
+        limit = (
+            None
+            if self.deadline_s is None
+            else time.monotonic() + self.deadline_s
+        )
+        send_message(conn, ("run", wire.digest, spec))
+        counters, widths, covered = [], [], 0
+        while True:
+            remaining = None if limit is None else limit - time.monotonic()
+            message = recv_message(conn, remaining)
+            kind = message[0]
+            if kind == "block":
+                block = message[2]
+                nbytes = block.nbytes
+                self.budget.acquire(nbytes)
+                try:
+                    for sink in wire.sinks:
+                        sink.write_block(block)
+                finally:
+                    self.budget.release(nbytes)
+                counters.append(block.counters)
+                widths.append(block.width)
+                covered += block.width
+            elif kind == "done":
+                if covered != spec.width:
+                    raise DistError(
+                        f"shard [{spec.start}, {spec.stop}) streamed "
+                        f"{covered} lanes but declared done at width "
+                        f"{spec.width}"
+                    )
+                for sink in wire.sinks:
+                    sink.commit_shard(spec.start, spec.stop, counters, widths)
+                return
+            elif kind == "error":
+                raise _WorkerFailure(message[2])
+            else:
+                raise DistError(
+                    f"unexpected {kind!r} message mid-stream for shard "
+                    f"[{spec.start}, {spec.stop})"
+                )
+
+    def _run_local(self, wire: _WireJob) -> None:
+        """Local drain: same block generator, no socket."""
+        spec = wire.spec
+        counters, widths = [], []
+        for block in iter_shard_blocks(spec):
+            nbytes = block.nbytes
+            self.budget.acquire(nbytes)
+            try:
+                for sink in wire.sinks:
+                    sink.write_block(block)
+            finally:
+                self.budget.release(nbytes)
+            counters.append(block.counters)
+            widths.append(block.width)
+        for sink in wire.sinks:
+            sink.commit_shard(spec.start, spec.stop, counters, widths)
+
+
+def run_distributed(
+    source,
+    h_samples=None,
+    *,
+    scenario: "str | None" = None,
+    h_max: "float | None" = None,
+    driver_step: "float | None" = None,
+    drive=None,
+    hosts,
+    n_workers: "int | None" = None,
+    min_shard: int = 1,
+    chunk_lanes: "int | None" = None,
+    plan=None,
+    deadline_s: "float | None" = DEFAULT_DEADLINE_S,
+    retries: int = DEFAULT_RETRIES,
+    max_buffer_bytes: "int | None" = None,
+    authkey: bytes = DEFAULT_AUTHKEY,
+    connect_timeout_s: float = CONNECT_TIMEOUT_S,
+) -> BatchSweepResult:
+    """Run one ensemble drive sharded across remote worker agents.
+
+    The multi-host sibling of
+    :func:`repro.parallel.executor.run_sharded`: ``source`` and the
+    drive arguments mean exactly the same thing (including the
+    full-ensemble driver-step resolution — the step is resolved here,
+    *before* sharding, so remote shards can never re-derive a different
+    ladder), and the returned result is bitwise identical to the
+    single-process :func:`repro.batch.sweep.run_batch_series`.
+
+    ``hosts`` lists ``"host:port"`` worker-agent addresses.
+    ``n_workers`` names the shard count (default: one per host) —
+    uneven splits are fine, surviving workers drain the queue.
+    ``chunk_lanes`` streams each shard in bounded lane blocks;
+    ``max_buffer_bytes`` puts a hard back-pressure ceiling on the
+    dispatcher's in-flight block bytes.  ``deadline_s`` / ``retries``
+    bound each job's wall clock and its re-dispatch budget.  ``plan``
+    accepts a resolved :class:`~repro.sched.planner.ExecutionPlan`
+    (the ``run_sharded(plan=...)`` routing path); its backend is
+    applied and its ``n_workers`` names the shard count.
+
+    Zero reachable workers degrades to the local serial executor with
+    a logged warning — never an error.
+    """
+    if not hosts:
+        raise ParameterError(
+            "run_distributed needs at least one 'host:port' worker address"
+        )
+    if drive is None:
+        drive, built = _resolve_drive(
+            source, h_samples, scenario, h_max, driver_step
+        )
+        if built is not None:
+            source = built
+    elif h_samples is not None or scenario is not None:
+        raise ParameterError(
+            "pass either drive= or h_samples/scenario arguments, not both"
+        )
+    restore_backend = lambda: None  # noqa: E731 - trivial default restore
+    if plan is not None:
+        from repro.sched.planner import ExecutionPlan
+
+        if not isinstance(plan, ExecutionPlan):
+            raise ParameterError(
+                "run_distributed takes a resolved ExecutionPlan; use "
+                "run_sharded(plan='auto', hosts=...) for auto-planning"
+            )
+        if n_workers is not None:
+            raise ParameterError(
+                "pass either plan= or n_workers=, not both: a plan owns "
+                "the shard count"
+            )
+        n_shards = plan.n_workers
+        source, restore_backend = _apply_plan_backend(source, plan.backend)
+    else:
+        n_shards = len(hosts) if n_workers is None else n_workers
+    try:
+        job = prepare_job(
+            source, drive, n_shards, min_shard, chunk_lanes=chunk_lanes
+        )
+    finally:
+        restore_backend()
+    with Dispatcher(
+        hosts,
+        authkey=authkey,
+        deadline_s=deadline_s,
+        retries=retries,
+        max_buffer_bytes=max_buffer_bytes,
+        connect_timeout_s=connect_timeout_s,
+    ) as dispatcher:
+        if dispatcher.n_live == 0:
+            _log.warning(
+                "no repro.dist worker reachable at %s; degrading to the "
+                "local executor", ", ".join(hosts),
+            )
+            return run_job_serial(job)
+        return dispatcher.run_jobs([job])[0]

@@ -52,3 +52,13 @@ class ExperimentError(ReproError, RuntimeError):
 
 class ScenarioError(ReproError, ValueError):
     """A drive scenario was requested or parameterised inconsistently."""
+
+
+class DistError(ReproError, RuntimeError):
+    """The multi-host dispatch layer failed in a non-recoverable way
+    (a worker-side exception, exhausted retries, a wire-protocol
+    mismatch)."""
+
+
+class DistTimeoutError(DistError):
+    """A per-job deadline expired waiting on a worker connection."""

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     batch_families,
     circuit_demo,
     cross_model,
+    dist_bench,
     equivalence,
     fig1,
     flux_driven,

@@ -21,7 +21,8 @@ rank  packages                                 role
 7     ``magnetics``                            component models (use analysis)
 8     ``parallel``                             sharded multi-process executor
 9     ``sched``                                calibrated autoscheduler
-10    ``service``                              warm-pool service + result cache
+10    ``service``, ``dist``                    warm-pool service + result
+                                               cache; multi-host dispatch
 11    ``experiments``, ``lint``, ``repro``     surfaces (CLI, checker, API)
 ====  =======================================  =================================
 
@@ -52,7 +53,7 @@ LAYER_ORDER: "tuple[tuple[str, ...], ...]" = (
     ("magnetics",),
     ("parallel",),
     ("sched",),
-    ("service",),
+    ("service", "dist"),
     ("experiments", "lint", "repro"),
 )
 
@@ -87,6 +88,14 @@ LAZY_ALLOWLIST: "frozenset[tuple[str, str]]" = frozenset(
         # autoscheduler one layer up; plan=None callers never pay for
         # (or depend on) repro.sched (PR 6 gotcha).
         ("parallel", "sched"),
+        # The executor/grid hosts= hooks dispatch through repro.dist
+        # two layers up; host-less callers never pay for (or depend
+        # on) it — the same shape as the plan="auto" escape above.
+        ("parallel", "dist"),
+        # The dispatcher's wire-level dedup borrows the service
+        # layer's canonical digests at call time; service and dist
+        # share a rank and stay import-independent at module level.
+        ("dist", "service"),
         # Everett/FORC identification batches per-lane waveforms
         # through the ensemble engine (PR 2).
         ("preisach", "batch"),

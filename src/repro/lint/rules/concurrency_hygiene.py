@@ -1,7 +1,7 @@
-"""L005 — concurrency hygiene in ``parallel``/``service``.
+"""L005 — concurrency hygiene in ``parallel``/``service``/``dist``.
 
-Three process-pool gotchas this repo hit once each and must never hit
-again:
+Four concurrency gotchas this repo hit (or pre-empted) once each and
+must never hit again:
 
 * **Caller-owned pools are never closed by executors** (PR 7): a
   :class:`~repro.service.pool.WorkerPool` outlives campaigns by
@@ -20,6 +20,12 @@ again:
   default is cross-call (and with a warm pool, cross-*campaign*)
   state — exactly the aliasing the frozen-spec design exists to
   prevent.
+* **Socket receives in ``dist`` must carry a deadline** (PR 9): a bare
+  ``Connection.recv()`` blocks forever on a wedged or killed peer,
+  turning one dead worker into a hung campaign.  Every dist-side
+  receive must route through the protocol's poll-with-deadline wrapper
+  (:func:`repro.dist.protocol.recv_message`) — a ``.recv()`` call
+  anywhere else in the package is a violation.
 """
 
 from __future__ import annotations
@@ -29,7 +35,11 @@ import ast
 from repro.lint.base import Module, Rule, Violation, register_rule
 
 #: Packages the hygiene rules patrol.
-SCOPED_PACKAGES = frozenset({"parallel", "service"})
+SCOPED_PACKAGES = frozenset({"parallel", "service", "dist"})
+
+#: The one function allowed to call ``Connection.recv`` in dist code —
+#: the protocol's poll-with-deadline wrapper.
+RECV_WRAPPERS = frozenset({"recv_message"})
 
 #: Parameter names that denote a caller-owned worker pool.
 POOL_PARAMS = frozenset({"pool", "worker_pool"})
@@ -101,9 +111,10 @@ class ConcurrencyHygieneRule(Rule):
     id = "L005"
     name = "concurrency-hygiene"
     description = (
-        "parallel/service: never close a caller-owned pool, silence "
-        "the resource tracker at SharedMemory attach sites (gh-82300), "
-        "no mutable default arguments"
+        "parallel/service/dist: never close a caller-owned pool, "
+        "silence the resource tracker at SharedMemory attach sites "
+        "(gh-82300), no mutable default arguments, no un-deadlined "
+        "blocking recv in dist code"
     )
 
     def check_module(self, module: Module):
@@ -118,6 +129,7 @@ class ConcurrencyHygieneRule(Rule):
             yield from self._check_pool_ownership(module, fn)
             yield from self._check_attach_sites(module, fn.body)
             yield from self._check_defaults(module, fn)
+            yield from self._check_recv_deadlines(module, fn)
         # Module-level attach sites have the module as their scope.
         top_level = [
             node
@@ -187,6 +199,29 @@ class ConcurrencyHygieneRule(Rule):
                     "spurious leak warnings / unlink-under-the-parent); "
                     "patch resource_tracker.register around the attach or "
                     "pass track=False",
+                )
+
+    # -- un-deadlined receives in dist code ---------------------------------
+
+    def _check_recv_deadlines(self, module: Module, fn):
+        if module.package != "dist":
+            return
+        if fn.name in RECV_WRAPPERS:
+            return  # the wrapper itself owns the poll-with-deadline loop
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "recv"
+            ):
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    "bare Connection.recv() blocks forever on a wedged or "
+                    "killed peer; route every dist receive through "
+                    "protocol.recv_message (poll-with-deadline)",
                 )
 
     # -- mutable defaults ---------------------------------------------------

@@ -21,6 +21,12 @@ relay tensors, long scenario campaigns, grid sweeps
 (:func:`run_scenario_grid`).
 """
 
+from repro.parallel.blocks import (
+    BlockBudget,
+    LaneBlock,
+    iter_shard_blocks,
+    plan_lane_blocks,
+)
 from repro.parallel.executor import (
     MAX_WORKERS_ENV,
     available_cpus,
@@ -33,11 +39,15 @@ from repro.parallel.spec import DriveSpec, EnsembleSpec, ShardSpec
 
 __all__ = [
     "MAX_WORKERS_ENV",
+    "BlockBudget",
     "DriveSpec",
     "EnsembleSpec",
     "GridCell",
+    "LaneBlock",
     "ShardSpec",
     "available_cpus",
+    "iter_shard_blocks",
+    "plan_lane_blocks",
     "plan_shards",
     "resolve_workers",
     "run_scenario_grid",

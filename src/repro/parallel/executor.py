@@ -35,10 +35,15 @@ from multiprocessing import get_context, resource_tracker, shared_memory
 import numpy as np
 
 from repro.backend import resolve_backend
-from repro.batch.sweep import BatchSweepResult, run_batch_series
+from repro.batch.sweep import BatchSweepResult
 from repro.errors import ParameterError
 from repro.models.protocol import is_batch_model
 from repro.models.registry import get_family
+from repro.parallel.blocks import (
+    iter_shard_blocks,
+    merge_shard_counters,
+    run_spec,
+)
 from repro.parallel.plan import plan_shards
 from repro.parallel.spec import DriveSpec, EnsembleSpec, ShardSpec
 
@@ -205,32 +210,6 @@ class _CellJob:
         self.layout = None
 
 
-def merge_shard_counters(
-    shard_counters: "list[dict[str, np.ndarray]]",
-    widths: "list[int]",
-) -> dict[str, np.ndarray]:
-    """Concatenate per-shard counter dicts over the union of keys.
-
-    A key a shard never registered (lazily appearing counters may fire
-    on some lanes only) fills with zeros of that shard's width — the
-    same value the full-width model would report for lanes that never
-    triggered it.
-    """
-    keys: dict[str, np.dtype] = {}
-    for counters in shard_counters:
-        for key, value in counters.items():
-            keys.setdefault(key, np.asarray(value).dtype)
-    return {
-        key: np.concatenate(
-            [
-                np.asarray(counters.get(key, np.zeros(width, dtype=dtype)))
-                for counters, width in zip(shard_counters, widths)
-            ]
-        )
-        for key, dtype in sorted(keys.items())
-    }
-
-
 def _extras_schema(source) -> "dict[str, np.dtype]":
     """Extras channel schema ``{name: dtype}``: probed from a live
     batch, else declared by the family registry record.  Extras are
@@ -253,6 +232,7 @@ def prepare_job(
     n_workers: int,
     min_shard: int,
     threads: int = 1,
+    chunk_lanes: int | None = None,
 ) -> _CellJob:
     """Plan one sharded run: full-width samples, shard specs, schema.
 
@@ -264,9 +244,13 @@ def prepare_job(
 
     ``threads`` is stamped into every :class:`ShardSpec` so whichever
     process runs a shard pins that lane-thread count for its duration
-    (see :func:`_run_spec`); callers enforce the oversubscription rule
-    before it gets here (:func:`run_sharded` clamps plans to
-    ``workers x threads <= available_cpus()``).
+    (see :func:`repro.parallel.blocks.run_spec`); callers enforce the
+    oversubscription rule before it gets here (:func:`run_sharded`
+    clamps plans to ``workers x threads <= available_cpus()``).
+    ``chunk_lanes`` likewise travels inside each spec: the executing
+    process streams its shard in lane blocks at most that wide
+    (:mod:`repro.parallel.blocks`) instead of materialising the whole
+    shard result at once.
     """
     if is_batch_model(source):
         family, n_total = source.family, source.n_cores
@@ -304,6 +288,7 @@ def prepare_job(
                     drive=shard_drive,
                     payload=source.shard_payload(start, stop),
                     threads=threads,
+                    chunk_lanes=chunk_lanes,
                 )
             )
         else:
@@ -316,6 +301,7 @@ def prepare_job(
                     drive=shard_drive,
                     ensemble=source,
                     threads=threads,
+                    chunk_lanes=chunk_lanes,
                 )
             )
     return _CellJob(family, n_total, h_full, specs, _extras_schema(source))
@@ -358,16 +344,11 @@ def _resolve_drive(
     return drive, built
 
 
-def _run_spec(spec: ShardSpec) -> BatchSweepResult:
-    """One shard, in whatever process this runs in — with the spec's
-    lane-thread count pinned for exactly the duration of the run, so a
-    plan's thread choice never leaks into unrelated work (and pooled
-    shards, which always carry ``threads=1``, explicitly pin the
-    children single-threaded rather than trusting ambient state)."""
-    from repro.backend import thread_limit
-
-    with thread_limit(spec.threads):
-        return run_batch_series(spec.build_batch(), spec.build_samples())
+# The shard runner itself lives in repro.parallel.blocks (one code
+# path whether a shard streams over shared memory or a repro.dist
+# socket); the historic private name stays importable for callers that
+# grew up against the executor.
+_run_spec = run_spec
 
 
 def _recorded_extras_schema(extras: "dict[str, np.ndarray]") -> tuple:
@@ -396,7 +377,7 @@ def _check_extras_schema(job: _CellJob, start: int, stop: int, recorded) -> None
 def run_job_serial(job: _CellJob) -> BatchSweepResult:
     """The n_workers=1 fallback: same shard specs, no processes, no
     shared memory — plain column concatenation."""
-    parts = [_run_spec(spec) for spec in job.specs]
+    parts = [run_spec(spec) for spec in job.specs]
     for spec, part in zip(job.specs, parts):
         # The same schema check the pooled path applies in _worker.
         _check_extras_schema(
@@ -419,44 +400,66 @@ def run_job_serial(job: _CellJob) -> BatchSweepResult:
 
 
 def _worker(task: tuple[ShardSpec, _OutputLayout]):
-    """Pool entry point: rebuild, run, write columns into shared memory."""
+    """Pool entry point: rebuild, run, write columns into shared memory.
+
+    The shard streams through :func:`repro.parallel.blocks.
+    iter_shard_blocks` — one block for an unchunked spec (the historic
+    path, unchanged), several bounded blocks when the spec carries
+    ``chunk_lanes`` — and every block's columns land in the shared
+    buffers as soon as they exist, so a chunked worker never holds more
+    than one block of result data.
+    """
     spec, layout = task
-    result = _run_spec(spec)
-    attached: list[shared_memory.SharedMemory] = []
+    attached: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
-    def write(block: _Block, values: np.ndarray) -> None:
-        shm, arr = block.attach()
-        attached.append(shm)
-        arr[:, spec.start : spec.stop] = values
+    def view(block: _Block) -> np.ndarray:
+        if block.shm_name not in attached:
+            attached[block.shm_name] = block.attach()
+        return attached[block.shm_name][1]
 
+    recorded = None
+    block_counters: list[dict[str, np.ndarray]] = []
+    widths: list[int] = []
     try:
-        write(layout.m, result.m)
-        write(layout.b, result.b)
-        write(layout.updated, result.updated)
-        for key, block in layout.extras.items():
-            if key not in result.extras:
+        for blk in iter_shard_blocks(spec):
+            schema = _recorded_extras_schema(blk.extras)
+            if recorded is None:
+                recorded = schema
+            elif schema != recorded:
                 raise ParameterError(
-                    f"family {spec.family!r} recorded no {key!r} extras "
-                    f"channel (got {sorted(result.extras)}); the registry "
-                    "schema is stale"
+                    f"family {spec.family!r} shard [{spec.start}, "
+                    f"{spec.stop}) drifted its extras schema between lane "
+                    f"blocks: {list(schema)} != {list(recorded)}"
                 )
-            values = result.extras[key]
-            if values.dtype.str != block.dtype:
-                raise ParameterError(
-                    f"family {spec.family!r} recorded {key!r} extras as "
-                    f"{values.dtype}, but the shared buffer was allocated "
-                    f"as {np.dtype(block.dtype)}; the schema (registry "
-                    "declaration or pre-run probe) is stale"
-                )
-            write(block, values)
+            view(layout.m)[:, blk.start : blk.stop] = blk.m
+            view(layout.b)[:, blk.start : blk.stop] = blk.b
+            view(layout.updated)[:, blk.start : blk.stop] = blk.updated
+            for key, block in layout.extras.items():
+                if key not in blk.extras:
+                    raise ParameterError(
+                        f"family {spec.family!r} recorded no {key!r} extras "
+                        f"channel (got {sorted(blk.extras)}); the registry "
+                        "schema is stale"
+                    )
+                values = blk.extras[key]
+                if values.dtype.str != block.dtype:
+                    raise ParameterError(
+                        f"family {spec.family!r} recorded {key!r} extras as "
+                        f"{values.dtype}, but the shared buffer was allocated "
+                        f"as {np.dtype(block.dtype)}; the schema (registry "
+                        "declaration or pre-run probe) is stale"
+                    )
+                view(block)[:, blk.start : blk.stop] = values
+            block_counters.append(blk.counters)
+            widths.append(blk.width)
     finally:
-        for shm in attached:
+        for shm, _ in attached.values():
             shm.close()
     return (
         spec.start,
         spec.stop,
-        _recorded_extras_schema(result.extras),
-        result.counters,
+        recorded,
+        merge_shard_counters(block_counters, widths),
     )
 
 
@@ -523,6 +526,8 @@ def run_sharded(
     mp_context: str | None = None,
     plan=None,
     pool=None,
+    chunk_lanes: int | None = None,
+    hosts=None,
 ) -> BatchSweepResult:
     """Run one ensemble drive sharded over a process pool.
 
@@ -568,10 +573,47 @@ def run_sharded(
         additionally clamped to the pool's, and ``plan="auto"`` prices
         pooled candidates spin-up-free (the pool already paid it).
         The pool is never closed here: it outlives this call by design.
+    chunk_lanes:
+        Bounded-memory mode: every shard streams its result in
+        contiguous lane blocks at most this wide
+        (:mod:`repro.parallel.blocks`) instead of materialising the
+        whole shard buffer at once.  ``None`` (default) keeps the
+        one-shot path.  Chunking never changes a bit of the output —
+        blocks concatenate exactly like shards do.
+    hosts:
+        A sequence of ``"host:port"`` worker-agent addresses
+        (:mod:`repro.dist`): the run dispatches over the sockets
+        instead of a local pool, streaming the same lane blocks over
+        the wire.  Mutually exclusive with ``pool=`` / ``mp_context=``;
+        when no listed host is reachable the run degrades to the local
+        executor with a logged warning.  A resolved plan carrying
+        ``hosts`` routes here too.
 
     Returns the same :class:`~repro.batch.sweep.BatchSweepResult` the
     single-process executor produces — bitwise, lane order preserved.
     """
+    if hosts is not None:
+        if pool is not None or mp_context is not None:
+            raise ParameterError(
+                "hosts= dispatches over repro.dist sockets; a local "
+                "pool= / mp_context= cannot run remote shards"
+            )
+        # Lazy import: repro.dist sits above the executor in the layer
+        # stack, and host-less callers never pay for (or depend on) it.
+        from repro.dist.dispatch import run_distributed
+
+        return run_distributed(
+            source,
+            h_samples,
+            scenario=scenario,
+            h_max=h_max,
+            driver_step=driver_step,
+            hosts=hosts,
+            n_workers=n_workers,
+            min_shard=min_shard,
+            plan=plan,
+            chunk_lanes=chunk_lanes,
+        )
     if pool is not None:
         if n_workers is not None:
             raise ParameterError(
@@ -605,6 +647,19 @@ def run_sharded(
             plan, source, drive, min_shard=min_shard,
             warm_pool=pool is not None,
         )
+        if chosen.hosts:
+            # A multi-host placement plan: the dispatcher owns the run
+            # (drive already resolved at full ensemble width above).
+            from repro.dist.dispatch import run_distributed
+
+            return run_distributed(
+                source,
+                drive=drive,
+                hosts=chosen.hosts,
+                plan=chosen,
+                min_shard=min_shard,
+                chunk_lanes=chunk_lanes,
+            )
         workers = resolve_workers(chosen.n_workers)
         if pool is not None:
             workers = min(workers, pool.n_workers)
@@ -613,14 +668,19 @@ def run_sharded(
         )
         source, restore_backend = _apply_plan_backend(source, chosen.backend)
         try:
-            job = prepare_job(source, drive, workers, min_shard, threads)
+            job = prepare_job(
+                source, drive, workers, min_shard, threads,
+                chunk_lanes=chunk_lanes,
+            )
         finally:
             restore_backend()
     else:
         workers = pool.n_workers if pool is not None else resolve_workers(
             n_workers
         )
-        job = prepare_job(source, drive, workers, min_shard)
+        job = prepare_job(
+            source, drive, workers, min_shard, chunk_lanes=chunk_lanes
+        )
     if workers == 1 or len(job.specs) == 1:
         return run_job_serial(job)
     if pool is not None:

@@ -147,6 +147,8 @@ def run_scenario_grid(
     mp_context: str | None = None,
     plan=None,
     service=None,
+    chunk_lanes: int | None = None,
+    hosts=None,
 ) -> list[GridCell]:
     """Run the full grid, sharded, through one worker pool.
 
@@ -189,6 +191,15 @@ def run_scenario_grid(
     under a service prices only the width/thread axes — the backend
     pins to ``backend`` (or the environment default) before lookup.
 
+    ``chunk_lanes`` streams every cell's shards in bounded lane blocks
+    (:mod:`repro.parallel.blocks`) — bitwise-neutral, memory-bounded.
+    ``hosts`` dispatches the whole campaign across ``"host:port"``
+    :mod:`repro.dist` worker agents instead of a local pool: unique
+    cells flow through one shared dispatcher (its digest-keyed dedup
+    table spans the campaign), ``n_workers`` names the per-cell shard
+    count (default: one per host), and an unreachable fleet degrades
+    to the local serial executor with a logged warning.
+
     Returns one :class:`GridCell` per combination, in
     ``families × scenarios × h_max_values`` order.
     """
@@ -198,6 +209,26 @@ def run_scenario_grid(
         )
     if chunk_cells < 1:
         raise ParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
+    if hosts is not None:
+        if service is not None:
+            raise ParameterError(
+                "pass either hosts= or service=, not both: a remote fleet "
+                "and a local service pool cannot share one campaign"
+            )
+        if mp_context is not None:
+            raise ParameterError(
+                "mp_context applies to the local one-shot pool; repro.dist "
+                "workers already run in their own processes"
+            )
+        if plan is not None:
+            raise ParameterError(
+                "pass either hosts= or plan=, not both: multi-host "
+                "placement plans route through run_sharded(plan=...)"
+            )
+        return _run_grid_distributed(
+            families, scenarios, h_max_values, n_cores, seed, driver_step,
+            backend, n_workers, min_shard, chunk_cells, chunk_lanes, hosts,
+        )
     if service is not None:
         if n_workers is not None:
             raise ParameterError(
@@ -211,7 +242,7 @@ def run_scenario_grid(
             )
         return _run_grid_service(
             families, scenarios, h_max_values, n_cores, seed, driver_step,
-            backend, min_shard, chunk_cells, plan, service,
+            backend, min_shard, chunk_cells, plan, service, chunk_lanes,
         )
     threads = 1
     if plan is not None:
@@ -263,7 +294,10 @@ def run_scenario_grid(
     todo = list(unique.items())
     if workers == 1:
         for key, (_, source, drive) in todo:
-            job = prepare_job(source, drive, workers, min_shard, threads)
+            job = prepare_job(
+                source, drive, workers, min_shard, threads,
+                chunk_lanes=chunk_lanes,
+            )
             results[key] = run_job_serial(job)
     else:
         ctx = get_context(mp_context)
@@ -271,11 +305,74 @@ def run_scenario_grid(
             for offset in range(0, len(todo), chunk_cells):
                 chunk = todo[offset : offset + chunk_cells]
                 jobs = [
-                    prepare_job(source, drive, workers, min_shard, threads)
+                    prepare_job(
+                        source, drive, workers, min_shard, threads,
+                        chunk_lanes=chunk_lanes,
+                    )
                     for _, (_, source, drive) in chunk
                 ]
                 for (key, _), result in zip(
                     chunk, execute_jobs_pooled(pool, jobs)
+                ):
+                    results[key] = result
+    return [GridCell(*key, results[key]) for key in order]
+
+
+def _run_grid_distributed(
+    families,
+    scenarios,
+    h_max_values,
+    n_cores,
+    seed,
+    driver_step,
+    backend,
+    n_workers,
+    min_shard,
+    chunk_cells,
+    chunk_lanes,
+    hosts,
+):
+    """The ``hosts=`` route: every unique cell through one shared
+    :class:`~repro.dist.dispatch.Dispatcher`, chunked like the local
+    pooled path so only ``chunk_cells`` cells hold output buffers at a
+    time.  An unreachable fleet degrades to the local serial executor
+    with a logged warning — the campaign always completes."""
+    # Lazy upward import: repro.dist sits above this package in the
+    # layer stack, and host-less grids never pay for (or depend on) it.
+    from repro.dist.dispatch import Dispatcher
+
+    backend_name = resolve_backend(backend).name
+    planned = _plan_cells(
+        families, scenarios, h_max_values, n_cores, seed, driver_step,
+        backend_name,
+    )
+    unique, order = _dedupe_cells(planned)
+    n_shards = len(hosts) if n_workers is None else n_workers
+
+    def make_job(source, drive):
+        return prepare_job(
+            source, drive, n_shards, min_shard, chunk_lanes=chunk_lanes
+        )
+
+    results: dict = {}
+    todo = list(unique.items())
+    with Dispatcher(hosts) as dispatcher:
+        if dispatcher.n_live == 0:
+            _log.warning(
+                "no repro.dist worker reachable at %s; running the grid "
+                "on the local executor", ", ".join(hosts),
+            )
+            for key, (_, source, drive) in todo:
+                results[key] = run_job_serial(make_job(source, drive))
+        else:
+            for offset in range(0, len(todo), chunk_cells):
+                chunk = todo[offset : offset + chunk_cells]
+                jobs = [
+                    make_job(source, drive)
+                    for _, (_, source, drive) in chunk
+                ]
+                for (key, _), result in zip(
+                    chunk, dispatcher.run_jobs(jobs)
                 ):
                     results[key] = result
     return [GridCell(*key, results[key]) for key in order]
@@ -293,6 +390,7 @@ def _run_grid_service(
     chunk_cells,
     plan,
     service,
+    chunk_lanes=None,
 ):
     """The ``service=`` route: cache lookups, then misses on the warm
     pool.  The backend is resolved *before* planning — it is part of
@@ -363,7 +461,10 @@ def _run_grid_service(
     for offset in range(0, len(pending), chunk_cells):
         chunk = pending[offset : offset + chunk_cells]
         jobs = [
-            prepare_job(source, drive, workers, min_shard, threads)
+            prepare_job(
+                source, drive, workers, min_shard, threads,
+                chunk_lanes=chunk_lanes,
+            )
             for _, _, source, drive in chunk
         ]
         for (key, digest, _, _), result in zip(

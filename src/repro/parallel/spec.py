@@ -184,6 +184,14 @@ class ShardSpec:
     planner only emits ``threads > 1`` on single-shard serial plans;
     pooled shards always carry 1.
 
+    ``chunk_lanes`` selects bounded-memory execution: the executing
+    process streams the shard's result as contiguous lane blocks at
+    most this wide (:mod:`repro.parallel.blocks`) instead of
+    materialising the whole ``(samples, width)`` buffer at once.
+    ``None`` (default) keeps the one-shot path.  Chunking travels with
+    the spec — like ``threads`` — so local pools and remote
+    :mod:`repro.dist` workers honour the same bound.
+
     ShardSpecs compare by identity (``eq=False``): payloads hold
     ndarrays and engine configuration objects, for which a generated
     field-wise ``__eq__`` would be ill-defined — compare the scalar
@@ -199,6 +207,7 @@ class ShardSpec:
     ensemble: EnsembleSpec | None = None
     payload: dict | None = None
     threads: int = 1
+    chunk_lanes: int | None = None
 
     def __post_init__(self) -> None:
         if (self.ensemble is None) == (self.payload is None):
@@ -208,6 +217,10 @@ class ShardSpec:
         if self.threads < 1:
             raise ParameterError(
                 f"shard threads must be >= 1, got {self.threads}"
+            )
+        if self.chunk_lanes is not None and self.chunk_lanes < 1:
+            raise ParameterError(
+                f"shard chunk_lanes must be >= 1, got {self.chunk_lanes}"
             )
         check_lane_range(self.start, self.stop, self.n_cores_total)
 

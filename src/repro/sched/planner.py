@@ -51,6 +51,15 @@ class ExecutionPlan:
     ``threads_per_worker`` the pinned lane-thread count inside each
     worker.  ``predicted_seconds`` and ``calibration_id`` document how
     the planner priced this plan (``None`` on hand-written plans).
+
+    ``hosts`` is the multi-host placement axis: a tuple of
+    ``"host:port"`` :mod:`repro.dist` worker-agent addresses.  Empty
+    (default) means local execution; non-empty routes the run through
+    :func:`repro.dist.dispatch.run_distributed`, with ``n_workers``
+    naming the *shard count* to cut across those hosts.  Placement
+    travels inside the plan — the executors grow no new tuning knobs —
+    and remote shards always run single-threaded (the fork-safety rule,
+    one layer out).
     """
 
     backend: str
@@ -59,8 +68,17 @@ class ExecutionPlan:
     predicted_seconds: "float | None" = None
     calibration_id: "str | None" = None
     source: str = "manual"
+    hosts: "tuple[str, ...]" = ()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.hosts, tuple):
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+        if self.hosts and self.threads_per_worker > 1:
+            raise ParameterError(
+                "multi-host plans run remote shards single-threaded; "
+                f"got threads_per_worker={self.threads_per_worker} with "
+                f"hosts={self.hosts}"
+            )
         if self.n_workers < 1:
             raise ParameterError(
                 f"plan n_workers must be >= 1, got {self.n_workers}"
@@ -85,9 +103,10 @@ class ExecutionPlan:
             if self.predicted_seconds is not None
             else ""
         )
+        placement = f" @{len(self.hosts)}h" if self.hosts else ""
         return (
             f"{self.backend} x{self.n_workers}w/{self.threads_per_worker}t"
-            f"{cost}"
+            f"{placement}{cost}"
         )
 
 
@@ -153,6 +172,9 @@ def enumerate_candidates(
     min_shard: int = 1,
     warm_pool: bool = False,
     backend: "str | None" = None,
+    hosts: "Sequence[str] | None" = None,
+    link_overhead_s: float = 0.0,
+    host_models: "dict[str, CostModel] | None" = None,
 ) -> "list[ExecutionPlan]":
     """Every executable candidate plan, priced, cheapest first.
 
@@ -169,6 +191,17 @@ def enumerate_candidates(
     ``backend`` pins the backend axis to that one backend — the
     service layer's cache keys make the backend semantic, so planning
     under a cache may only trade the width/thread axes.
+
+    ``hosts`` grows the candidate set along the placement axis: for
+    each backend a multi-host plan cutting one shard per listed
+    :mod:`repro.dist` worker agent, priced per host from that host's
+    calibrated cost model (``host_models``, keyed by address; hosts
+    without an entry price on the local model — the honest default for
+    homogeneous fleets) plus ``link_overhead_s`` per dispatched shard
+    — the measured request/stream round-trip cost
+    (:func:`repro.dist.probe.probe_link_overhead`).  Remote shards are
+    already-running agents, so no pool spin-up is priced, and the local
+    oversubscription cap never constrains remote placement.
     """
     from repro.backend import max_threads
     from repro.parallel.executor import available_cpus, resolve_workers
@@ -231,6 +264,23 @@ def enumerate_candidates(
                     source="auto",
                 )
             )
+        if hosts:
+            seconds = _price_distributed(
+                model, family, backend, lanes, samples, tuple(hosts),
+                min_shard, link_overhead_s, host_models,
+            )
+            if seconds is not None:
+                candidates.append(
+                    ExecutionPlan(
+                        backend=backend,
+                        n_workers=len(hosts),
+                        threads_per_worker=1,
+                        predicted_seconds=seconds,
+                        calibration_id=model.calibration_id,
+                        source="auto-dist",
+                        hosts=tuple(hosts),
+                    )
+                )
     if not candidates:
         raise ParameterError(
             f"the calibration has no probes for family {family!r}"
@@ -238,6 +288,43 @@ def enumerate_candidates(
             + "; re-run python -m repro.sched.calibrate"
         )
     return sorted(candidates, key=lambda plan: plan.predicted_seconds)
+
+
+def _price_distributed(
+    model: CostModel,
+    family: str,
+    backend: str,
+    lanes: int,
+    samples: int,
+    hosts: "tuple[str, ...]",
+    min_shard: int,
+    link_overhead_s: float,
+    host_models: "dict[str, CostModel] | None",
+) -> "float | None":
+    """Makespan of one shard per host, each priced on its host's model.
+
+    Shards come from the same :func:`~repro.parallel.plan.plan_shards`
+    decomposition the dispatcher cuts; shard ``i`` prices on host ``i``
+    (the dispatcher's lane-ordered assignment when every host is up).
+    Each dispatched shard additionally pays the measured link overhead
+    once — request pickle out, result blocks back.  ``None`` when any
+    involved model lacks a fit for this family × backend (unprobed
+    placements are skipped, not guessed — the PR 6 rule).
+    """
+    from repro.parallel.plan import plan_shards
+
+    shards = plan_shards(lanes, len(hosts), min_shard=min_shard)
+    per_host = [0.0] * len(hosts)
+    for i, (start, stop) in enumerate(shards):
+        host = hosts[i % len(hosts)]
+        host_model = (host_models or {}).get(host, model)
+        seconds = host_model.predict_single(
+            family, backend, stop - start, samples
+        )
+        if seconds is None:
+            return None
+        per_host[i % len(hosts)] += seconds + link_overhead_s
+    return max(per_host)
 
 
 def plan_for(

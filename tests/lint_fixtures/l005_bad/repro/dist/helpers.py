@@ -1,0 +1,7 @@
+"""Seeded L005 violation: an un-deadlined blocking ``recv`` in dist
+code — one wedged peer would hang the whole campaign.  Never
+imported."""
+
+
+def wait_for_reply(conn):
+    return conn.recv()  # no deadline: violation

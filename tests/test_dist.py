@@ -1,0 +1,534 @@
+"""Multi-host dispatch: wire protocol, streamed lane blocks, bitwise
+reassembly, robustness.
+
+The load-bearing suites mirror the executor's equivalence contract one
+transport out: a campaign dispatched over localhost worker agents —
+uneven splits, chunked streaming, a worker killed mid-campaign — must
+reproduce the single-process :func:`repro.batch.sweep.run_batch_series`
+result bit for bit.  Dispatch is a transport optimisation, never a
+numerics change.
+"""
+
+import dataclasses
+import logging
+
+import numpy as np
+import pytest
+
+from repro.batch.sweep import run_batch_series
+from repro.dist import (
+    DEFAULT_AUTHKEY,
+    PROTOCOL_VERSION,
+    Dispatcher,
+    WorkerAgent,
+    probe_hosts,
+    probe_link_overhead,
+    run_distributed,
+    shard_digest,
+)
+from repro.dist.protocol import (
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.errors import DistError, DistTimeoutError, ParameterError
+from repro.parallel import (
+    BlockBudget,
+    EnsembleSpec,
+    iter_shard_blocks,
+    plan_lane_blocks,
+    run_scenario_grid,
+    run_sharded,
+)
+from repro.parallel.blocks import assemble_blocks, run_spec
+from repro.parallel.executor import prepare_job
+from repro.sched import CostModel, ExecutionPlan, enumerate_candidates
+from repro.scenarios import scenario_samples
+
+from test_parallel import assert_results_bitwise_equal
+from test_sched import synthetic_calibration
+
+#: The deliberately awkward geometry: 7 lanes, 3 shards, 2 hosts.
+N_CORES = 7
+H_MAX = 1000.0
+STEP = 120.0
+
+
+def reference_result(n_cores=N_CORES, seed=0):
+    spec = EnsembleSpec(family="timeless", n_cores=n_cores, seed=seed)
+    h = scenario_samples("major-loop", H_MAX, STEP, n_cores=n_cores)
+    return run_batch_series(spec.build_batch(), h)
+
+
+@pytest.fixture
+def fleet():
+    """Two in-process localhost worker agents."""
+    with WorkerAgent() as a, WorkerAgent() as b:
+        a.start()
+        b.start()
+        yield [a.address, b.address]
+
+
+class TestProtocol:
+    def test_parse_format_roundtrip(self):
+        assert parse_address("127.0.0.1:7501") == ("127.0.0.1", 7501)
+        assert format_address(("127.0.0.1", 7501)) == "127.0.0.1:7501"
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("no-port", ":123", "host:notaport"):
+            with pytest.raises(DistError):
+                parse_address(bad)
+
+    def test_recv_deadline_expires(self):
+        from multiprocessing import Pipe
+
+        parent, child = Pipe()
+        try:
+            with pytest.raises(DistTimeoutError):
+                recv_message(parent, 0.05)
+            send_message(child, ("ping",))
+            assert recv_message(parent, 1.0) == ("ping",)
+        finally:
+            parent.close()
+            child.close()
+
+
+class TestLaneBlocks:
+    def test_plan_tiles_range_in_order(self):
+        assert plan_lane_blocks(3, 10, 3) == [(3, 6), (6, 9), (9, 10)]
+        assert plan_lane_blocks(0, 4, None) == [(0, 4)]
+        assert plan_lane_blocks(0, 4, 99) == [(0, 4)]
+
+    def test_plan_rejects_bad_ranges(self):
+        with pytest.raises(ParameterError):
+            plan_lane_blocks(4, 4, 2)
+        with pytest.raises(ParameterError):
+            plan_lane_blocks(0, 4, 0)
+
+    @pytest.mark.parametrize("chunk_lanes", [1, 2, 5, None])
+    def test_chunked_shard_is_bitwise_identical(self, chunk_lanes):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        job = prepare_job(
+            ensemble,
+            _drive(),
+            1,
+            1,
+            chunk_lanes=chunk_lanes,
+        )
+        (spec,) = job.specs
+        reassembled = assemble_blocks(spec, iter_shard_blocks(spec))
+        assert_results_bitwise_equal(reference_result(), reassembled)
+        assert_results_bitwise_equal(reference_result(), run_spec(spec))
+
+    def test_budget_tracks_peak_and_rejects_oversize(self):
+        budget = BlockBudget(100)
+        budget.acquire(60)
+        budget.acquire(40)
+        budget.release(60)
+        budget.release(40)
+        assert budget.peak == 100
+        assert budget.in_flight == 0
+        with pytest.raises(ParameterError, match="ceiling"):
+            budget.acquire(101)
+        with pytest.raises(ParameterError):
+            BlockBudget(0)
+
+    def test_unlimited_budget_never_blocks(self):
+        budget = BlockBudget(None)
+        budget.acquire(10**12)
+        budget.release(10**12)
+        assert budget.peak == 10**12
+
+
+def _drive():
+    from repro.parallel.spec import DriveSpec
+
+    return DriveSpec(
+        scenario="major-loop", h_max=H_MAX, driver_step=STEP
+    )
+
+
+class TestShardDigest:
+    def test_execution_shape_never_changes_the_digest(self):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        job = prepare_job(ensemble, _drive(), 1, 1)
+        (spec,) = job.specs
+        base = shard_digest(spec)
+        assert base is not None
+        reshaped = dataclasses.replace(spec, threads=4, chunk_lanes=2)
+        assert shard_digest(reshaped) == base
+
+    def test_lane_range_changes_the_digest(self):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        job = prepare_job(ensemble, _drive(), 3, 1)
+        digests = [shard_digest(spec) for spec in job.specs]
+        assert len(set(digests)) == len(digests)
+
+
+class TestRunDistributed:
+    @pytest.mark.parametrize("n_workers,chunk_lanes", [
+        (None, None),   # one shard per host, unchunked
+        (3, None),      # uneven: 3 shards over 2 hosts
+        (3, 2),         # uneven + streamed lane blocks
+    ])
+    def test_bitwise_identical_to_single_process(
+        self, fleet, n_workers, chunk_lanes
+    ):
+        result = run_distributed(
+            EnsembleSpec(family="timeless", n_cores=N_CORES),
+            scenario="major-loop",
+            h_max=H_MAX,
+            driver_step=STEP,
+            hosts=fleet,
+            n_workers=n_workers,
+            chunk_lanes=chunk_lanes,
+        )
+        assert_results_bitwise_equal(reference_result(), result)
+
+    def test_zero_reachable_hosts_degrades_to_local(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.dist.dispatch"):
+            result = run_distributed(
+                EnsembleSpec(family="timeless", n_cores=N_CORES),
+                scenario="major-loop",
+                h_max=H_MAX,
+                driver_step=STEP,
+                hosts=["127.0.0.1:9"],  # discard port: refused, fast
+                connect_timeout_s=1.0,
+            )
+        assert_results_bitwise_equal(reference_result(), result)
+        assert any(
+            "degrading to the local executor" in record.message
+            for record in caplog.records
+        )
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            run_distributed(
+                EnsembleSpec(family="timeless", n_cores=N_CORES),
+                scenario="major-loop",
+                h_max=H_MAX,
+                hosts=[],
+            )
+
+    def test_killed_worker_requeues_onto_survivor(self, caplog):
+        agent_a = WorkerAgent().start()
+        agent_b = WorkerAgent().start()
+        try:
+            ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+            job = prepare_job(ensemble, _drive(), 3, 1, chunk_lanes=2)
+            with caplog.at_level(
+                logging.WARNING, logger="repro.dist.dispatch"
+            ):
+                with Dispatcher(
+                    [agent_a.address, agent_b.address], deadline_s=30.0
+                ) as dispatcher:
+                    assert dispatcher.n_live == 2
+                    # Kill one agent after the handshake: its serving
+                    # thread loses the connection mid-job and the shard
+                    # must requeue onto the survivor.
+                    agent_a.stop()
+                    (result,) = dispatcher.run_jobs([job])
+            assert_results_bitwise_equal(reference_result(), result)
+            assert any(
+                "requeueing shard" in record.message
+                for record in caplog.records
+            )
+        finally:
+            agent_a.stop()
+            agent_b.stop()
+
+    def test_streamed_blocks_respect_buffer_ceiling(self, fleet):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        job = prepare_job(ensemble, _drive(), 2, 1, chunk_lanes=1)
+        sample_count = len(job.h_full)
+        # Generous enough for one single-lane block, far below the
+        # full (samples, 7) result buffer.
+        ceiling = 64 * sample_count
+        with Dispatcher(fleet, max_buffer_bytes=ceiling) as dispatcher:
+            (result,) = dispatcher.run_jobs([job])
+        assert_results_bitwise_equal(reference_result(), result)
+        assert 0 < dispatcher.budget.peak <= ceiling
+
+    def test_identical_shard_requests_coalesce(self, fleet, caplog):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        jobs = [prepare_job(ensemble, _drive(), 2, 1) for _ in range(2)]
+        with caplog.at_level(logging.INFO, logger="repro.dist.dispatch"):
+            with Dispatcher(fleet) as dispatcher:
+                results = dispatcher.run_jobs(jobs)
+        for result in results:
+            assert_results_bitwise_equal(reference_result(), result)
+        assert any(
+            "coalesced 2 duplicate shard request(s)" in record.message
+            for record in caplog.records
+        )
+
+    def test_worker_side_error_raises_dist_error(self, fleet):
+        ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+        job = prepare_job(ensemble, _drive(), 1, 1)
+        # Corrupt the rebuild route: deterministic worker-side failure,
+        # which must surface as DistError — never a retry.
+        job.specs[0] = dataclasses.replace(
+            job.specs[0], ensemble=None, payload={"bogus": True}
+        )
+        with Dispatcher(fleet) as dispatcher:
+            with pytest.raises(DistError, match="failed\\s+worker-side"):
+                dispatcher.run_jobs([job])
+
+    def test_retries_exhausted_drains_locally(self, caplog):
+        agent = WorkerAgent().start()
+        try:
+            ensemble = EnsembleSpec(family="timeless", n_cores=N_CORES)
+            job = prepare_job(ensemble, _drive(), 1, 1)
+            with caplog.at_level(
+                logging.WARNING, logger="repro.dist.dispatch"
+            ):
+                with Dispatcher(
+                    [agent.address], retries=0, deadline_s=30.0
+                ) as dispatcher:
+                    agent.stop()  # the whole fleet dies pre-dispatch
+                    (result,) = dispatcher.run_jobs([job])
+            assert_results_bitwise_equal(reference_result(), result)
+            assert any(
+                "draining them through the local executor" in record.message
+                for record in caplog.records
+            )
+        finally:
+            agent.stop()
+
+
+class TestProbe:
+    def test_link_overhead_is_positive_seconds(self, fleet):
+        overhead = probe_link_overhead(fleet[0], repeats=3)
+        assert 0.0 < overhead < 5.0
+
+    def test_probe_hosts_omits_unreachable(self, fleet):
+        overheads = probe_hosts(
+            [fleet[0], "127.0.0.1:9"], repeats=2, timeout_s=1.0
+        )
+        assert set(overheads) == {fleet[0]}
+        assert overheads[fleet[0]] > 0.0
+
+    def test_probe_validates_parameters(self, fleet):
+        with pytest.raises(ParameterError):
+            probe_link_overhead(fleet[0], repeats=0)
+        with pytest.raises(ParameterError):
+            probe_link_overhead(fleet[0], payload_bytes=0)
+
+    def test_unreachable_probe_raises(self):
+        with pytest.raises(DistError, match="unreachable"):
+            probe_link_overhead("127.0.0.1:9", timeout_s=1.0)
+
+
+class TestExecutorRouting:
+    def test_run_sharded_hosts_matches_single_process(self, fleet):
+        result = run_sharded(
+            EnsembleSpec(family="timeless", n_cores=N_CORES),
+            scenario="major-loop",
+            h_max=H_MAX,
+            driver_step=STEP,
+            hosts=fleet,
+            n_workers=3,
+            chunk_lanes=3,
+        )
+        assert_results_bitwise_equal(reference_result(), result)
+
+    def test_hosts_excludes_local_pool_arguments(self, fleet):
+        with pytest.raises(ParameterError, match="remote shards"):
+            run_sharded(
+                EnsembleSpec(family="timeless", n_cores=N_CORES),
+                scenario="major-loop",
+                h_max=H_MAX,
+                hosts=fleet,
+                mp_context="spawn",
+            )
+
+    def test_chunked_serial_run_is_bitwise_identical(self):
+        result = run_sharded(
+            EnsembleSpec(family="timeless", n_cores=N_CORES),
+            scenario="major-loop",
+            h_max=H_MAX,
+            driver_step=STEP,
+            n_workers=1,
+            chunk_lanes=2,
+        )
+        assert_results_bitwise_equal(reference_result(), result)
+
+    def test_hosted_plan_routes_through_dispatch(self, fleet):
+        plan = ExecutionPlan(
+            backend="numpy", n_workers=3, hosts=tuple(fleet)
+        )
+        result = run_sharded(
+            EnsembleSpec(family="timeless", n_cores=N_CORES),
+            scenario="major-loop",
+            h_max=H_MAX,
+            driver_step=STEP,
+            plan=plan,
+        )
+        assert_results_bitwise_equal(reference_result(), result)
+
+
+class TestGridRouting:
+    def test_grid_over_hosts_matches_local_grid(self, fleet):
+        kwargs = dict(
+            families=["timeless"],
+            scenarios=["major-loop"],
+            h_max_values=[H_MAX, 2 * H_MAX],
+            n_cores=5,
+            driver_step=STEP,
+        )
+        local = run_scenario_grid(**kwargs, n_workers=1)
+        hosted = run_scenario_grid(**kwargs, hosts=fleet)
+        assert len(local) == len(hosted)
+        for ours, theirs in zip(local, hosted):
+            assert ours.key == theirs.key
+            assert_results_bitwise_equal(ours.result, theirs.result)
+
+    def test_grid_hosts_excludes_plan_and_service(self, fleet):
+        kwargs = dict(
+            families=["timeless"],
+            scenarios=["major-loop"],
+            h_max_values=[H_MAX],
+            n_cores=4,
+        )
+        with pytest.raises(ParameterError, match="run_sharded"):
+            run_scenario_grid(**kwargs, hosts=fleet, plan="auto")
+        with pytest.raises(ParameterError):
+            run_scenario_grid(**kwargs, hosts=fleet, mp_context="spawn")
+
+
+class TestPlannerPlacement:
+    def test_plan_validates_host_thread_exclusivity(self):
+        with pytest.raises(ParameterError, match="single-threaded"):
+            ExecutionPlan(
+                backend="numpy",
+                n_workers=2,
+                threads_per_worker=2,
+                hosts=("a:1", "b:2"),
+            )
+
+    def test_describe_names_the_placement(self):
+        plan = ExecutionPlan(backend="numpy", n_workers=2, hosts=("a:1", "b:2"))
+        assert plan.describe().endswith("@2h")
+
+    def test_candidates_include_priced_distributed_plan(self):
+        model = CostModel.from_calibration(synthetic_calibration())
+        hosts = ("10.0.0.5:7501", "10.0.0.6:7501")
+        candidates = enumerate_candidates(
+            model, "timeless", lanes=64, samples=256, hosts=hosts
+        )
+        dist_plans = [c for c in candidates if c.source == "auto-dist"]
+        assert len(dist_plans) >= 1
+        plan = dist_plans[0]
+        assert plan.hosts == hosts
+        assert plan.n_workers == len(hosts)
+        assert plan.threads_per_worker == 1
+        assert plan.predicted_seconds is not None
+
+    def test_link_overhead_raises_the_distributed_price(self):
+        model = CostModel.from_calibration(synthetic_calibration())
+        hosts = ("10.0.0.5:7501", "10.0.0.6:7501")
+
+        def dist_price(link_overhead_s):
+            candidates = enumerate_candidates(
+                model, "timeless", lanes=64, samples=256,
+                hosts=hosts, link_overhead_s=link_overhead_s,
+            )
+            (plan,) = [c for c in candidates if c.source == "auto-dist"]
+            return plan.predicted_seconds
+
+        assert dist_price(10.0) > dist_price(0.0)
+        # A slow enough link makes local plans win outright.
+        slow = enumerate_candidates(
+            model, "timeless", lanes=64, samples=256,
+            hosts=hosts, link_overhead_s=1e6,
+        )
+        assert slow[0].source != "auto-dist"
+
+    def test_per_host_models_price_heterogeneous_fleets(self):
+        local = CostModel.from_calibration(synthetic_calibration())
+        slow = CostModel.from_calibration(
+            synthetic_calibration(coeffs={("numpy", 1): (1e-3, 1e-4)})
+        )
+        hosts = ("fast:1", "slow:2")
+
+        def makespan(host_models):
+            candidates = enumerate_candidates(
+                local, "timeless", lanes=64, samples=256,
+                hosts=hosts, host_models=host_models,
+            )
+            (plan,) = [c for c in candidates if c.source == "auto-dist"]
+            return plan.predicted_seconds
+
+        assert makespan({"slow:2": slow}) > makespan(None)
+
+    def test_unpriceable_placement_is_skipped_not_guessed(self):
+        # The model only knows numpy: a fleet is priced per backend, so
+        # every candidate that does appear must carry a real price.
+        model = CostModel.from_calibration(synthetic_calibration())
+        candidates = enumerate_candidates(
+            model, "timeless", lanes=64, samples=256,
+            hosts=("a:1",), host_models={"a:1": model},
+        )
+        assert all(c.predicted_seconds is not None for c in candidates)
+
+
+class TestWorkerAgent:
+    def test_ping_echo_and_version(self, fleet):
+        from multiprocessing.connection import Client
+
+        conn = Client(
+            parse_address(fleet[0]), family="AF_INET", authkey=DEFAULT_AUTHKEY
+        )
+        try:
+            send_message(conn, ("ping",))
+            assert recv_message(conn, 5.0) == ("pong", PROTOCOL_VERSION)
+            send_message(conn, ("echo", b"abc"))
+            assert recv_message(conn, 5.0) == ("echo", b"abc")
+            send_message(conn, ("frobnicate",))
+            reply = recv_message(conn, 5.0)
+            assert reply[0] == "error"
+            assert "frobnicate" in reply[2]
+        finally:
+            conn.close()
+
+    def test_wrong_authkey_never_kills_the_agent(self, fleet):
+        from multiprocessing import AuthenticationError
+        from multiprocessing.connection import Client
+
+        with pytest.raises((AuthenticationError, OSError, EOFError)):
+            conn = Client(
+                parse_address(fleet[0]), family="AF_INET", authkey=b"wrong"
+            )
+            conn.close()
+        # The agent survives the failed handshake and keeps serving.
+        assert probe_link_overhead(fleet[0], repeats=1) > 0.0
+
+    def test_cli_worker_serves_a_campaign(self, tmp_path):
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.dist.worker", "--bind",
+             "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            prefix = "repro-dist worker listening on "
+            assert banner.startswith(prefix)
+            address = banner[len(prefix):]
+            result = run_distributed(
+                EnsembleSpec(family="timeless", n_cores=N_CORES),
+                scenario="major-loop",
+                h_max=H_MAX,
+                driver_step=STEP,
+                hosts=[address],
+                chunk_lanes=3,
+            )
+            assert_results_bitwise_equal(reference_result(), result)
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)

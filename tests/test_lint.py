@@ -91,13 +91,14 @@ def test_l004_names_the_skipped_field_and_excludes_execution_shape():
     assert "n_workers" not in violations[0].message
 
 
-def test_l005_reports_all_three_hygiene_classes():
+def test_l005_reports_all_four_hygiene_classes():
     violations = rules_hit([FIXTURES / "l005_bad"], select=["L005"])[0]
     messages = "\n".join(v.message for v in violations)
     assert "caller-owned pool" in messages
     assert "resource tracker" in messages
     assert "mutable default" in messages
-    assert len(violations) == 3
+    assert "recv_message" in messages
+    assert len(violations) == 4
 
 
 # ---------------------------------------------------------------------------

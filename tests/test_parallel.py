@@ -566,9 +566,11 @@ class TestExecutionPlanPlumbing:
         seen = []
         real_prepare = executor.prepare_job
 
-        def spying_prepare(source, drive, n_workers, min_shard, threads=1):
+        def spying_prepare(source, drive, n_workers, min_shard, threads=1,
+                           chunk_lanes=None):
             seen.append((n_workers, threads))
-            return real_prepare(source, drive, n_workers, min_shard, threads)
+            return real_prepare(source, drive, n_workers, min_shard, threads,
+                                chunk_lanes=chunk_lanes)
 
         monkeypatch.setattr(executor, "prepare_job", spying_prepare)
         family = get_family("timeless")

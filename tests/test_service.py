@@ -440,3 +440,91 @@ class TestServiceExperimentSmoke:
         for row in data["rows"]:
             assert row["seconds"] > 0.0, row
         assert "warm-pool service" in result.render()
+
+
+class TestCrossInterpreterSpill:
+    """A spilled ``.npz`` written by one interpreter must load in a
+    *fresh* interpreter byte-for-byte — the spill directory is the
+    cache's only cross-process (and cross-restart) surface, so its
+    member-name schema (``extra__``/``counter__`` prefixes) and raw
+    array bytes are wire format, not an implementation detail."""
+
+    def test_spill_round_trips_through_a_fresh_interpreter(self, tmp_path):
+        import hashlib
+        import json
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        spec, drive = small_workload("timeless", n_cores=3, seed=11)
+        result = run_batch_series(
+            spec.build_batch(), drive.full_samples(spec.n_cores)
+        )
+        assert result.extras and result.counters  # the pin needs both
+        path = tmp_path / "entry.npz"
+        save_result(path, result)
+
+        # The member-name schema is pinned here, not discovered: a
+        # renamed prefix would silently orphan every existing spill.
+        with np.load(path) as npz:
+            members = sorted(npz.files)
+        expected = sorted(
+            ["h", "m", "b", "updated", "family"]
+            + ["extra__" + key for key in result.extras]
+            + ["counter__" + key for key in result.counters]
+        )
+        assert members == expected
+
+        def digest_channels(res):
+            channels = {
+                "h": res.h, "m": res.m, "b": res.b, "updated": res.updated,
+            }
+            for key, value in res.extras.items():
+                channels["extra__" + key] = value
+            for key, value in res.counters.items():
+                channels["counter__" + key] = np.asarray(value)
+            return {
+                name: [str(arr.dtype), hashlib.sha256(
+                    np.ascontiguousarray(arr).tobytes()
+                ).hexdigest()]
+                for name, arr in channels.items()
+            }
+
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import json, sys, hashlib\n"
+                    "import numpy as np\n"
+                    "from pathlib import Path\n"
+                    "from repro.service import load_result\n"
+                    "res = load_result(Path(sys.argv[1]))\n"
+                    "channels = {'h': res.h, 'm': res.m, 'b': res.b,"
+                    " 'updated': res.updated}\n"
+                    "for k, v in res.extras.items():\n"
+                    "    channels['extra__' + k] = v\n"
+                    "for k, v in res.counters.items():\n"
+                    "    channels['counter__' + k] = np.asarray(v)\n"
+                    "print(json.dumps({'family': res.family, 'channels': {\n"
+                    "    name: [str(arr.dtype), hashlib.sha256(\n"
+                    "        np.ascontiguousarray(arr).tobytes()\n"
+                    "    ).hexdigest()]\n"
+                    "    for name, arr in channels.items()}}))\n"
+                ),
+                str(path),
+            ],
+            capture_output=True,
+            text=True,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(
+                    Path(__file__).resolve().parents[1] / "src"
+                ),
+            },
+            timeout=120,
+        )
+        assert child.returncode == 0, child.stderr
+        report = json.loads(child.stdout)
+        assert report["family"] == result.family
+        assert report["channels"] == digest_channels(result)
