@@ -35,7 +35,7 @@ from repro.ja.parameters import PAPER_PARAMETERS, PRESETS, JAParameters
 from repro.models import get_family, list_families
 from repro.scenarios import get_scenario, list_scenarios, run_scenario
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ArrayBackend",

@@ -20,6 +20,8 @@ uses the same engine to score many starting guesses in one sweep.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -32,6 +34,8 @@ from repro.core.model import TimelessJAModel
 from repro.core.sweep import run_sweep
 from repro.errors import AnalysisError
 from repro.ja.parameters import JAParameters
+
+_log = logging.getLogger(__name__)
 
 #: Forward-difference relative step of the batched Jacobian (the same
 #: sqrt(machine-eps) rule scipy's default 2-point scheme uses).
@@ -158,7 +162,11 @@ def fit_ja_parameters(
         values = {n: float(10.0**v) for n, v in zip(names, x)}
         try:
             return initial.with_updates(**values)
-        except Exception:
+        except Exception as exc:
+            # Out-of-domain candidate (validator rejection) — a legal
+            # optimiser probe, degraded to the penalty residual below
+            # and logged so a wedged fit is diagnosable (L007).
+            _log.debug("candidate %r rejected: %s", values, exc)
             return None
 
     def residual_of_trajectory(
@@ -185,7 +193,11 @@ def fit_ja_parameters(
             return np.full(grid_points_per_branch, 10.0 * b_swing)
         try:
             h_sim, b_sim = _simulate(candidate, waypoints, dhmax)
-        except Exception:
+        except Exception as exc:
+            # A candidate the solver cannot integrate earns the flat
+            # penalty residual (the optimiser steps away from it), and
+            # a debug trace says why this probe was penalised (L007).
+            _log.debug("candidate simulation failed: %s", exc)
             return np.full(grid_points_per_branch, 10.0 * b_swing)
         vector = residual_of_trajectory(h_sim, b_sim)
         if vector is None:

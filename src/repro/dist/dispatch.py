@@ -48,6 +48,13 @@ import numpy as np
 from repro.batch.sweep import BatchSweepResult
 from repro.dist.protocol import (
     DEFAULT_AUTHKEY,
+    MSG_BLOCK,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RUN,
+    MSG_SHUTDOWN,
     PROTOCOL_VERSION,
     parse_address,
     recv_message,
@@ -315,6 +322,27 @@ class Dispatcher:
                 pass
         self._workers = {}
 
+    def shutdown_workers(self) -> int:
+        """Gracefully stop every connected agent, then close.
+
+        Sends ``MSG_SHUTDOWN`` on each live connection — the agent's
+        serve loop closes its listener and exits — and returns how many
+        agents took the message.  An agent that died before the send is
+        logged and skipped: shutdown is best-effort by design, the
+        fleet owner reclaims stragglers out of band.
+        """
+        stopped = 0
+        for address, conn in list(self._workers.items()):
+            try:
+                send_message(conn, (MSG_SHUTDOWN,))
+                stopped += 1
+            except (OSError, EOFError) as exc:
+                _log.warning(
+                    "worker %s did not take the shutdown: %s", address, exc
+                )
+            self._drop(address, conn)
+        return stopped
+
     def __enter__(self) -> "Dispatcher":
         return self
 
@@ -335,9 +363,9 @@ class Dispatcher:
             )
             return None
         try:
-            send_message(conn, ("ping",))
+            send_message(conn, (MSG_PING,))
             reply = recv_message(conn, self._connect_timeout_s)
-            if reply[0] != "pong" or reply[1] != PROTOCOL_VERSION:
+            if reply[0] != MSG_PONG or reply[1] != PROTOCOL_VERSION:
                 raise DistError(
                     f"worker {address} answered {reply!r}; expected "
                     f"('pong', {PROTOCOL_VERSION}) — mismatched protocol "
@@ -456,13 +484,13 @@ class Dispatcher:
             if self.deadline_s is None
             else time.monotonic() + self.deadline_s
         )
-        send_message(conn, ("run", wire.digest, spec))
+        send_message(conn, (MSG_RUN, wire.digest, spec))
         counters, widths, covered = [], [], 0
         while True:
             remaining = None if limit is None else limit - time.monotonic()
             message = recv_message(conn, remaining)
             kind = message[0]
-            if kind == "block":
+            if kind == MSG_BLOCK:
                 block = message[2]
                 nbytes = block.nbytes
                 self.budget.acquire(nbytes)
@@ -474,7 +502,7 @@ class Dispatcher:
                 counters.append(block.counters)
                 widths.append(block.width)
                 covered += block.width
-            elif kind == "done":
+            elif kind == MSG_DONE:
                 if covered != spec.width:
                     raise DistError(
                         f"shard [{spec.start}, {spec.stop}) streamed "
@@ -484,7 +512,7 @@ class Dispatcher:
                 for sink in wire.sinks:
                     sink.commit_shard(spec.start, spec.stop, counters, widths)
                 return
-            elif kind == "error":
+            elif kind == MSG_ERROR:
                 raise _WorkerFailure(message[2])
             else:
                 raise DistError(

@@ -19,6 +19,7 @@ from multiprocessing.connection import Client
 
 from repro.dist.protocol import (
     DEFAULT_AUTHKEY,
+    MSG_ECHO,
     parse_address,
     recv_message,
     send_message,
@@ -66,9 +67,9 @@ def probe_link_overhead(
         samples = []
         for _ in range(repeats):
             started = time.perf_counter()
-            send_message(conn, ("echo", payload))
+            send_message(conn, (MSG_ECHO, payload))
             reply = recv_message(conn, timeout_s)
-            if reply[0] != "echo" or reply[1] != payload:
+            if reply[0] != MSG_ECHO or reply[1] != payload:
                 raise DistError(
                     f"worker {address} echoed a corrupted probe payload"
                 )

@@ -39,6 +39,65 @@ from repro.errors import DistError, DistTimeoutError
 #: each other at the ping handshake instead of failing mid-stream.
 PROTOCOL_VERSION = 1
 
+#: The message-tag vocabulary.  Every wire message is a tuple whose
+#: first element is one of these; dispatch/worker/probe compare against
+#: the constants, never the raw strings, so lint rule L010 can prove
+#: the whole set is constructed, handled, and version-recorded.
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_ECHO = "echo"
+MSG_RUN = "run"
+MSG_BLOCK = "block"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+MSG_SHUTDOWN = "shutdown"
+
+#: Every tag, as a set — the introspection handle tests use.
+MESSAGE_TAGS = frozenset(
+    {
+        MSG_PING,
+        MSG_PONG,
+        MSG_ECHO,
+        MSG_RUN,
+        MSG_BLOCK,
+        MSG_DONE,
+        MSG_ERROR,
+        MSG_SHUTDOWN,
+    }
+)
+
+#: Which sibling module(s) must pattern-match each tag (L010 checks
+#: the named files really do).  ``worker`` consumes the dispatcher's
+#: requests; ``dispatch`` consumes the worker's stream; the ``echo``
+#: reply is consumed by both the worker (loopback) and the probe.
+TAG_HANDLERS = {
+    MSG_PING: ("worker",),
+    MSG_PONG: ("dispatch",),
+    MSG_ECHO: ("worker", "probe"),
+    MSG_RUN: ("worker",),
+    MSG_BLOCK: ("dispatch",),
+    MSG_DONE: ("dispatch",),
+    MSG_ERROR: ("dispatch",),
+    MSG_SHUTDOWN: ("worker",),
+}
+
+#: The frozen record of each protocol version's (sorted) tag set.
+#: Entries for shipped versions never change; growing or shrinking the
+#: vocabulary means adding a new PROTOCOL_VERSION entry here — L010
+#: flags a current tag set that does not match its history row.
+TAG_HISTORY = {
+    1: (
+        MSG_BLOCK,
+        MSG_DONE,
+        MSG_ECHO,
+        MSG_ERROR,
+        MSG_PING,
+        MSG_PONG,
+        MSG_RUN,
+        MSG_SHUTDOWN,
+    ),
+}
+
 #: Default HMAC authkey for the Listener/Client handshake.  Dispatch
 #: and worker agents must agree; deployments sharing a network segment
 #: should pass their own secret.

@@ -28,6 +28,14 @@ from multiprocessing.connection import Listener
 
 from repro.dist.protocol import (
     DEFAULT_AUTHKEY,
+    MSG_BLOCK,
+    MSG_DONE,
+    MSG_ECHO,
+    MSG_ERROR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RUN,
+    MSG_SHUTDOWN,
     PROTOCOL_VERSION,
     format_address,
     recv_message,
@@ -153,14 +161,14 @@ class WorkerAgent:
             except (EOFError, OSError):
                 return
             kind = message[0]
-            if kind == "ping":
-                send_message(conn, ("pong", PROTOCOL_VERSION))
-            elif kind == "echo":
-                send_message(conn, ("echo", message[1]))
-            elif kind == "run":
+            if kind == MSG_PING:
+                send_message(conn, (MSG_PONG, PROTOCOL_VERSION))
+            elif kind == MSG_ECHO:
+                send_message(conn, (MSG_ECHO, message[1]))
+            elif kind == MSG_RUN:
                 _, digest, spec = message
                 self._run(conn, digest, spec)
-            elif kind == "shutdown":
+            elif kind == MSG_SHUTDOWN:
                 self._closed.set()
                 try:
                     self._listener.close()
@@ -169,7 +177,7 @@ class WorkerAgent:
                 return
             else:
                 send_message(
-                    conn, ("error", None, f"unknown message kind {kind!r}")
+                    conn, (MSG_ERROR, None, f"unknown message kind {kind!r}")
                 )
 
     def _run(self, conn, digest: str, spec) -> None:
@@ -184,9 +192,9 @@ class WorkerAgent:
         n_blocks = 0
         try:
             for block in iter_shard_blocks(spec):
-                send_message(conn, ("block", digest, block))
+                send_message(conn, (MSG_BLOCK, digest, block))
                 n_blocks += 1
-            send_message(conn, ("done", digest, n_blocks))
+            send_message(conn, (MSG_DONE, digest, n_blocks))
         except (EOFError, OSError):
             raise
         except Exception as exc:  # noqa: BLE001 - forwarded to dispatcher
@@ -195,7 +203,7 @@ class WorkerAgent:
                 send_message(
                     conn,
                     (
-                        "error",
+                        MSG_ERROR,
                         digest,
                         f"{type(exc).__name__}: {exc}\n"
                         + traceback.format_exc(limit=8),

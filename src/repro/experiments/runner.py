@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.backend import BACKEND_ENV, list_backends, resolve_backend
+from repro.errors import ExperimentError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.io.csvio import write_bh_csv
 
@@ -79,7 +80,7 @@ def write_bench_json(
     for record in records:
         missing = {"op", "n", "seconds"} - set(record)
         if missing:
-            raise ValueError(
+            raise ExperimentError(
                 f"bench record is missing {sorted(missing)}: {record!r}"
             )
     payload = {

@@ -41,9 +41,12 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text; 'github' emits workflow "
+            "::error annotations CI renders inline on the diff)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -79,7 +82,24 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
+    if args.format == "github":
+        # GitHub Actions workflow commands: one ::error per violation,
+        # rendered inline on the PR diff.  Newlines would terminate the
+        # command mid-message, so they are %0A-escaped per the spec.
+        names = {cls.id: cls.name for cls in list_rules()}
+        for violation in violations:
+            message = violation.message.replace("%", "%25").replace(
+                "\n", "%0A"
+            )
+            title = f"{violation.rule} {names.get(violation.rule, '')}".strip()
+            print(
+                f"::error file={_relative(violation.path)},"
+                f"line={violation.line},col={violation.col + 1},"
+                f"title={title}::{message}"
+            )
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(f"repro.lint: {n_files} files checked, {len(violations)} {noun}")
+    elif args.format == "json":
         report = {
             "schema": 1,
             "files": n_files,

@@ -36,6 +36,15 @@ exactly why ``("parallel", "sched")`` is on the lazy allowlist).
 that deliberately reach upward to break an import cycle; anything
 upward and *eager* is always a violation, and an undocumented upward
 lazy import is too.
+
+Inside ``lint`` itself the same discipline holds one level down,
+by convention rather than by rank (L001 ranks packages, not
+modules): ``base`` and ``layers`` are the foundation, ``cfg`` and
+``resolve`` sit above them with no knowledge of any rule, and
+``rules/*`` compose all four.  A rule importing another rule is the
+one exception, and only for shared *scope tables* (L009 reuses
+L002's ``PARITY_MODULES`` so "kernel-parity module" can never mean
+two different sets).
 """
 
 from __future__ import annotations

@@ -9,7 +9,12 @@ from __future__ import annotations
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     bitwise_purity,
     concurrency_hygiene,
+    determinism,
     digest_completeness,
+    exception_taxonomy,
     layer_order,
+    lock_hygiene,
     numba_importability,
+    protocol_exhaustive,
+    resource_lifecycle,
 )

@@ -1,0 +1,204 @@
+"""L007 — exception taxonomy: raise :class:`~repro.errors.ReproError`
+subclasses, never swallow broadly caught exceptions in silence.
+
+Two halves of one contract:
+
+* **Raising** (``repro.*`` modules only): a new exception raised by
+  library code must derive from ``ReproError`` — that single base is
+  what lets callers write ``except ReproError`` around a campaign and
+  know they caught *domain* failures, not programming errors.  Raising
+  a builtin (``ValueError``, ``RuntimeError``, …) punches a hole in
+  that contract.  Process-control exceptions (``SystemExit``,
+  ``KeyboardInterrupt``, ``StopIteration``, ``NotImplementedError``)
+  are allowlisted; re-raises (bare ``raise``, ``raise caught_var``)
+  and names this best-effort resolver cannot place are skipped.
+* **Catching** (everywhere lint runs, tests included): an
+  ``except Exception`` / bare ``except`` body that does *nothing* —
+  only ``pass``/``...`` — swallows failures invisibly.  The policy is
+  that a broad handler must re-raise, return an error marker, or log
+  the degradation; the detector flags the unambiguous case, the
+  silent ``pass``.
+
+Resolution of a raised name: imports from :mod:`repro.errors` are
+approved, ``ReproError`` itself is, and locally defined classes whose
+base chain reaches an approved name are (computed to a fixpoint, so a
+module-local hierarchy rooted in ``DistError`` approves all its
+leaves).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Module, Rule, Violation, register_rule
+from repro.lint.resolve import ModuleResolver, dotted_name
+
+#: Raising these is process/iteration control, not a domain failure.
+ALLOWED_BUILTINS = frozenset(
+    {
+        "SystemExit",
+        "KeyboardInterrupt",
+        "StopIteration",
+        "StopAsyncIteration",
+        "GeneratorExit",
+        "NotImplementedError",
+        "AssertionError",
+    }
+)
+
+#: Builtin exceptions library code must not raise directly — wrap the
+#: condition in a ReproError subclass instead.  Names outside this set
+#: (an unresolvable local variable, a re-raised capture) are skipped,
+#: not guessed at.
+BANNED_BUILTINS = frozenset(
+    {
+        "ArithmeticError",
+        "AttributeError",
+        "BaseException",
+        "BrokenPipeError",
+        "ConnectionError",
+        "EOFError",
+        "Exception",
+        "FileNotFoundError",
+        "FloatingPointError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RuntimeError",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "UnicodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _approved_names(module: Module, resolver: ModuleResolver) -> "set[str]":
+    """Module-local names known to denote ReproError subclasses."""
+    approved = {"ReproError"}
+    for local, canonical in resolver.aliases.items():
+        if canonical.startswith("repro.errors."):
+            approved.add(local)
+    # Locally defined subclasses, to a fixpoint (hierarchies declare
+    # parents before children in source, but don't rely on it).
+    classes = [
+        node for node in ast.walk(module.tree) if isinstance(node, ast.ClassDef)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in approved:
+                continue
+            for base in cls.bases:
+                base_name = dotted_name(base)
+                if base_name is None:
+                    continue
+                if base_name.split(".")[-1] in approved:
+                    approved.add(cls.name)
+                    changed = True
+                    break
+    return approved
+
+
+def _is_silent(body: "list[ast.stmt]") -> bool:
+    """Does this handler body do nothing at all?"""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    exprs = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is not None and name.split(".")[-1] in BROAD_NAMES:
+            return True
+    return False
+
+
+@register_rule
+class ExceptionTaxonomyRule(Rule):
+    id = "L007"
+    name = "exception-taxonomy"
+    description = (
+        "repro code raises ReproError subclasses, never bare builtins; "
+        "broad except handlers must re-raise, return a marker, or log "
+        "— a silent pass is flagged"
+    )
+
+    def check_module(self, module: Module):
+        yield from self._check_swallows(module)
+        if module.name is not None:
+            yield from self._check_raises(module)
+
+    def _check_raises(self, module: Module):
+        resolver = ModuleResolver(module.tree)
+        approved = _approved_names(module, resolver)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            callee = exc.func if isinstance(exc, ast.Call) else exc
+            name = dotted_name(callee)
+            if name is None:
+                continue  # raise type(exc)(...) and friends — skip
+            trailing = name.split(".")[-1]
+            if trailing in approved or trailing in ALLOWED_BUILTINS:
+                continue
+            canonical = resolver.canonical(callee)
+            if canonical is not None and canonical.startswith("repro.errors."):
+                continue
+            if trailing in BANNED_BUILTINS:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    f"raise {trailing}(...) escapes the ReproError taxonomy "
+                    "— callers guard campaigns with 'except ReproError'; "
+                    "raise a repro.errors subclass instead",
+                )
+
+    def _check_swallows(self, module: Module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _is_silent(node.body):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    f"{caught} swallows every failure in silence; "
+                    "re-raise, return an error marker, or log the "
+                    "degradation",
+                )

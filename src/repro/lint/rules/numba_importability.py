@@ -40,6 +40,19 @@ def _module_level_functions(tree: ast.Module) -> "dict[str, ast.FunctionDef]":
     }
 
 
+def _imported_names(tree: ast.Module) -> "set[str]":
+    """Names bound anywhere in the module by an import statement."""
+    names: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
 class _NopythonVisitor(ast.NodeVisitor):
     """Flag constructs a nopython/interpreted-twin body must not use."""
 
@@ -90,6 +103,7 @@ class NumbaImportabilityRule(Rule):
 
     def check_module(self, module: Module):
         top_level = _module_level_functions(module.tree)
+        imported = _imported_names(module.tree)
         bodies: "dict[str, ast.FunctionDef]" = {
             name: node
             for name, node in top_level.items()
@@ -124,6 +138,14 @@ class NumbaImportabilityRule(Rule):
                         keyword.value, ast.Dict
                     ):
                         for value in keyword.value.values:
+                            # A dotted `module.func` reference through an
+                            # imported module is importable by construction.
+                            if (
+                                isinstance(value, ast.Attribute)
+                                and isinstance(value.value, ast.Name)
+                                and value.value.id in imported
+                            ):
+                                continue
                             if not (
                                 isinstance(value, ast.Name)
                                 and value.id in top_level

@@ -1,0 +1,286 @@
+"""L010 — wire-protocol exhaustiveness across the dist modules.
+
+The repro.dist message vocabulary lives in ``dist/protocol.py`` as
+``MSG_*`` tag constants; the dispatcher and the worker agent each
+pattern-match on a subset.  A tag added on one side but not the other
+is the classic protocol desync: the sender streams, the receiver hits
+its ``unknown message kind`` arm, a campaign dies at runtime for what
+was a compile-time fact.  This rule makes the tag set a checked,
+**cross-module** contract:
+
+* every ``MSG_*`` constant must be *constructed* somewhere in the
+  protocol's directory — as the first element of a tuple handed to
+  ``send_message`` — or it is dead vocabulary;
+* every tag must be *declared* in ``TAG_HANDLERS`` (tag → handler
+  module basenames), and every declared handler module that is part
+  of the lint run must actually *handle* it: compare against the tag
+  (``kind == MSG_RUN``, ``reply[0] != MSG_PONG``), match it in a
+  ``match`` arm, or assert it via ``check_message(conn, MSG_X)``.
+  Deleting a handler arm is flagged on the handler file itself;
+* the **current tag set must be recorded** in ``TAG_HISTORY`` under
+  the current ``PROTOCOL_VERSION``.  Because history entries for past
+  versions are frozen by convention (and by the seeded fixture),
+  changing the tag set forces a new ``PROTOCOL_VERSION`` entry — the
+  version bump the ping handshake relies on to refuse mixed fleets.
+
+Modules are paired **by directory**, not by import graph: every module
+named ``repro.dist.protocol`` in the run is checked against the
+``dispatch``/``worker``/``probe`` files sitting next to it, which is
+what lets the seeded fixture trees under ``tests/lint_fixtures``
+carry their own miniature protocol without colliding with the real
+one.  Tags are compared *by string value*, so a handler that spells
+the literal (``kind == "run"``) still counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.base import Module, Project, Rule, Violation, register_rule
+
+PROTOCOL_MODULE = "repro.dist.protocol"
+
+
+def _literal_str(node) -> "str | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_int(node) -> "int | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+class _ProtocolFacts:
+    """The declarations one protocol module makes, read off its AST."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        #: constant name → tag string ("MSG_RUN" → "run").
+        self.tags: "dict[str, str]" = {}
+        self.version: "int | None" = None
+        self.version_line = 1
+        #: version → tuple of tag strings, from TAG_HISTORY.
+        self.history: "dict[int, tuple[str, ...]] | None" = None
+        self.history_line = 1
+        #: tag string → handler module basenames, from TAG_HANDLERS.
+        self.handlers: "dict[str, tuple[str, ...]] | None" = None
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.startswith("MSG_"):
+                value = _literal_str(stmt.value)
+                if value is not None:
+                    self.tags[target.id] = value
+            elif target.id == "PROTOCOL_VERSION":
+                self.version = _literal_int(stmt.value)
+                self.version_line = stmt.lineno
+            elif target.id == "TAG_HISTORY":
+                self.history = self._parse_history(stmt.value)
+                self.history_line = stmt.lineno
+            elif target.id == "TAG_HANDLERS":
+                self.handlers = self._parse_handlers(stmt.value)
+
+    def _resolve(self, node) -> "str | None":
+        """A tag reference: a string literal or an MSG_* name."""
+        literal = _literal_str(node)
+        if literal is not None:
+            return literal
+        if isinstance(node, ast.Name):
+            return self.tags.get(node.id)
+        return None
+
+    def _parse_history(self, node) -> "dict[int, tuple[str, ...]] | None":
+        if not isinstance(node, ast.Dict):
+            return None
+        history: "dict[int, tuple[str, ...]]" = {}
+        for key, value in zip(node.keys, node.values):
+            version = _literal_int(key)
+            if version is None or not isinstance(value, (ast.Tuple, ast.List)):
+                return None
+            tags = tuple(
+                tag
+                for tag in (self._resolve(e) for e in value.elts)
+                if tag is not None
+            )
+            history[version] = tags
+        return history
+
+    def _parse_handlers(self, node) -> "dict[str, tuple[str, ...]] | None":
+        if not isinstance(node, ast.Dict):
+            return None
+        handlers: "dict[str, tuple[str, ...]]" = {}
+        for key, value in zip(node.keys, node.values):
+            tag = self._resolve(key)
+            if tag is None or not isinstance(value, (ast.Tuple, ast.List)):
+                return None
+            handlers[tag] = tuple(
+                name
+                for name in (_literal_str(e) for e in value.elts)
+                if name is not None
+            )
+        return handlers
+
+
+def _constructs(module: Module, tag: str, const_name: str) -> bool:
+    """Does this module build ``(tag, ...)`` inside a send_message?"""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if callee != "send_message":
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Tuple) and arg.elts:
+                head = arg.elts[0]
+                if _literal_str(head) == tag or (
+                    isinstance(head, ast.Name) and head.id == const_name
+                ):
+                    return True
+    return False
+
+
+def _handles(module: Module, tag: str, const_name: str) -> bool:
+    """Does this module match on the tag — compare, match arm, or
+    ``check_message(conn, TAG)``?"""
+
+    def mentions(expr) -> bool:
+        return _literal_str(expr) == tag or (
+            isinstance(expr, ast.Name) and expr.id == const_name
+        )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Compare):
+            if mentions(node.left) or any(
+                mentions(comp) for comp in node.comparators
+            ):
+                return True
+        elif isinstance(node, ast.MatchValue):
+            if mentions(node.value):
+                return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if callee == "check_message" and len(node.args) >= 2:
+                if mentions(node.args[1]):
+                    return True
+    return False
+
+
+@register_rule
+class ProtocolExhaustiveRule(Rule):
+    id = "L010"
+    name = "protocol-exhaustiveness"
+    description = (
+        "every dist MSG_* tag is constructed via send_message, handled "
+        "by each module TAG_HANDLERS declares, and recorded in "
+        "TAG_HISTORY under the current PROTOCOL_VERSION (tag-set "
+        "changes must bump the version)"
+    )
+
+    def check_project(self, project: Project):
+        for module in project.modules:
+            if module.name == PROTOCOL_MODULE:
+                yield from self._check_protocol(project, module)
+
+    def _check_protocol(self, project: Project, module: Module):
+        facts = _ProtocolFacts(module)
+        if not facts.tags:
+            return  # not a tag-bearing protocol module — nothing to hold
+        siblings = self._siblings(project, module)
+        path = str(module.path)
+
+        # -- the tag set is version-recorded -------------------------------
+        current = tuple(sorted(set(facts.tags.values())))
+        if facts.history is None or facts.version is None:
+            yield Violation(
+                self.id, path, facts.version_line, 0,
+                "protocol modules must record their tag set: declare "
+                "PROTOCOL_VERSION (int) and TAG_HISTORY "
+                "({version: (sorted tags...)})",
+            )
+        elif facts.history.get(facts.version) != current:
+            recorded = facts.history.get(facts.version)
+            yield Violation(
+                self.id, path, facts.history_line, 0,
+                f"message tag set {list(current)} does not match "
+                f"TAG_HISTORY[{facts.version}] = "
+                f"{list(recorded) if recorded else recorded} — a tag-set "
+                "change must bump PROTOCOL_VERSION and record the new "
+                "set (mixed fleets refuse each other at the ping "
+                "handshake)",
+            )
+
+        # -- per-tag construction and handling ------------------------------
+        for const_name, tag in sorted(facts.tags.items()):
+            line = self._line_of(module, const_name)
+            if not any(
+                _constructs(sibling, tag, const_name)
+                for sibling in siblings.values()
+            ):
+                yield Violation(
+                    self.id, path, line, 0,
+                    f"{const_name} ({tag!r}) is never constructed — no "
+                    "send_message((...)) in this protocol's directory "
+                    "builds it; dead vocabulary desyncs fleets",
+                )
+            if facts.handlers is None or tag not in facts.handlers:
+                yield Violation(
+                    self.id, path, line, 0,
+                    f"{const_name} ({tag!r}) is missing from TAG_HANDLERS "
+                    "— every tag must declare which module(s) handle it",
+                )
+                continue
+            for handler_name in facts.handlers[tag]:
+                handler = siblings.get(handler_name)
+                if handler is None:
+                    continue  # handler file not part of this lint run
+                if not _handles(handler, tag, const_name):
+                    yield Violation(
+                        self.id, str(handler.path), 1, 0,
+                        f"TAG_HANDLERS names this module for {const_name} "
+                        f"({tag!r}) but no compare/match/check_message "
+                        "here mentions it — the handler arm is missing",
+                    )
+
+    @staticmethod
+    def _siblings(project: Project, module: Module) -> "dict[str, Module]":
+        """Every module in the protocol file's own directory, keyed by
+        basename (the fixture-friendly pairing rule)."""
+        directory = Path(module.path).resolve().parent
+        return {
+            Path(m.path).stem: m
+            for m in project.modules
+            if Path(m.path).resolve().parent == directory
+        }
+
+    @staticmethod
+    def _line_of(module: Module, const_name: str) -> int:
+        for stmt in module.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and stmt.targets
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == const_name
+            ):
+                return stmt.lineno
+        return 1

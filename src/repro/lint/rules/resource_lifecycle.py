@@ -1,0 +1,263 @@
+"""L006 — resource lifecycle in ``parallel``/``service``/``dist``.
+
+The concurrency layers acquire OS-backed handles — ``SharedMemory``
+segments, ``Listener``/``Client`` sockets, process ``Pool``\\ s,
+``mkstemp`` descriptors — whose leak mode is silent until a fleet runs
+out of fds or shm names.  The PR 8 rules could only spot *missing*
+release calls; this rule asks the flow question: **does every acquired
+handle reach a release on every path out of the function?**
+
+Mechanics (built on :mod:`repro.lint.cfg` + :mod:`repro.lint.resolve`):
+
+* an *acquisition* is a plain-name assignment from a known constructor
+  (``shm = SharedMemory(...)``, ``conn = Client(...)``,
+  ``fd, path = mkstemp()``);
+* a *release* is a releasing method on the name (``close``/``unlink``/
+  ``terminate``/``join``/``shutdown``/``stop``/``release``), an
+  ``os.close(fd)``/``os.fdopen(fd, ...)`` (fd ownership transfers to
+  the file object), or naming the handle in a ``with`` item (the
+  context manager owns the unwind from there);
+* the handle is *exempt* when it escapes the function — returned,
+  yielded, stored onto an object or container, captured by a nested
+  function, or passed to another call (ownership transferred; the
+  PR 7 caller-owned-pool rule is the canonical case) — because the
+  function is then not the owner;
+* otherwise the CFG must show **no** release-free path from the
+  acquisition to the function exit.  The traversal skips the exception
+  edges leaving the acquisition statement itself: if the constructor
+  raised, there is nothing to leak.
+
+The graph over-approximates (see :mod:`repro.lint.cfg`), so a finding
+here means "show me the ``finally``", not necessarily "production
+leaks today" — the same burden-of-proof direction as L002.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Module, Rule, Violation, register_rule
+from repro.lint.cfg import build_cfg
+from repro.lint.resolve import ModuleResolver, dotted_name
+
+#: Packages whose functions own OS-backed handles.
+SCOPED_PACKAGES = frozenset({"parallel", "service", "dist"})
+
+#: Constructor type tags this rule tracks, with the release methods
+#: that end each handle's life.
+TRACKED: "dict[str, frozenset[str]]" = {
+    "SharedMemory": frozenset({"close", "unlink"}),
+    "Listener": frozenset({"close"}),
+    "Client": frozenset({"close"}),
+    "Pool": frozenset({"close", "terminate", "join"}),
+    "fd": frozenset(),  # released via os.close / os.fdopen only
+}
+
+#: Any of these attribute calls on the handle counts as a release —
+#: broader than the per-type set above on purpose: ``pool.join()``
+#: after ``close()`` and a custom ``.stop()`` wrapper both end a life.
+RELEASE_METHODS = frozenset(
+    {"close", "unlink", "terminate", "join", "shutdown", "stop", "release"}
+)
+
+#: Calls that consume a raw fd (the descriptor's ownership moves).
+FD_CONSUMERS = frozenset({"os.close", "os.fdopen", "close", "fdopen"})
+
+
+def _names_in(node: ast.AST) -> "set[str]":
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _is_fd_consumer(call: ast.Call, resolver: ModuleResolver) -> bool:
+    canonical = resolver.canonical(call.func)
+    return canonical in FD_CONSUMERS or (
+        canonical is not None and canonical.split(".")[-1] in {"close", "fdopen"}
+    )
+
+
+class _Acquisition:
+    __slots__ = ("name", "tag", "stmt")
+
+    def __init__(self, name: str, tag: str, stmt: ast.stmt) -> None:
+        self.name = name
+        self.tag = tag
+        self.stmt = stmt
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    id = "L006"
+    name = "resource-lifecycle"
+    description = (
+        "parallel/service/dist: every acquired SharedMemory/Listener/"
+        "Client/Pool/mkstemp handle must reach a release on all "
+        "control-flow paths (with / try-finally), escape to a caller, "
+        "or be caller-owned"
+    )
+
+    def check_module(self, module: Module):
+        if module.package not in SCOPED_PACKAGES:
+            return
+        resolver = ModuleResolver(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, resolver)
+
+    def _check_function(self, module: Module, fn, resolver: ModuleResolver):
+        cfg = build_cfg(fn)
+        acquisitions = self._acquisitions(fn, cfg, resolver)
+        if not acquisitions:
+            return
+        for acq in acquisitions:
+            if self._escapes(fn, acq):
+                continue
+            releases = self._release_nodes(fn, cfg, acq, resolver)
+            start = cfg.node_of(acq.stmt)
+            if start is None:  # pragma: no cover - defensive
+                continue
+            if not releases:
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    acq.stmt.lineno,
+                    acq.stmt.col_offset,
+                    f"{acq.tag} handle {acq.name!r} is acquired but never "
+                    "released in this function and never escapes it; close "
+                    "it (with / try-finally) or hand ownership out",
+                )
+            elif cfg.reaches_exit_avoiding(
+                start, releases, skip_initial_exception_edges=True
+            ):
+                yield Violation(
+                    self.id,
+                    str(module.path),
+                    acq.stmt.lineno,
+                    acq.stmt.col_offset,
+                    f"{acq.tag} handle {acq.name!r} has a control-flow path "
+                    "to the function exit that skips every release; move "
+                    "the release into a finally block or a with statement",
+                )
+
+    # -- acquisition discovery ----------------------------------------------
+
+    def _acquisitions(self, fn, cfg, resolver: ModuleResolver):
+        found: "list[_Acquisition]" = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            if cfg.node_of(node) is None:
+                continue  # belongs to a nested function's own CFG
+            if not isinstance(node.value, ast.Call):
+                continue
+            tag = resolver.constructor_of(node.value)
+            if tag is None or (tag not in TRACKED and tag != "mkstemp"):
+                continue
+            for target in node.targets:
+                if tag == "mkstemp":
+                    if (
+                        isinstance(target, ast.Tuple)
+                        and target.elts
+                        and isinstance(target.elts[0], ast.Name)
+                    ):
+                        found.append(
+                            _Acquisition(target.elts[0].id, "fd", node)
+                        )
+                elif isinstance(target, ast.Name):
+                    found.append(_Acquisition(target.id, tag, node))
+        return found
+
+    # -- escape analysis -----------------------------------------------------
+
+    def _escapes(self, fn, acq: _Acquisition) -> bool:
+        name = acq.name
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None and name in _names_in(node.value):
+                    return True
+            elif isinstance(node, ast.Assign) and node is not acq.stmt:
+                # Stored anywhere (attribute, subscript, another name):
+                # this function no longer solely owns the handle.
+                if name in _names_in(node.value):
+                    return True
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn and name in _names_in(node):
+                    return True  # closure capture
+            elif isinstance(node, ast.Lambda):
+                if name in _names_in(node.body):
+                    return True
+            elif isinstance(node, ast.Call):
+                # Passed as an argument to another call (ownership
+                # transfer) — releasing consumers don't count here,
+                # they are releases, handled below.
+                args = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in args:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        if not self._is_release_call(node, name):
+                            return True
+        return False
+
+    def _is_release_call(self, call: ast.Call, name: str) -> bool:
+        """``os.close(fd)`` / ``os.fdopen(fd, ...)`` style consumers."""
+        callee = dotted_name(call.func)
+        if callee is None:
+            return False
+        return callee.split(".")[-1] in {"close", "fdopen", "unlink"}
+
+    # -- release discovery ---------------------------------------------------
+
+    def _release_nodes(self, fn, cfg, acq: _Acquisition, resolver):
+        releases: "set[int]" = set()
+        for node in cfg.nodes:
+            if node.stmt is None:
+                continue
+            if self._stmt_releases(node.stmt, acq, resolver):
+                releases.add(node.index)
+        return releases
+
+    def _stmt_releases(self, stmt, acq: _Acquisition, resolver) -> bool:
+        name = acq.name
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # ``with closing(conn):`` / ``with os.fdopen(fd) as fh:`` /
+            # ``with pool:`` — the context manager owns the unwind.
+            for item in stmt.items:
+                if name in _names_in(item.context_expr):
+                    return True
+            return False
+        for sub in self._own_nodes(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Attribute):
+                if (
+                    isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == name
+                    and sub.func.attr in RELEASE_METHODS
+                ):
+                    return True
+            if acq.tag == "fd" and _is_fd_consumer(sub, resolver):
+                for arg in sub.args[:1]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+        return False
+
+    @staticmethod
+    def _own_nodes(stmt):
+        """The AST nodes belonging to one CFG node — a compound
+        statement contributes only its header expression (its body
+        statements are separate CFG nodes; a release buried in one
+        branch must not mark the shared header as releasing)."""
+        if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+            header: "list[ast.AST]" = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            header = [stmt.iter]
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            header = []
+        elif isinstance(stmt, ast.ExceptHandler):
+            header = [stmt.type] if stmt.type is not None else []
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            header = []
+        else:
+            return list(ast.walk(stmt))
+        out: "list[ast.AST]" = []
+        for expr in header:
+            out.extend(ast.walk(expr))
+        return out

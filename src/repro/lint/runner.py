@@ -17,6 +17,13 @@ from repro.lint.base import Module, Project, Violation, list_rules
 #: installed ``repro`` package tree itself.
 DEFAULT_ROOT = Path(__file__).resolve().parents[1]
 
+#: Directory name holding deliberately-bad rule fixtures.  Scanning a
+#: tree (``tests/``) skips anything *below* such a directory — the
+#: seeded violations would otherwise fail every clean-tree gate — but
+#: pointing the linter **at** a fixture directory still works, which is
+#: exactly how the fixture tests and the CI trip-check invoke it.
+FIXTURE_DIR_NAME = "lint_fixtures"
+
 
 def iter_python_files(paths: "list[Path]") -> "list[Path]":
     """Expand files/directories into a sorted, de-duplicated .py list."""
@@ -25,6 +32,8 @@ def iter_python_files(paths: "list[Path]") -> "list[Path]":
         path = Path(path)
         if path.is_dir():
             for found in sorted(path.rglob("*.py")):
+                if FIXTURE_DIR_NAME in found.relative_to(path).parts[:-1]:
+                    continue
                 seen.setdefault(found.resolve(), None)
         elif path.suffix == ".py" and path.exists():
             seen.setdefault(path.resolve(), None)

@@ -120,12 +120,16 @@ def canonicalise(value):
         return _array_token(value)
     if isinstance(value, dict):
         out = {}
-        for key, item in value.items():
+        # Sorted traversal (L009): insertion order is execution shape,
+        # not a semantic field, and must never reach canonical output.
+        # key=str keeps a non-string key traversable long enough to be
+        # rejected with the precise error below.
+        for key in sorted(value, key=str):
             if not isinstance(key, str):
                 raise ParameterError(
                     f"digest payload keys must be strings, got {key!r}"
                 )
-            out[key] = canonicalise(item)
+            out[key] = canonicalise(value[key])
         return out
     if isinstance(value, (list, tuple)):
         return [canonicalise(item) for item in value]

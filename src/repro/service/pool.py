@@ -24,6 +24,7 @@ inside each job, not from overlapping jobs.
 
 from __future__ import annotations
 
+import logging
 import threading
 from multiprocessing import get_context
 
@@ -33,6 +34,8 @@ from repro.parallel.executor import (
     resolve_workers,
     run_job_serial,
 )
+
+_log = logging.getLogger(__name__)
 
 
 def prewarm_fused_kernels(
@@ -150,8 +153,11 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+    def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            # Raising from __del__ would crash interpreter shutdown,
+            # but a pool the GC had to reap is a leak worth a trace
+            # (L007: broad handlers log, never swallow in silence).
+            _log.debug("WorkerPool.__del__ close failed: %s", exc)

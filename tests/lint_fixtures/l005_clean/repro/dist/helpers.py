@@ -1,8 +1,10 @@
 """Clean twin of the dist recv fixture: the only ``recv`` call sits
 inside the protocol's poll-with-deadline wrapper."""
 
+from repro.errors import DistTimeoutError
+
 
 def recv_message(conn, deadline_s):
     if not conn.poll(deadline_s):
-        raise TimeoutError("peer went quiet past the deadline")
+        raise DistTimeoutError("peer went quiet past the deadline")
     return conn.recv()

@@ -1,0 +1,28 @@
+"""Seeded L006 violations: handles with release-free paths to exit."""
+
+import tempfile
+from multiprocessing.shared_memory import SharedMemory
+from multiprocessing.connection import Client
+
+
+def leaks_on_the_else_branch(name, flag):
+    """Released only when ``flag`` holds — the else path leaks."""
+    shm = SharedMemory(name=name, create=True, size=64)
+    if flag:
+        shm.close()
+        shm.unlink()
+
+
+def leaks_past_an_early_return(address, probe):
+    """The early return skips the close entirely."""
+    conn = Client(address)
+    if probe:
+        return True
+    conn.close()
+    return False
+
+
+def never_releases_at_all():
+    """Acquired, used, forgotten."""
+    fd, path = tempfile.mkstemp(suffix=".json")
+    return path

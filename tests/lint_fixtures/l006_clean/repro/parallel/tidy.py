@@ -1,0 +1,43 @@
+"""Clean twin of the L006 fixture: every lifecycle idiom the rule
+must accept — try/finally, with-items, os.fdopen fd transfer, escape
+to the caller, and the caller-owned pool exemption."""
+
+import os
+import tempfile
+from multiprocessing.shared_memory import SharedMemory
+from multiprocessing.connection import Client
+
+
+def released_in_a_finally(name, flag):
+    shm = SharedMemory(name=name, create=True, size=64)
+    try:
+        if flag:
+            return shm.size
+        return 0
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def held_by_a_with(address):
+    with Client(address) as conn:
+        return conn.recv()  # repro-lint: disable=L005 -- fixture: with-held connection, deadline out of scope here
+
+
+def fd_ownership_moves_to_the_file_object():
+    fd, path = tempfile.mkstemp(suffix=".json")
+    with os.fdopen(fd, "w") as handle:
+        handle.write("{}")
+    os.unlink(path)
+    return path
+
+
+def escapes_to_the_caller(name):
+    """Returned handles are the caller's to close."""
+    shm = SharedMemory(name=name, create=True, size=64)
+    return shm
+
+
+def borrowed_pools_are_not_acquisitions(pool, jobs):
+    """A caller-owned pool is never this function's to release."""
+    return [pool_job for pool_job in jobs]

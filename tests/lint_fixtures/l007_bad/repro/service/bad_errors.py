@@ -1,0 +1,15 @@
+"""Seeded L007 violations: a builtin raise and a silent swallow."""
+
+
+def parses_with_a_builtin_raise(text):
+    if not text:
+        raise ValueError("empty request")  # escapes the ReproError taxonomy
+    return text.strip()
+
+
+def swallows_in_silence(record):
+    try:
+        return int(record["n"])
+    except Exception:
+        pass
+    return 0

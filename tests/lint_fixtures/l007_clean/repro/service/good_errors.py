@@ -1,0 +1,45 @@
+"""Clean twin of the L007 fixture: taxonomy raises, handled catches."""
+
+import logging
+
+from repro.errors import ParameterError, ReproError
+
+_log = logging.getLogger(__name__)
+
+
+class ServiceScopedError(ReproError):
+    """Locally defined subclasses stay inside the taxonomy."""
+
+
+def parses_inside_the_taxonomy(text):
+    if not text:
+        raise ParameterError("empty request")
+    return text.strip()
+
+
+def raises_a_local_subclass(flag):
+    if flag:
+        raise ServiceScopedError("locally rooted, still a ReproError")
+    return flag
+
+
+def logs_the_degradation(record):
+    try:
+        return int(record["n"])
+    except Exception as exc:
+        _log.warning("record %r unusable, counting it as zero: %s", record, exc)
+    return 0
+
+
+def returns_an_error_marker(record):
+    try:
+        return int(record["n"])
+    except Exception:
+        return None
+
+
+def reraises_wrapped(record):
+    try:
+        return int(record["n"])
+    except Exception as exc:
+        raise ParameterError(f"record {record!r} is not countable") from exc

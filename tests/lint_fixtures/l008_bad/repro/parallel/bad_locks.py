@@ -1,0 +1,32 @@
+"""Seeded L008 violations: an if-guarded Condition.wait and blocking
+calls inside held-lock critical sections."""
+
+import threading
+
+
+class IfGuardedQueue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def get(self):
+        with self._cond:
+            if not self._items:
+                self._cond.wait()  # predicate not re-checked after wake
+            return self._items.pop()
+
+
+def sends_while_locked(conn, message, send_message):
+    lock = threading.Lock()
+    with lock:
+        send_message(conn, message)
+
+
+class FansOutUnderItsLock:
+    def __init__(self, ctx):
+        self._lock = threading.Lock()
+        self._pool = ctx.Pool(processes=2)
+
+    def run(self, work):
+        with self._lock:
+            return self._pool.map(len, work)

@@ -1,0 +1,39 @@
+"""Clean twin of the L008 fixture: while-predicate waits, wait_for,
+and blocking work kept outside the critical section."""
+
+import threading
+
+
+class WhileGuardedQueue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def get(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            return self._items.pop()
+
+    def get_with_wait_for(self):
+        with self._cond:
+            self._cond.wait_for(lambda: self._items)
+            return self._items.pop()
+
+
+def sends_outside_the_lock(conn, message, send_message):
+    lock = threading.Lock()
+    with lock:
+        payload = tuple(message)
+    send_message(conn, payload)
+
+
+class FansOutUnlocked:
+    def __init__(self, ctx):
+        self._lock = threading.Lock()
+        self._pool = ctx.Pool(processes=2)
+
+    def run(self, work):
+        with self._lock:
+            batch = list(work)
+        return self._pool.map(len, batch)

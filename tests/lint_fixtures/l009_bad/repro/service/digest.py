@@ -1,0 +1,14 @@
+"""Seeded L009 violations in a module named like the digest module:
+entropy and insertion-order iteration feeding canonical output."""
+
+import time
+import uuid
+
+
+def canonical_payload(payload):
+    stamp = time.time()  # entropy in a canonical payload
+    token = uuid.uuid4()  # more entropy
+    out = {}
+    for key, item in payload.items():  # insertion order reaches output
+        out[key] = item
+    return {"stamp": stamp, "token": str(token), "payload": out}

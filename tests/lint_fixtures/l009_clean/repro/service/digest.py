@@ -1,0 +1,9 @@
+"""Clean twin of the L009 fixture: sorted traversal, no entropy."""
+
+
+def canonical_payload(payload):
+    out = {}
+    for key in sorted(payload, key=str):
+        out[key] = payload[key]
+    ordered_pairs = [(key, out[key]) for key in sorted(out)]
+    return {"payload": out, "pairs": ordered_pairs}

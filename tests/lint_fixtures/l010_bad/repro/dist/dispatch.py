@@ -1,0 +1,20 @@
+"""Dispatcher half of the seeded L010 fixture: constructs the reset
+request whose worker-side handler arm no longer exists."""
+
+from repro.dist.protocol import (
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESET,
+    recv_message,
+    send_message,
+)
+
+
+def handshake(conn):
+    send_message(conn, (MSG_PING,))
+    reply = recv_message(conn, 1.0)
+    return reply[0] == MSG_PONG
+
+
+def reset(conn):
+    send_message(conn, (MSG_RESET,))

@@ -1,0 +1,31 @@
+"""Seeded L010 violations, one per failure class:
+
+* ``MSG_NUDGE`` — dead vocabulary: never constructed, and missing
+  from ``TAG_HANDLERS`` entirely;
+* ``MSG_RESET`` — declared and constructed, but its handler arm in
+  ``worker.py`` has been deleted;
+* ``TAG_HISTORY`` — still records the version-1 set from before the
+  vocabulary grew, without a ``PROTOCOL_VERSION`` bump.
+"""
+
+PROTOCOL_VERSION = 1
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_NUDGE = "nudge"
+MSG_RESET = "reset"
+
+TAG_HANDLERS = {
+    MSG_PING: ("worker",),
+    MSG_PONG: ("dispatch",),
+    MSG_RESET: ("worker",),
+    # MSG_NUDGE missing: no module declared to handle it.
+}
+
+TAG_HISTORY = {
+    1: (MSG_PING, MSG_PONG),  # stale: "nudge" and "reset" joined since
+}
+
+
+def send_message(conn, message):
+    conn.send(message)

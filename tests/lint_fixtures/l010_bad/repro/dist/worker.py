@@ -1,0 +1,10 @@
+"""Worker half of the seeded L010 fixture: the ping arm exists, but
+the handler arm a fuller protocol would need has been deleted."""
+
+from repro.dist.protocol import MSG_PING, MSG_PONG, send_message
+
+
+def handle(conn, message):
+    kind = message[0]
+    if kind == MSG_PING:
+        send_message(conn, (MSG_PONG, 1))

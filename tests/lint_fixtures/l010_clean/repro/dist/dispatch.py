@@ -1,0 +1,10 @@
+"""Dispatcher half of the clean L010 twin: every to-dispatcher tag
+handled, the handshake tag constructed."""
+
+from repro.dist.protocol import MSG_PING, MSG_PONG, recv_message, send_message
+
+
+def handshake(conn):
+    send_message(conn, (MSG_PING,))
+    reply = recv_message(conn, 1.0)
+    return reply[0] == MSG_PONG

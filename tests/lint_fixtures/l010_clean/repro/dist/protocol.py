@@ -1,0 +1,20 @@
+"""Clean twin of the L010 fixture: two tags, both constructed, both
+handled, history row matching the current set."""
+
+PROTOCOL_VERSION = 1
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+
+TAG_HANDLERS = {
+    MSG_PING: ("worker",),
+    MSG_PONG: ("dispatch",),
+}
+
+TAG_HISTORY = {
+    1: (MSG_PING, MSG_PONG),
+}
+
+
+def send_message(conn, message):
+    conn.send(message)

@@ -1,0 +1,9 @@
+"""Worker half of the clean L010 twin: every to-worker tag handled."""
+
+from repro.dist.protocol import MSG_PING, MSG_PONG, send_message
+
+
+def handle(conn, message):
+    kind = message[0]
+    if kind == MSG_PING:
+        send_message(conn, (MSG_PONG, 1))

@@ -11,6 +11,7 @@ numerics change.
 
 import dataclasses
 import logging
+import threading
 
 import numpy as np
 import pytest
@@ -139,6 +140,33 @@ class TestLaneBlocks:
         budget.acquire(10**12)
         budget.release(10**12)
         assert budget.peak == 10**12
+
+    def test_stray_notify_cannot_over_release_the_budget(self):
+        """``acquire`` re-checks its predicate after every wake
+        (``wait_for``), so a stray ``notify_all`` — over-notification,
+        a spurious wakeup — never admits bytes past the ceiling."""
+        budget = BlockBudget(100)
+        budget.acquire(90)
+        admitted = threading.Event()
+
+        def contender():
+            budget.acquire(20)
+            admitted.set()
+            budget.release(20)
+
+        thread = threading.Thread(target=contender, daemon=True)
+        thread.start()
+        for _ in range(5):
+            with budget._cond:
+                budget._cond.notify_all()
+        # The waiter must still be parked: 90 + 20 > 100.
+        assert not admitted.wait(0.2)
+        assert budget.in_flight == 90
+        budget.release(90)
+        assert admitted.wait(5.0), "waiter never admitted after release"
+        thread.join(5.0)
+        assert budget.in_flight == 0
+        assert budget.peak <= 100
 
 
 def _drive():
@@ -491,6 +519,15 @@ class TestWorkerAgent:
             assert "frobnicate" in reply[2]
         finally:
             conn.close()
+
+    def test_dispatcher_shutdown_stops_the_fleet(self):
+        with WorkerAgent() as a, WorkerAgent() as b:
+            dispatcher = Dispatcher([a.address, b.address])
+            assert dispatcher.n_live == 2
+            assert dispatcher.shutdown_workers() == 2
+            assert dispatcher.n_live == 0
+            # Both serve loops observed MSG_SHUTDOWN and closed up.
+            assert a._closed.wait(5.0) and b._closed.wait(5.0)
 
     def test_wrong_authkey_never_kills_the_agent(self, fleet):
         from multiprocessing import AuthenticationError

@@ -74,3 +74,32 @@ class TestCli:
 
         with pytest.raises(ExperimentError):
             main(["EXP-DOES-NOT-EXIST", "--output", str(tmp_path)])
+
+
+class TestBenchJson:
+    def test_writes_stamped_payload(self, tmp_path):
+        import json
+
+        from repro.experiments.runner import write_bench_json
+
+        path = write_bench_json(
+            tmp_path / "BENCH-x.json",
+            "EXP-X",
+            [{"op": "run", "n": 4, "seconds": 0.5}],
+            backend="numpy",
+            workers=2,
+        )
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "EXP-X"
+        assert payload["backend"] == "numpy" and payload["workers"] == 2
+        assert payload["records"][0]["n"] == 4
+
+    def test_incomplete_record_raises_experiment_error(self, tmp_path):
+        from repro.errors import ExperimentError
+        from repro.experiments.runner import write_bench_json
+
+        with pytest.raises(ExperimentError, match="missing"):
+            write_bench_json(
+                tmp_path / "BENCH-y.json", "EXP-Y", [{"op": "run"}]
+            )
+        assert not (tmp_path / "BENCH-y.json").exists()

@@ -7,9 +7,12 @@ must be clean (the CI gate in executable form).
 
 from __future__ import annotations
 
+import ast
 import json
+import shutil
 import subprocess
 import sys
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -25,12 +28,24 @@ from repro.lint import (
     register_rule,
 )
 from repro.lint.base import _RULES, Module
+from repro.lint.cfg import STMT, build_cfg
 from repro.lint.layers import LAYER_ORDER, LAZY_ALLOWLIST, RANK, rank_of
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-ALL_RULES = ("L001", "L002", "L003", "L004", "L005")
+ALL_RULES = (
+    "L001",
+    "L002",
+    "L003",
+    "L004",
+    "L005",
+    "L006",
+    "L007",
+    "L008",
+    "L009",
+    "L010",
+)
 
 
 def rules_hit(paths, **kwargs):
@@ -101,6 +116,92 @@ def test_l005_reports_all_four_hygiene_classes():
     assert len(violations) == 4
 
 
+def test_l006_reports_path_leak_and_never_released():
+    violations = rules_hit([FIXTURES / "l006_bad"], select=["L006"])[0]
+    messages = "\n".join(v.message for v in violations)
+    # Two flow shapes: a branch that skips the release, and a handle
+    # that has no release at all.
+    assert "skips every release" in messages
+    assert "never released" in messages
+    assert "SharedMemory handle 'shm'" in messages
+    assert "fd handle 'fd'" in messages
+    assert len(violations) == 3
+
+
+def test_l007_reports_foreign_raise_and_silent_swallow():
+    violations = rules_hit([FIXTURES / "l007_bad"], select=["L007"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "escapes the ReproError taxonomy" in messages
+    assert "swallows every failure in silence" in messages
+    assert len(violations) == 2
+
+
+def test_l008_reports_unlooped_wait_and_blocking_under_lock():
+    violations = rules_hit([FIXTURES / "l008_bad"], select=["L008"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "outside a while-predicate loop" in messages
+    assert "send_message() while holding lock" in messages
+    assert "self._pool.map() while holding self._lock" in messages
+    assert len(violations) == 3
+
+
+def test_l009_reports_entropy_and_unsorted_iteration():
+    violations = rules_hit([FIXTURES / "l009_bad"], select=["L009"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "time.time() injects entropy" in messages
+    assert "uuid.uuid4() injects entropy" in messages
+    assert "insertion/hash order" in messages
+    assert len(violations) == 3
+
+
+def test_l010_reports_all_four_protocol_drifts():
+    violations = rules_hit([FIXTURES / "l010_bad"], select=["L010"])[0]
+    messages = "\n".join(v.message for v in violations)
+    assert "never constructed" in messages
+    assert "missing from TAG_HANDLERS" in messages
+    assert "must bump PROTOCOL_VERSION" in messages
+    assert "the handler arm is missing" in messages
+    assert len(violations) == 4
+    # The missing-arm finding points at the handler module, not the
+    # protocol module.
+    arm = [v for v in violations if "handler arm" in v.message]
+    assert arm[0].path.endswith("worker.py")
+
+
+@pytest.mark.parametrize(
+    "module_name, kept_handler",
+    [
+        # Delete the worker's MSG_PING arm; keep MSG_PONG constructed.
+        (
+            "worker.py",
+            "from repro.dist.protocol import MSG_PONG, send_message\n"
+            "\n\n"
+            "def handle(conn, message):\n"
+            "    send_message(conn, (MSG_PONG, 1))\n",
+        ),
+        # Delete the dispatcher's MSG_PONG arm; keep MSG_PING constructed.
+        (
+            "dispatch.py",
+            "from repro.dist.protocol import MSG_PING, send_message\n"
+            "\n\n"
+            "def handshake(conn):\n"
+            "    send_message(conn, (MSG_PING,))\n",
+        ),
+    ],
+)
+def test_l010_flags_any_deleted_handler_arm(tmp_path, module_name, kept_handler):
+    """The full-tag-set round trip: start from the clean twin, delete
+    one handler arm, and the rule must name that module."""
+    target = tmp_path / "copy"
+    shutil.copytree(FIXTURES / "l010_clean", target)
+    (target / "repro" / "dist" / module_name).write_text(kept_handler)
+    violations, hit = rules_hit([target], select=["L010"])
+    assert hit == {"L010"}
+    assert len(violations) == 1
+    assert "the handler arm is missing" in violations[0].message
+    assert violations[0].path.endswith(module_name)
+
+
 # ---------------------------------------------------------------------------
 # Pragmas
 # ---------------------------------------------------------------------------
@@ -163,6 +264,206 @@ def test_cli_exits_zero_on_real_tree_and_nonzero_on_fixture():
     assert {v["rule"] for v in report["violations"]} == {"L001"}
 
 
+def test_cli_github_format_emits_workflow_annotations():
+    env_path = str(REPO_ROOT / "src")
+    bad = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            "--format",
+            "github",
+            str(FIXTURES / "l001_bad"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert bad.returncode == 1
+    annotations = [
+        line for line in bad.stdout.splitlines() if line.startswith("::error ")
+    ]
+    assert len(annotations) == 2
+    first = annotations[0]
+    # ::error file=...,line=...,col=...,title=L001 layer-order::message
+    assert "file=tests/lint_fixtures/l001_bad" in first
+    assert "title=L001 layer-order::" in first
+    # columns are 1-based in workflow-command land
+    assert ",col=0," not in first
+
+
+# ---------------------------------------------------------------------------
+# The CFG core: path enumeration and the all-paths release query
+# ---------------------------------------------------------------------------
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source).strip())
+    return build_cfg(tree.body[0])
+
+
+def _node_at(cfg, line: int) -> int:
+    for node in cfg.nodes:
+        if node.kind == STMT and node.line == line:
+            return node.index
+    raise AssertionError(f"no statement node at line {line}")
+
+
+class TestCFG:
+    def test_if_else_enumerates_both_arms(self):
+        cfg = _cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    b = 2
+                return flag
+            """
+        )
+        lines = {tuple(p) for p in cfg.path_lines()}
+        assert (2, 3, 6) in lines  # then arm
+        assert (2, 5, 6) in lines  # else arm
+        assert len(lines) == 2
+
+    def test_bare_if_keeps_the_fallthrough_path(self):
+        cfg = _cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                return flag
+            """
+        )
+        lines = {tuple(p) for p in cfg.path_lines()}
+        assert (2, 3, 4) in lines and (2, 4) in lines
+
+    def test_early_return_routes_through_finally(self):
+        cfg = _cfg_of(
+            """
+            def f(res):
+                try:
+                    if res:
+                        return 1
+                    x = 2
+                finally:
+                    res.close()
+                return 3
+            """
+        )
+        close_line = 7
+        for path in cfg.path_lines():
+            if 4 in path:  # the early return...
+                assert close_line in path  # ...still runs the finally
+        # and the normal continuation exists too
+        assert any(8 in path for path in cfg.path_lines())
+
+    def test_loop_has_back_edge_and_zero_iteration_path(self):
+        cfg = _cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    x = x + 1
+                return xs
+            """
+        )
+        header, body = _node_at(cfg, 2), _node_at(cfg, 3)
+        assert header in cfg.nodes[body].succ  # back edge
+        # maybe-zero-iteration: the loop header falls through directly
+        assert (2, 4) in {tuple(p) for p in cfg.path_lines()}
+
+    def test_break_reaches_the_statement_after_the_loop(self):
+        cfg = _cfg_of(
+            """
+            def f(xs):
+                while xs:
+                    if xs:
+                        break
+                    xs = None
+                return xs
+            """
+        )
+        assert cfg.reaches_exit_avoiding(_node_at(cfg, 4), avoid=set())
+        # break jumps over the rest of the body: no path pairs 4 with 5
+        for path in cfg.path_lines():
+            assert not (4 in path and 5 in path)
+
+    def test_with_body_is_sequential_flow(self):
+        cfg = _cfg_of(
+            """
+            def f(conn):
+                with conn:
+                    x = 1
+                return x
+            """
+        )
+        assert {tuple(p) for p in cfg.path_lines()} == {(2, 3, 4)}
+
+    def test_try_body_has_exception_edges_into_its_handler(self):
+        cfg = _cfg_of(
+            """
+            def f(res):
+                try:
+                    risky(res)
+                except ValueError:
+                    res.close()
+                return res
+            """
+        )
+        body, handler = _node_at(cfg, 3), _node_at(cfg, 4)
+        assert handler in cfg.nodes[body].succ_except
+
+    def test_reaches_exit_avoiding_is_the_release_query(self):
+        leaky = _cfg_of(
+            """
+            def f(make, flag):
+                h = make()
+                if flag:
+                    h.close()
+                return 1
+            """
+        )
+        assert leaky.reaches_exit_avoiding(
+            _node_at(leaky, 2), avoid={_node_at(leaky, 4)}
+        )
+
+        held = _cfg_of(
+            """
+            def f(make):
+                h = make()
+                try:
+                    work(h)
+                finally:
+                    h.close()
+            """
+        )
+        assert not held.reaches_exit_avoiding(
+            _node_at(held, 2), avoid={_node_at(held, 6)}
+        )
+
+    def test_skip_initial_exception_edges_exempts_failed_acquisition(self):
+        cfg = _cfg_of(
+            """
+            def f(make):
+                try:
+                    h = make()
+                except OSError:
+                    return None
+                h.close()
+            """
+        )
+        acq, close = _node_at(cfg, 3), _node_at(cfg, 6)
+        # With the acquisition's own raise path included, the handler's
+        # early return routes around close()...
+        assert cfg.reaches_exit_avoiding(acq, avoid={close})
+        # ...but a constructor that raised produced nothing to leak, so
+        # L006-style queries drop that initial edge and find no escape.
+        assert not cfg.reaches_exit_avoiding(
+            acq, avoid={close}, skip_initial_exception_edges=True
+        )
+
+
 # ---------------------------------------------------------------------------
 # Selection, registry, runner plumbing
 # ---------------------------------------------------------------------------
@@ -177,10 +478,12 @@ def test_select_and_ignore():
         lint_paths([bad], select=["L999"])
 
 
-def test_registry_lists_five_rules_and_rejects_duplicates():
+def test_registry_lists_ten_rules_and_rejects_duplicates():
     ids = [cls.id for cls in list_rules()]
     assert ids == list(ALL_RULES)
     assert get_rule("L001").name == "layer-order"
+    assert get_rule("L006").name == "resource-lifecycle"
+    assert get_rule("L010").name == "protocol-exhaustiveness"
     with pytest.raises(ParameterError, match="duplicate lint rule"):
 
         @register_rule

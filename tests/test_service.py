@@ -89,6 +89,19 @@ class TestWorkerPool:
         )
         assert_bitwise(reference, result)
 
+    def test_reaped_pool_logs_the_close_failure(self, caplog):
+        import logging
+
+        pool = WorkerPool(1)
+
+        def exploding_close():
+            raise RuntimeError("close exploded")
+
+        pool.close = exploding_close
+        with caplog.at_level(logging.DEBUG, logger="repro.service.pool"):
+            pool.__del__()  # must not raise through the finaliser
+        assert "close exploded" in caplog.text
+
     def test_prewarm_is_noop_without_jit_backends(self):
         from repro.backend import list_backends
 
